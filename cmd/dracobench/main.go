@@ -1,0 +1,108 @@
+// Command dracobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dracobench                      # run every experiment
+//	dracobench -experiment fig2     # run one (fig2..fig17, table1, table3, vatsize, ablation)
+//	dracobench -list                # list experiments
+//	dracobench -quick               # smaller event counts
+//	dracobench -events 100000       # override events per simulation
+//	dracobench -nopreload           # disable SLB preloading
+//	dracobench -shape tree          # binary-tree Seccomp filters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"draco/internal/experiments"
+	"draco/internal/seccomp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id to run (empty = all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "use small event counts")
+		events     = flag.Int("events", 0, "override events per simulation")
+		train      = flag.Int("train-events", 0, "override profile-training events")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		nopreload  = flag.Bool("nopreload", false, "disable STB-driven SLB preloading")
+		shape      = flag.String("shape", "linear", "seccomp filter shape: linear or tree")
+		csvDir     = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+		repeats    = flag.Int("repeats", 1, "average each simulation over N seeds")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *events > 0 {
+		opts.Events = *events
+	}
+	if *train > 0 {
+		opts.TrainEvents = *train
+	}
+	opts.Seed = *seed
+	opts.Repeats = *repeats
+	opts.NoPreload = *nopreload
+	switch *shape {
+	case "linear":
+		opts.Shape = seccomp.ShapeLinear
+	case "tree":
+		opts.Shape = seccomp.ShapeBinaryTree
+	default:
+		fmt.Fprintf(os.Stderr, "dracobench: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+
+	runners := experiments.Registry()
+	if *experiment != "" {
+		r, ok := experiments.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dracobench: unknown experiment %q (use -list)\n", *experiment)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "dracobench:", err)
+				os.Exit(1)
+			}
+			for i, tbl := range res.Tables {
+				name := fmt.Sprintf("%s-%d.csv", r.ID, i)
+				if len(res.Tables) == 1 {
+					name = r.ID + ".csv"
+				}
+				path := filepath.Join(*csvDir, strings.ReplaceAll(name, " ", "_"))
+				if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "dracobench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

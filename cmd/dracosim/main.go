@@ -1,0 +1,178 @@
+// Command dracosim runs one simulation configuration and reports detailed
+// metrics: cycle breakdown, hit rates, flow distribution, and VAT size.
+//
+// Usage:
+//
+//	dracosim -workload httpd -mode draco-hw -profile syscall-complete
+//	dracosim -config      # print the Table II architectural configuration
+//	dracosim -workloads   # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"draco/internal/hwdraco"
+	"draco/internal/kernelmodel"
+	"draco/internal/sim"
+	"draco/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "httpd", "workload name")
+		mode      = flag.String("mode", "seccomp", "insecure | seccomp | draco-sw | draco-hw")
+		profile   = flag.String("profile", "syscall-complete", "insecure | docker-default | syscall-noargs | syscall-complete | syscall-complete-2x")
+		events    = flag.Int("events", 100_000, "system calls to simulate")
+		seed      = flag.Int64("seed", 1, "seed")
+		kernel310 = flag.Bool("kernel-3.10", false, "use the Linux 3.10 + mitigations cost model")
+		config    = flag.Bool("config", false, "print the architectural configuration (Table II) and exit")
+		listWls   = flag.Bool("workloads", false, "list workloads and exit")
+		cores     = flag.Int("cores", 1, "simulate N cores running threads of the process (shared L3 + VAT)")
+	)
+	flag.Parse()
+
+	if *config {
+		printConfig()
+		return
+	}
+	if *listWls {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-20s %s\n", w.Name, w.Class)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dracosim: unknown workload %q (use -workloads)\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Events = *events
+	cfg.Seed = *seed
+	if *kernel310 {
+		cfg.Costs = kernelmodel.Linux310Costs()
+	}
+	switch *mode {
+	case "insecure":
+		cfg.Mode = kernelmodel.ModeInsecure
+	case "seccomp":
+		cfg.Mode = kernelmodel.ModeSeccomp
+	case "draco-sw":
+		cfg.Mode = kernelmodel.ModeDracoSW
+	case "draco-hw":
+		cfg.Mode = kernelmodel.ModeDracoHW
+	default:
+		fmt.Fprintf(os.Stderr, "dracosim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *profile {
+	case "insecure":
+		cfg.Profile = sim.ProfileInsecure
+	case "docker-default":
+		cfg.Profile = sim.ProfileDockerDefault
+	case "syscall-noargs":
+		cfg.Profile = sim.ProfileNoArgs
+	case "syscall-complete":
+		cfg.Profile = sim.ProfileComplete
+	case "syscall-complete-2x":
+		cfg.Profile = sim.ProfileComplete2x
+	default:
+		fmt.Fprintf(os.Stderr, "dracosim: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	if *cores > 1 {
+		runMulticore(w, cfg, *cores)
+		return
+	}
+
+	// Baseline for normalization.
+	baseCfg := cfg
+	baseCfg.Mode = kernelmodel.ModeInsecure
+	baseCfg.Profile = sim.ProfileInsecure
+	base, err := sim.Run(w, baseCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dracosim:", err)
+		os.Exit(1)
+	}
+	m, err := sim.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dracosim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:     %s (%s)\n", w.Name, w.Class)
+	fmt.Printf("mode/profile: %s / %s (%s)\n", m.Mode, cfg.Profile, cfg.Costs.Name)
+	fmt.Printf("syscalls:     %d (%d denied)\n", m.Syscalls, m.Denied)
+	fmt.Printf("total cycles: %d  (%.3fx of insecure)\n", m.TotalCycles, m.Slowdown(base))
+	fmt.Printf("  user        %d\n", m.UserCycles)
+	fmt.Printf("  entry/exit  %d\n", m.EntryExitCycles)
+	fmt.Printf("  checking    %d (%.1f cycles/syscall)\n", m.CheckCycles, float64(m.CheckCycles)/float64(m.Syscalls))
+	fmt.Printf("  kernel body %d\n", m.BodyCycles)
+	fmt.Printf("  ctx switch  %d (%d switches)\n", m.CtxSwitchCycles, m.CtxSwitches)
+	if m.Mode == kernelmodel.ModeDracoSW || m.Mode == kernelmodel.ModeDracoHW {
+		fmt.Printf("VAT:          %d bytes, %d filter runs, %d inserts\n",
+			m.VATBytes, m.SW.FilterRuns, m.SW.Inserts)
+	}
+	if m.Mode == kernelmodel.ModeDracoHW {
+		st := m.HW
+		fmt.Printf("STB hit:      %.1f%%\n", 100*st.STBHitRate())
+		fmt.Printf("SLB access:   %.1f%%   preload: %.1f%%\n",
+			100*st.SLBAccessHitRate(), 100*st.SLBPreloadHitRate())
+		fmt.Printf("flows:        id-only %d", st.IDOnly)
+		for f := 1; f <= 6; f++ {
+			fmt.Printf("  f%d %d", f, st.Flows[f])
+		}
+		fmt.Println()
+	}
+}
+
+func runMulticore(w *workloads.Workload, cfg sim.Config, n int) {
+	baseCfg := cfg
+	baseCfg.Mode = kernelmodel.ModeInsecure
+	baseCfg.Profile = sim.ProfileInsecure
+	base, err := sim.RunMulticoreShared(w, n, baseCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dracosim:", err)
+		os.Exit(1)
+	}
+	res, err := sim.RunMulticoreShared(w, n, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dracosim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %s on %d cores (threads of one process, shared L3 + VAT)\n", w.Name, n)
+	fmt.Printf("mode/profile: %s / %s\n", cfg.Mode, cfg.Profile)
+	for i, c := range res.Cores {
+		fmt.Printf("  core %d: %.3fx of insecure, %d syscalls, %d denied\n",
+			c.Core, c.Metrics.Slowdown(base.Cores[i].Metrics), c.Metrics.Syscalls, c.Metrics.Denied)
+	}
+	fmt.Printf("mean slowdown: %.3fx; shared L3 hit rate %.1f%%\n",
+		res.MeanSlowdown(base), 100*res.SharedL3.HitRate())
+}
+
+func printConfig() {
+	hw := hwdraco.DefaultConfig()
+	costs := kernelmodel.Linux53Costs()
+	fmt.Println("Architectural configuration (Table II)")
+	fmt.Println("  cores:            10 OOO, 128-entry ROB, 2GHz (timing folded into cost model)")
+	fmt.Println("  L1 (D,I):         32KB, 8-way, 2-cycle")
+	fmt.Println("  L2:               256KB, 8-way, 8-cycle")
+	fmt.Println("  L3:               8MB, 16-way, shared, 32-cycle")
+	fmt.Println("  DRAM:             ~200-cycle access")
+	fmt.Printf("  STB:              %d entries, %d-way, %d-cycle\n", hw.STBEntries, hw.STBWays, hw.TableLatency)
+	for argc := 1; argc <= 6; argc++ {
+		fmt.Printf("  SLB (%d arg):      %d entries, %d-way, %d-cycle\n",
+			argc, hw.SLB[argc].Entries, hw.SLB[argc].Ways, hw.TableLatency)
+	}
+	fmt.Printf("  Temporary Buffer: %d entries\n", hw.TempBufEntries)
+	fmt.Printf("  SPT:              %d entries, direct-mapped, %d-cycle\n", hw.SPTEntries, hw.TableLatency)
+	fmt.Printf("  CRC hash:         %d-cycle\n", hw.HashLatency)
+	fmt.Printf("  preload lead:     %d cycles (ROB/IPC)\n", hw.PreloadLead)
+	fmt.Printf("  kernel costs:     %s (entry/exit %d, seccomp dispatch %d, %.2f cycles/BPF-instr)\n",
+		costs.Name, costs.SyscallEntryExit, costs.SeccompDispatch, costs.BPFInstrCost)
+}

@@ -1,0 +1,103 @@
+// Command profilegen is the paper's §X-B toolkit: it consumes a recorded
+// system call trace and emits the application-specific Seccomp profiles
+// used in the evaluation.
+//
+// Usage:
+//
+//	tracegen -workload redis | profilegen -name redis            # complete profile summary
+//	profilegen -name redis -in redis.trace -kind noargs
+//	profilegen -name redis -in redis.trace -dump                 # full rule dump
+//	profilegen -name redis -in redis.trace -bpf                  # compiled BPF listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"draco/internal/bpf"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/trace"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "app", "profile name")
+		in      = flag.String("in", "-", "trace file ('-' = stdin)")
+		kind    = flag.String("kind", "complete", "complete | noargs")
+		runtime = flag.Bool("runtime", true, "include container-runtime syscalls")
+		dump    = flag.Bool("dump", false, "dump every rule")
+		dumpBPF = flag.Bool("bpf", false, "disassemble the compiled filter")
+		shape   = flag.String("shape", "linear", "filter shape for -bpf: linear or tree")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Read(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+
+	opts := profilegen.Options{IncludeRuntime: *runtime}
+	var p *seccomp.Profile
+	switch *kind {
+	case "complete":
+		p = profilegen.Complete(*name, tr, opts)
+	case "noargs":
+		p = profilegen.NoArgs(*name, tr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "profilegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profile %s: %d syscalls, %d args checked, %d values allowed, %d argument sets\n",
+		p.Name, p.NumSyscalls(), p.NumArgsChecked(), p.NumValuesAllowed(), p.NumArgSets())
+
+	if *dump {
+		for _, rule := range p.Rules {
+			if !rule.ChecksArgs() {
+				fmt.Printf("  allow %s\n", rule.Syscall.Name)
+				continue
+			}
+			fmt.Printf("  allow %s args %v with %d sets\n",
+				rule.Syscall.Name, rule.CheckedArgs, len(rule.AllowedSets))
+			for _, set := range rule.AllowedSets {
+				vals := make([]string, len(set))
+				for i, v := range set {
+					vals[i] = fmt.Sprintf("%#x", v)
+				}
+				fmt.Printf("    (%s)\n", strings.Join(vals, ", "))
+			}
+		}
+	}
+	if *dumpBPF {
+		sh := seccomp.ShapeLinear
+		if *shape == "tree" {
+			sh = seccomp.ShapeBinaryTree
+		}
+		prog, err := seccomp.Compile(p, sh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiled %s filter: %d instructions\n", sh, len(prog))
+		fmt.Print(bpf.Disassemble(prog))
+	}
+}

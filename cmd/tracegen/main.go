@@ -1,0 +1,64 @@
+// Command tracegen generates a workload's system call trace, the
+// reproduction's substitute for attaching strace to a running application
+// (paper §X-B).
+//
+// Usage:
+//
+//	tracegen -workload redis -events 100000 > redis.trace
+//	tracegen -workload redis -analyze           # print Figure 3-style stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+	"draco/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "httpd", "workload name (see dracosim -workloads)")
+		events   = flag.Int("events", 100_000, "number of system calls")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		analyze  = flag.Bool("analyze", false, "print locality analysis instead of the trace")
+	)
+	flag.Parse()
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	tr := w.Generate(*events, *seed)
+
+	if *analyze {
+		an := trace.Analyze(tr, func(sid int) uint64 {
+			in, ok := syscalls.ByNum(sid)
+			if !ok {
+				return 0
+			}
+			return in.ArgBitmask()
+		})
+		fmt.Print(an.String())
+		fmt.Printf("%-16s %9s %8s %10s\n", "syscall", "fraction", "argsets", "reuse-dist")
+		for i, e := range an.Entries {
+			if i >= 20 {
+				break
+			}
+			name := fmt.Sprintf("sid%d", e.SID)
+			if in, ok := syscalls.ByNum(e.SID); ok {
+				name = in.Name
+			}
+			fmt.Printf("%-16s %8.2f%% %8d %10.0f\n",
+				name, 100*e.Fraction, len(e.ArgSetCounts), e.MeanReuseDistance)
+		}
+		return
+	}
+	if err := trace.Write(os.Stdout, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,183 @@
+package draco
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSyscallLookup(t *testing.T) {
+	if Syscall("read").Num != 0 {
+		t.Fatal("read != 0")
+	}
+	if _, ok := LookupSyscall("nope"); ok {
+		t.Fatal("bogus syscall found")
+	}
+}
+
+func TestCheckerQuickstart(t *testing.T) {
+	chk, err := NewChecker(DockerDefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := Syscall("read").Num
+	first := chk.Check(read, Args{3, 0, 4096})
+	if !first.Allowed || first.Cached {
+		t.Fatalf("first: %+v", first)
+	}
+	second := chk.Check(read, Args{3, 0, 4096})
+	if !second.Allowed || !second.Cached {
+		t.Fatalf("second: %+v", second)
+	}
+	ptrace := Syscall("ptrace").Num
+	if d := chk.Check(ptrace, Args{}); d.Allowed {
+		t.Fatal("ptrace allowed by docker-default")
+	}
+}
+
+func TestFilterOnlyNeverCaches(t *testing.T) {
+	f, err := NewFilterOnly(DockerDefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d := f.Check(Syscall("getpid").Num, Args{})
+		if !d.Allowed || d.FilterInstructions == 0 {
+			t.Fatalf("call %d: %+v", i, d)
+		}
+	}
+}
+
+func TestProfileFromTraceRoundtrip(t *testing.T) {
+	w, ok := WorkloadByName("grep")
+	if !ok {
+		t.Fatal("grep missing")
+	}
+	tr := GenerateTrace(w, 3000, 7)
+	p := ProfileFromTrace("grep", tr, true)
+	if p.NumSyscalls() == 0 || p.NumArgsChecked() == 0 {
+		t.Fatalf("empty profile: %d/%d", p.NumSyscalls(), p.NumArgsChecked())
+	}
+	chk, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range tr {
+		if d := chk.Check(e.SID, e.Args); !d.Allowed {
+			t.Fatalf("event %d denied by own profile", i)
+		}
+	}
+	if chk.VATBytes() == 0 {
+		t.Fatal("no VAT allocated")
+	}
+}
+
+func TestTraceSerialization(t *testing.T) {
+	w, _ := WorkloadByName("pwgen")
+	tr := GenerateTrace(w, 100, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Fatalf("roundtrip lost events: %d vs %d", len(back), len(tr))
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	w, _ := WorkloadByName("fifo-ipc")
+	sec, err := Simulate(w, Seccomp, AppComplete, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := Simulate(w, HardwareDraco, AppComplete, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Slowdown <= 1.0 {
+		t.Fatalf("seccomp slowdown %.3f", sec.Slowdown)
+	}
+	if hw.Slowdown >= sec.Slowdown {
+		t.Fatalf("hardware (%.3f) not faster than seccomp (%.3f)", hw.Slowdown, sec.Slowdown)
+	}
+	if hw.STBHitRate == 0 || hw.SLBAccessHitRate == 0 {
+		t.Fatalf("hardware hit rates missing: %+v", hw)
+	}
+	if _, err := Simulate(w, Mechanism(99), AppComplete, 100, 1); err == nil {
+		t.Fatal("bad mechanism accepted")
+	}
+	if _, err := Simulate(w, Seccomp, PolicyKind(99), 100, 1); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestWorkloadsCount(t *testing.T) {
+	if len(Workloads()) != 15 {
+		t.Fatalf("workloads = %d", len(Workloads()))
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments")
+	}
+	out, err := RunExperiment("table3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty experiment output")
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSimulateMulticoreFacade(t *testing.T) {
+	w, _ := WorkloadByName("redis")
+	hw, err := SimulateMulticore(w, 2, HardwareDraco, AppComplete, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := SimulateMulticore(w, 2, Seccomp, AppComplete, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw >= sec {
+		t.Fatalf("multicore hw (%.3f) not faster than seccomp (%.3f)", hw, sec)
+	}
+	if _, err := SimulateMulticore(w, 2, Mechanism(9), AppComplete, 100, 1); err == nil {
+		t.Fatal("bad mechanism accepted")
+	}
+	if _, err := SimulateMulticore(w, 2, Seccomp, PolicyKind(9), 100, 1); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestMaskedDockerFacade(t *testing.T) {
+	p := DockerDefaultMaskedProfile()
+	chk, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := Syscall("clone").Num
+	if !chk.Check(clone, Args{0x11}).Allowed {
+		t.Error("benign clone denied")
+	}
+	if chk.Check(clone, Args{0x10000000}).Allowed {
+		t.Error("CLONE_NEWUSER allowed")
+	}
+	// The masked rule is visible through the profile model.
+	r, ok := p.RuleFor(clone)
+	if !ok || len(r.MaskedSets) != 1 {
+		t.Fatalf("masked clone rule missing: %+v", r)
+	}
+	want := MaskCond{ArgIndex: 0, Mask: 0x7E020000, Value: 0}
+	if r.MaskedSets[0][0] != want {
+		t.Fatalf("condition = %+v, want %+v", r.MaskedSets[0][0], want)
+	}
+}

@@ -1,0 +1,69 @@
+package draco_test
+
+import (
+	"fmt"
+
+	"draco"
+)
+
+// The basic checking flow: the first call runs the compiled filter, repeat
+// calls are served from Draco's tables.
+func ExampleChecker() {
+	chk, err := draco.NewChecker(draco.DockerDefaultProfile())
+	if err != nil {
+		panic(err)
+	}
+	read := draco.Syscall("read").Num
+	first := chk.Check(read, draco.Args{3, 0x7f0000000000, 4096})
+	second := chk.Check(read, draco.Args{3, 0x7f0000000000, 4096})
+	fmt.Println(first.Allowed, first.Cached)
+	fmt.Println(second.Allowed, second.Cached)
+	// Output:
+	// true false
+	// true true
+}
+
+// Application-specific profiles come from recorded traces, the paper's
+// §X-B toolkit flow.
+func ExampleProfileFromTrace() {
+	w, _ := draco.WorkloadByName("pwgen")
+	trace := draco.GenerateTrace(w, 10_000, 1)
+	profile := draco.ProfileFromTrace("pwgen", trace, true)
+	fmt.Println(profile.NumSyscalls() > 0, profile.NumArgsChecked() > 0)
+	// Output:
+	// true true
+}
+
+// Pledge-style promises lower to the same profile model (paper §VIII).
+func ExamplePledgeProfile() {
+	p, err := draco.PledgeProfile("stdio rpath")
+	if err != nil {
+		panic(err)
+	}
+	f, _ := draco.NewFilterOnly(p)
+	fmt.Println(f.Check(draco.Syscall("read").Num, draco.Args{3, 0, 64}).Allowed)
+	fmt.Println(f.Check(draco.Syscall("socket").Num, draco.Args{2, 1, 0}).Allowed)
+	// Output:
+	// true
+	// false
+}
+
+// CVE mitigations narrow profiles at argument granularity (paper §III).
+func ExampleApplyMitigation() {
+	m, _ := func() (draco.Mitigation, bool) {
+		for _, k := range draco.KnownMitigations() {
+			if k.CVE == "CVE-2016-0728" {
+				return k, true
+			}
+		}
+		return draco.Mitigation{}, false
+	}()
+	hardened, outcome, err := draco.ApplyMitigation(draco.DockerDefaultProfile(), m)
+	if err != nil {
+		panic(err)
+	}
+	_ = hardened
+	fmt.Println(m.Syscall, outcome)
+	// Output:
+	// keyctl not-present
+}

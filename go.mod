@@ -1,0 +1,3 @@
+module draco
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package bpf implements the classic Berkeley Packet Filter virtual machine
+// that Linux Seccomp filters execute on (paper §II-B). Seccomp profiles are
+// compiled to cBPF programs; the kernel runs the program against a
+// seccomp_data buffer on every system call. The per-syscall checking
+// overhead the paper measures is the time spent executing these programs, so
+// the interpreter here counts executed instructions to drive the cost model.
+//
+// The implementation covers the full classic BPF instruction set (loads,
+// stores, ALU, conditional jumps, returns, and the A<->X transfers), with
+// the sixteen-word scratch memory and the two registers A and X. Packet
+// loads read from the caller-supplied data buffer, which for Seccomp is the
+// 64-byte seccomp_data structure.
+package bpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxInsns is the stock kernel's BPF_MAXINSNS limit on filter length.
+const MaxInsns = 4096
+
+// ExtendedMaxInsns is the raised filter-length limit this reproduction
+// validates against. The paper's syscall-complete profiles allow up to
+// 2458 distinct argument values (Figure 15b); at the several BPF
+// instructions each exact-value compare costs, such filters exceed the
+// stock 4096-instruction cap, so the authors' instrumented kernel must
+// raise it — we do the same.
+const ExtendedMaxInsns = 64 * 1024
+
+// ScratchSlots is the size of the BPF scratch memory M[].
+const ScratchSlots = 16
+
+// Instruction classes (low three bits of the opcode).
+const (
+	ClassLD   = 0x00 // load into A
+	ClassLDX  = 0x01 // load into X
+	ClassST   = 0x02 // store A to scratch
+	ClassSTX  = 0x03 // store X to scratch
+	ClassALU  = 0x04 // arithmetic on A
+	ClassJMP  = 0x05 // jumps
+	ClassRET  = 0x06 // return
+	ClassMISC = 0x07 // A<->X
+)
+
+// Size field for loads.
+const (
+	SizeW = 0x00 // 32-bit word
+	SizeH = 0x08 // 16-bit halfword
+	SizeB = 0x10 // byte
+)
+
+// Mode field for loads.
+const (
+	ModeIMM = 0x00 // immediate
+	ModeABS = 0x20 // absolute offset into data
+	ModeIND = 0x40 // X-relative offset into data
+	ModeMEM = 0x60 // scratch memory
+	ModeLEN = 0x80 // data length
+	ModeMSH = 0xa0 // IP-header-length hack (LDX only)
+)
+
+// ALU / JMP operations.
+const (
+	ALUAdd = 0x00
+	ALUSub = 0x10
+	ALUMul = 0x20
+	ALUDiv = 0x30
+	ALUOr  = 0x40
+	ALUAnd = 0x50
+	ALULsh = 0x60
+	ALURsh = 0x70
+	ALUNeg = 0x80
+	ALUMod = 0x90
+	ALUXor = 0xa0
+
+	JmpJA   = 0x00
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40
+)
+
+// Source field: K immediate or X register.
+const (
+	SrcK = 0x00
+	SrcX = 0x08
+)
+
+// MISC subops.
+const (
+	MiscTAX = 0x00 // X = A
+	MiscTXA = 0x80 // A = X
+)
+
+// Instruction is one classic-BPF instruction, mirroring struct sock_filter.
+type Instruction struct {
+	Op uint16
+	Jt uint8
+	Jf uint8
+	K  uint32
+}
+
+// Stmt builds a non-jump instruction.
+func Stmt(op uint16, k uint32) Instruction {
+	return Instruction{Op: op, K: k}
+}
+
+// Jump builds a conditional jump instruction.
+func Jump(op uint16, k uint32, jt, jf uint8) Instruction {
+	return Instruction{Op: op, Jt: jt, Jf: jf, K: k}
+}
+
+// Program is a validated-or-not sequence of instructions.
+type Program []Instruction
+
+// Validation errors.
+var (
+	ErrEmpty       = errors.New("bpf: empty program")
+	ErrTooLong     = fmt.Errorf("bpf: program exceeds %d instructions", MaxInsns)
+	ErrNoReturn    = errors.New("bpf: program does not end in RET")
+	ErrBadJump     = errors.New("bpf: jump out of range")
+	ErrBadOpcode   = errors.New("bpf: unknown opcode")
+	ErrBadScratch  = errors.New("bpf: scratch index out of range")
+	ErrDivByZeroK  = errors.New("bpf: constant division by zero")
+	ErrBadLoadSize = errors.New("bpf: bad load size")
+)
+
+// Validate performs the same structural checks the kernel's bpf_check_classic
+// applies: length limits, in-range forward jumps, known opcodes, scratch
+// bounds, no constant division by zero, and a final RET. The stock kernel
+// length limit applies; use ValidateMax for the extended limit.
+func (p Program) Validate() error {
+	return p.ValidateMax(MaxInsns)
+}
+
+// ValidateMax validates with an explicit instruction-count limit.
+func (p Program) ValidateMax(maxInsns int) error {
+	if len(p) == 0 {
+		return ErrEmpty
+	}
+	if len(p) > maxInsns {
+		return ErrTooLong
+	}
+	for i, ins := range p {
+		cls := ins.Op & 0x07
+		switch cls {
+		case ClassLD, ClassLDX:
+			mode := ins.Op & 0xe0
+			size := ins.Op & 0x18
+			switch mode {
+			case ModeIMM, ModeLEN:
+				// any size bits tolerated by kernel; accept
+			case ModeABS, ModeIND:
+				if size != SizeW && size != SizeH && size != SizeB {
+					return fmt.Errorf("%w at %d", ErrBadLoadSize, i)
+				}
+			case ModeMEM:
+				if ins.K >= ScratchSlots {
+					return fmt.Errorf("%w at %d", ErrBadScratch, i)
+				}
+			case ModeMSH:
+				if cls != ClassLDX {
+					return fmt.Errorf("%w at %d: MSH is LDX-only", ErrBadOpcode, i)
+				}
+			default:
+				return fmt.Errorf("%w at %d: %#x", ErrBadOpcode, i, ins.Op)
+			}
+		case ClassST, ClassSTX:
+			if ins.K >= ScratchSlots {
+				return fmt.Errorf("%w at %d", ErrBadScratch, i)
+			}
+		case ClassALU:
+			op := ins.Op & 0xf0
+			switch op {
+			case ALUAdd, ALUSub, ALUMul, ALUOr, ALUAnd, ALULsh, ALURsh, ALUXor, ALUNeg:
+			case ALUDiv, ALUMod:
+				if ins.Op&SrcX == 0 && ins.K == 0 {
+					return fmt.Errorf("%w at %d", ErrDivByZeroK, i)
+				}
+			default:
+				return fmt.Errorf("%w at %d: %#x", ErrBadOpcode, i, ins.Op)
+			}
+		case ClassJMP:
+			op := ins.Op & 0xf0
+			switch op {
+			case JmpJA:
+				if uint32(i)+ins.K+1 >= uint32(len(p)) {
+					return fmt.Errorf("%w at %d", ErrBadJump, i)
+				}
+			case JmpJEQ, JmpJGT, JmpJGE, JmpJSET:
+				if i+int(ins.Jt)+1 >= len(p) || i+int(ins.Jf)+1 >= len(p) {
+					return fmt.Errorf("%w at %d", ErrBadJump, i)
+				}
+			default:
+				return fmt.Errorf("%w at %d: %#x", ErrBadOpcode, i, ins.Op)
+			}
+		case ClassRET:
+		case ClassMISC:
+			sub := ins.Op & 0xf8
+			if sub != MiscTAX && sub != MiscTXA {
+				return fmt.Errorf("%w at %d: %#x", ErrBadOpcode, i, ins.Op)
+			}
+		default:
+			return fmt.Errorf("%w at %d: %#x", ErrBadOpcode, i, ins.Op)
+		}
+	}
+	last := p[len(p)-1]
+	if last.Op&0x07 != ClassRET {
+		return ErrNoReturn
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package bpf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustVM(t *testing.T, p Program) *VM {
+	t.Helper()
+	vm, err := NewVM(p)
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	return vm
+}
+
+func run(t *testing.T, p Program, data []byte) Result {
+	t.Helper()
+	vm := mustVM(t, p)
+	r, err := vm.Run(data)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestRetConstant(t *testing.T) {
+	p := Program{Stmt(ClassRET|SrcK, 42)}
+	r := run(t, p, nil)
+	if r.Value != 42 {
+		t.Fatalf("ret = %d, want 42", r.Value)
+	}
+	if r.Executed != 1 {
+		t.Fatalf("executed = %d, want 1", r.Executed)
+	}
+}
+
+func TestRetAccumulator(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeIMM, 7),
+		Stmt(ClassRET|0x10, 0), // ret a
+	}
+	if r := run(t, p, nil); r.Value != 7 {
+		t.Fatalf("ret a = %d, want 7", r.Value)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   uint16
+		init uint32
+		k    uint32
+		want uint32
+	}{
+		{ALUAdd, 3, 4, 7},
+		{ALUSub, 10, 4, 6},
+		{ALUMul, 3, 5, 15},
+		{ALUDiv, 20, 5, 4},
+		{ALUMod, 22, 5, 2},
+		{ALUOr, 0b0101, 0b0011, 0b0111},
+		{ALUAnd, 0b0101, 0b0011, 0b0001},
+		{ALUXor, 0b0101, 0b0011, 0b0110},
+		{ALULsh, 1, 4, 16},
+		{ALURsh, 16, 4, 1},
+	}
+	for _, c := range cases {
+		p := Program{
+			Stmt(ClassLD|ModeIMM, c.init),
+			Stmt(ClassALU|c.op|SrcK, c.k),
+			Stmt(ClassRET|0x10, 0),
+		}
+		if r := run(t, p, nil); r.Value != c.want {
+			t.Errorf("alu %#x: got %d, want %d", c.op, r.Value, c.want)
+		}
+	}
+}
+
+func TestALUNeg(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeIMM, 1),
+		Stmt(ClassALU|ALUNeg, 0),
+		Stmt(ClassRET|0x10, 0),
+	}
+	if r := run(t, p, nil); r.Value != 0xFFFFFFFF {
+		t.Fatalf("neg 1 = %#x, want 0xFFFFFFFF", r.Value)
+	}
+}
+
+func TestALUWithX(t *testing.T) {
+	p := Program{
+		Stmt(ClassLDX|ModeIMM, 5),
+		Stmt(ClassLD|ModeIMM, 8),
+		Stmt(ClassALU|ALUAdd|SrcX, 0),
+		Stmt(ClassRET|0x10, 0),
+	}
+	if r := run(t, p, nil); r.Value != 13 {
+		t.Fatalf("add x = %d, want 13", r.Value)
+	}
+}
+
+func TestRuntimeDivByZeroX(t *testing.T) {
+	p := Program{
+		Stmt(ClassLDX|ModeIMM, 0),
+		Stmt(ClassLD|ModeIMM, 8),
+		Stmt(ClassALU|ALUDiv|SrcX, 0),
+		Stmt(ClassRET|0x10, 0),
+	}
+	vm := mustVM(t, p)
+	if _, err := vm.Run(nil); !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("err = %v, want ErrDivByZero", err)
+	}
+}
+
+func TestJumps(t *testing.T) {
+	// if A == 5 ret 1 else ret 0
+	p := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 5, 0, 1),
+		Stmt(ClassRET, 1),
+		Stmt(ClassRET, 0),
+	}
+	data5 := []byte{5, 0, 0, 0}
+	data6 := []byte{6, 0, 0, 0}
+	if r := run(t, p, data5); r.Value != 1 {
+		t.Fatalf("jeq taken: ret %d, want 1", r.Value)
+	}
+	if r := run(t, p, data6); r.Value != 0 {
+		t.Fatalf("jeq not taken: ret %d, want 0", r.Value)
+	}
+}
+
+func TestJumpKinds(t *testing.T) {
+	mk := func(op uint16, k uint32) Program {
+		return Program{
+			Stmt(ClassLD|ModeIMM, 10),
+			Jump(ClassJMP|op|SrcK, k, 0, 1),
+			Stmt(ClassRET, 1),
+			Stmt(ClassRET, 0),
+		}
+	}
+	cases := []struct {
+		op   uint16
+		k    uint32
+		want uint32
+	}{
+		{JmpJGT, 9, 1},
+		{JmpJGT, 10, 0},
+		{JmpJGE, 10, 1},
+		{JmpJGE, 11, 0},
+		{JmpJSET, 2, 1},
+		{JmpJSET, 1, 0},
+	}
+	for _, c := range cases {
+		if r := run(t, mk(c.op, c.k), nil); r.Value != c.want {
+			t.Errorf("jump %#x k=%d: got %d, want %d", c.op, c.k, r.Value, c.want)
+		}
+	}
+}
+
+func TestJumpAlways(t *testing.T) {
+	p := Program{
+		Jump(ClassJMP|JmpJA, 1, 0, 0),
+		Stmt(ClassRET, 99), // skipped
+		Stmt(ClassRET, 7),
+	}
+	if r := run(t, p, nil); r.Value != 7 {
+		t.Fatalf("ja: ret %d, want 7", r.Value)
+	}
+}
+
+func TestScratchMemory(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeIMM, 123),
+		Stmt(ClassST, 3),
+		Stmt(ClassLD|ModeIMM, 0),
+		Stmt(ClassLD|ModeMEM, 3),
+		Stmt(ClassRET|0x10, 0),
+	}
+	if r := run(t, p, nil); r.Value != 123 {
+		t.Fatalf("scratch roundtrip = %d, want 123", r.Value)
+	}
+}
+
+func TestTAXTXA(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeIMM, 55),
+		Stmt(ClassMISC|MiscTAX, 0),
+		Stmt(ClassLD|ModeIMM, 0),
+		Stmt(ClassMISC|MiscTXA, 0),
+		Stmt(ClassRET|0x10, 0),
+	}
+	if r := run(t, p, nil); r.Value != 55 {
+		t.Fatalf("tax/txa = %d, want 55", r.Value)
+	}
+}
+
+func TestLoadSizes(t *testing.T) {
+	data := []byte{0x11, 0x22, 0x33, 0x44}
+	// Byte load.
+	p := Program{Stmt(ClassLD|ModeABS|SizeB, 2), Stmt(ClassRET|0x10, 0)}
+	if r := run(t, p, data); r.Value != 0x33 {
+		t.Fatalf("ldb = %#x, want 0x33", r.Value)
+	}
+	// Halfword load (big-endian, classic network order).
+	p = Program{Stmt(ClassLD|ModeABS|SizeH, 0), Stmt(ClassRET|0x10, 0)}
+	if r := run(t, p, data); r.Value != 0x1122 {
+		t.Fatalf("ldh = %#x, want 0x1122", r.Value)
+	}
+	// Word load (little-endian, seccomp_data order).
+	p = Program{Stmt(ClassLD|ModeABS|SizeW, 0), Stmt(ClassRET|0x10, 0)}
+	if r := run(t, p, data); r.Value != 0x44332211 {
+		t.Fatalf("ldw = %#x, want 0x44332211", r.Value)
+	}
+}
+
+func TestIndirectLoad(t *testing.T) {
+	data := []byte{0, 0, 0, 0, 0xAA}
+	p := Program{
+		Stmt(ClassLDX|ModeIMM, 4),
+		Stmt(ClassLD|ModeIND|SizeB, 0),
+		Stmt(ClassRET|0x10, 0),
+	}
+	if r := run(t, p, data); r.Value != 0xAA {
+		t.Fatalf("ind ldb = %#x, want 0xAA", r.Value)
+	}
+}
+
+func TestLoadLen(t *testing.T) {
+	p := Program{Stmt(ClassLD|ModeLEN, 0), Stmt(ClassRET|0x10, 0)}
+	if r := run(t, p, make([]byte, 64)); r.Value != 64 {
+		t.Fatalf("ld len = %d, want 64", r.Value)
+	}
+}
+
+func TestOutOfBoundsLoad(t *testing.T) {
+	p := Program{Stmt(ClassLD|ModeABS|SizeW, 62), Stmt(ClassRET|0x10, 0)}
+	vm := mustVM(t, p)
+	if _, err := vm.Run(make([]byte, 64)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("err = %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		want error
+	}{
+		{"empty", Program{}, ErrEmpty},
+		{"no ret", Program{Stmt(ClassLD|ModeIMM, 0)}, ErrNoReturn},
+		{"jump off end", Program{
+			Jump(ClassJMP|JmpJEQ, 0, 5, 0),
+			Stmt(ClassRET, 0),
+		}, ErrBadJump},
+		{"ja off end", Program{
+			Jump(ClassJMP|JmpJA, 10, 0, 0),
+			Stmt(ClassRET, 0),
+		}, ErrBadJump},
+		{"bad scratch", Program{
+			Stmt(ClassST, 16),
+			Stmt(ClassRET, 0),
+		}, ErrBadScratch},
+		{"const div zero", Program{
+			Stmt(ClassALU|ALUDiv|SrcK, 0),
+			Stmt(ClassRET, 0),
+		}, ErrDivByZeroK},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateTooLong(t *testing.T) {
+	p := make(Program, MaxInsns+1)
+	for i := range p {
+		p[i] = Stmt(ClassRET, 0)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestExecutedCountsOnlyReached(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeIMM, 1),
+		Jump(ClassJMP|JmpJEQ|SrcK, 1, 1, 0), // taken: skip next
+		Stmt(ClassALU|ALUAdd|SrcK, 100),     // skipped
+		Stmt(ClassRET|0x10, 0),
+	}
+	r := run(t, p, nil)
+	if r.Executed != 3 {
+		t.Fatalf("executed = %d, want 3", r.Executed)
+	}
+	if r.Value != 1 {
+		t.Fatalf("value = %d, want 1", r.Value)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 5, 0, 1),
+		Stmt(ClassRET, 0x7fff0000),
+		Stmt(ClassRET, 0),
+	}
+	out := Disassemble(p)
+	for _, want := range []string{"ldA w [0]", "jeq", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickValidatedProgramsTerminate(t *testing.T) {
+	// Property: any program that passes Validate terminates (classic BPF
+	// jumps are forward-only) and executes at most len(p) instructions.
+	f := func(seed int64) bool {
+		p := randomValidProgram(seed)
+		if err := p.Validate(); err != nil {
+			return true // generator produced something invalid; skip
+		}
+		vm, err := NewVM(p)
+		if err != nil {
+			return true
+		}
+		r, err := vm.Run(make([]byte, 64))
+		if err != nil {
+			// Runtime faults (bounds, div-zero) are fine; they terminate.
+			return r.Executed <= len(p)
+		}
+		return r.Executed <= len(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomValidProgram builds a structurally valid forward-jumping program.
+func randomValidProgram(seed int64) Program {
+	rng := seed
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int((rng >> 33) % int64(n))
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	n := 4 + next(40)
+	p := make(Program, 0, n+1)
+	for i := 0; i < n; i++ {
+		remain := n - i // instructions after this one, including final RET
+		switch next(5) {
+		case 0:
+			p = append(p, Stmt(ClassLD|ModeIMM, uint32(next(1000))))
+		case 1:
+			p = append(p, Stmt(ClassLD|ModeABS|SizeW, uint32(next(16)*4)))
+		case 2:
+			p = append(p, Stmt(ClassALU|ALUAdd|SrcK, uint32(next(100))))
+		case 3:
+			jt := uint8(next(min(remain, 255)))
+			jf := uint8(next(min(remain, 255)))
+			p = append(p, Jump(ClassJMP|JmpJEQ|SrcK, uint32(next(10)), jt, jf))
+		case 4:
+			p = append(p, Stmt(ClassST, uint32(next(ScratchSlots))))
+		}
+	}
+	p = append(p, Stmt(ClassRET, 0))
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkInterpreterTightLoop(b *testing.B) {
+	// A ~100-instruction linear compare chain, representative of a
+	// docker-default-sized fragment.
+	p := Program{Stmt(ClassLD|ModeABS|SizeW, 0)}
+	for i := 0; i < 100; i++ {
+		// A match jumps to the trailing RET at index 101; the jump sits at
+		// index i+1, so the offset is 101 - (i+1) - 1.
+		p = append(p, Jump(ClassJMP|JmpJEQ|SrcK, uint32(i+1000), uint8(99-i), 0))
+	}
+	p = append(p, Stmt(ClassRET, 0))
+	vm, err := NewVM(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a program in a tcpdump-like textual form, one
+// instruction per line, for debugging and golden tests.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	for i, ins := range p {
+		fmt.Fprintf(&b, "%4d: %s\n", i, disasmOne(i, ins))
+	}
+	return b.String()
+}
+
+func disasmOne(i int, ins Instruction) string {
+	cls := ins.Op & 0x07
+	switch cls {
+	case ClassLD, ClassLDX:
+		reg := "A"
+		if cls == ClassLDX {
+			reg = "X"
+		}
+		size := map[uint16]string{SizeW: "w", SizeH: "h", SizeB: "b"}[ins.Op&0x18]
+		switch ins.Op & 0xe0 {
+		case ModeIMM:
+			return fmt.Sprintf("ld%s  #%d", strings.ToLower(reg), ins.K)
+		case ModeABS:
+			return fmt.Sprintf("ld%s %s [%d]", reg, size, ins.K)
+		case ModeIND:
+			return fmt.Sprintf("ld%s %s [x+%d]", reg, size, ins.K)
+		case ModeMEM:
+			return fmt.Sprintf("ld%s  M[%d]", strings.ToLower(reg), ins.K)
+		case ModeLEN:
+			return fmt.Sprintf("ld%s  len", strings.ToLower(reg))
+		case ModeMSH:
+			return fmt.Sprintf("ldx  4*([%d]&0xf)", ins.K)
+		}
+	case ClassST:
+		return fmt.Sprintf("st   M[%d]", ins.K)
+	case ClassSTX:
+		return fmt.Sprintf("stx  M[%d]", ins.K)
+	case ClassALU:
+		name := map[uint16]string{
+			ALUAdd: "add", ALUSub: "sub", ALUMul: "mul", ALUDiv: "div",
+			ALUMod: "mod", ALUOr: "or", ALUAnd: "and", ALUXor: "xor",
+			ALULsh: "lsh", ALURsh: "rsh", ALUNeg: "neg",
+		}[ins.Op&0xf0]
+		if ins.Op&0xf0 == ALUNeg {
+			return "neg"
+		}
+		if ins.Op&SrcX != 0 {
+			return fmt.Sprintf("%s  x", name)
+		}
+		return fmt.Sprintf("%s  #%d", name, ins.K)
+	case ClassJMP:
+		src := fmt.Sprintf("#%#x", ins.K)
+		if ins.Op&SrcX != 0 {
+			src = "x"
+		}
+		switch ins.Op & 0xf0 {
+		case JmpJA:
+			return fmt.Sprintf("ja   %d", i+1+int(ins.K))
+		case JmpJEQ:
+			return fmt.Sprintf("jeq  %s, %d, %d", src, i+1+int(ins.Jt), i+1+int(ins.Jf))
+		case JmpJGT:
+			return fmt.Sprintf("jgt  %s, %d, %d", src, i+1+int(ins.Jt), i+1+int(ins.Jf))
+		case JmpJGE:
+			return fmt.Sprintf("jge  %s, %d, %d", src, i+1+int(ins.Jt), i+1+int(ins.Jf))
+		case JmpJSET:
+			return fmt.Sprintf("jset %s, %d, %d", src, i+1+int(ins.Jt), i+1+int(ins.Jf))
+		}
+	case ClassRET:
+		if ins.Op&0x18 == 0x10 {
+			return "ret  a"
+		}
+		return fmt.Sprintf("ret  #%#x", ins.K)
+	case ClassMISC:
+		if ins.Op&0xf8 == MiscTAX {
+			return "tax"
+		}
+		return "txa"
+	}
+	return fmt.Sprintf(".word %#x", ins.Op)
+}

@@ -1,0 +1,89 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzValidateAndRun decodes arbitrary bytes as sock_filter instructions
+// and checks that validation and (for accepted programs) execution never
+// panic and always terminate within the static program length.
+func FuzzValidateAndRun(f *testing.F) {
+	// Seed with a real program: the Figure 1-style filter prologue.
+	seed := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 4),
+		Jump(ClassJMP|JmpJEQ|SrcK, 0xC000003E, 1, 0),
+		Stmt(ClassRET, 0),
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 135, 0, 1),
+		Stmt(ClassRET, 0x7fff0000),
+		Stmt(ClassRET, 0),
+	}
+	f.Add(encodeProgram(seed), []byte{135, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, progBytes, data []byte) {
+		p := decodeProgram(progBytes)
+		if len(p) == 0 {
+			return
+		}
+		if err := p.ValidateMax(ExtendedMaxInsns); err != nil {
+			return
+		}
+		vm, err := NewVM(p)
+		if err != nil {
+			t.Fatalf("validated program rejected: %v", err)
+		}
+		r, err := vm.Run(data)
+		if err == nil && r.Executed > len(p) {
+			t.Fatalf("executed %d > len %d", r.Executed, len(p))
+		}
+	})
+}
+
+// encodeProgram/decodeProgram use the kernel's 8-byte sock_filter layout.
+func encodeProgram(p Program) []byte {
+	out := make([]byte, 0, len(p)*8)
+	for _, ins := range p {
+		var b [8]byte
+		binary.LittleEndian.PutUint16(b[0:], ins.Op)
+		b[2] = ins.Jt
+		b[3] = ins.Jf
+		binary.LittleEndian.PutUint32(b[4:], ins.K)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func decodeProgram(b []byte) Program {
+	n := len(b) / 8
+	if n > 256 {
+		n = 256
+	}
+	p := make(Program, 0, n)
+	for i := 0; i < n; i++ {
+		p = append(p, Instruction{
+			Op: binary.LittleEndian.Uint16(b[i*8:]),
+			Jt: b[i*8+2],
+			Jf: b[i*8+3],
+			K:  binary.LittleEndian.Uint32(b[i*8+4:]),
+		})
+	}
+	return p
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 42, 1, 2),
+		Stmt(ClassRET, 0x7fff0000),
+	}
+	back := decodeProgram(encodeProgram(p))
+	if len(back) != len(p) {
+		t.Fatalf("length %d != %d", len(back), len(p))
+	}
+	for i := range p {
+		if p[i] != back[i] {
+			t.Fatalf("instruction %d: %+v != %+v", i, p[i], back[i])
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Interpreter execution errors (these terminate the filter with a result of
+// 0 in the kernel; we surface them for tests and treat them as deny).
+var (
+	ErrOutOfBounds  = errors.New("bpf: packet load out of bounds")
+	ErrDivByZero    = errors.New("bpf: division by zero")
+	ErrNotValidated = errors.New("bpf: program failed validation")
+)
+
+// Result is what a filter run returns along with its cost.
+type Result struct {
+	// Value is the 32-bit return value (for Seccomp, an action word).
+	Value uint32
+	// Executed is the number of instructions the run executed; the cost
+	// model charges per executed instruction (the JIT constant folds into
+	// the per-instruction cycle cost).
+	Executed int
+}
+
+// VM executes classic BPF programs. A VM is stateless between runs and safe
+// to reuse; it is not safe for concurrent use.
+type VM struct {
+	prog    Program
+	scratch [ScratchSlots]uint32
+}
+
+// NewVM validates the program (against the extended length limit) and
+// returns a VM for it.
+func NewVM(p Program) (*VM, error) {
+	if err := p.ValidateMax(ExtendedMaxInsns); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotValidated, err)
+	}
+	return &VM{prog: p}, nil
+}
+
+// Len returns the static program length in instructions.
+func (vm *VM) Len() int { return len(vm.prog) }
+
+// Run executes the program over data and returns the filter result.
+func (vm *VM) Run(data []byte) (Result, error) {
+	var a, x uint32
+	for i := range vm.scratch {
+		vm.scratch[i] = 0
+	}
+	executed := 0
+	pc := 0
+	for pc < len(vm.prog) {
+		ins := vm.prog[pc]
+		executed++
+		pc++
+		cls := ins.Op & 0x07
+		switch cls {
+		case ClassLD:
+			v, err := vm.load(ins, data, x)
+			if err != nil {
+				return Result{Executed: executed}, err
+			}
+			a = v
+		case ClassLDX:
+			v, err := vm.load(ins, data, x)
+			if err != nil {
+				return Result{Executed: executed}, err
+			}
+			x = v
+		case ClassST:
+			vm.scratch[ins.K] = a
+		case ClassSTX:
+			vm.scratch[ins.K] = x
+		case ClassALU:
+			operand := ins.K
+			if ins.Op&SrcX != 0 {
+				operand = x
+			}
+			switch ins.Op & 0xf0 {
+			case ALUAdd:
+				a += operand
+			case ALUSub:
+				a -= operand
+			case ALUMul:
+				a *= operand
+			case ALUDiv:
+				if operand == 0 {
+					return Result{Executed: executed}, ErrDivByZero
+				}
+				a /= operand
+			case ALUMod:
+				if operand == 0 {
+					return Result{Executed: executed}, ErrDivByZero
+				}
+				a %= operand
+			case ALUOr:
+				a |= operand
+			case ALUAnd:
+				a &= operand
+			case ALUXor:
+				a ^= operand
+			case ALULsh:
+				a <<= operand & 31
+			case ALURsh:
+				a >>= operand & 31
+			case ALUNeg:
+				a = -a
+			}
+		case ClassJMP:
+			operand := ins.K
+			if ins.Op&SrcX != 0 {
+				operand = x
+			}
+			switch ins.Op & 0xf0 {
+			case JmpJA:
+				pc += int(ins.K)
+			case JmpJEQ:
+				pc += jumpOffset(a == operand, ins)
+			case JmpJGT:
+				pc += jumpOffset(a > operand, ins)
+			case JmpJGE:
+				pc += jumpOffset(a >= operand, ins)
+			case JmpJSET:
+				pc += jumpOffset(a&operand != 0, ins)
+			}
+		case ClassRET:
+			v := ins.K
+			if ins.Op&0x18 == 0x10 { // BPF_A: return accumulator
+				v = a
+			}
+			return Result{Value: v, Executed: executed}, nil
+		case ClassMISC:
+			if ins.Op&0xf8 == MiscTAX {
+				x = a
+			} else {
+				a = x
+			}
+		}
+	}
+	// Validation guarantees a terminating RET, so this is unreachable.
+	return Result{Executed: executed}, errors.New("bpf: fell off end of program")
+}
+
+func jumpOffset(cond bool, ins Instruction) int {
+	if cond {
+		return int(ins.Jt)
+	}
+	return int(ins.Jf)
+}
+
+func (vm *VM) load(ins Instruction, data []byte, x uint32) (uint32, error) {
+	mode := ins.Op & 0xe0
+	switch mode {
+	case ModeIMM:
+		return ins.K, nil
+	case ModeLEN:
+		return uint32(len(data)), nil
+	case ModeMEM:
+		return vm.scratch[ins.K], nil
+	case ModeABS, ModeIND:
+		off := int64(ins.K)
+		if mode == ModeIND {
+			off += int64(x)
+		}
+		size := 4
+		switch ins.Op & 0x18 {
+		case SizeH:
+			size = 2
+		case SizeB:
+			size = 1
+		}
+		if off < 0 || off+int64(size) > int64(len(data)) {
+			return 0, ErrOutOfBounds
+		}
+		switch size {
+		case 1:
+			return uint32(data[off]), nil
+		case 2:
+			return uint32(binary.BigEndian.Uint16(data[off:])), nil
+		default:
+			// Seccomp data is defined in host (little) endianness for
+			// 32-bit word loads; network filters use big-endian. The
+			// seccomp compiler in this repo emits word loads, so words
+			// are little-endian and sub-word loads keep the classic
+			// network byte order.
+			return binary.LittleEndian.Uint32(data[off:]), nil
+		}
+	case ModeMSH:
+		off := int64(ins.K)
+		if off < 0 || off >= int64(len(data)) {
+			return 0, ErrOutOfBounds
+		}
+		return uint32(data[off]&0x0f) * 4, nil
+	}
+	return 0, fmt.Errorf("%w: load mode %#x", ErrBadOpcode, mode)
+}

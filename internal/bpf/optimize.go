@@ -1,0 +1,121 @@
+package bpf
+
+// Optimize is the JIT's stand-in optimization pipeline: the kernel's cBPF
+// JIT performs similar cleanups before emitting native code. Passes:
+//
+//  1. jump threading — a branch targeting an unconditional jump (or a
+//     conditional branch's target chain) is retargeted to the final
+//     destination;
+//  2. dead-code elimination — instructions unreachable from the entry are
+//     removed and jump offsets recomputed.
+//
+// Optimization preserves semantics exactly (differentially tested) and
+// never increases executed-instruction counts.
+func Optimize(p Program) Program {
+	out := threadJumps(p)
+	out = eliminateDead(out)
+	return out
+}
+
+// target returns the resolved destination index of a (possibly chained)
+// jump from instruction i taking branch offset off, following JA chains.
+func resolveChain(p Program, idx int) int {
+	seen := 0
+	for idx < len(p) && seen < len(p) {
+		ins := p[idx]
+		if ins.Op&0x07 == ClassJMP && ins.Op&0xf0 == JmpJA {
+			idx = idx + 1 + int(ins.K)
+			seen++
+			continue
+		}
+		break
+	}
+	return idx
+}
+
+// threadJumps retargets conditional branches and JAs through JA chains.
+// Offsets that would not fit their field width are left untouched.
+func threadJumps(p Program) Program {
+	out := make(Program, len(p))
+	copy(out, p)
+	for i, ins := range out {
+		if ins.Op&0x07 != ClassJMP {
+			continue
+		}
+		if ins.Op&0xf0 == JmpJA {
+			dst := resolveChain(out, i+1+int(ins.K))
+			if dst > i {
+				out[i].K = uint32(dst - i - 1)
+			}
+			continue
+		}
+		// Conditional: thread both arms.
+		jt := resolveChain(out, i+1+int(ins.Jt))
+		jf := resolveChain(out, i+1+int(ins.Jf))
+		if d := jt - i - 1; d >= 0 && d <= 255 {
+			out[i].Jt = uint8(d)
+		}
+		if d := jf - i - 1; d >= 0 && d <= 255 {
+			out[i].Jf = uint8(d)
+		}
+	}
+	return out
+}
+
+// eliminateDead removes unreachable instructions and rewrites offsets.
+func eliminateDead(p Program) Program {
+	if len(p) == 0 {
+		return p
+	}
+	reachable := make([]bool, len(p))
+	var walk func(int)
+	walk = func(i int) {
+		for i < len(p) && !reachable[i] {
+			reachable[i] = true
+			ins := p[i]
+			if ins.Op&0x07 == ClassRET {
+				return
+			}
+			if ins.Op&0x07 == ClassJMP {
+				if ins.Op&0xf0 == JmpJA {
+					i = i + 1 + int(ins.K)
+					continue
+				}
+				walk(i + 1 + int(ins.Jt))
+				i = i + 1 + int(ins.Jf)
+				continue
+			}
+			i++
+		}
+	}
+	walk(0)
+
+	// New index of each old instruction.
+	newIdx := make([]int, len(p))
+	n := 0
+	for i := range p {
+		newIdx[i] = n
+		if reachable[i] {
+			n++
+		}
+	}
+	if n == len(p) {
+		return p
+	}
+	out := make(Program, 0, n)
+	for i, ins := range p {
+		if !reachable[i] {
+			continue
+		}
+		if ins.Op&0x07 == ClassJMP {
+			if ins.Op&0xf0 == JmpJA {
+				ins.K = uint32(newIdx[i+1+int(ins.K)] - newIdx[i] - 1)
+			} else {
+				ins.Jt = uint8(newIdx[i+1+int(ins.Jt)] - newIdx[i] - 1)
+				ins.Jf = uint8(newIdx[i+1+int(ins.Jf)] - newIdx[i] - 1)
+			}
+		}
+		out = append(out, ins)
+	}
+	return out
+}

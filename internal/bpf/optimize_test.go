@@ -1,0 +1,135 @@
+package bpf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestThreadJumpChains(t *testing.T) {
+	// jeq -> ja -> ja -> ret 1; fall-through: ret 0.
+	p := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 5, 0, 3), // jt -> ja at 2
+		Jump(ClassJMP|JmpJA, 1, 0, 0),       // -> ja at 4
+		Stmt(ClassRET, 0),                   // jf target
+		Jump(ClassJMP|JmpJA, 0, 0, 0),       // -> ret 1
+		Stmt(ClassRET, 1),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	// The chain collapses: the JAs become dead and are eliminated.
+	if len(opt) >= len(p) {
+		t.Fatalf("no shrink: %d -> %d", len(p), len(opt))
+	}
+	// Semantics preserved.
+	for _, nr := range []byte{5, 6} {
+		data := []byte{nr, 0, 0, 0}
+		a := mustRun(t, p, data)
+		b := mustRun(t, opt, data)
+		if a.Value != b.Value {
+			t.Fatalf("nr=%d: %d != %d", nr, a.Value, b.Value)
+		}
+		if b.Executed > a.Executed {
+			t.Fatalf("nr=%d: optimized executed more (%d > %d)", nr, b.Executed, a.Executed)
+		}
+	}
+}
+
+func TestEliminateDeadCode(t *testing.T) {
+	p := Program{
+		Jump(ClassJMP|JmpJA, 2, 0, 0), // skip two dead instructions
+		Stmt(ClassALU|ALUAdd|SrcK, 1), // dead
+		Stmt(ClassRET, 99),            // dead
+		Stmt(ClassRET, 7),
+	}
+	opt := Optimize(p)
+	if len(opt) >= len(p) {
+		t.Fatalf("dead code not eliminated: %d -> %d", len(p), len(opt))
+	}
+	if r := mustRun(t, opt, nil); r.Value != 7 {
+		t.Fatalf("value = %d", r.Value)
+	}
+}
+
+func TestOptimizeIdempotentOnCleanCode(t *testing.T) {
+	p := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 0),
+		Jump(ClassJMP|JmpJEQ|SrcK, 1, 0, 1),
+		Stmt(ClassRET, 1),
+		Stmt(ClassRET, 0),
+	}
+	opt := Optimize(p)
+	if len(opt) != len(p) {
+		t.Fatalf("clean program changed length: %d -> %d", len(p), len(opt))
+	}
+}
+
+func mustRun(t *testing.T, p Program, data []byte) Result {
+	t.Helper()
+	vm, err := NewVM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vm.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestOptimizeDifferential checks semantic equivalence over random valid
+// programs and random inputs, and that optimization never slows execution.
+func TestOptimizeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		p := randomValidProgram(rng.Int63())
+		if p.Validate() != nil {
+			continue
+		}
+		opt := Optimize(p)
+		if err := opt.ValidateMax(ExtendedMaxInsns); err != nil {
+			t.Fatalf("trial %d: optimized invalid: %v\noriginal:\n%s\noptimized:\n%s",
+				trial, err, Disassemble(p), Disassemble(opt))
+		}
+		vmA, err := NewVM(p)
+		if err != nil {
+			continue
+		}
+		vmB, err := NewVM(opt)
+		if err != nil {
+			t.Fatalf("trial %d: optimized VM: %v", trial, err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			data := make([]byte, 64)
+			rng.Read(data)
+			ra, errA := vmA.Run(data)
+			rb, errB := vmB.Run(data)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("trial %d: error divergence %v vs %v", trial, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if ra.Value != rb.Value {
+				t.Fatalf("trial %d: value %d != %d\noriginal:\n%s\noptimized:\n%s",
+					trial, ra.Value, rb.Value, Disassemble(p), Disassemble(opt))
+			}
+			if rb.Executed > ra.Executed {
+				t.Fatalf("trial %d: optimized executed more (%d > %d)", trial, rb.Executed, ra.Executed)
+			}
+		}
+	}
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	p := randomValidProgram(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(p)
+	}
+}

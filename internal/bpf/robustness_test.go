@@ -1,0 +1,85 @@
+package bpf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestValidateNeverPanics feeds arbitrary instruction encodings through the
+// validator: it must reject or accept, never crash (the kernel-facing
+// robustness property of bpf_check_classic).
+func TestValidateNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(32)
+		p := make(Program, n)
+		for i := range p {
+			p[i] = Instruction{
+				Op: uint16(rng.Intn(1 << 16)),
+				Jt: uint8(rng.Intn(256)),
+				Jf: uint8(rng.Intn(256)),
+				K:  rng.Uint32(),
+			}
+		}
+		_ = p.Validate() // must not panic
+	}
+}
+
+// TestValidatedNeverCrashesVM: anything the validator accepts must run to a
+// result or a well-typed runtime error on any input — no panics, no
+// out-of-range memory access, guaranteed termination.
+func TestValidatedNeverCrashesVM(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	accepted := 0
+	for trial := 0; trial < 20000; trial++ {
+		n := 1 + rng.Intn(24)
+		p := make(Program, n)
+		for i := range p {
+			// Bias toward plausible opcodes so some programs validate.
+			classes := []uint16{ClassLD, ClassLDX, ClassST, ClassSTX, ClassALU, ClassJMP, ClassRET, ClassMISC}
+			cls := classes[rng.Intn(len(classes))]
+			var op uint16
+			switch cls {
+			case ClassLD, ClassLDX:
+				modes := []uint16{ModeIMM, ModeABS, ModeMEM, ModeLEN}
+				sizes := []uint16{SizeW, SizeH, SizeB}
+				op = cls | modes[rng.Intn(len(modes))] | sizes[rng.Intn(len(sizes))]
+			case ClassALU:
+				ops := []uint16{ALUAdd, ALUSub, ALUMul, ALUDiv, ALUOr, ALUAnd, ALULsh, ALURsh, ALUXor}
+				op = cls | ops[rng.Intn(len(ops))] | uint16(rng.Intn(2))*SrcX
+			case ClassJMP:
+				ops := []uint16{JmpJA, JmpJEQ, JmpJGT, JmpJGE, JmpJSET}
+				op = cls | ops[rng.Intn(len(ops))] | uint16(rng.Intn(2))*SrcX
+			case ClassMISC:
+				op = cls | []uint16{MiscTAX, MiscTXA}[rng.Intn(2)]
+			default:
+				op = cls
+			}
+			p[i] = Instruction{
+				Op: op,
+				Jt: uint8(rng.Intn(4)),
+				Jf: uint8(rng.Intn(4)),
+				K:  uint32(rng.Intn(128)),
+			}
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		accepted++
+		vm, err := NewVM(p)
+		if err != nil {
+			t.Fatalf("validated program rejected by VM: %v", err)
+		}
+		for _, size := range []int{0, 1, 64} {
+			data := make([]byte, size)
+			rng.Read(data)
+			r, err := vm.Run(data)
+			if err == nil && r.Executed > len(p) {
+				t.Fatalf("executed %d > program length %d", r.Executed, len(p))
+			}
+		}
+	}
+	if accepted < 100 {
+		t.Fatalf("only %d/20000 random programs validated; generator too weak for this test to mean anything", accepted)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"draco/internal/hashes"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+// Outcome describes a single Draco check, with enough event detail for the
+// cost models to charge cycles.
+type Outcome struct {
+	// Allowed reports whether the system call may proceed.
+	Allowed bool
+	// Action is the effective seccomp action.
+	Action seccomp.Action
+	// SPTHit: the SPT entry was valid (ID validated before).
+	SPTHit bool
+	// ArgsChecked: the syscall requires argument validation.
+	ArgsChecked bool
+	// VATHit: the argument set was found already validated.
+	VATHit bool
+	// FilterRan: the Seccomp filter chain executed (Draco miss path).
+	FilterRan bool
+	// FilterExecuted is the number of BPF instructions the chain ran.
+	FilterExecuted int
+	// Inserted: a new VAT entry was recorded.
+	Inserted bool
+	// Hash is the hash value under which the argument set resides in the
+	// VAT (valid when ArgsChecked and Allowed); the SLB/STB store it.
+	Hash uint64
+	// Pair carries both computed hash values (valid when ArgsChecked).
+	Pair hashes.Pair
+}
+
+// Stats aggregates checker behaviour over a run.
+type Stats struct {
+	Checks      uint64
+	SPTHits     uint64
+	VATHits     uint64
+	FilterRuns  uint64
+	FilterInsns uint64
+	Inserts     uint64
+	Denied      uint64
+}
+
+// Checker is the software implementation of Draco (paper §V-C): a kernel
+// component that consults the SPT and VAT at the system call entry point
+// and falls back to the Seccomp filter chain on a miss.
+type Checker struct {
+	SPT     *SPT
+	VAT     *VAT
+	Chain   seccomp.Chain
+	Profile *seccomp.Profile
+	Stats   Stats
+}
+
+// NewChecker builds the per-process Draco state for a profile already
+// compiled into chain. SPT entries and VAT tables are created lazily, on
+// the first successful validation, mirroring the paper's workflow
+// (Figure 4): nothing is cached until Seccomp has allowed it once.
+func NewChecker(profile *seccomp.Profile, chain seccomp.Chain) *Checker {
+	return &Checker{
+		SPT:     NewSPT(),
+		VAT:     NewVAT(),
+		Chain:   chain,
+		Profile: profile,
+	}
+}
+
+// Check validates one system call through the Draco workflow (Figure 4).
+func (c *Checker) Check(sid int, args hashes.Args) Outcome {
+	c.Stats.Checks++
+	var out Outcome
+	e := c.SPT.Lookup(sid)
+	if e != nil && e.Valid {
+		e.Accessed = true
+		out.SPTHit = true
+		if !e.ChecksArgs() {
+			// ID-only syscall: the valid bit is the whole check (§V-A).
+			c.Stats.SPTHits++
+			out.Allowed = true
+			out.Action = seccomp.ActAllow
+			return out
+		}
+		out.ArgsChecked = true
+		found, way, pair := c.VAT.Lookup(sid, args)
+		out.Pair = pair
+		if found {
+			c.Stats.VATHits++
+			out.VATHit = true
+			out.Allowed = true
+			out.Action = seccomp.ActAllow
+			if way == 1 {
+				out.Hash = pair.H1
+			} else {
+				out.Hash = pair.H2
+			}
+			return out
+		}
+	}
+	// Miss: run the Seccomp filter chain (Figure 4's "Execute the Seccomp
+	// Profile" box).
+	return c.slowPath(sid, args, out)
+}
+
+func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
+	d := &seccomp.Data{Nr: int32(sid), Arch: seccomp.AuditArchX8664, Args: args}
+	r := c.Chain.Check(d)
+	out.FilterRan = true
+	out.FilterExecuted = r.Executed
+	out.Action = r.Action
+	c.Stats.FilterRuns++
+	c.Stats.FilterInsns += uint64(r.Executed)
+	if !r.Action.Allows() {
+		c.Stats.Denied++
+		return out
+	}
+	out.Allowed = true
+	// Update the table(s) with the newly validated entry (Figure 4's
+	// "Update Table" box).
+	rule, ok := c.Profile.RuleFor(sid)
+	if !ok {
+		// Allowed by the filter but unknown to the profile model (e.g. a
+		// LOG default); do not cache.
+		return out
+	}
+	e := c.SPT.Lookup(sid)
+	if e == nil || !e.Valid {
+		entry := SPTEntry{Valid: true, Accessed: true}
+		if rule.ChecksArgs() {
+			entry.ArgBitmask = bitmaskFor(rule)
+			entry.Base = c.VAT.CreateTable(sid, len(rule.AllowedSets), entry.ArgBitmask)
+		}
+		c.SPT.Set(sid, entry)
+		e = c.SPT.Lookup(sid)
+	}
+	if e.ChecksArgs() {
+		out.ArgsChecked = true
+		out.Hash = c.VAT.Insert(sid, args)
+		out.Pair = hashes.ArgSet(args, e.ArgBitmask)
+		out.Inserted = true
+		c.Stats.Inserts++
+	}
+	return out
+}
+
+// bitmaskFor derives the SPT Argument Bitmask from a profile rule: the
+// meaningful bytes (per the argument's declared width) of every checked
+// argument.
+func bitmaskFor(rule seccomp.Rule) uint64 {
+	var m uint64
+	cover := func(idx int) {
+		w := rule.Syscall.ArgWidth(idx)
+		byteBits := uint64(0xff)
+		if w < syscalls.ArgBytes {
+			byteBits = (uint64(1) << uint(w)) - 1
+		}
+		m |= byteBits << (uint(idx) * syscalls.ArgBytes)
+	}
+	for _, idx := range rule.CheckedArgs {
+		cover(idx)
+	}
+	// Masked conditions admit families of values; the VAT caches the exact
+	// tuples that pass, so their argument bytes participate in hashing too.
+	for _, conds := range rule.MaskedSets {
+		for _, c := range conds {
+			cover(c.ArgIndex)
+		}
+	}
+	return m
+}
+
+// estimatedSets sizes a rule's VAT table: exact sets count one slot each;
+// each masked-condition family gets headroom for the distinct values that
+// will be observed passing it.
+func estimatedSets(rule seccomp.Rule) int {
+	n := len(rule.AllowedSets) + 16*len(rule.MaskedSets)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Reset clears the cached state (SPT and VAT) but keeps the profile and
+// filter chain: what happens when the OS tears down Draco state, e.g. on
+// security-epoch changes. Statistics are preserved.
+func (c *Checker) Reset() {
+	c.SPT = NewSPT()
+	c.VAT = NewVAT()
+}

@@ -1,0 +1,94 @@
+// Package core implements Draco's primary contribution (paper §V): the
+// System Call Permissions Table (SPT) and the Validated Argument Table
+// (VAT), plus the software checker that consults them before falling back
+// to the Seccomp filter. The same structures back the hardware
+// implementation in internal/hwdraco; the VAT is software-resident in both
+// (paper Figure 10).
+package core
+
+import (
+	"draco/internal/syscalls"
+)
+
+// SPTEntry is one System Call Permissions Table entry (paper Figure 5):
+// a Valid bit, the virtual address of the syscall's VAT section, and the
+// 48-bit Argument Bitmask naming the argument bytes subject to checking.
+type SPTEntry struct {
+	Valid bool
+	// Base is the virtual address of this syscall's VAT hash table.
+	Base uint64
+	// ArgBitmask selects the checked argument bytes; zero means the call
+	// is checked by ID only.
+	ArgBitmask uint64
+	// Accessed supports the context-switch save/restore optimization
+	// (paper §VII-B): set on every hit, cleared periodically; only entries
+	// with the bit set are saved across a context switch.
+	Accessed bool
+}
+
+// ChecksArgs reports whether the entry requires argument validation.
+func (e SPTEntry) ChecksArgs() bool { return e.ArgBitmask != 0 }
+
+// ArgCount returns the number of arguments covered by the bitmask, which
+// indexes the SLB subtables in the hardware implementation (Figure 6).
+func (e SPTEntry) ArgCount() int {
+	n := 0
+	for i := 0; i < syscalls.MaxArgs; i++ {
+		if (e.ArgBitmask>>(uint(i)*syscalls.ArgBytes))&0xff != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SPT is a per-process System Call Permissions Table, indexed by system
+// call ID. The software implementation stores one entry per possible
+// syscall; the hardware implementation in internal/hwdraco models the
+// fixed-size per-core table.
+type SPT struct {
+	entries map[int]*SPTEntry
+}
+
+// NewSPT creates an empty table.
+func NewSPT() *SPT {
+	return &SPT{entries: make(map[int]*SPTEntry)}
+}
+
+// Lookup returns the entry for a syscall ID, or nil.
+func (t *SPT) Lookup(sid int) *SPTEntry {
+	return t.entries[sid]
+}
+
+// Set installs or replaces an entry.
+func (t *SPT) Set(sid int, e SPTEntry) {
+	c := e
+	t.entries[sid] = &c
+}
+
+// Invalidate clears the whole table.
+func (t *SPT) Invalidate() {
+	t.entries = make(map[int]*SPTEntry)
+}
+
+// Len returns the number of valid entries.
+func (t *SPT) Len() int { return len(t.entries) }
+
+// ClearAccessed clears every Accessed bit; the hardware does this
+// periodically (every ~500us, paper §VII-B).
+func (t *SPT) ClearAccessed() {
+	for _, e := range t.entries {
+		e.Accessed = false
+	}
+}
+
+// AccessedEntries returns the (sid, entry) pairs whose Accessed bit is set:
+// the working set worth saving across a context switch.
+func (t *SPT) AccessedEntries() map[int]SPTEntry {
+	out := make(map[int]SPTEntry)
+	for sid, e := range t.entries {
+		if e.Accessed {
+			out[sid] = *e
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"draco/internal/cuckoo"
+	"draco/internal/hashes"
+)
+
+// SlotBytes is the memory footprint of one VAT slot: six 8-byte arguments
+// plus the stored hash.
+const SlotBytes = 6*8 + 8
+
+// DefaultVATBase is the virtual address where a process's VAT region is
+// laid out. The address only matters to the cache timing model.
+const DefaultVATBase = 0x7f5a_0000_0000
+
+// VAT is a process's Validated Argument Table: one 2-ary cuckoo hash table
+// per system call that checks arguments (paper §V-B, §VII-A). Tables live
+// at stable virtual addresses so the hardware model can walk the memory
+// hierarchy on VAT accesses.
+type VAT struct {
+	tables map[int]*vatSection
+	nextVA uint64
+}
+
+type vatSection struct {
+	table *cuckoo.Table
+	base  uint64
+}
+
+// NewVAT creates an empty VAT with its region based at DefaultVATBase.
+func NewVAT() *VAT {
+	return &VAT{tables: make(map[int]*vatSection), nextVA: DefaultVATBase}
+}
+
+// CreateTable allocates the cuckoo table for a syscall, sized for
+// estimatedSets argument sets (the OS sizes it from the Seccomp profile,
+// §VII-A). It returns the section's base virtual address. Creating a table
+// that already exists returns the existing base.
+func (v *VAT) CreateTable(sid int, estimatedSets int, bitmask uint64) uint64 {
+	if s, ok := v.tables[sid]; ok {
+		return s.base
+	}
+	t := cuckoo.New(estimatedSets, bitmask)
+	base := v.nextVA
+	v.tables[sid] = &vatSection{table: t, base: base}
+	// Keep sections cache-line aligned; the next table starts after this
+	// one's slots.
+	size := uint64(t.SizeBytes())
+	v.nextVA += (size + 63) &^ 63
+	return base
+}
+
+// Table returns the cuckoo table for a syscall, or nil.
+func (v *VAT) Table(sid int) *cuckoo.Table {
+	if s, ok := v.tables[sid]; ok {
+		return s.table
+	}
+	return nil
+}
+
+// Base returns the base virtual address of a syscall's section (0 if none).
+func (v *VAT) Base(sid int) uint64 {
+	if s, ok := v.tables[sid]; ok {
+		return s.base
+	}
+	return 0
+}
+
+// SlotAddr returns the virtual address the given hash probes in the
+// syscall's section; the hardware fetches this address through the cache
+// hierarchy (Figure 7 step 3).
+func (v *VAT) SlotAddr(sid int, hash uint64) uint64 {
+	s, ok := v.tables[sid]
+	if !ok {
+		return 0
+	}
+	idx := hash & uint64(s.table.Cap()-1)
+	return s.base + idx*SlotBytes
+}
+
+// Lookup probes the syscall's table for an argument set.
+func (v *VAT) Lookup(sid int, args hashes.Args) (found bool, way int, pair hashes.Pair) {
+	s, ok := v.tables[sid]
+	if !ok {
+		return false, 0, hashes.Pair{}
+	}
+	return s.table.Lookup(args)
+}
+
+// LookupHash probes by stored hash value, the access the SLB preloader
+// performs (paper §VI-B).
+func (v *VAT) LookupHash(sid int, hash uint64) (cuckoo.Entry, bool) {
+	s, ok := v.tables[sid]
+	if !ok {
+		return cuckoo.Entry{}, false
+	}
+	return s.table.LookupHash(hash)
+}
+
+// Insert records a validated argument set and returns the hash under which
+// it was stored. The table must exist.
+func (v *VAT) Insert(sid int, args hashes.Args) uint64 {
+	return v.tables[sid].table.Insert(args)
+}
+
+// SizeBytes returns the total memory the VAT occupies; the paper reports a
+// geometric mean of 6.98KB per process (§XI-C).
+func (v *VAT) SizeBytes() int {
+	n := 0
+	for _, s := range v.tables {
+		n += s.table.SizeBytes()
+	}
+	return n
+}
+
+// NumTables returns how many syscalls have argument tables.
+func (v *VAT) NumTables() int { return len(v.tables) }
+
+// SIDs returns the syscall IDs with tables, sorted.
+func (v *VAT) SIDs() []int {
+	out := make([]int, 0, len(v.tables))
+	for sid := range v.tables {
+		out = append(out, sid)
+	}
+	sort.Ints(out)
+	return out
+}

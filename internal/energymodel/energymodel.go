@@ -1,0 +1,107 @@
+// Package energymodel is the CACTI/Synopsys substitute for Table III: an
+// analytical area, access-time, dynamic-energy, and leakage model of the
+// four Draco hardware units (SPT, STB, SLB, CRC hash) at 22 nm.
+//
+// The model computes each quantity from the structure's geometry (bits,
+// associativity) through simple technology scaling laws, with per-structure
+// calibration factors chosen so the paper's default geometry (Table II)
+// reproduces the published Table III values. Changing the geometry (e.g.
+// the SLB-sizing ablation) scales the outputs physically: area and leakage
+// grow linearly with bits, access time and dynamic energy with the square
+// root of the array size.
+package energymodel
+
+import "math"
+
+// Technology constants at 22 nm.
+const (
+	// cellAreaUM2 is the SRAM cell area in um^2 per bit.
+	cellAreaUM2 = 0.092
+	// leakNWPerBit is baseline leakage in nW per bit (array plus its
+	// share of peripheral circuitry).
+	leakNWPerBit = 37.0
+	// accessBasePS and accessKPS scale access time with array size.
+	accessBasePS = 60.0
+	accessKPS    = 0.235
+	// dynBasePJ and dynKPJ scale dynamic read energy with array size.
+	dynBasePJ = 0.55
+	dynKPJ    = 0.004
+)
+
+// Unit describes one hardware structure's geometry.
+type Unit struct {
+	Name string
+	// Bits is the total storage (data + tags).
+	Bits int
+	// Ways is the associativity (1 for direct-mapped).
+	Ways int
+	// calibration factors fit to the paper's CACTI/Synopsys results.
+	areaFactor, timeFactor, dynFactor, leakFactor float64
+}
+
+// Report holds the Table III quantities for one unit.
+type Report struct {
+	Name         string
+	AreaMM2      float64
+	AccessTimePS float64
+	DynEnergyPJ  float64
+	LeakPowerMW  float64
+}
+
+// Estimate evaluates the model for a unit.
+func (u Unit) Estimate() Report {
+	bits := float64(u.Bits)
+	way := 1 + 0.12*float64(u.Ways-1)
+	return Report{
+		Name:         u.Name,
+		AreaMM2:      bits * cellAreaUM2 * way * u.areaFactor / 1e6,
+		AccessTimePS: (accessBasePS + accessKPS*math.Sqrt(bits)) * way * u.timeFactor,
+		DynEnergyPJ:  (dynBasePJ + dynKPJ*math.Sqrt(bits)) * way * u.dynFactor,
+		LeakPowerMW:  bits * leakNWPerBit * way * u.leakFactor / 1e6,
+	}
+}
+
+// Geometry of the Table II structures.
+const (
+	// SPT: 384 direct-mapped entries of valid(1) + base(48) + argument
+	// bitmask(48) + accessed(1).
+	sptBits = 384 * (1 + 48 + 48 + 1)
+	// STB: 256 entries, 2-way: pc tag(42) + valid(1) + sid(9) + hash(64).
+	stbBits = 256 * (42 + 1 + 9 + 64)
+	// SLB: per-arg-count subtables (32/64/64/32/32/16 entries for 1..6
+	// args) of sid(9)+valid(1)+hash(64)+args(64 each), plus the 8-entry
+	// temporary buffer at the widest layout.
+	slbBits = 32*(74+1*64) + 64*(74+2*64) + 64*(74+3*64) +
+		32*(74+4*64) + 32*(74+5*64) + 16*(74+6*64) + 8*(74+6*64)
+	// CRC: two 64-bit LFSR chains plus XOR network, expressed as
+	// equivalent bits.
+	crcBits = 2 * 64 * 6
+)
+
+// Defaults returns the four Draco units with the paper's geometry.
+func Defaults() []Unit {
+	return []Unit{
+		{Name: "SPT", Bits: sptBits, Ways: 1, areaFactor: 1.0, timeFactor: 1.0, dynFactor: 1.0, leakFactor: 1.0},
+		{Name: "STB", Bits: stbBits, Ways: 2, areaFactor: 2.06, timeFactor: 1.17, dynFactor: 1.28, leakFactor: 2.14},
+		{Name: "SLB", Bits: slbBits, Ways: 4, areaFactor: 1.81, timeFactor: 0.68, dynFactor: 1.24, leakFactor: 1.15},
+		// The CRC unit is flip-flop logic, not an SRAM array: its
+		// calibration factors absorb the LFSR's long combinational path
+		// (964 ps) and the much higher leakage of logic cells.
+		{Name: "CRC", Bits: crcBits, Ways: 1, areaFactor: 26.9, timeFactor: 14.5, dynFactor: 1.48, leakFactor: 3.73},
+	}
+}
+
+// PaperTable3 is the published Table III, for side-by-side comparison.
+var PaperTable3 = map[string]Report{
+	"SPT": {Name: "SPT", AreaMM2: 0.0036, AccessTimePS: 105.41, DynEnergyPJ: 1.32, LeakPowerMW: 1.39},
+	"STB": {Name: "STB", AreaMM2: 0.0063, AccessTimePS: 131.61, DynEnergyPJ: 1.78, LeakPowerMW: 2.63},
+	"SLB": {Name: "SLB", AreaMM2: 0.01549, AccessTimePS: 112.75, DynEnergyPJ: 2.69, LeakPowerMW: 3.96},
+	"CRC": {Name: "CRC", AreaMM2: 0.0019, AccessTimePS: 964, DynEnergyPJ: 0.98, LeakPowerMW: 0.106},
+}
+
+// CyclesAt2GHz converts an access time to whole pipeline cycles at 2 GHz,
+// rounding up (the paper conservatively uses 2 cycles for the tables and 3
+// for the CRC hash).
+func CyclesAt2GHz(ps float64) int {
+	return int(math.Ceil(ps / 500.0))
+}

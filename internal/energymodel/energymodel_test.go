@@ -1,0 +1,94 @@
+package energymodel
+
+import (
+	"math"
+	"testing"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+// TestMatchesPaperTable3 checks the model reproduces the published values
+// for the default geometry within 10%.
+func TestMatchesPaperTable3(t *testing.T) {
+	for _, u := range Defaults() {
+		got := u.Estimate()
+		want, ok := PaperTable3[u.Name]
+		if !ok {
+			t.Fatalf("no paper row for %s", u.Name)
+		}
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"area", got.AreaMM2, want.AreaMM2},
+			{"access", got.AccessTimePS, want.AccessTimePS},
+			{"dyn", got.DynEnergyPJ, want.DynEnergyPJ},
+			{"leak", got.LeakPowerMW, want.LeakPowerMW},
+		}
+		for _, c := range checks {
+			if e := relErr(c.got, c.want); e > 0.10 {
+				t.Errorf("%s %s: model %.5g vs paper %.5g (%.1f%% off)",
+					u.Name, c.name, c.got, c.want, 100*e)
+			}
+		}
+	}
+}
+
+// TestScalingMonotone: growing a structure must grow area, leakage, access
+// time, and energy — the property the SLB-sizing ablation relies on.
+func TestScalingMonotone(t *testing.T) {
+	for _, u := range Defaults() {
+		big := u
+		big.Bits *= 2
+		a, b := u.Estimate(), big.Estimate()
+		if b.AreaMM2 <= a.AreaMM2 || b.LeakPowerMW <= a.LeakPowerMW {
+			t.Errorf("%s: doubling bits did not grow area/leakage", u.Name)
+		}
+		if b.AccessTimePS <= a.AccessTimePS || b.DynEnergyPJ <= a.DynEnergyPJ {
+			t.Errorf("%s: doubling bits did not grow time/energy", u.Name)
+		}
+	}
+}
+
+func TestTablesFitInTwoCycles(t *testing.T) {
+	// §XI-C: all tables accessed in under 150ps are charged 2 cycles; the
+	// CRC takes 3 cycles.
+	for _, u := range Defaults() {
+		r := u.Estimate()
+		cyc := CyclesAt2GHz(r.AccessTimePS)
+		if u.Name == "CRC" {
+			if cyc != 2 && cyc != 3 {
+				t.Errorf("CRC cycles = %d, want 2-3 (charged 3)", cyc)
+			}
+			continue
+		}
+		if cyc != 1 {
+			t.Errorf("%s: %f ps = %d cycles, want sub-cycle (charged 2 conservatively)", u.Name, r.AccessTimePS, cyc)
+		}
+	}
+}
+
+func TestCyclesAt2GHz(t *testing.T) {
+	if CyclesAt2GHz(499) != 1 || CyclesAt2GHz(501) != 2 || CyclesAt2GHz(1000) != 2 {
+		t.Fatal("cycle conversion wrong")
+	}
+}
+
+func TestTotalBudget(t *testing.T) {
+	// Sanity: the whole Draco hardware is tiny — well under 0.05 mm^2 and
+	// 10 mW of leakage at 22nm (the paper's point about negligible cost).
+	var area, leak float64
+	for _, u := range Defaults() {
+		r := u.Estimate()
+		area += r.AreaMM2
+		leak += r.LeakPowerMW
+	}
+	if area > 0.05 {
+		t.Errorf("total area %.4f mm^2 implausibly large", area)
+	}
+	if leak > 10 {
+		t.Errorf("total leakage %.3f mW implausibly large", leak)
+	}
+}

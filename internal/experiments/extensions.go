@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"draco/internal/kernelmodel"
+	"draco/internal/sim"
+	"draco/internal/stats"
+	"draco/internal/workloads"
+)
+
+// Multicore evaluates the Figure 10 organization: four checked processes on
+// four cores sharing an L3, per-core Draco hardware. The headline claim
+// must survive contention.
+func Multicore(o Options) (*Result, error) {
+	names := []string{"httpd", "redis", "elasticsearch", "sysbench-fio"}
+	ws := make([]*workloads.Workload, len(names))
+	for i, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload %s missing", n)
+		}
+		ws[i] = w
+	}
+	base, err := sim.RunMulticore(ws, o.simConfig(kernelmodel.ModeInsecure, sim.ProfileInsecure))
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Multicore (4 cores, shared L3, syscall-complete)",
+		"seccomp", "draco-sw", "draco-hw")
+	rows := make(map[int][]float64)
+	for _, mode := range []kernelmodel.Mode{kernelmodel.ModeSeccomp, kernelmodel.ModeDracoSW, kernelmodel.ModeDracoHW} {
+		res, err := sim.RunMulticore(ws, o.simConfig(mode, sim.ProfileComplete))
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range res.Cores {
+			rows[i] = append(rows[i], c.Metrics.Slowdown(base.Cores[i].Metrics))
+		}
+	}
+	var means []float64
+	for i, w := range ws {
+		t.AddFloats(w.Name, rows[i]...)
+		for j, v := range rows[i] {
+			for len(means) <= j {
+				means = append(means, 0)
+			}
+			means[j] += v / float64(len(ws))
+		}
+	}
+	t.AddFloats("mean", means...)
+	return &Result{
+		Name:        "Multicore",
+		Description: "per-core Draco under shared-L3 contention (Figure 10 organization)",
+		Tables:      []*stats.Table{t},
+		Notes:       []string{"no coherence traffic between per-core structures is required (§VII-B)"},
+	}, nil
+}
+
+// SLBSweep is a sensitivity study: scale every SLB subtable by 1/4..4x and
+// measure the access hit rate and slowdown on the argument-heavy servers.
+func SLBSweep(o Options) (*Result, error) {
+	scales := []struct {
+		label  string
+		factor int // numerator over 4
+	}{
+		{"0.25x", 1}, {"0.5x", 2}, {"1x (Table II)", 4}, {"2x", 8}, {"4x", 16},
+	}
+	t := stats.NewTable("SLB sizing sensitivity (hardware Draco, syscall-complete)",
+		"slb-access-hit", "slowdown")
+	for _, name := range []string{"elasticsearch", "redis"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload %s missing", name)
+		}
+		base, err := sim.Run(w, o.simConfig(kernelmodel.ModeInsecure, sim.ProfileInsecure))
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scales {
+			cfg := o.simConfig(kernelmodel.ModeDracoHW, sim.ProfileComplete)
+			for argc := 1; argc <= 6; argc++ {
+				e := cfg.HW.SLB[argc].Entries * sc.factor / 4
+				if e < cfg.HW.SLB[argc].Ways {
+					e = cfg.HW.SLB[argc].Ways
+				}
+				cfg.HW.SLB[argc].Entries = e
+			}
+			m, err := sim.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%s @ %s", name, sc.label),
+				pct(m.HW.SLBAccessHitRate()),
+				fmt.Sprintf("%.3f", m.Slowdown(base)))
+		}
+	}
+	return &Result{
+		Name:        "SLB sweep",
+		Description: "hit rate and overhead vs SLB capacity",
+		Tables:      []*stats.Table{t},
+		Notes:       []string{"Table II's 240-entry budget sits at the knee: larger SLBs buy little because VAT fills are already preload-hidden"},
+	}, nil
+}
+
+// SMT evaluates §VII-B's partitioned-structure SMT support: each context
+// runs with half-sized tables.
+func SMT(o Options) (*Result, error) {
+	t := stats.NewTable("SMT partitioning (hardware Draco, syscall-complete)",
+		"full: slowdown", "hit", "half: slowdown", "hit")
+	for _, name := range []string{"httpd", "elasticsearch", "redis"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: workload %s missing", name)
+		}
+		base, err := sim.Run(w, o.simConfig(kernelmodel.ModeInsecure, sim.ProfileInsecure))
+		if err != nil {
+			return nil, err
+		}
+		full, err := sim.Run(w, o.simConfig(kernelmodel.ModeDracoHW, sim.ProfileComplete))
+		if err != nil {
+			return nil, err
+		}
+		cfg := o.simConfig(kernelmodel.ModeDracoHW, sim.ProfileComplete)
+		cfg.HW = cfg.HW.Partition(2)
+		half, err := sim.Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", full.Slowdown(base)), pct(full.HW.SLBAccessHitRate()),
+			fmt.Sprintf("%.3f", half.Slowdown(base)), pct(half.HW.SLBAccessHitRate()))
+	}
+	return &Result{
+		Name:        "SMT",
+		Description: "per-context partitioned structures (§VII-B, §IX)",
+		Tables:      []*stats.Table{t},
+		Notes:       []string{"partitioning halves capacity per context but preserves isolation between contexts"},
+	}, nil
+}

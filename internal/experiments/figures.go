@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"draco/internal/kernelmodel"
+	"draco/internal/sim"
+	"draco/internal/stats"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+	"draco/internal/workloads"
+)
+
+// Fig2 regenerates Figure 2: execution time of every workload under
+// insecure, docker-default, syscall-noargs, syscall-complete, and
+// syscall-complete-2x, normalized to insecure (Seccomp checking).
+func Fig2(o Options) (*Result, error) {
+	t, err := slowdownMatrix(o, "Figure 2: Seccomp overhead (normalized to insecure)",
+		[]string{"docker-default", "syscall-noargs", "syscall-complete", "syscall-complete-2x"},
+		[]cell{
+			{kernelmodel.ModeSeccomp, sim.ProfileDockerDefault},
+			{kernelmodel.ModeSeccomp, sim.ProfileNoArgs},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete2x},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Figure 2",
+		Description: "Seccomp checking overhead, " + o.Costs.Name,
+		Tables:      []*stats.Table{t},
+		Notes: []string{
+			"paper averages: docker-default 1.05x/1.12x, noargs 1.04x/1.09x, complete 1.14x/1.25x, complete-2x 1.21x/1.42x (macro/micro)",
+		},
+	}, nil
+}
+
+// Fig16 is the appendix rerun of Figure 2 on Linux 3.10 with KPTI and the
+// Spectre mitigations enabled.
+func Fig16(o Options) (*Result, error) {
+	o.Costs = kernelmodel.Linux310Costs()
+	r, err := Fig2(o)
+	if err != nil {
+		return nil, err
+	}
+	r.Name = "Figure 16"
+	r.Description = "Seccomp checking overhead, Linux 3.10 + KPTI/Spectre (appendix)"
+	r.Notes = []string{
+		"paper: the older kernel shows larger overheads and pathological cases (individual bars up to 2.2-4.3x)",
+	}
+	return r, nil
+}
+
+// Fig11 regenerates Figure 11: software Draco against Seccomp for the three
+// application-specific profiles.
+func Fig11(o Options) (*Result, error) {
+	t, err := slowdownMatrix(o, "Figure 11: software Draco vs Seccomp (normalized to insecure)",
+		[]string{"noargs(sec)", "noargs(dracoSW)", "complete(sec)", "complete(dracoSW)", "2x(sec)", "2x(dracoSW)"},
+		[]cell{
+			{kernelmodel.ModeSeccomp, sim.ProfileNoArgs},
+			{kernelmodel.ModeDracoSW, sim.ProfileNoArgs},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete},
+			{kernelmodel.ModeDracoSW, sim.ProfileComplete},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete2x},
+			{kernelmodel.ModeDracoSW, sim.ProfileComplete2x},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Figure 11",
+		Description: "software Draco, " + o.Costs.Name,
+		Tables:      []*stats.Table{t},
+		Notes: []string{
+			"paper averages with complete: Seccomp 1.14x/1.25x vs DracoSW 1.10x/1.18x; with complete-2x: 1.21x/1.42x vs 1.10x/1.23x",
+		},
+	}, nil
+}
+
+// Fig17 is the appendix rerun of Figure 11 on Linux 3.10.
+func Fig17(o Options) (*Result, error) {
+	o.Costs = kernelmodel.Linux310Costs()
+	t, err := slowdownMatrix(o, "Figure 17: software Draco vs Seccomp, Linux 3.10 (normalized to insecure)",
+		[]string{"noargs(sec)", "noargs(dracoSW)", "complete(sec)", "complete(dracoSW)"},
+		[]cell{
+			{kernelmodel.ModeSeccomp, sim.ProfileNoArgs},
+			{kernelmodel.ModeDracoSW, sim.ProfileNoArgs},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete},
+			{kernelmodel.ModeDracoSW, sim.ProfileComplete},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Figure 17",
+		Description: "software Draco on the older kernel (appendix)",
+		Tables:      []*stats.Table{t},
+	}, nil
+}
+
+// Fig12 regenerates Figure 12: hardware Draco under the three profiles.
+func Fig12(o Options) (*Result, error) {
+	t, err := slowdownMatrix(o, "Figure 12: hardware Draco (normalized to insecure)",
+		[]string{"noargs(hw)", "complete(hw)", "complete-2x(hw)"},
+		[]cell{
+			{kernelmodel.ModeDracoHW, sim.ProfileNoArgs},
+			{kernelmodel.ModeDracoHW, sim.ProfileComplete},
+			{kernelmodel.ModeDracoHW, sim.ProfileComplete2x},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Figure 12",
+		Description: "hardware Draco, " + o.Costs.Name,
+		Tables:      []*stats.Table{t},
+		Notes:       []string{"paper: average execution time within 1% of insecure for all profiles"},
+	}, nil
+}
+
+// Fig3 regenerates Figure 3: the frequency of the top system calls across
+// the macro benchmarks, their argument-set breakdown, and mean reuse
+// distances.
+func Fig3(o Options) (*Result, error) {
+	var all trace.Trace
+	for _, w := range workloads.MacroWorkloads() {
+		all = append(all, w.Generate(o.Events, o.Seed)...)
+	}
+	an := trace.Analyze(all, func(sid int) uint64 {
+		in, ok := syscalls.ByNum(sid)
+		if !ok {
+			return 0
+		}
+		return in.ArgBitmask()
+	})
+	t := stats.NewTable("Figure 3: top system calls across macro benchmarks",
+		"fraction", "arg-sets", "top3-share", "reuse-dist")
+	for i, e := range an.Entries {
+		if i >= 20 {
+			break
+		}
+		name := fmt.Sprintf("sid%d", e.SID)
+		if in, ok := syscalls.ByNum(e.SID); ok {
+			name = in.Name
+		}
+		top3 := 0
+		for j, c := range e.ArgSetCounts {
+			if j >= 3 {
+				break
+			}
+			top3 += c
+		}
+		t.AddRow(name,
+			pct(e.Fraction),
+			fmt.Sprintf("%d", len(e.ArgSetCounts)),
+			pct(float64(top3)/float64(e.Count)),
+			fmt.Sprintf("%.0f", e.MeanReuseDistance),
+		)
+	}
+	return &Result{
+		Name:        "Figure 3",
+		Description: "system call locality characterization (§IV-C)",
+		Tables:      []*stats.Table{t},
+		Notes: []string{
+			fmt.Sprintf("top-20 syscalls cover %s of all calls (paper: 86%%)", pct(an.TopKCoverage(20))),
+			"paper: a few argument sets dominate each call; mean reuse distances are tens of calls",
+		},
+	}, nil
+}
+
+// Fig13 regenerates Figure 13: STB hit rate, SLB access hit rate, and SLB
+// preload hit rate per workload under the complete profile.
+func Fig13(o Options) (*Result, error) {
+	t := stats.NewTable("Figure 13: hardware Draco hit rates (syscall-complete)",
+		"STB", "SLB-access", "SLB-preload")
+	for _, w := range workloads.All() {
+		m, err := sim.Run(w, o.simConfig(kernelmodel.ModeDracoHW, sim.ProfileComplete))
+		if err != nil {
+			return nil, err
+		}
+		st := m.HW
+		t.AddRow(w.Name, pct(st.STBHitRate()), pct(st.SLBAccessHitRate()), pct(st.SLBPreloadHitRate()))
+	}
+	return &Result{
+		Name:        "Figure 13",
+		Description: "STB and SLB hit rates",
+		Tables:      []*stats.Table{t},
+		Notes: []string{
+			"paper: STB > 93% except Elasticsearch and Redis; SLB preload ~99%; SLB access 75-93% for the argument-heavy servers",
+		},
+	}, nil
+}
+
+// Fig14 regenerates Figure 14: the distribution of arguments per system
+// call, for the whole Linux interface and per workload.
+func Fig14(o Options) (*Result, error) {
+	t := stats.NewTable("Figure 14: arguments per system call",
+		"0", "1", "2", "3", "4", "5", "6", "mean")
+	addDist := func(label string, counts [syscalls.MaxArgs + 1]int) {
+		total, weighted := 0, 0
+		cells := make([]string, 0, syscalls.MaxArgs+2)
+		for n, c := range counts {
+			total += c
+			weighted += n * c
+			cells = append(cells, fmt.Sprintf("%d", c))
+		}
+		mean := 0.0
+		if total > 0 {
+			mean = float64(weighted) / float64(total)
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", mean))
+		t.AddRow(label, cells...)
+	}
+	addDist("linux", syscalls.ArgCountHistogram())
+	for _, w := range workloads.All() {
+		// The paper's per-application violins are dynamic: "of all the
+		// system calls that were checked by Draco" — weight by trace
+		// occurrences, not static profile membership.
+		tr := w.Generate(o.Events, o.Seed)
+		var h [syscalls.MaxArgs + 1]int
+		for _, e := range tr {
+			if in, ok := syscalls.ByNum(e.SID); ok {
+				h[in.NArgs]++
+			}
+		}
+		addDist(w.Name, h)
+	}
+	return &Result{
+		Name:        "Figure 14",
+		Description: "number of arguments of system calls (SLB sizing input)",
+		Tables:      []*stats.Table{t},
+		Notes:       []string{"paper sizes the SLB subtables from the Linux-wide distribution"},
+	}, nil
+}
+
+// Fig15 regenerates Figure 15: how much an application-specific profile
+// shrinks the attack surface versus docker-default.
+func Fig15(o Options) (*Result, error) {
+	ta := stats.NewTable("Figure 15a: system calls allowed",
+		"total", "app-specific", "runtime-only")
+	tb := stats.NewTable("Figure 15b: arguments checked / values allowed",
+		"args-checked", "values-allowed", "arg-sets")
+	ta.AddRow("linux", fmt.Sprintf("%d", syscalls.Count()), "-", "-")
+	docker := sim.ProfileDockerDefault
+	for _, w := range workloads.All()[:1] {
+		p, _ := sim.BuildProfile(w, docker, o.TrainEvents, o.Seed)
+		ta.AddRow("docker-default", fmt.Sprintf("%d", p.NumSyscalls()), "-", "-")
+		tb.AddRow("docker-default",
+			fmt.Sprintf("%d", p.NumArgsChecked()),
+			fmt.Sprintf("%d", p.NumValuesAllowed()),
+			fmt.Sprintf("%d", p.NumArgSets()))
+	}
+	for _, w := range workloads.All() {
+		tr := w.Generate(o.TrainEvents, o.Seed)
+		p, _ := sim.BuildProfile(w, sim.ProfileComplete, o.TrainEvents, o.Seed)
+		appSpecific := 0
+		seen := map[int]bool{}
+		for _, e := range tr {
+			seen[e.SID] = true
+		}
+		for _, r := range p.Rules {
+			if seen[r.Syscall.Num] {
+				appSpecific++
+			}
+		}
+		ta.AddRow(w.Name,
+			fmt.Sprintf("%d", p.NumSyscalls()),
+			fmt.Sprintf("%d", appSpecific),
+			fmt.Sprintf("%d", p.NumSyscalls()-appSpecific))
+		tb.AddRow(w.Name,
+			fmt.Sprintf("%d", p.NumArgsChecked()),
+			fmt.Sprintf("%d", p.NumValuesAllowed()),
+			fmt.Sprintf("%d", p.NumArgSets()))
+	}
+	return &Result{
+		Name:        "Figure 15",
+		Description: "security benefits of application-specific profiles",
+		Tables:      []*stats.Table{ta, tb},
+		Notes: []string{
+			"paper: linux 403 calls, docker-default 358 (3 args / 7 values); app-specific 50-100 calls (~20% runtime-required), 23-142 args checked, 127-2458 values allowed",
+		},
+	}, nil
+}

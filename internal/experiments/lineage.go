@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"draco/internal/kernelmodel"
+	"draco/internal/sim"
+	"draco/internal/stats"
+)
+
+// Lineage compares the generations of system call checking the paper's
+// related work traces (§XII): user-level tracing monitors (two context
+// switches per call), in-kernel Seccomp, software Draco, and hardware
+// Draco, all enforcing the same complete profiles.
+func Lineage(o Options) (*Result, error) {
+	t, err := slowdownMatrix(o, "Checking-mechanism lineage (syscall-complete, normalized to insecure)",
+		[]string{"tracer", "seccomp", "draco-sw", "draco-hw"},
+		[]cell{
+			{kernelmodel.ModeTracer, sim.ProfileComplete},
+			{kernelmodel.ModeSeccomp, sim.ProfileComplete},
+			{kernelmodel.ModeDracoSW, sim.ProfileComplete},
+			{kernelmodel.ModeDracoHW, sim.ProfileComplete},
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Lineage",
+		Description: "user-level tracing vs Seccomp vs Draco (paper §XII)",
+		Tables:      []*stats.Table{t},
+		Notes: []string{
+			"kernel-tracing interception pays two context switches per syscall (§XII), which is why Seccomp moved checking in-kernel; Draco removes the remaining cost",
+		},
+	}, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"draco/internal/kernelmodel"
+	"draco/internal/seccomp"
+	"draco/internal/sim"
+	"draco/internal/stats"
+	"draco/internal/workloads"
+)
+
+// Runtimes compares the generic profiles the container ecosystem ships
+// (§II-C): Docker's default, gVisor's Sentry whitelist, and Firecracker's
+// microVM filter — both their attack-surface accounting and their checking
+// cost on a representative server workload.
+func Runtimes(o Options) (*Result, error) {
+	profiles := []*seccomp.Profile{
+		seccomp.DockerDefault(),
+		seccomp.GVisorDefault(),
+		seccomp.Firecracker(),
+	}
+
+	ta := stats.NewTable("Container-runtime profiles (§II-C)",
+		"syscalls", "args-checked", "values-allowed", "bpf-instrs(linear)")
+	for _, p := range profiles {
+		prog, err := seccomp.Compile(p, seccomp.ShapeLinear)
+		if err != nil {
+			return nil, err
+		}
+		ta.AddRow(p.Name,
+			fmt.Sprintf("%d", p.NumSyscalls()),
+			fmt.Sprintf("%d", p.NumArgsChecked()),
+			fmt.Sprintf("%d", p.NumValuesAllowed()),
+			fmt.Sprintf("%d", len(prog)))
+	}
+
+	// Checking cost of the generic profiles under Seccomp on nginx: the
+	// docker-default column reproduces a Figure 2 cell; the narrower
+	// whitelists (gVisor/Firecracker) deny syscalls these workloads use,
+	// so they are compared on the filter-cost axis only via their hottest
+	// allowed call.
+	tb := stats.NewTable("Per-call filter cost of generic profiles (BPF instructions executed)",
+		"read", "write", "close", "futex")
+	for _, p := range profiles {
+		f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]string, 0, 4)
+		for _, probe := range []struct {
+			nr   int32
+			args [6]uint64
+		}{
+			{0, [6]uint64{3, 0, 4096}},
+			{1, [6]uint64{1, 0, 64}},
+			{3, [6]uint64{3}},
+			{202, [6]uint64{0, 0, 0}},
+		} {
+			d := seccomp.Data{Nr: probe.nr, Arch: seccomp.AuditArchX8664, Args: probe.args}
+			row = append(row, fmt.Sprintf("%d", f.Check(&d).Executed))
+		}
+		tb.AddRow(p.Name, row...)
+	}
+
+	// docker-default end-to-end on a macro workload, the Figure 2 anchor.
+	w, ok := workloads.ByName("nginx")
+	if !ok {
+		return nil, fmt.Errorf("experiments: nginx missing")
+	}
+	base, err := sim.Run(w, o.simConfig(kernelmodel.ModeInsecure, sim.ProfileInsecure))
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.Run(w, o.simConfig(kernelmodel.ModeSeccomp, sim.ProfileDockerDefault))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:        "Runtimes",
+		Description: "generic container-runtime profile comparison",
+		Tables:      []*stats.Table{ta, tb},
+		Notes: []string{
+			fmt.Sprintf("docker-default on nginx under Seccomp: %.3fx of insecure", m.Slowdown(base)),
+			"paper §II-C: docker-default 358 calls / 7 values; gVisor 74 calls / 130 arg checks; Firecracker 37 calls / 8 arg checks",
+		},
+	}, nil
+}

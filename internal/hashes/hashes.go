@@ -1,0 +1,101 @@
+// Package hashes implements the two hash functions Draco uses for its
+// Validated Argument Table: the CRC-64 code under the ECMA-182 polynomial and
+// under its bitwise complement (paper §VII-A: "we use the ECMA and the ¬ECMA
+// polynomials to compute the Cyclic Redundancy Check (CRC) code of the system
+// call argument set").
+//
+// Hashing is always performed over the bytes the SPT Argument Bitmask
+// selects: one bit per argument byte, so pointer arguments and absent
+// arguments never influence the hash (paper §V-B).
+package hashes
+
+import "draco/internal/syscalls"
+
+// ECMAPoly is the CRC-64/ECMA-182 polynomial in the reversed (LSB-first)
+// representation used by table-driven implementations.
+const ECMAPoly = 0xC96C5795D7870F42
+
+// NotECMAPoly is the bitwise complement of the ECMA polynomial; it defines
+// Draco's second, independent hash function H2.
+const NotECMAPoly = ^uint64(ECMAPoly) | 1 // force odd so the LSB-first CRC stays full-period
+
+var (
+	ecmaTable    [256]uint64
+	notEcmaTable [256]uint64
+)
+
+func init() {
+	fillTable(&ecmaTable, ECMAPoly)
+	fillTable(&notEcmaTable, NotECMAPoly)
+}
+
+func fillTable(t *[256]uint64, poly uint64) {
+	for i := 0; i < 256; i++ {
+		crc := uint64(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 == 1 {
+				crc = (crc >> 1) ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+}
+
+func update(crc uint64, t *[256]uint64, b byte) uint64 {
+	return t[byte(crc)^b] ^ (crc >> 8)
+}
+
+// Pair holds both hash values of an argument set. Draco computes both in
+// parallel to probe the two ways of the VAT's cuckoo table.
+type Pair struct {
+	H1 uint64 // CRC-64/ECMA
+	H2 uint64 // CRC-64/¬ECMA
+}
+
+// Args is a system call argument vector.
+type Args = [syscalls.MaxArgs]uint64
+
+// ArgSet hashes the bytes of args selected by bitmask (the SPT Argument
+// Bitmask: bit k selects byte k%8 of argument k/8) and returns both CRCs.
+func ArgSet(args Args, bitmask uint64) Pair {
+	h1 := ^uint64(0)
+	h2 := ^uint64(0)
+	for i := 0; i < syscalls.MaxArgs; i++ {
+		byteBits := (bitmask >> uint(i*syscalls.ArgBytes)) & 0xff
+		if byteBits == 0 {
+			continue
+		}
+		a := args[i]
+		for b := 0; b < syscalls.ArgBytes; b++ {
+			if byteBits&(1<<uint(b)) == 0 {
+				continue
+			}
+			v := byte(a >> uint(b*8))
+			h1 = update(h1, &ecmaTable, v)
+			h2 = update(h2, &notEcmaTable, v)
+		}
+	}
+	return Pair{H1: ^h1, H2: ^h2}
+}
+
+// Select returns which of the pair's values matches h, or -1. The SLB and
+// STB store the single hash value that located the entry in the VAT
+// ("the one hash value (of the two possible) that fetched this argument
+// set", paper §VI-B); Select recovers which function that was.
+func (p Pair) Select(h uint64) int {
+	switch h {
+	case p.H1:
+		return 1
+	case p.H2:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// CyclesPerHash is the latency, in 2 GHz core cycles, of computing the CRC
+// hash in hardware. The paper's Synopsys analysis reports 964 ps for the
+// LFSR implementation and accounts 3 cycles (§XI-C, Table III).
+const CyclesPerHash = 3

@@ -1,0 +1,162 @@
+// Package hwdraco implements the hardware implementation of Draco (paper
+// §VI): the System Call Lookaside Buffer (SLB) with one set-associative
+// subtable per argument count, the PC-indexed System Call Target Buffer
+// (STB) that preloads the SLB, the per-core hardware SPT, and the
+// speculation-safe Temporary Buffer. The engine classifies every system
+// call into one of the six execution flows of Table I and charges
+// cycle costs accordingly, walking the memory hierarchy for VAT accesses.
+package hwdraco
+
+// SubtableConfig sizes one SLB subtable.
+type SubtableConfig struct {
+	Entries int
+	Ways    int
+}
+
+// Config carries the hardware parameters of Table II.
+type Config struct {
+	// STBEntries/STBWays size the System Call Target Buffer (256, 2-way).
+	STBEntries int
+	STBWays    int
+	// SLB holds one subtable config per argument count 1..6 (index 0
+	// unused: zero-argument syscalls are covered by the SPT valid bit).
+	SLB [7]SubtableConfig
+	// TempBufEntries sizes the speculation Temporary Buffer (8).
+	TempBufEntries int
+	// SPTEntries sizes the per-core direct-mapped hardware SPT (384).
+	SPTEntries int
+
+	// Access latencies in cycles (Table II: 2-cycle tables; §XI-C: 3-cycle
+	// CRC hash).
+	TableLatency uint64
+	HashLatency  uint64
+
+	// PreloadLead is the average number of cycles between a system call
+	// entering the ROB (when preloading starts) and reaching the ROB head
+	// (when the check must complete): ROB occupancy / IPC.
+	PreloadLead uint64
+
+	// PreloadEnabled turns STB-driven SLB preloading on (ablation knob).
+	PreloadEnabled bool
+
+	// SLBHashIndex selects the set within each SLB subtable by the entry's
+	// VAT hash value instead of the syscall ID (a future-work design
+	// exploration): one syscall's argument sets then spread across sets
+	// instead of competing for a single set's ways. The access path probes
+	// the two candidate sets given by the argument hash pair, cuckoo-style.
+	SLBHashIndex bool
+
+	// SecurePreload routes speculative preloads through the Temporary
+	// Buffer and defers LRU updates until the non-speculative access
+	// (paper §IX). Disabling it models a naive design whose preloads
+	// update the SLB directly — observable by a speculation side channel;
+	// it exists only for the security analysis.
+	SecurePreload bool
+}
+
+// DefaultConfig returns the Table II configuration.
+func DefaultConfig() Config {
+	return Config{
+		STBEntries: 256,
+		STBWays:    2,
+		SLB: [7]SubtableConfig{
+			1: {Entries: 32, Ways: 4},
+			2: {Entries: 64, Ways: 4},
+			3: {Entries: 64, Ways: 4},
+			4: {Entries: 32, Ways: 4},
+			5: {Entries: 32, Ways: 4},
+			6: {Entries: 16, Ways: 4},
+		},
+		TempBufEntries: 8,
+		SPTEntries:     384,
+		TableLatency:   2,
+		HashLatency:    3,
+		// 128-entry ROB at ~2 IPC: a syscall dispatched into a full ROB
+		// has ~64 cycles before it reaches the head.
+		PreloadLead:    64,
+		PreloadEnabled: true,
+		SecurePreload:  true,
+	}
+}
+
+// Partition divides the hardware structures among n SMT contexts (paper
+// §VII-B: "Draco can support SMT by partitioning the three hardware
+// structures and giving one partition to each SMT context"; §IX notes this
+// also closes the cross-context side channel). Each context receives
+// 1/n of every table's entries; associativity is preserved where the
+// partition allows, otherwise reduced to keep at least one set.
+func (c Config) Partition(n int) Config {
+	if n <= 1 {
+		return c
+	}
+	out := c
+	out.STBEntries = max(c.STBWays, c.STBEntries/n)
+	for argc := 1; argc <= 6; argc++ {
+		sc := c.SLB[argc]
+		if sc.Entries == 0 {
+			continue
+		}
+		sc.Entries /= n
+		if sc.Entries < sc.Ways {
+			sc.Ways = max(1, sc.Entries)
+			if sc.Entries == 0 {
+				sc.Entries = 1
+			}
+		}
+		out.SLB[argc] = sc
+	}
+	out.TempBufEntries = max(1, c.TempBufEntries/n)
+	out.SPTEntries = max(1, c.SPTEntries/n)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Flow is a Table I execution flow.
+type Flow int
+
+const (
+	// FlowNone marks syscalls that never touch the SLB (ID-only checks).
+	FlowNone Flow = iota
+	Flow1         // STB hit, SLB preload hit, SLB access hit (fast)
+	Flow2         // STB hit, SLB preload hit, SLB access miss (slow)
+	Flow3         // STB hit, SLB preload miss, SLB access hit (fast)
+	Flow4         // STB hit, SLB preload miss, SLB access miss (slow)
+	Flow5         // STB miss, SLB access hit (fast)
+	Flow6         // STB miss, SLB access miss (slow)
+)
+
+// Fast reports whether the flow completes without exposed memory latency
+// (Table I's Fast column).
+func (f Flow) Fast() bool {
+	switch f {
+	case Flow1, Flow3, Flow5:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f Flow) String() string {
+	switch f {
+	case FlowNone:
+		return "id-only"
+	case Flow1:
+		return "flow1(hit,hit,hit)"
+	case Flow2:
+		return "flow2(hit,hit,miss)"
+	case Flow3:
+		return "flow3(hit,miss,hit)"
+	case Flow4:
+		return "flow4(hit,miss,miss)"
+	case Flow5:
+		return "flow5(miss,-,hit)"
+	default:
+		return "flow6(miss,-,miss)"
+	}
+}

@@ -1,0 +1,67 @@
+package hwdraco
+
+import (
+	"math/rand"
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/microarch"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/workloads"
+)
+
+// TestDifferentialHWvsSWvsFilter is the reproduction's strongest
+// correctness property: for any workload trace, the hardware engine, the
+// software checker, and the plain Seccomp filter must make identical
+// allow/deny decisions — caching, preloading, squashes, and context
+// switches may only change timing, never outcomes (paper §V: correctness
+// follows from filter statelessness).
+func TestDifferentialHWvsSWvsFilter(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			// Train a complete profile on one seed, evaluate on another so
+			// some events are genuinely denied (unobserved tail sets).
+			train := w.Generate(20000, 101)
+			eval := w.Generate(4000, 202)
+
+			profile := profilegen.Complete(w.Name, train, profilegen.Options{IncludeRuntime: true})
+			filt, err := seccomp.NewFilter(profile, seccomp.ShapeLinear)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			swChecker := core.NewChecker(profile, seccomp.Chain{filt})
+			hwChecker := core.NewChecker(profile, seccomp.Chain{filt})
+			eng := NewEngine(DefaultConfig(), hwChecker, microarch.DefaultHierarchy(), microarch.DefaultTLB())
+
+			rng := rand.New(rand.NewSource(7))
+			denied := 0
+			for i, e := range eval {
+				// Random adversarial events: squashes and context switches
+				// interleaved with the trace.
+				if rng.Intn(50) == 0 {
+					eng.Squash()
+				}
+				if rng.Intn(200) == 0 {
+					eng.ContextSwitch(rng.Intn(2) == 0)
+				}
+				d := seccomp.Data{Nr: int32(e.SID), Arch: seccomp.AuditArchX8664, Args: e.Args}
+				want := filt.Check(&d).Action.Allows()
+				sw := swChecker.Check(e.SID, e.Args)
+				hw := eng.OnSyscall(e.PC, e.SID, e.Args)
+				if sw.Allowed != want {
+					t.Fatalf("event %d (sid %d): software draco %v, filter %v", i, e.SID, sw.Allowed, want)
+				}
+				if hw.Allowed != want {
+					t.Fatalf("event %d (sid %d): hardware draco %v, filter %v (flow %v)", i, e.SID, hw.Allowed, want, hw.Flow)
+				}
+				if !want {
+					denied++
+				}
+			}
+			t.Logf("%s: %d/%d events denied, decisions identical across all three paths", w.Name, denied, len(eval))
+		})
+	}
+}

@@ -1,0 +1,483 @@
+package hwdraco
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/microarch"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+func testProfile() *seccomp.Profile {
+	return &seccomp.Profile{
+		Name:          "hw-test",
+		DefaultAction: seccomp.ActKillProcess,
+		Rules: []seccomp.Rule{
+			{Syscall: syscalls.MustByName("getppid")},
+			{
+				Syscall:     syscalls.MustByName("personality"),
+				CheckedArgs: []int{0},
+				AllowedSets: [][]uint64{{0xffffffff}, {0x20008}},
+			},
+			{
+				Syscall:     syscalls.MustByName("read"),
+				CheckedArgs: []int{0, 2},
+				AllowedSets: [][]uint64{{3, 4096}, {5, 8192}},
+			},
+		},
+	}
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	p := testProfile()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := core.NewChecker(p, seccomp.Chain{f})
+	return NewEngine(DefaultConfig(), checker, microarch.DefaultHierarchy(), microarch.DefaultTLB())
+}
+
+const (
+	pcPersonality = 0x401000
+	pcRead        = 0x402000
+	pcGetppid     = 0x403000
+)
+
+func TestIDOnlyFlow(t *testing.T) {
+	e := newEngine(t)
+	sid := syscalls.MustByName("getppid").Num
+	r := e.OnSyscall(pcGetppid, sid, hashes.Args{})
+	if !r.Allowed || !r.OSRan {
+		t.Fatalf("first getppid: %+v", r)
+	}
+	r = e.OnSyscall(pcGetppid, sid, hashes.Args{})
+	if !r.Allowed || r.OSRan || r.Flow != FlowNone {
+		t.Fatalf("second getppid: %+v", r)
+	}
+	if r.CheckCycles != 0 {
+		t.Fatalf("ID-only check cost %d cycles, want 0", r.CheckCycles)
+	}
+}
+
+func TestWarmPathReachesFlow1(t *testing.T) {
+	e := newEngine(t)
+	args := hashes.Args{0xffffffff}
+	r := e.OnSyscall(pcPersonality, 135, args)
+	if !r.Allowed || !r.OSRan {
+		t.Fatalf("cold call: %+v", r)
+	}
+	for i := 0; i < 5; i++ {
+		r = e.OnSyscall(pcPersonality, 135, args)
+		if !r.Allowed || r.OSRan {
+			t.Fatalf("warm call %d: %+v", i, r)
+		}
+		if r.Flow != Flow1 {
+			t.Fatalf("warm call %d flow = %v, want flow1", i, r.Flow)
+		}
+		if r.CheckCycles > e.cfg.TableLatency {
+			t.Fatalf("flow1 cost %d cycles, want <= table latency", r.CheckCycles)
+		}
+	}
+	st := e.Stats()
+	if st.Flows[Flow1] != 5 {
+		t.Fatalf("flow1 count = %d, want 5", st.Flows[Flow1])
+	}
+	if st.STBHitRate() == 0 || st.SLBAccessHitRate() == 0 {
+		t.Fatalf("hit rates zero: %+v", st)
+	}
+}
+
+func TestFlow5OnNewCallSite(t *testing.T) {
+	e := newEngine(t)
+	args := hashes.Args{0xffffffff}
+	e.OnSyscall(pcPersonality, 135, args)
+	e.OnSyscall(pcPersonality, 135, args)
+	// Same syscall and argument set from a brand-new PC: the STB misses
+	// but the SLB holds the validated set.
+	r := e.OnSyscall(0x999000, 135, args)
+	if !r.Allowed || r.Flow != Flow5 || r.OSRan {
+		t.Fatalf("new site: %+v", r)
+	}
+	// Flow 5 fills the STB: the next call from that PC is flow 1.
+	r = e.OnSyscall(0x999000, 135, args)
+	if r.Flow != Flow1 {
+		t.Fatalf("after flow5 fill: %+v", r)
+	}
+}
+
+func TestFlow3PreloadRefillsSLB(t *testing.T) {
+	e := newEngine(t)
+	args := hashes.Args{0xffffffff}
+	e.OnSyscall(pcPersonality, 135, args)
+	e.OnSyscall(pcPersonality, 135, args)
+	// Clobber the SLB only: the STB still predicts the right hash, the
+	// preload misses in the SLB, fetches the entry from the VAT into the
+	// Temporary Buffer, and the head access commits it (flow 3).
+	e.slb.Invalidate()
+	r := e.OnSyscall(pcPersonality, 135, args)
+	if !r.Allowed || r.OSRan {
+		t.Fatalf("preload path: %+v", r)
+	}
+	if r.Flow != Flow3 {
+		t.Fatalf("flow = %v, want flow3", r.Flow)
+	}
+	if e.tmp.Len() != 0 {
+		t.Fatal("temporary buffer entry not consumed")
+	}
+}
+
+func TestFlow2WrongArgumentSet(t *testing.T) {
+	e := newEngine(t)
+	// Validate both argument sets, then alternate: the STB's single hash
+	// prediction can only match one of them, so the other one arrives via
+	// preload-hit + access-miss (flow 2) or directly.
+	a1 := hashes.Args{0xffffffff}
+	a2 := hashes.Args{0x20008}
+	e.OnSyscall(pcPersonality, 135, a1)
+	e.OnSyscall(pcPersonality, 135, a2)
+	e.OnSyscall(pcPersonality, 135, a1)
+	e.OnSyscall(pcPersonality, 135, a2)
+	st := e.Stats()
+	var slow uint64
+	for _, f := range []Flow{Flow2, Flow4, Flow6} {
+		slow += st.Flows[f]
+	}
+	if slow == 0 {
+		t.Fatalf("alternating argsets never took a slow flow: %+v", st.Flows)
+	}
+	// Both sets must keep being allowed without OS involvement after
+	// validation.
+	r := e.OnSyscall(pcPersonality, 135, a1)
+	if !r.Allowed || r.OSRan {
+		t.Fatalf("a1 after alternation: %+v", r)
+	}
+}
+
+func TestDeniedNeverCached(t *testing.T) {
+	e := newEngine(t)
+	bad := hashes.Args{0x1234}
+	for i := 0; i < 3; i++ {
+		r := e.OnSyscall(pcPersonality, 135, bad)
+		if r.Allowed {
+			t.Fatalf("call %d allowed", i)
+		}
+		if !r.OSRan {
+			t.Fatalf("call %d skipped the filter", i)
+		}
+	}
+	// The good value still works.
+	if r := e.OnSyscall(pcPersonality, 135, hashes.Args{0xffffffff}); !r.Allowed {
+		t.Fatal("good value denied after bad attempts")
+	}
+}
+
+func TestPointerVariationStillHits(t *testing.T) {
+	e := newEngine(t)
+	// read(fd=3, buf, count=4096): buf (arg 1) is a pointer and varies.
+	sid := 0
+	e.OnSyscall(pcRead, sid, hashes.Args{3, 0x7f0000001000, 4096})
+	r := e.OnSyscall(pcRead, sid, hashes.Args{3, 0x7f0000999000, 4096})
+	if !r.Allowed || r.OSRan || !r.Flow.Fast() {
+		t.Fatalf("pointer variation broke the SLB hit: %+v", r)
+	}
+}
+
+func TestContextSwitchInvalidation(t *testing.T) {
+	e := newEngine(t)
+	args := hashes.Args{0xffffffff}
+	e.OnSyscall(pcPersonality, 135, args)
+	e.OnSyscall(pcPersonality, 135, args)
+
+	// Same process rescheduled: structures survive (paper §VII-B).
+	if saved := e.ContextSwitch(true); saved != 0 {
+		t.Fatalf("same-process switch saved %d entries", saved)
+	}
+	r := e.OnSyscall(pcPersonality, 135, args)
+	if r.Flow != Flow1 || r.OSRan {
+		t.Fatalf("post same-process switch: %+v", r)
+	}
+
+	// Different process: everything invalidated.
+	saved := e.ContextSwitch(false)
+	if saved == 0 {
+		t.Fatal("no accessed SPT entries saved")
+	}
+	r = e.OnSyscall(pcPersonality, 135, args)
+	if r.OSRan {
+		t.Fatal("VAT state lost across context switch (only HW tables should clear)")
+	}
+	if r.Flow.Fast() {
+		t.Fatalf("cold hardware produced fast flow %v", r.Flow)
+	}
+}
+
+func TestRestoreSPTSkipsRefills(t *testing.T) {
+	e := newEngine(t)
+	args := hashes.Args{0xffffffff}
+	e.OnSyscall(pcPersonality, 135, args)
+	sids := e.AccessedSIDs()
+	if len(sids) == 0 {
+		t.Fatal("no accessed SIDs")
+	}
+	e.ContextSwitch(false)
+	before := e.Stats().SPTMissRefills
+	e.RestoreSPT(sids)
+	e.OnSyscall(pcPersonality, 135, args)
+	if got := e.Stats().SPTMissRefills; got != before {
+		t.Fatalf("restored SPT still refilled (%d -> %d)", before, got)
+	}
+}
+
+func TestSquashClearsTempBuffer(t *testing.T) {
+	e := newEngine(t)
+	e.tmp.Add(1, 1, 42, hashes.Args{1})
+	if e.tmp.Len() != 1 {
+		t.Fatal("tmp add failed")
+	}
+	e.Squash()
+	if e.tmp.Len() != 0 {
+		t.Fatal("squash left entries")
+	}
+	if e.Stats().Squashes != 1 {
+		t.Fatal("squash not counted")
+	}
+}
+
+func TestPreloadDisabledNeverPreloads(t *testing.T) {
+	p := testProfile()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PreloadEnabled = false
+	e := NewEngine(cfg, core.NewChecker(p, seccomp.Chain{f}), microarch.DefaultHierarchy(), microarch.DefaultTLB())
+	args := hashes.Args{0xffffffff}
+	for i := 0; i < 5; i++ {
+		e.OnSyscall(pcPersonality, 135, args)
+	}
+	if e.Stats().SLBPreloads != 0 {
+		t.Fatal("preloads issued with preloading disabled")
+	}
+}
+
+func TestSTBLRU(t *testing.T) {
+	s := NewSTB(2, 2) // 1 set, 2 ways: every PC conflicts
+	s.Fill(0x00, 1, 11)
+	s.Fill(0x08, 2, 22)
+	s.Lookup(0x00) // refresh
+	s.Fill(0x10, 3, 33)
+	if _, _, ok := s.Lookup(0x00); !ok {
+		t.Fatal("MRU STB entry evicted")
+	}
+	if _, _, ok := s.Lookup(0x08); ok {
+		t.Fatal("LRU STB entry survived")
+	}
+}
+
+func TestSLBSubtableSeparation(t *testing.T) {
+	slb := NewSLB(DefaultConfig())
+	a1 := hashes.Args{1}
+	slb.Fill(10, 1, 111, a1)
+	slb.Fill(10, 2, 222, a1)
+	if _, hit := slb.Access(10, 1, a1, 0xff); !hit {
+		t.Fatal("1-arg subtable lost entry")
+	}
+	if !slb.ProbeHash(10, 2, 222) {
+		t.Fatal("2-arg subtable lost entry")
+	}
+	if slb.ProbeHash(10, 3, 111) {
+		t.Fatal("3-arg subtable has phantom entry")
+	}
+}
+
+func TestTempBufferCapacity(t *testing.T) {
+	b := NewTempBuffer(2)
+	b.Add(1, 1, 1, hashes.Args{1})
+	b.Add(2, 1, 2, hashes.Args{2})
+	b.Add(3, 1, 3, hashes.Args{3}) // evicts oldest
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	if _, ok := b.Take(1, hashes.Args{1}, 0xff); ok {
+		t.Fatal("oldest entry survived overflow")
+	}
+	if _, ok := b.Take(3, hashes.Args{3}, 0xff); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestHWSPTConflict(t *testing.T) {
+	spt := NewHWSPT(4)
+	spt.Fill(1, 100, 0xff)
+	spt.Fill(5, 500, 0xff) // 5 % 4 == 1: conflicts
+	if _, _, ok := spt.Lookup(1); ok {
+		t.Fatal("conflicting entry survived")
+	}
+	if b, _, ok := spt.Lookup(5); !ok || b != 500 {
+		t.Fatal("new entry missing")
+	}
+}
+
+func BenchmarkWarmFlow1(b *testing.B) {
+	p := testProfile()
+	f, _ := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	e := NewEngine(DefaultConfig(), core.NewChecker(p, seccomp.Chain{f}), microarch.DefaultHierarchy(), microarch.DefaultTLB())
+	args := hashes.Args{0xffffffff}
+	e.OnSyscall(pcPersonality, 135, args)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.OnSyscall(pcPersonality, 135, args)
+	}
+}
+
+// TestFlowPartitionInvariant: every syscall takes exactly one path —
+// ID-only, one of the six flows, or the cold software path for unknown
+// syscalls — so the counters must partition the total.
+func TestFlowPartitionInvariant(t *testing.T) {
+	e := newEngine(t)
+	calls := []struct {
+		pc   uint64
+		sid  int
+		args hashes.Args
+	}{
+		{pcGetppid, 110, hashes.Args{}},
+		{pcPersonality, 135, hashes.Args{0xffffffff}},
+		{pcPersonality, 135, hashes.Args{0xffffffff}},
+		{pcPersonality, 135, hashes.Args{0x20008}},
+		{pcRead, 0, hashes.Args{3, 0x7f0000000000, 4096}},
+		{pcRead, 0, hashes.Args{5, 0x7f0000000000, 8192}},
+		{pcRead, 0, hashes.Args{3, 0x7f0000001000, 4096}},
+		{pcGetppid, 110, hashes.Args{}},
+		{pcPersonality, 135, hashes.Args{0x1234}}, // denied: filter every time
+		{pcPersonality, 135, hashes.Args{0x1234}},
+	}
+	denied := 0
+	for _, c := range calls {
+		if r := e.OnSyscall(c.pc, c.sid, c.args); !r.Allowed {
+			denied++
+		}
+	}
+	st := e.Stats()
+	var flows uint64
+	for f := 1; f <= 6; f++ {
+		flows += st.Flows[f]
+	}
+	// Denied calls never enter a flow bucket or the ID-only count.
+	if got := st.IDOnly + flows + uint64(denied); got != st.Syscalls {
+		t.Fatalf("partition violated: idonly %d + flows %d + denied %d != syscalls %d",
+			st.IDOnly, flows, denied, st.Syscalls)
+	}
+}
+
+// TestFlowLatencyContract checks Table I's speed column over a realistic
+// run: fast flows (1, 5, and ID-only) complete in table-access time, and
+// slow flows that consult the VAT at the ROB head cost at least a cache
+// access beyond it.
+func TestFlowLatencyContract(t *testing.T) {
+	p := testProfile()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(DefaultConfig(), core.NewChecker(p, seccomp.Chain{f}),
+		microarch.DefaultHierarchy(), microarch.DefaultTLB())
+	stream := []struct {
+		pc   uint64
+		sid  int
+		args hashes.Args
+	}{}
+	// Interleave enough traffic to traverse several flows.
+	for i := 0; i < 300; i++ {
+		switch i % 5 {
+		case 0:
+			stream = append(stream, struct {
+				pc   uint64
+				sid  int
+				args hashes.Args
+			}{pcPersonality, 135, hashes.Args{0xffffffff}})
+		case 1:
+			stream = append(stream, struct {
+				pc   uint64
+				sid  int
+				args hashes.Args
+			}{pcPersonality, 135, hashes.Args{0x20008}})
+		case 2:
+			stream = append(stream, struct {
+				pc   uint64
+				sid  int
+				args hashes.Args
+			}{pcRead, 0, hashes.Args{3, 0x7f0000000000, 4096}})
+		case 3:
+			stream = append(stream, struct {
+				pc   uint64
+				sid  int
+				args hashes.Args
+			}{pcRead, 0, hashes.Args{5, 0x7f0000000000, 8192}})
+		default:
+			stream = append(stream, struct {
+				pc   uint64
+				sid  int
+				args hashes.Args
+			}{pcGetppid, 110, hashes.Args{}})
+		}
+	}
+	for i, c := range stream {
+		r := e.OnSyscall(c.pc, c.sid, c.args)
+		if r.OSRan || !r.Allowed {
+			continue // cold validations are outside the contract
+		}
+		switch r.Flow {
+		case FlowNone:
+			if r.CheckCycles != 0 {
+				t.Fatalf("event %d: id-only cost %d", i, r.CheckCycles)
+			}
+		case Flow1, Flow5:
+			if r.CheckCycles > e.cfg.TableLatency {
+				t.Fatalf("event %d: fast flow %v cost %d > table latency", i, r.Flow, r.CheckCycles)
+			}
+		case Flow2, Flow4, Flow6:
+			if r.CheckCycles <= e.cfg.TableLatency {
+				t.Fatalf("event %d: slow flow %v cost only %d", i, r.Flow, r.CheckCycles)
+			}
+		}
+	}
+}
+
+func TestMeanFlowCyclesOrdering(t *testing.T) {
+	e := newEngine(t)
+	a1 := hashes.Args{0xffffffff}
+	a2 := hashes.Args{0x20008}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			e.OnSyscall(pcPersonality, 135, a1)
+		} else {
+			e.OnSyscall(pcPersonality, 135, a2)
+		}
+	}
+	st := e.Stats()
+	if st.Flows[Flow1] == 0 {
+		t.Fatal("no fast flows observed")
+	}
+	fast := st.MeanFlowCycles(Flow1)
+	// Flow 6 here only occurs as the cold first validation, whose check
+	// cost is charged through the OS path, so compare the steady slow
+	// flows (2 and 4).
+	for _, slow := range []Flow{Flow2, Flow4} {
+		if st.Flows[slow] == 0 {
+			continue
+		}
+		if st.MeanFlowCycles(slow) <= fast {
+			t.Fatalf("slow flow %v mean %.1f <= fast %.1f",
+				slow, st.MeanFlowCycles(slow), fast)
+		}
+	}
+	if st.MeanFlowCycles(Flow(0)) != 0 {
+		// FlowNone accumulates nothing.
+		t.Fatal("FlowNone accumulated cycles")
+	}
+}

@@ -1,0 +1,156 @@
+package hwdraco
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/microarch"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+// The §IX speculation side channel: "An adversary could trigger SLB
+// preloading followed by a squash, which could then speed-up a subsequent
+// benign access that uses the same SLB entry and reveal a secret." The
+// defense is the Temporary Buffer plus deferred LRU updates: preloading
+// must leave NO side effect in the SLB until the syscall is
+// non-speculative. These tests demonstrate the attack against the naive
+// design and its absence in the secure one.
+
+// securityProfile gives lseek five validated argument sets — enough to
+// overflow a 4-way SLB set so LRU state is observable through timing.
+func securityProfile() *seccomp.Profile {
+	return &seccomp.Profile{
+		Name:          "sec",
+		DefaultAction: seccomp.ActKillProcess,
+		Rules: []seccomp.Rule{{
+			Syscall:     syscalls.MustByName("lseek"),
+			CheckedArgs: []int{0, 1, 2},
+			AllowedSets: [][]uint64{
+				{3, 0, 0}, {3, 100, 0}, {3, 200, 0}, {3, 300, 0}, {3, 400, 0},
+			},
+		}},
+	}
+}
+
+func securityEngine(t *testing.T, secure bool) *Engine {
+	t.Helper()
+	p := securityProfile()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SecurePreload = secure
+	return NewEngine(cfg, core.NewChecker(p, seccomp.Chain{f}),
+		microarch.DefaultHierarchy(), microarch.DefaultTLB())
+}
+
+func set(off uint64) hashes.Args { return hashes.Args{3, off, 0} }
+
+// runAttack stages the §IX gadget and reports whether the squashed
+// speculative preload changed a later observation: it returns the flow the
+// victim's next access takes (a fast flow means the SLB still holds the
+// victim's entry; a slow flow means speculative state evicted it).
+func runAttack(t *testing.T, secure bool) (victimFlowBefore, victimFlowAfter Flow, tmpLen int) {
+	t.Helper()
+	e := securityEngine(t, secure)
+	const pc = 0x500000
+
+	// Victim warms four entries — exactly filling the 4-way 3-arg SLB set.
+	offsets := []uint64{0, 100, 200, 300}
+	for _, off := range offsets {
+		e.OnSyscall(pc, 8, set(off))
+	}
+	// Victim's target entry: make {3,0,0} the set's LRU by touching the
+	// other three afterwards.
+	e.OnSyscall(pc, 8, set(0))
+	for _, off := range []uint64{100, 200, 300} {
+		e.OnSyscall(pc, 8, set(off))
+	}
+	victimFlowBefore = e.OnSyscall(pc, 8, set(0)).Flow
+
+	// The 5th set must be resident in the VAT but not the SLB: validate it
+	// once and re-establish the SLB state exactly as above.
+	e.OnSyscall(pc, 8, set(400))
+	for _, off := range []uint64{0, 100, 200, 300} {
+		e.OnSyscall(pc, 8, set(off))
+	}
+	e.OnSyscall(pc, 8, set(0))
+	for _, off := range []uint64{100, 200, 300} {
+		e.OnSyscall(pc, 8, set(off))
+	}
+	// Point the STB's hash prediction at the 5th set by validating it from
+	// a second call site, then restore the SLB working set.
+	const gadgetPC = 0x600000
+	e.OnSyscall(gadgetPC, 8, set(400))
+	for _, off := range []uint64{0, 100, 200, 300} {
+		e.OnSyscall(pc, 8, set(off))
+	}
+	// Re-establish {3,0,0} as LRU within the set.
+	e.OnSyscall(pc, 8, set(0))
+	for _, off := range []uint64{100, 200, 300} {
+		e.OnSyscall(pc, 8, set(off))
+	}
+
+	// ---- the attack ----
+	// A squashed (never-retired) syscall at the gadget PC triggers a
+	// speculative preload of set(400); in the naive design the fetched
+	// entry is installed in the SLB, evicting the victim's LRU entry.
+	e.SpeculativeDispatch(gadgetPC, 8)
+	tmpLen = e.tmp.Len()
+	e.Squash()
+
+	// The victim's access to its entry: fast (flow 1/3/5) if the SLB state
+	// survived, slow (flow 2/4/6) if speculation evicted it.
+	victimFlowAfter = e.OnSyscall(pc, 8, set(0)).Flow
+	return victimFlowBefore, victimFlowAfter, tmpLen
+}
+
+func TestSecurePreloadLeavesNoTrace(t *testing.T) {
+	before, after, tmpLen := runAttack(t, true)
+	if !before.Fast() {
+		t.Fatalf("victim entry not resident before attack (flow %v)", before)
+	}
+	if !after.Fast() {
+		t.Fatalf("SECURITY: squashed speculative preload evicted the victim's SLB entry (flow %v): the Temporary Buffer failed", after)
+	}
+	if tmpLen == 0 {
+		t.Fatal("speculative fetch did not reach the Temporary Buffer (attack not exercised)")
+	}
+}
+
+func TestInsecurePreloadLeaksThroughSLB(t *testing.T) {
+	before, after, _ := runAttack(t, false)
+	if !before.Fast() {
+		t.Fatalf("victim entry not resident before attack (flow %v)", before)
+	}
+	// The point of the naive design's vulnerability: the squashed preload
+	// DID perturb SLB state, observable as the victim's slow path.
+	if after.Fast() {
+		t.Fatalf("insecure design did not leak (flow %v); the secure/insecure comparison is vacuous", after)
+	}
+}
+
+func TestSquashDiscardsTemporaryBufferWork(t *testing.T) {
+	e := securityEngine(t, true)
+	const pc = 0x500000
+	e.OnSyscall(pc, 8, set(0))
+	// Evict everything hardware-side, keep the VAT.
+	e.slb.Invalidate()
+	// Speculative dispatch fetches into the temp buffer...
+	e.SpeculativeDispatch(pc, 8)
+	if e.tmp.Len() == 0 {
+		t.Fatal("preload did not populate the temporary buffer")
+	}
+	// ...and the squash wipes it: the next real syscall must re-fetch.
+	e.Squash()
+	if e.tmp.Len() != 0 {
+		t.Fatal("squash left temporary-buffer entries")
+	}
+	r := e.OnSyscall(pc, 8, set(0))
+	if !r.Allowed {
+		t.Fatal("denied after squash")
+	}
+}

@@ -1,0 +1,154 @@
+package hwdraco
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/microarch"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/workloads"
+)
+
+func TestPartitionGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	half := cfg.Partition(2)
+	if half.STBEntries != cfg.STBEntries/2 {
+		t.Errorf("STB entries = %d", half.STBEntries)
+	}
+	if half.SPTEntries != cfg.SPTEntries/2 {
+		t.Errorf("SPT entries = %d", half.SPTEntries)
+	}
+	for argc := 1; argc <= 6; argc++ {
+		if half.SLB[argc].Entries != cfg.SLB[argc].Entries/2 {
+			t.Errorf("SLB[%d] entries = %d", argc, half.SLB[argc].Entries)
+		}
+	}
+	if half.TempBufEntries != cfg.TempBufEntries/2 {
+		t.Errorf("temp buffer = %d", half.TempBufEntries)
+	}
+	// Partitioning by 1 is the identity.
+	if cfg.Partition(1) != cfg {
+		t.Error("Partition(1) changed the config")
+	}
+	// Extreme partitioning never reaches zero-sized structures.
+	tiny := cfg.Partition(64)
+	if tiny.SPTEntries < 1 || tiny.TempBufEntries < 1 {
+		t.Error("over-partitioning produced empty structures")
+	}
+	for argc := 1; argc <= 6; argc++ {
+		if tiny.SLB[argc].Entries < 1 || tiny.SLB[argc].Ways < 1 {
+			t.Errorf("SLB[%d] degenerate: %+v", argc, tiny.SLB[argc])
+		}
+	}
+}
+
+// TestSMTContextsIsolated: two SMT contexts get disjoint partitions, so one
+// context's filling its tables can never evict the other's entries — the
+// isolation §IX relies on. (Each partition is modeled as its own engine.)
+func TestSMTContextsIsolated(t *testing.T) {
+	p := testProfile()
+	mkEngine := func() *Engine {
+		f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewEngine(DefaultConfig().Partition(2), core.NewChecker(p, seccomp.Chain{f}),
+			microarch.DefaultHierarchy(), microarch.DefaultTLB())
+	}
+	ctx0, ctx1 := mkEngine(), mkEngine()
+	args := [6]uint64{0xffffffff}
+	ctx0.OnSyscall(pcPersonality, 135, args)
+	warm := ctx0.OnSyscall(pcPersonality, 135, args)
+	if !warm.Flow.Fast() {
+		t.Fatalf("ctx0 not warm: %v", warm.Flow)
+	}
+	// Context 1 hammers its own partition with conflicting state.
+	for i := 0; i < 1000; i++ {
+		ctx1.OnSyscall(pcRead, 0, [6]uint64{3, 0, 4096})
+	}
+	// Context 0's entry must be untouched.
+	still := ctx0.OnSyscall(pcPersonality, 135, args)
+	if !still.Flow.Fast() || still.OSRan {
+		t.Fatalf("cross-context interference: %+v", still)
+	}
+}
+
+// TestSMTPartitionCostsHitRate: halving the structures must not *improve*
+// hit rates; on cache-pressured workloads it visibly lowers them.
+func TestSMTPartitionCostsHitRate(t *testing.T) {
+	w, ok := workloads.ByName("elasticsearch")
+	if !ok {
+		t.Fatal("elasticsearch missing")
+	}
+	train := w.Generate(20000, 5)
+	eval := w.Generate(8000, 6)
+	profile := profilegen.Complete(w.Name, train, profilegen.Options{IncludeRuntime: true})
+
+	run := func(cfg Config) Stats {
+		f, err := seccomp.NewFilter(profile, seccomp.ShapeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(cfg, core.NewChecker(profile, seccomp.Chain{f}),
+			microarch.DefaultHierarchy(), microarch.DefaultTLB())
+		for _, ev := range eval {
+			e.OnSyscall(ev.PC, ev.SID, ev.Args)
+		}
+		return e.Stats()
+	}
+	full := run(DefaultConfig())
+	half := run(DefaultConfig().Partition(2))
+	if half.SLBAccessHitRate() > full.SLBAccessHitRate()+0.01 {
+		t.Errorf("partitioned SLB hit rate %.3f exceeds full %.3f",
+			half.SLBAccessHitRate(), full.SLBAccessHitRate())
+	}
+	if half.STBHitRate() > full.STBHitRate()+0.01 {
+		t.Errorf("partitioned STB hit rate %.3f exceeds full %.3f",
+			half.STBHitRate(), full.STBHitRate())
+	}
+	t.Logf("SLB access hit: full %.3f vs SMT-partitioned %.3f",
+		full.SLBAccessHitRate(), half.SLBAccessHitRate())
+}
+
+// TestSLBHashIndexRelievesSetConflicts: with SID indexing, one syscall's
+// argument sets all compete for a single 4-way set; hash indexing spreads
+// them across the subtable, raising the access hit rate on set-conflicted
+// workloads (redis's 2-arg working set is near one set's capacity).
+func TestSLBHashIndexRelievesSetConflicts(t *testing.T) {
+	w, ok := workloads.ByName("redis")
+	if !ok {
+		t.Fatal("redis missing")
+	}
+	train := w.Generate(20000, 5)
+	eval := w.Generate(8000, 6)
+	profile := profilegen.Complete(w.Name, train, profilegen.Options{IncludeRuntime: true})
+
+	run := func(cfg Config) Stats {
+		f, err := seccomp.NewFilter(profile, seccomp.ShapeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(cfg, core.NewChecker(profile, seccomp.Chain{f}),
+			microarch.DefaultHierarchy(), microarch.DefaultTLB())
+		for _, ev := range eval {
+			e.OnSyscall(ev.PC, ev.SID, ev.Args)
+		}
+		return e.Stats()
+	}
+	sidIdx := run(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.SLBHashIndex = true
+	hashIdx := run(cfg)
+	t.Logf("SLB access hit: sid-indexed %.3f vs hash-indexed %.3f",
+		sidIdx.SLBAccessHitRate(), hashIdx.SLBAccessHitRate())
+	if hashIdx.SLBAccessHitRate() < sidIdx.SLBAccessHitRate() {
+		t.Fatalf("hash indexing lowered the hit rate: %.3f -> %.3f",
+			sidIdx.SLBAccessHitRate(), hashIdx.SLBAccessHitRate())
+	}
+	// Decisions are identical either way (indexing is performance-only).
+	if sidIdx.OSInvocations != hashIdx.OSInvocations {
+		t.Fatalf("indexing changed OS invocations: %d vs %d",
+			sidIdx.OSInvocations, hashIdx.OSInvocations)
+	}
+}

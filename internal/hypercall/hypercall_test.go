@@ -1,0 +1,142 @@
+package hypercall
+
+import (
+	"testing"
+
+	"draco/internal/hashes"
+)
+
+func testPolicy(t *testing.T) *Policy {
+	t.Helper()
+	kick, ok := ByName("kvm_hc_kick_cpu")
+	if !ok {
+		t.Fatal("kick_cpu missing")
+	}
+	yield, _ := ByName("kvm_hc_sched_yield")
+	console, _ := ByName("hc_console_write")
+	return &Policy{
+		Name: "guest-policy",
+		Rules: []Rule{
+			{Call: yield}, // any args
+			{
+				Call:        kick,
+				CheckedArgs: []int{0, 1},
+				AllowedSets: [][]uint64{{0, 1}, {0, 2}},
+			},
+			{
+				Call:        console,
+				CheckedArgs: []int{0},
+				AllowedSets: [][]uint64{{1}},
+			},
+		},
+	}
+}
+
+func TestHypercallCaching(t *testing.T) {
+	c, err := NewChecker(testPolicy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	yield, _ := ByName("kvm_hc_sched_yield")
+	kick, _ := ByName("kvm_hc_kick_cpu")
+
+	// Arg-less: first call slow, then SPT hit.
+	if o := c.Check(yield.Num, hashes.Args{7}); !o.Allowed || o.Cached {
+		t.Fatalf("first yield: %+v", o)
+	}
+	if o := c.Check(yield.Num, hashes.Args{9}); !o.Allowed || !o.Cached {
+		t.Fatalf("second yield: %+v", o)
+	}
+	// Arg-checked: tuple caching.
+	if o := c.Check(kick.Num, hashes.Args{0, 1}); !o.Allowed || o.Cached {
+		t.Fatalf("first kick: %+v", o)
+	}
+	if o := c.Check(kick.Num, hashes.Args{0, 1}); !o.Allowed || !o.Cached {
+		t.Fatalf("second kick: %+v", o)
+	}
+	// Disallowed tuple: never cached, always denied.
+	for i := 0; i < 2; i++ {
+		if o := c.Check(kick.Num, hashes.Args{1, 1}); o.Allowed {
+			t.Fatalf("bad kick allowed (try %d)", i)
+		}
+	}
+	// Unknown hypercall: denied.
+	if o := c.Check(999, hashes.Args{}); o.Allowed {
+		t.Fatal("unknown hypercall allowed")
+	}
+	if c.VATBytes() == 0 {
+		t.Fatal("no VAT allocated for argument tuples")
+	}
+	if c.Hits == 0 || c.SlowPaths == 0 {
+		t.Fatalf("stats: %+v", c)
+	}
+}
+
+func TestHypercallEquivalence(t *testing.T) {
+	// Cached decisions must match direct policy evaluation over a stream.
+	p := testPolicy(t)
+	c, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kick, _ := ByName("kvm_hc_kick_cpu")
+	console, _ := ByName("hc_console_write")
+	stream := []struct {
+		num  int
+		args hashes.Args
+	}{
+		{kick.Num, hashes.Args{0, 1}}, {kick.Num, hashes.Args{0, 2}},
+		{kick.Num, hashes.Args{0, 3}}, {console.Num, hashes.Args{1, 64}},
+		{console.Num, hashes.Args{2, 64}}, {kick.Num, hashes.Args{0, 1}},
+	}
+	for i, s := range stream {
+		want, _ := p.evaluate(s.num, s.args)
+		if got := c.Check(s.num, s.args); got.Allowed != want {
+			t.Fatalf("event %d: cached %v, policy %v", i, got.Allowed, want)
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	kick, _ := ByName("kvm_hc_kick_cpu")
+	bad := []*Policy{
+		{Name: "dup", Rules: []Rule{{Call: kick}, {Call: kick}}},
+		{Name: "range", Rules: []Rule{{Call: kick, CheckedArgs: []int{5}, AllowedSets: [][]uint64{{1}}}}},
+		{Name: "width", Rules: []Rule{{Call: kick, CheckedArgs: []int{0}, AllowedSets: [][]uint64{{1, 2}}}}},
+		{Name: "empty", Rules: []Rule{{Call: kick, CheckedArgs: []int{0}}}},
+	}
+	for _, p := range bad {
+		if _, err := NewChecker(p); err == nil {
+			t.Errorf("policy %q accepted", p.Name)
+		}
+	}
+}
+
+func TestTableSorted(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("table too small: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Num >= all[i].Num {
+			t.Fatal("table not sorted/unique")
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus hypercall found")
+	}
+}
+
+func BenchmarkHypercallCachedCheck(b *testing.B) {
+	p := &Policy{Name: "b", Rules: []Rule{{Call: Info{Num: 5, Name: "k", NArgs: 2},
+		CheckedArgs: []int{0, 1}, AllowedSets: [][]uint64{{0, 1}}}}}
+	c, err := NewChecker(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Check(5, hashes.Args{0, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Check(5, hashes.Args{0, 1})
+	}
+}

@@ -1,0 +1,314 @@
+// Package kernelmodel models the operating-system side of the evaluation:
+// the system call entry path with its security-checking hook (none, Seccomp,
+// software Draco, or hardware Draco), per-process security state, the
+// scheduler's context switches with Draco's SPT save/restore support
+// (paper §VII-B), and the per-kernel-version cost models used for the main
+// evaluation (Linux 5.3, §IV-A) and the appendix (Linux 3.10 with KPTI and
+// Spectre mitigations).
+package kernelmodel
+
+import (
+	"fmt"
+
+	"draco/internal/core"
+	"draco/internal/hwdraco"
+	"draco/internal/microarch"
+	"draco/internal/seccomp"
+	"draco/internal/trace"
+)
+
+// Mode selects the system call checking mechanism.
+type Mode int
+
+const (
+	// ModeInsecure performs no checking (the paper's baseline).
+	ModeInsecure Mode = iota
+	// ModeSeccomp runs the BPF filter chain on every syscall.
+	ModeSeccomp
+	// ModeDracoSW is the software implementation of Draco (§V-C).
+	ModeDracoSW
+	// ModeDracoHW is the hardware implementation (§VI).
+	ModeDracoHW
+	// ModeTracer models the pre-Seccomp generation of checkers (§XII:
+	// Janus, Ostia, Systrace): a user-level monitor intercepts every
+	// system call via kernel tracing, paying "at least two additional
+	// context switches" per call before the policy even runs.
+	ModeTracer
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInsecure:
+		return "insecure"
+	case ModeSeccomp:
+		return "seccomp"
+	case ModeDracoSW:
+		return "draco-sw"
+	default:
+		return "draco-hw"
+	}
+}
+
+// CostModel holds the cycle costs of the syscall path at 2 GHz.
+type CostModel struct {
+	Name string
+	// SyscallEntryExit is the insecure baseline's combined entry + exit
+	// cost, including the syscall instruction's serialization.
+	SyscallEntryExit uint64
+	// SeccompDispatch is the fixed cost of invoking the Seccomp machinery.
+	SeccompDispatch uint64
+	// BPFInstrCost is the per-executed-BPF-instruction cost. The kernel's
+	// JIT makes this well below one cycle of effective latency per
+	// logical BPF instruction on an OOO core.
+	BPFInstrCost float64
+	// Software Draco costs (§V-C): hook dispatch, SPT load, software CRC
+	// hashing of the argument bytes, argument compare, and VAT insert
+	// bookkeeping. VAT probe memory latency is charged through the cache
+	// model on top of these.
+	DracoDispatch uint64
+	SPTLookup     uint64
+	// HashPairSW is the fixed setup cost of computing both CRCs in
+	// software; HashPerByteSW is added per hashed argument byte (the
+	// bitmask-selected bytes are hashed twice, once per polynomial).
+	HashPairSW    uint64
+	HashPerByteSW uint64
+	ArgCompare    uint64
+	VATInsert     uint64
+	// ContextSwitchBase is the scheduler + state-swap cost; SPTEntrySave
+	// is the per-entry cost of the Accessed-bit save/restore support.
+	ContextSwitchBase uint64
+	SPTEntrySave      uint64
+}
+
+// Linux53Costs models Ubuntu 18.04 / Linux 5.3 with the hardware
+// vulnerability mitigations disabled and the BPF JIT enabled (§IV-A), the
+// paper's main configuration.
+func Linux53Costs() CostModel {
+	return CostModel{
+		Name:              "linux-5.3",
+		SyscallEntryExit:  700,
+		SeccompDispatch:   110,
+		BPFInstrCost:      3.9,
+		DracoDispatch:     70,
+		SPTLookup:         25,
+		HashPairSW:        50,
+		HashPerByteSW:     9,
+		ArgCompare:        20,
+		VATInsert:         250,
+		ContextSwitchBase: 3000,
+		SPTEntrySave:      20,
+	}
+}
+
+// Linux310Costs models CentOS 7.6 / Linux 3.10 with KPTI and the Spectre
+// mitigations enabled (appendix, Figures 16-17): a far more expensive
+// syscall path and a slower, less-optimized Seccomp.
+func Linux310Costs() CostModel {
+	return CostModel{
+		Name:              "linux-3.10",
+		SyscallEntryExit:  2200,
+		SeccompDispatch:   550,
+		BPFInstrCost:      1.6,
+		DracoDispatch:     150,
+		SPTLookup:         40,
+		HashPairSW:        80,
+		HashPerByteSW:     16,
+		ArgCompare:        40,
+		VATInsert:         320,
+		ContextSwitchBase: 6000,
+		SPTEntrySave:      25,
+	}
+}
+
+// Process is one checked process: its profile, attached filter chain, and
+// Draco state (software checker and, in hardware mode, the per-core
+// engine).
+type Process struct {
+	Name    string
+	Profile *seccomp.Profile
+	Chain   seccomp.Chain
+	SW      *core.Checker
+	HW      *hwdraco.Engine
+	// Killed is set when a filter returned a kill action (the process or
+	// thread was terminated, §II-B); further syscalls are rejected.
+	Killed bool
+	// savedSPT holds the SIDs saved at the last context switch away.
+	savedSPT []int
+}
+
+// NewProcess builds a process. chainDepth attaches the compiled filter that
+// many times (2 reproduces syscall-complete-2x, §IV-A). profile may be nil
+// for insecure runs.
+func NewProcess(name string, profile *seccomp.Profile, shape seccomp.Shape, chainDepth int,
+	hwcfg hwdraco.Config, mem *microarch.Hierarchy, tlb *microarch.TLB) (*Process, error) {
+	p := &Process{Name: name, Profile: profile}
+	if profile == nil {
+		return p, nil
+	}
+	f, err := seccomp.NewFilter(profile, shape)
+	if err != nil {
+		return nil, fmt.Errorf("kernelmodel: compiling %s: %w", profile.Name, err)
+	}
+	for i := 0; i < chainDepth; i++ {
+		p.Chain = append(p.Chain, f)
+	}
+	p.SW = core.NewChecker(profile, p.Chain)
+	p.HW = hwdraco.NewEngine(hwcfg, p.SW, mem, tlb)
+	return p, nil
+}
+
+// SyscallResult reports one checked system call.
+type SyscallResult struct {
+	Cycles  uint64 // total syscall cost: entry/exit + check + body
+	Check   uint64 // the checking component alone
+	Allowed bool
+	// Killed is set when the action terminates the process (kill_process /
+	// kill_thread / trap with default disposition), as opposed to an
+	// errno return the process survives.
+	Killed bool
+	Flow   hwdraco.Flow
+}
+
+// Kernel is the OS model: it dispatches syscalls through the configured
+// checking mode and charges context switches.
+type Kernel struct {
+	Mode  Mode
+	Costs CostModel
+	Mem   *microarch.Hierarchy
+	TLB   *microarch.TLB
+	// NoSPTSaveRestore disables the §VII-B context-switch optimization
+	// (ablation): hardware state is fully invalidated and nothing is
+	// saved or restored.
+	NoSPTSaveRestore bool
+}
+
+// NewKernel builds a kernel with a shared memory hierarchy.
+func NewKernel(mode Mode, costs CostModel, mem *microarch.Hierarchy, tlb *microarch.TLB) *Kernel {
+	return &Kernel{Mode: mode, Costs: costs, Mem: mem, TLB: tlb}
+}
+
+// Syscall executes one system call event for p and returns its cost.
+func (k *Kernel) Syscall(p *Process, ev trace.Event) SyscallResult {
+	if p.Killed {
+		return SyscallResult{Killed: true}
+	}
+	res := SyscallResult{Allowed: true}
+	var action seccomp.Action = seccomp.ActAllow
+	var check uint64
+	switch k.Mode {
+	case ModeInsecure:
+		// No checking.
+	case ModeSeccomp:
+		d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
+		r := p.Chain.Check(&d)
+		check = k.Costs.SeccompDispatch*uint64(len(p.Chain)) + uint64(float64(r.Executed)*k.Costs.BPFInstrCost)
+		res.Allowed = r.Action.Allows()
+		action = r.Action
+	case ModeDracoSW:
+		check, res.Allowed, action = k.dracoSW(p, ev)
+	case ModeTracer:
+		// Two context switches (to the monitor and back) plus the policy
+		// evaluation in the monitor process.
+		d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
+		r := p.Chain.Check(&d)
+		check = 2*k.Costs.ContextSwitchBase +
+			uint64(float64(r.Executed)*k.Costs.BPFInstrCost)
+		res.Allowed = r.Action.Allows()
+		action = r.Action
+	case ModeDracoHW:
+		r := p.HW.OnSyscall(ev.PC, ev.SID, ev.Args)
+		check = r.CheckCycles
+		if r.OSRan {
+			check += k.Costs.SeccompDispatch*uint64(len(p.Chain)) +
+				uint64(float64(r.FilterExecuted)*k.Costs.BPFInstrCost) +
+				k.Costs.VATInsert
+		}
+		res.Allowed = r.Allowed
+		res.Flow = r.Flow
+		if !r.Allowed {
+			action = p.Profile.DefaultAction
+		}
+	}
+	if !res.Allowed {
+		switch action.Masked() {
+		case seccomp.ActKillProcess, seccomp.ActKillThread, seccomp.ActTrap:
+			// Kill semantics (§II-B): the process is terminated; model a
+			// SIGSYS/trap as fatal too (default disposition).
+			p.Killed = true
+			res.Killed = true
+		}
+	}
+	res.Check = check
+	res.Cycles = k.Costs.SyscallEntryExit + check + ev.Body
+	return res
+}
+
+// dracoSW charges the software Draco path (§V-C): SPT lookup, then, for
+// argument-checked calls, software hashing plus the two VAT probes through
+// the cache hierarchy; misses add the filter execution and VAT insert.
+func (k *Kernel) dracoSW(p *Process, ev trace.Event) (uint64, bool, seccomp.Action) {
+	out := p.SW.Check(ev.SID, ev.Args)
+	c := k.Costs.DracoDispatch + k.Costs.SPTLookup
+	if out.ArgsChecked && (out.VATHit || out.Inserted) {
+		c += k.Costs.HashPairSW + k.Costs.ArgCompare
+		if e := p.SW.SPT.Lookup(ev.SID); e != nil {
+			c += k.Costs.HashPerByteSW * uint64(hashedBytes(e.ArgBitmask))
+		}
+		a := p.SW.VAT.SlotAddr(ev.SID, out.Pair.H1)
+		b := p.SW.VAT.SlotAddr(ev.SID, out.Pair.H2)
+		c += k.Mem.AccessPair(a, b)
+	}
+	if out.FilterRan {
+		c += k.Costs.SeccompDispatch*uint64(len(p.Chain)) +
+			uint64(float64(out.FilterExecuted)*k.Costs.BPFInstrCost)
+	}
+	if out.Inserted {
+		c += k.Costs.VATInsert
+	}
+	return c, out.Allowed, out.Action
+}
+
+// hashedBytes counts the argument bytes selected by an SPT bitmask.
+func hashedBytes(bitmask uint64) int {
+	n := 0
+	for m := bitmask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// ContextSwitch charges a context switch for p. When another process is
+// scheduled, the hardware Draco structures are invalidated; the Accessed
+// SPT entries are saved and later restored (paper §VII-B). The TLB and the
+// private cache levels lose their contents to the other process.
+func (k *Kernel) ContextSwitch(p *Process, sameProcess bool) uint64 {
+	cost := k.Costs.ContextSwitchBase
+	if sameProcess {
+		return cost
+	}
+	k.TLB.InvalidateAll()
+	k.Mem.L1.InvalidateAll()
+	k.Mem.L2.InvalidateAll()
+	if k.Mode == ModeDracoHW && p.HW != nil {
+		if k.NoSPTSaveRestore {
+			p.savedSPT = nil
+			p.HW.ContextSwitch(false)
+		} else {
+			p.savedSPT = p.HW.AccessedSIDs()
+			saved := p.HW.ContextSwitch(false)
+			cost += uint64(saved) * k.Costs.SPTEntrySave
+		}
+	}
+	return cost
+}
+
+// Resume restores p's saved SPT entries after it is scheduled back in.
+func (k *Kernel) Resume(p *Process) uint64 {
+	if k.Mode != ModeDracoHW || p.HW == nil || len(p.savedSPT) == 0 {
+		return 0
+	}
+	p.HW.RestoreSPT(p.savedSPT)
+	cost := uint64(len(p.savedSPT)) * k.Costs.SPTEntrySave
+	p.savedSPT = nil
+	return cost
+}

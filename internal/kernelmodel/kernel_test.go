@@ -1,0 +1,285 @@
+package kernelmodel
+
+import (
+	"testing"
+
+	"draco/internal/hashes"
+	"draco/internal/hwdraco"
+	"draco/internal/microarch"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+func testProfile() *seccomp.Profile {
+	return &seccomp.Profile{
+		Name:          "km-test",
+		DefaultAction: seccomp.ActKillProcess,
+		Rules: []seccomp.Rule{
+			{Syscall: syscalls.MustByName("getppid")},
+			{
+				Syscall:     syscalls.MustByName("personality"),
+				CheckedArgs: []int{0},
+				AllowedSets: [][]uint64{{0xffffffff}, {0x20008}},
+			},
+		},
+	}
+}
+
+func newKernelAndProc(t *testing.T, mode Mode, depth int) (*Kernel, *Process) {
+	t.Helper()
+	mem := microarch.DefaultHierarchy()
+	tlb := microarch.DefaultTLB()
+	k := NewKernel(mode, Linux53Costs(), mem, tlb)
+	p, err := NewProcess("t", testProfile(), seccomp.ShapeLinear, depth, hwdraco.DefaultConfig(), mem, tlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func personalityEvent(v uint64) trace.Event {
+	return trace.Event{PC: 0x400100, SID: 135, Args: hashes.Args{v}, Body: 500}
+}
+
+func TestInsecureChargesNoCheck(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeInsecure, 1)
+	r := k.Syscall(p, personalityEvent(0xdead)) // even a "bad" call runs
+	if !r.Allowed || r.Check != 0 {
+		t.Fatalf("insecure: %+v", r)
+	}
+	if r.Cycles != k.Costs.SyscallEntryExit+500 {
+		t.Fatalf("cycles = %d", r.Cycles)
+	}
+}
+
+func TestSeccompModeCostScalesWithChainDepth(t *testing.T) {
+	k1, p1 := newKernelAndProc(t, ModeSeccomp, 1)
+	k2, p2 := newKernelAndProc(t, ModeSeccomp, 2)
+	r1 := k1.Syscall(p1, personalityEvent(0xffffffff))
+	r2 := k2.Syscall(p2, personalityEvent(0xffffffff))
+	if !r1.Allowed || !r2.Allowed {
+		t.Fatal("allowed calls denied")
+	}
+	if r2.Check != 2*r1.Check {
+		t.Fatalf("2x chain check = %d, want %d", r2.Check, 2*r1.Check)
+	}
+}
+
+func TestSeccompDenies(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeSeccomp, 1)
+	if r := k.Syscall(p, personalityEvent(0x1234)); r.Allowed {
+		t.Fatal("bad personality allowed")
+	}
+	ev := trace.Event{SID: syscalls.MustByName("ptrace").Num}
+	if r := k.Syscall(p, ev); r.Allowed {
+		t.Fatal("ptrace allowed")
+	}
+}
+
+func TestDracoSWCheapOnRepeat(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeDracoSW, 1)
+	first := k.Syscall(p, personalityEvent(0xffffffff))
+	second := k.Syscall(p, personalityEvent(0xffffffff))
+	if !first.Allowed || !second.Allowed {
+		t.Fatal("allowed call denied")
+	}
+	if second.Check >= first.Check {
+		t.Fatalf("VAT hit (%d) not cheaper than miss+insert (%d)", second.Check, first.Check)
+	}
+}
+
+// TestDracoSWBeatsSeccompOnLargeProfiles captures when software Draco wins:
+// its hit cost is flat, while the filter's cost grows with the profile
+// (paper §XI-A; for trivially small profiles the filter can be cheaper).
+func TestDracoSWBeatsSeccompOnLargeProfiles(t *testing.T) {
+	p := testProfile()
+	// Grow the personality rule to 200 allowed values.
+	for v := uint64(0); v < 200; v++ {
+		p.Rules[1].AllowedSets = append(p.Rules[1].AllowedSets, []uint64{0x100000 + v})
+	}
+	mem := microarch.DefaultHierarchy()
+	tlb := microarch.DefaultTLB()
+	mk := func(mode Mode) (*Kernel, *Process) {
+		k := NewKernel(mode, Linux53Costs(), mem, tlb)
+		proc, err := NewProcess("t", p, seccomp.ShapeLinear, 1, hwdraco.DefaultConfig(), mem, tlb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, proc
+	}
+	kd, pd := mk(ModeDracoSW)
+	// The deep value sits late in the compiled chain.
+	ev := personalityEvent(0x100000 + 180)
+	kd.Syscall(pd, ev) // warm
+	hit := kd.Syscall(pd, ev)
+	ks, ps := mk(ModeSeccomp)
+	sec := ks.Syscall(ps, ev)
+	if hit.Check >= sec.Check {
+		t.Fatalf("draco-sw hit (%d) not cheaper than large-profile seccomp (%d)", hit.Check, sec.Check)
+	}
+}
+
+func TestDracoSWEquivalence(t *testing.T) {
+	// Errno default so denials do not terminate the process mid-test.
+	prof := testProfile()
+	prof.DefaultAction = seccomp.Errno(1)
+	mem := microarch.DefaultHierarchy()
+	tlb := microarch.DefaultTLB()
+	k := NewKernel(ModeDracoSW, Linux53Costs(), mem, tlb)
+	p, err := NewProcess("t", prof, seccomp.ShapeLinear, 1, hwdraco.DefaultConfig(), mem, tlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    uint64
+		want bool
+	}{{0xffffffff, true}, {0x20008, true}, {0x1234, false}, {0xffffffff, true}, {0x1234, false}}
+	for i, c := range cases {
+		if r := k.Syscall(p, personalityEvent(c.v)); r.Allowed != c.want {
+			t.Fatalf("case %d: allowed=%v want %v", i, r.Allowed, c.want)
+		}
+	}
+}
+
+func TestDracoHWFastAfterWarmup(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeDracoHW, 1)
+	k.Syscall(p, personalityEvent(0xffffffff))
+	r := k.Syscall(p, personalityEvent(0xffffffff))
+	if !r.Allowed {
+		t.Fatal("warm call denied")
+	}
+	if !r.Flow.Fast() {
+		t.Fatalf("warm flow %v not fast", r.Flow)
+	}
+	if r.Check > 4 {
+		t.Fatalf("warm hw check = %d cycles, want ~table latency", r.Check)
+	}
+}
+
+func TestContextSwitchCosts(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeDracoHW, 1)
+	k.Syscall(p, personalityEvent(0xffffffff))
+
+	same := k.ContextSwitch(p, true)
+	if same != k.Costs.ContextSwitchBase {
+		t.Fatalf("same-process switch = %d, want base %d", same, k.Costs.ContextSwitchBase)
+	}
+	diff := k.ContextSwitch(p, false)
+	if diff <= k.Costs.ContextSwitchBase {
+		t.Fatalf("cross-process switch = %d, want > base (SPT save)", diff)
+	}
+	res := k.Resume(p)
+	if res == 0 {
+		t.Fatal("resume restored nothing")
+	}
+	// After resume, the warm path must work without OS involvement.
+	r := k.Syscall(p, personalityEvent(0xffffffff))
+	if !r.Allowed {
+		t.Fatal("post-resume call denied")
+	}
+}
+
+func TestResumeIsNoopForSeccomp(t *testing.T) {
+	k, p := newKernelAndProc(t, ModeSeccomp, 1)
+	k.ContextSwitch(p, false)
+	if c := k.Resume(p); c != 0 {
+		t.Fatalf("seccomp resume cost = %d", c)
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	c53 := Linux53Costs()
+	c310 := Linux310Costs()
+	if c310.SyscallEntryExit <= c53.SyscallEntryExit {
+		t.Error("3.10+KPTI entry should cost more than 5.3")
+	}
+	if c310.SeccompDispatch <= c53.SeccompDispatch {
+		t.Error("3.10 seccomp dispatch should cost more")
+	}
+	for _, m := range []Mode{ModeInsecure, ModeSeccomp, ModeDracoSW, ModeDracoHW} {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+}
+
+func TestHashedBytes(t *testing.T) {
+	if hashedBytes(0) != 0 {
+		t.Error("empty mask")
+	}
+	if hashedBytes(0xff) != 8 {
+		t.Error("one arg = 8 bytes")
+	}
+	if hashedBytes(0xff|0xff<<16) != 16 {
+		t.Error("two args = 16 bytes")
+	}
+}
+
+func TestTracerModePaysContextSwitches(t *testing.T) {
+	kt, pt := newKernelAndProc(t, ModeTracer, 1)
+	ks, ps := newKernelAndProc(t, ModeSeccomp, 1)
+	ev := personalityEvent(0xffffffff)
+	rt := kt.Syscall(pt, ev)
+	rs := ks.Syscall(ps, ev)
+	if !rt.Allowed || !rs.Allowed {
+		t.Fatal("allowed call denied")
+	}
+	if rt.Check < 2*kt.Costs.ContextSwitchBase {
+		t.Fatalf("tracer check = %d, want >= two context switches (%d)",
+			rt.Check, 2*kt.Costs.ContextSwitchBase)
+	}
+	if rt.Check <= rs.Check {
+		t.Fatalf("tracer (%d) not slower than seccomp (%d)", rt.Check, rs.Check)
+	}
+	// Decisions still match.
+	if bt := kt.Syscall(pt, personalityEvent(0x1234)); bt.Allowed {
+		t.Fatal("tracer allowed a bad value")
+	}
+}
+
+func TestKillActionTerminatesProcess(t *testing.T) {
+	// testProfile defaults to kill_process: one bad call ends the process.
+	k, p := newKernelAndProc(t, ModeSeccomp, 1)
+	r := k.Syscall(p, personalityEvent(0x1234))
+	if r.Allowed || !r.Killed {
+		t.Fatalf("bad call: %+v", r)
+	}
+	if !p.Killed {
+		t.Fatal("process not marked killed")
+	}
+	// Every subsequent call is dead.
+	after := k.Syscall(p, personalityEvent(0xffffffff))
+	if after.Allowed || !after.Killed || after.Cycles != 0 {
+		t.Fatalf("post-kill call: %+v", after)
+	}
+}
+
+func TestErrnoActionDoesNotKill(t *testing.T) {
+	prof := testProfile()
+	prof.DefaultAction = seccomp.Errno(1)
+	mem := microarch.DefaultHierarchy()
+	tlb := microarch.DefaultTLB()
+	k := NewKernel(ModeSeccomp, Linux53Costs(), mem, tlb)
+	p, err := NewProcess("t", prof, seccomp.ShapeLinear, 1, hwdraco.DefaultConfig(), mem, tlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := k.Syscall(p, personalityEvent(0x1234))
+	if r.Allowed || r.Killed || p.Killed {
+		t.Fatalf("errno denial: %+v killed=%v", r, p.Killed)
+	}
+	if again := k.Syscall(p, personalityEvent(0xffffffff)); !again.Allowed {
+		t.Fatal("process unusable after errno denial")
+	}
+}
+
+func TestKillSemanticsAcrossModes(t *testing.T) {
+	for _, mode := range []Mode{ModeSeccomp, ModeDracoSW, ModeDracoHW, ModeTracer} {
+		k, p := newKernelAndProc(t, mode, 1)
+		k.Syscall(p, personalityEvent(0x1234))
+		if !p.Killed {
+			t.Errorf("%v: kill default did not terminate", mode)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package microarch provides the cycle-accounting memory hierarchy used by
+// the hardware Draco evaluation (paper §X-C, Table II): set-associative
+// write-back L1/L2/L3 caches with LRU replacement, a DRAM latency model,
+// and a TLB for VAT address translation (paper §VII-A notes VAT accesses
+// enjoy good TLB locality because VATs are only a few KB).
+package microarch
+
+import "fmt"
+
+// Cache is one set-associative cache level with true-LRU replacement.
+type Cache struct {
+	Name     string
+	Sets     int
+	Ways     int
+	LineSize int
+	// Latency is the access time in cycles for a hit at this level.
+	Latency uint64
+
+	tags  [][]uint64 // per set, LRU-ordered: index 0 is MRU
+	stats CacheStats
+}
+
+// CacheStats counts accesses at one level.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// NewCache builds a cache from total size in bytes.
+func NewCache(name string, sizeBytes, ways, lineSize int, latency uint64) *Cache {
+	sets := sizeBytes / (ways * lineSize)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("microarch: %s has %d sets; need a power of two", name, sets))
+	}
+	c := &Cache{Name: name, Sets: sets, Ways: ways, LineSize: lineSize, Latency: latency}
+	c.tags = make([][]uint64, sets)
+	return c
+}
+
+func (c *Cache) set(addr uint64) (int, uint64) {
+	line := addr / uint64(c.LineSize)
+	return int(line % uint64(c.Sets)), line
+}
+
+// Lookup probes the cache and updates LRU on hit. It does not allocate.
+func (c *Cache) Lookup(addr uint64) bool {
+	idx, line := c.set(addr)
+	ways := c.tags[idx]
+	for i, t := range ways {
+		if t == line {
+			// Move to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a line, evicting LRU if needed.
+func (c *Cache) Fill(addr uint64) {
+	idx, line := c.set(addr)
+	ways := c.tags[idx]
+	for i, t := range ways {
+		if t == line {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return
+		}
+	}
+	if len(ways) < c.Ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.tags[idx] = ways
+}
+
+// Stats returns this level's counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+}
+
+// Hierarchy is the L1D/L2/L3/DRAM chain of Table II.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	L3 *Cache
+	// DRAMLatency is the flat cycles-to-main-memory cost on an L3 miss,
+	// used unless a banked DRAM model is attached (AttachDRAM).
+	DRAMLatency uint64
+	dram        *DRAM
+}
+
+// DefaultHierarchy builds the Table II configuration: 32KB 8-way L1 (2cyc),
+// 256KB 8-way L2 (8cyc), 8MB 16-way L3 (32cyc), DDR main memory.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:          NewCache("L1D", 32<<10, 8, 64, 2),
+		L2:          NewCache("L2", 256<<10, 8, 64, 8),
+		L3:          NewCache("L3", 8<<20, 16, 64, 32),
+		DRAMLatency: 200,
+	}
+}
+
+// Access walks the hierarchy for a load of addr: returns the total latency
+// and fills all levels on the miss path (inclusive hierarchy).
+func (h *Hierarchy) Access(addr uint64) uint64 {
+	h.L1.stats.Accesses++
+	if h.L1.Lookup(addr) {
+		return h.L1.Latency
+	}
+	h.L1.stats.Misses++
+	h.L2.stats.Accesses++
+	if h.L2.Lookup(addr) {
+		h.L1.Fill(addr)
+		return h.L1.Latency + h.L2.Latency
+	}
+	h.L2.stats.Misses++
+	h.L3.stats.Accesses++
+	if h.L3.Lookup(addr) {
+		h.L2.Fill(addr)
+		h.L1.Fill(addr)
+		return h.L1.Latency + h.L2.Latency + h.L3.Latency
+	}
+	h.L3.stats.Misses++
+	h.L3.Fill(addr)
+	h.L2.Fill(addr)
+	h.L1.Fill(addr)
+	return h.L1.Latency + h.L2.Latency + h.L3.Latency + h.memoryLatency(addr)
+}
+
+// AccessPair walks the hierarchy for two parallel loads (the two cuckoo
+// ways): the cost is the slower of the two, since the hardware issues both
+// probes concurrently (paper §V-B).
+func (h *Hierarchy) AccessPair(a, b uint64) uint64 {
+	la := h.Access(a)
+	lb := h.Access(b)
+	if la > lb {
+		return la
+	}
+	return lb
+}
+
+// InvalidateAll empties every level (used on a simulated full flush).
+func (h *Hierarchy) InvalidateAll() {
+	h.L1.InvalidateAll()
+	h.L2.InvalidateAll()
+	h.L3.InvalidateAll()
+}

@@ -1,0 +1,107 @@
+package microarch
+
+// DRAM models main memory with the Table II organization — 2 channels,
+// 8 ranks per channel, 8 banks per rank, DDR at 1 GHz (half the 2 GHz core
+// clock) — at the fidelity the evaluation needs: per-bank open rows make
+// consecutive accesses to the same row cheap (row-buffer hits) and
+// bank-conflicting accesses expensive (precharge + activate + access),
+// replacing the flat DRAMLatency constant when installed in a Hierarchy.
+type DRAM struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowBytes     int
+
+	// Core-clock cycle costs.
+	RowHitLatency  uint64 // CAS only
+	RowMissLatency uint64 // activate + CAS
+	ConflictExtra  uint64 // precharge before activate
+
+	// openRow holds the open row id per bank (-1 when closed).
+	openRow []int64
+
+	stats DRAMStats
+}
+
+// DRAMStats counts row-buffer behaviour.
+type DRAMStats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+	Conflicts uint64
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s DRAMStats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// NewDRAM builds the Table II configuration: 2 channels x 8 ranks x 8
+// banks, 8KB rows; ~100 core cycles for a row hit, ~200 for a closed-row
+// activate, ~300 when a conflicting row must be precharged first.
+func NewDRAM() *DRAM {
+	d := &DRAM{
+		Channels:       2,
+		RanksPerChan:   8,
+		BanksPerRank:   8,
+		RowBytes:       8 << 10,
+		RowHitLatency:  100,
+		RowMissLatency: 200,
+		ConflictExtra:  100,
+	}
+	n := d.Channels * d.RanksPerChan * d.BanksPerRank
+	d.openRow = make([]int64, n)
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+// bankAndRow maps a physical address: channel from low line bits (fine
+// interleaving), then bank, then row.
+func (d *DRAM) bankAndRow(addr uint64) (int, int64) {
+	line := addr / 64
+	nBanks := uint64(d.Channels * d.RanksPerChan * d.BanksPerRank)
+	bank := int(line % nBanks)
+	row := int64(addr / uint64(d.RowBytes) / nBanks)
+	return bank, row
+}
+
+// Access charges one memory access and updates the open-row state.
+func (d *DRAM) Access(addr uint64) uint64 {
+	d.stats.Accesses++
+	bank, row := d.bankAndRow(addr)
+	switch d.openRow[bank] {
+	case row:
+		d.stats.RowHits++
+		return d.RowHitLatency
+	case -1:
+		d.stats.RowMisses++
+		d.openRow[bank] = row
+		return d.RowMissLatency
+	default:
+		d.stats.Conflicts++
+		d.openRow[bank] = row
+		return d.RowMissLatency + d.ConflictExtra
+	}
+}
+
+// Stats returns the counters.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// AttachDRAM replaces a hierarchy's flat DRAM latency with the banked
+// model; subsequent L3 misses pay the row-buffer-aware cost.
+func (h *Hierarchy) AttachDRAM(d *DRAM) {
+	h.dram = d
+}
+
+// memoryLatency returns the cost of going to main memory for addr.
+func (h *Hierarchy) memoryLatency(addr uint64) uint64 {
+	if h.dram != nil {
+		return h.dram.Access(addr)
+	}
+	return h.DRAMLatency
+}

@@ -1,0 +1,81 @@
+package microarch
+
+import "testing"
+
+func TestDRAMRowBufferHit(t *testing.T) {
+	d := NewDRAM()
+	first := d.Access(0x1_0000_0000)
+	if first != d.RowMissLatency {
+		t.Fatalf("cold access = %d, want row miss %d", first, d.RowMissLatency)
+	}
+	// Same row (same bank, adjacent byte).
+	again := d.Access(0x1_0000_0020)
+	if again != d.RowHitLatency {
+		t.Fatalf("same-row access = %d, want row hit %d", again, d.RowHitLatency)
+	}
+	st := d.Stats()
+	if st.Accesses != 2 || st.RowHits != 1 || st.RowMisses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDRAMBankConflict(t *testing.T) {
+	d := NewDRAM()
+	nBanks := uint64(d.Channels * d.RanksPerChan * d.BanksPerRank)
+	// Two addresses in the same bank but different rows: the stride that
+	// keeps the bank index while changing the row.
+	a := uint64(0)
+	b := uint64(d.RowBytes) * nBanks
+	if ba, _ := d.bankAndRow(a); func() int { bb, _ := d.bankAndRow(b); return bb }() != ba {
+		t.Fatal("test addresses do not share a bank")
+	}
+	d.Access(a)
+	lat := d.Access(b)
+	if lat != d.RowMissLatency+d.ConflictExtra {
+		t.Fatalf("conflict latency = %d, want %d", lat, d.RowMissLatency+d.ConflictExtra)
+	}
+	if d.Stats().Conflicts != 1 {
+		t.Fatalf("conflicts = %d", d.Stats().Conflicts)
+	}
+}
+
+func TestDRAMBankInterleaving(t *testing.T) {
+	d := NewDRAM()
+	// Consecutive cache lines must land in different banks (line-granular
+	// channel/bank interleaving).
+	b0, _ := d.bankAndRow(0)
+	b1, _ := d.bankAndRow(64)
+	if b0 == b1 {
+		t.Fatal("adjacent lines share a bank")
+	}
+}
+
+func TestHierarchyWithBankedDRAM(t *testing.T) {
+	h := DefaultHierarchy()
+	h.AttachDRAM(NewDRAM())
+	cold := h.Access(0x40)
+	wantMin := h.L1.Latency + h.L2.Latency + h.L3.Latency + 100
+	if cold < wantMin {
+		t.Fatalf("cold access %d below banked-DRAM floor %d", cold, wantMin)
+	}
+	// Streaming within one row after an L3 flush: cheaper than conflicts.
+	h.InvalidateAll()
+	sameRow := h.Access(0x80)
+	h.InvalidateAll()
+	stride := uint64(NewDRAM().RowBytes) * uint64(2*8*8)
+	conflict := h.Access(0x80 + stride)
+	if conflict <= sameRow {
+		t.Fatalf("bank conflict (%d) not slower than row hit path (%d)", conflict, sameRow)
+	}
+}
+
+func TestDRAMRowHitRateOnStream(t *testing.T) {
+	d := NewDRAM()
+	// A sequential stream revisits each open row many times across banks.
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		d.Access(addr)
+	}
+	if hr := d.Stats().RowHitRate(); hr < 0.9 {
+		t.Fatalf("streaming row hit rate %.2f, want >= 0.9", hr)
+	}
+}

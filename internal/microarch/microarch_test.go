@@ -1,0 +1,194 @@
+package microarch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache("t", 1<<10, 2, 64, 2)
+	if c.Lookup(0x1000) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Fatal("filled line missed")
+	}
+	// Same line, different byte.
+	if !c.Lookup(0x103f) {
+		t.Fatal("same-line offset missed")
+	}
+	if c.Lookup(0x1040) {
+		t.Fatal("next line hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache: fill three conflicting lines; the LRU one must leave.
+	c := NewCache("t", 2*64, 2, 64, 1) // 1 set, 2 ways
+	c.Fill(0x0)
+	c.Fill(0x1000)
+	c.Lookup(0x0)  // make 0x0 MRU
+	c.Fill(0x2000) // evicts 0x1000
+	if !c.Lookup(0x0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Lookup(0x1000) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Lookup(0x2000) {
+		t.Fatal("newly filled line missing")
+	}
+}
+
+func TestCacheSetIndexing(t *testing.T) {
+	c := NewCache("t", 4*64*2, 2, 64, 1) // 4 sets, 2 ways
+	// Addresses in different sets must not conflict.
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i * 64))
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Lookup(uint64(i * 64)) {
+			t.Fatalf("set %d lost its line", i)
+		}
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy()
+	// Cold access: L1+L2+L3+DRAM.
+	want := h.L1.Latency + h.L2.Latency + h.L3.Latency + h.DRAMLatency
+	if got := h.Access(0x5000); got != want {
+		t.Fatalf("cold access = %d, want %d", got, want)
+	}
+	// Now hot in L1.
+	if got := h.Access(0x5000); got != h.L1.Latency {
+		t.Fatalf("hot access = %d, want %d", got, h.L1.Latency)
+	}
+}
+
+func TestHierarchyInclusionOnMissPath(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(0x9000)
+	// Evict from L1 by filling its set with conflicting lines. L1 has 64
+	// sets (stride 4096); L2 has 512 sets, so a 4096 stride walks eight
+	// distinct L2 sets and leaves 0x9000 resident in L2.
+	for i := 1; i <= 8; i++ {
+		h.Access(0x9000 + uint64(i)*4096)
+	}
+	lat := h.Access(0x9000)
+	if lat != h.L1.Latency+h.L2.Latency {
+		t.Fatalf("expected L2 hit (%d), got %d", h.L1.Latency+h.L2.Latency, lat)
+	}
+}
+
+func TestAccessPairParallel(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(0x100) // hot
+	cold := uint64(0xdead000)
+	lat := h.AccessPair(0x100, cold)
+	wantCold := h.L1.Latency + h.L2.Latency + h.L3.Latency + h.DRAMLatency
+	if lat != wantCold {
+		t.Fatalf("pair latency = %d, want max = %d", lat, wantCold)
+	}
+	// Both hot now.
+	if lat := h.AccessPair(0x100, cold); lat != h.L1.Latency {
+		t.Fatalf("hot pair = %d, want %d", lat, h.L1.Latency)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(0x40)
+	h.Access(0x40)
+	s := h.L1.Stats()
+	if s.Accesses != 2 || s.Misses != 1 {
+		t.Fatalf("L1 stats %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate %f", s.HitRate())
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(0x40)
+	h.InvalidateAll()
+	want := h.L1.Latency + h.L2.Latency + h.L3.Latency + h.DRAMLatency
+	if got := h.Access(0x40); got != want {
+		t.Fatalf("post-flush access = %d, want %d", got, want)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := DefaultTLB()
+	first := tlb.Translate(0x7f0000000000)
+	if first != 1+50 {
+		t.Fatalf("cold translate = %d, want 51", first)
+	}
+	if got := tlb.Translate(0x7f0000000800); got != 1 {
+		t.Fatalf("same-page translate = %d, want 1", got)
+	}
+	if got := tlb.Translate(0x7f0000001000); got != 51 {
+		t.Fatalf("next-page translate = %d, want 51", got)
+	}
+	tlb.InvalidateAll()
+	if got := tlb.Translate(0x7f0000000000); got != 51 {
+		t.Fatalf("post-flush translate = %d, want 51", got)
+	}
+}
+
+func TestQuickCacheNeverExceedsWays(t *testing.T) {
+	f := func(seed int64) bool {
+		c := NewCache("q", 4*64*2, 2, 64, 1)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			c.Fill(uint64(rng.Intn(64)) * 64)
+		}
+		for _, ways := range c.tags {
+			if len(ways) > c.Ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHierarchyMonotone(t *testing.T) {
+	// Property: re-accessing an address immediately is never slower.
+	f := func(addr uint64) bool {
+		h := DefaultHierarchy()
+		first := h.Access(addr)
+		second := h.Access(addr)
+		return second <= first && second == h.L1.Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHierarchyHotAccess(b *testing.B) {
+	h := DefaultHierarchy()
+	h.Access(0x40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0x40)
+	}
+}
+
+func BenchmarkHierarchyRandomAccess(b *testing.B) {
+	h := DefaultHierarchy()
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,47 @@
+package microarch
+
+// TLB is a set-associative translation lookaside buffer. VAT base addresses
+// in the SPT are virtual, so every hardware VAT access translates first
+// (paper §VII-A); the VAT's small footprint makes these translations hit
+// almost always, which this model reproduces.
+type TLB struct {
+	PageSize int
+	// WalkLatency is the page-walk cost charged on a miss.
+	WalkLatency uint64
+	cache       *Cache
+}
+
+// NewTLB builds a TLB with the given entry count and associativity.
+func NewTLB(entries, ways, pageSize int, hitLatency, walkLatency uint64) *TLB {
+	// Reuse the cache structure with one "line" per page.
+	sizeBytes := entries * pageSize
+	return &TLB{
+		PageSize:    pageSize,
+		WalkLatency: walkLatency,
+		cache:       NewCache("TLB", sizeBytes, ways, pageSize, hitLatency),
+	}
+}
+
+// DefaultTLB returns a 64-entry, 4-way, 4KB-page TLB with a 1-cycle hit and
+// a 50-cycle walk.
+func DefaultTLB() *TLB {
+	return NewTLB(64, 4, 4096, 1, 50)
+}
+
+// Translate charges the translation cost for a virtual address.
+func (t *TLB) Translate(addr uint64) uint64 {
+	t.cache.stats.Accesses++
+	if t.cache.Lookup(addr) {
+		return t.cache.Latency
+	}
+	t.cache.stats.Misses++
+	t.cache.Fill(addr)
+	return t.cache.Latency + t.WalkLatency
+}
+
+// Stats returns hit/miss counters.
+func (t *TLB) Stats() CacheStats { return t.cache.Stats() }
+
+// InvalidateAll flushes the TLB (context switch to a different address
+// space).
+func (t *TLB) InvalidateAll() { t.cache.InvalidateAll() }

@@ -1,0 +1,197 @@
+// Package mitigations encodes the paper's §III threat-model case studies:
+// real kernel CVEs whose exploits enter through the system call interface,
+// and the syscall- or argument-level filtering rules that block them. The
+// paper's example is CVE-2014-3153 (Towelroot), mitigated by "disallowing
+// FUTEX_REQUEUE as the value of the futex_op argument of the futex system
+// call" — precisely the argument-granularity checking whose cost Draco
+// eliminates.
+//
+// In an exact-value whitelist model a mitigation narrows a profile: an
+// argument-level mitigation filters the offending values out of a rule's
+// allowed sets; if the profile allowed the call unconditionally (as
+// docker-default allows futex), the only sound narrowing is dropping the
+// call entirely.
+package mitigations
+
+import (
+	"fmt"
+
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+// Futex op values relevant to CVE-2014-3153.
+const (
+	FutexRequeue    = 3
+	FutexCmpRequeue = 4
+	// FutexPrivateFlag is OR-ed into ops by glibc.
+	FutexPrivateFlag = 128
+)
+
+// Mitigation is one CVE's filtering rule.
+type Mitigation struct {
+	CVE         string
+	Description string
+	// Syscall is the entry-point system call.
+	Syscall string
+	// ArgIndex and DeniedValues restrict specific argument values; when
+	// DeniedValues is empty the whole system call is blocked.
+	ArgIndex     int
+	DeniedValues []uint64
+}
+
+// ArgLevel reports whether the mitigation works at argument granularity.
+func (m Mitigation) ArgLevel() bool { return len(m.DeniedValues) > 0 }
+
+// Known returns the §III case studies.
+func Known() []Mitigation {
+	return []Mitigation{
+		{
+			CVE:         "CVE-2014-3153",
+			Description: "Towelroot: futex requeue to a non-PI futex gives a kernel stack write; deny FUTEX_REQUEUE/CMP_REQUEUE ops",
+			Syscall:     "futex",
+			ArgIndex:    1,
+			DeniedValues: []uint64{
+				FutexRequeue, FutexCmpRequeue,
+				FutexRequeue | FutexPrivateFlag, FutexCmpRequeue | FutexPrivateFlag,
+			},
+		},
+		{
+			CVE:         "CVE-2016-0728",
+			Description: "keyring reference-count overflow via keyctl; block keyctl",
+			Syscall:     "keyctl",
+		},
+		{
+			CVE:         "CVE-2017-5123",
+			Description: "waitid writes kernel memory through an unchecked user pointer; block waitid",
+			Syscall:     "waitid",
+		},
+		{
+			CVE:         "CVE-2014-4699",
+			Description: "ptrace RIP corruption leads to privilege escalation; block ptrace",
+			Syscall:     "ptrace",
+		},
+		{
+			CVE:         "CVE-2016-2383",
+			Description: "eBPF verifier miscompiles branches allowing arbitrary reads; block bpf",
+			Syscall:     "bpf",
+		},
+		{
+			CVE:         "CVE-2017-18344",
+			Description: "timer_create sigevent out-of-bounds read; block timer_create",
+			Syscall:     "timer_create",
+		},
+	}
+}
+
+// ByCVE finds a known mitigation.
+func ByCVE(cve string) (Mitigation, bool) {
+	for _, m := range Known() {
+		if m.CVE == cve {
+			return m, true
+		}
+	}
+	return Mitigation{}, false
+}
+
+// Outcome describes how a mitigation narrowed a profile.
+type Outcome int
+
+const (
+	// NotPresent: the profile never allowed the syscall; nothing to do.
+	NotPresent Outcome = iota
+	// ValuesFiltered: offending values were removed from the rule's
+	// allowed argument sets.
+	ValuesFiltered
+	// SyscallDropped: the profile allowed the call unconditionally (or did
+	// not check the relevant argument), so the rule was removed entirely.
+	SyscallDropped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case NotPresent:
+		return "not-present"
+	case ValuesFiltered:
+		return "values-filtered"
+	default:
+		return "syscall-dropped"
+	}
+}
+
+// Apply returns a narrowed copy of the profile enforcing the mitigation,
+// plus what had to be done.
+func Apply(p *seccomp.Profile, m Mitigation) (*seccomp.Profile, Outcome, error) {
+	in, ok := syscalls.ByName(m.Syscall)
+	if !ok {
+		return nil, NotPresent, fmt.Errorf("mitigations: unknown syscall %q", m.Syscall)
+	}
+	out := &seccomp.Profile{
+		Name:          p.Name + "+" + m.CVE,
+		DefaultAction: p.DefaultAction,
+	}
+	outcome := NotPresent
+	for _, r := range p.Rules {
+		if r.Syscall.Num != in.Num {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		if !m.ArgLevel() {
+			outcome = SyscallDropped
+			continue // drop the rule
+		}
+		// Argument-level: find the checked column for ArgIndex.
+		col := -1
+		for i, idx := range r.CheckedArgs {
+			if idx == m.ArgIndex {
+				col = i
+			}
+		}
+		if col < 0 {
+			// The profile does not constrain the dangerous argument: the
+			// only sound narrowing is dropping the call.
+			outcome = SyscallDropped
+			continue
+		}
+		nr := seccomp.Rule{Syscall: r.Syscall, CheckedArgs: r.CheckedArgs}
+		for _, set := range r.AllowedSets {
+			denied := false
+			for _, v := range m.DeniedValues {
+				if set[col] == v {
+					denied = true
+					break
+				}
+			}
+			if !denied {
+				nr.AllowedSets = append(nr.AllowedSets, set)
+			}
+		}
+		if len(nr.AllowedSets) == 0 {
+			outcome = SyscallDropped
+			continue
+		}
+		outcome = ValuesFiltered
+		out.Rules = append(out.Rules, nr)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, outcome, err
+	}
+	return out, outcome, nil
+}
+
+// ApplyAll applies every known mitigation in sequence and reports each
+// outcome keyed by CVE.
+func ApplyAll(p *seccomp.Profile) (*seccomp.Profile, map[string]Outcome, error) {
+	outcomes := make(map[string]Outcome, len(Known()))
+	cur := p
+	for _, m := range Known() {
+		next, o, err := Apply(cur, m)
+		if err != nil {
+			return nil, outcomes, fmt.Errorf("%s: %w", m.CVE, err)
+		}
+		outcomes[m.CVE] = o
+		cur = next
+	}
+	cur.Name = p.Name + "+mitigations"
+	return cur, outcomes, nil
+}

@@ -1,0 +1,177 @@
+package mitigations
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+// appProfile mimics an application-specific complete profile that uses
+// futex with explicit op values (wait/wake allowed, requeue observed too).
+func appProfile() *seccomp.Profile {
+	futex := syscalls.MustByName("futex")
+	return &seccomp.Profile{
+		Name:          "app",
+		DefaultAction: seccomp.ActKillProcess,
+		Rules: []seccomp.Rule{
+			{Syscall: syscalls.MustByName("read")},
+			{
+				Syscall:     futex,
+				CheckedArgs: []int{1, 2, 5},
+				AllowedSets: [][]uint64{
+					{128, 0, 0},             // FUTEX_WAIT|PRIVATE
+					{129, 1, 0},             // FUTEX_WAKE|PRIVATE
+					{FutexRequeue, 1, 0},    // the dangerous op
+					{FutexCmpRequeue, 1, 0}, // and its sibling
+				},
+			},
+		},
+	}
+}
+
+func check(t *testing.T, p *seccomp.Profile, name string, args ...uint64) bool {
+	t.Helper()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := syscalls.MustByName(name)
+	d := &seccomp.Data{Nr: int32(in.Num), Arch: seccomp.AuditArchX8664}
+	copy(d.Args[:], args)
+	return f.Check(d).Action.Allows()
+}
+
+func TestTowelrootValuesFiltered(t *testing.T) {
+	m, ok := ByCVE("CVE-2014-3153")
+	if !ok {
+		t.Fatal("CVE-2014-3153 not known")
+	}
+	p, outcome, err := Apply(appProfile(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != ValuesFiltered {
+		t.Fatalf("outcome = %v, want values-filtered", outcome)
+	}
+	// Benign futex ops still work.
+	if !check(t, p, "futex", 0, 128, 0) {
+		t.Error("FUTEX_WAIT blocked by mitigation")
+	}
+	if !check(t, p, "futex", 0, 129, 1) {
+		t.Error("FUTEX_WAKE blocked by mitigation")
+	}
+	// The exploit's op is dead.
+	if check(t, p, "futex", 0, FutexRequeue, 1) {
+		t.Error("FUTEX_REQUEUE still allowed: Towelroot not mitigated")
+	}
+	if check(t, p, "futex", 0, FutexCmpRequeue, 1) {
+		t.Error("FUTEX_CMP_REQUEUE still allowed")
+	}
+	// Unrelated syscalls untouched.
+	if !check(t, p, "read") {
+		t.Error("read lost")
+	}
+}
+
+func TestUncheckedArgumentForcesDrop(t *testing.T) {
+	// docker-default allows futex with ANY arguments: the op cannot be
+	// filtered, so the mitigation must drop the syscall.
+	m, _ := ByCVE("CVE-2014-3153")
+	p, outcome, err := Apply(seccomp.DockerDefault(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != SyscallDropped {
+		t.Fatalf("outcome = %v, want syscall-dropped", outcome)
+	}
+	if check(t, p, "futex", 0, 128, 0) {
+		t.Error("futex still allowed after drop")
+	}
+}
+
+func TestSyscallLevelMitigations(t *testing.T) {
+	base := seccomp.DockerDefault()
+	for _, cve := range []string{"CVE-2016-0728", "CVE-2017-5123", "CVE-2017-18344"} {
+		m, ok := ByCVE(cve)
+		if !ok {
+			t.Fatalf("%s not known", cve)
+		}
+		p, outcome, err := Apply(base, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if check(t, p, m.Syscall) {
+			t.Errorf("%s: %s still allowed", cve, m.Syscall)
+		}
+		// docker-default blocks some of these already (keyctl, bpf...);
+		// waitid and timer_create are allowed there, so they must drop.
+		if (m.Syscall == "waitid" || m.Syscall == "timer_create") && outcome != SyscallDropped {
+			t.Errorf("%s: outcome %v", cve, outcome)
+		}
+	}
+}
+
+func TestBlockedSyscallsAreNotPresent(t *testing.T) {
+	// ptrace and bpf are already denied by docker-default.
+	for _, cve := range []string{"CVE-2014-4699", "CVE-2016-2383"} {
+		m, _ := ByCVE(cve)
+		_, outcome, err := Apply(seccomp.DockerDefault(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != NotPresent {
+			t.Errorf("%s: outcome %v, want not-present", cve, outcome)
+		}
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	p, outcomes, err := ApplyAll(appProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(Known()) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(Known()))
+	}
+	if outcomes["CVE-2014-3153"] != ValuesFiltered {
+		t.Error("towelroot should filter values on the app profile")
+	}
+	if check(t, p, "futex", 0, FutexRequeue, 1) {
+		t.Error("requeue survived ApplyAll")
+	}
+	if !check(t, p, "futex", 0, 128, 0) {
+		t.Error("benign futex lost in ApplyAll")
+	}
+}
+
+func TestMitigatedProfileKeepsDracoFastPath(t *testing.T) {
+	// The paper's point: argument-granularity mitigations are only
+	// deployable if checking is cheap; Draco still caches the narrowed
+	// rules normally.
+	m, _ := ByCVE("CVE-2014-3153")
+	p, _, err := Apply(appProfile(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := core.NewChecker(p, seccomp.Chain{f})
+	wait := hashes.Args{0xdead, 128, 0}
+	chk.Check(202, wait)
+	out := chk.Check(202, wait)
+	if !out.Allowed || !out.VATHit {
+		t.Fatalf("benign futex not cached: %+v", out)
+	}
+	// The denied op never enters the cache.
+	for i := 0; i < 2; i++ {
+		bad := chk.Check(202, hashes.Args{0xdead, FutexRequeue, 1})
+		if bad.Allowed || bad.Inserted {
+			t.Fatalf("requeue cached or allowed: %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package pledge
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+)
+
+func filterFor(t *testing.T, promiseList string) (*seccomp.Profile, *seccomp.Filter) {
+	t.Helper()
+	p, err := Pledge(promiseList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, f
+}
+
+func allowed(f *seccomp.Filter, name string, args ...uint64) bool {
+	in := syscalls.MustByName(name)
+	d := &seccomp.Data{Nr: int32(in.Num), Arch: seccomp.AuditArchX8664}
+	copy(d.Args[:], args)
+	return f.Check(d).Action.Allows()
+}
+
+func TestStdioPledge(t *testing.T) {
+	_, f := filterFor(t, "stdio")
+	for _, name := range []string{"read", "write", "close", "mmap", "exit_group", "getpid"} {
+		if !allowed(f, name) {
+			t.Errorf("stdio pledge denies %s", name)
+		}
+	}
+	for _, name := range []string{"open", "socket", "execve", "fork", "ptrace"} {
+		if allowed(f, name) {
+			t.Errorf("stdio pledge allows %s", name)
+		}
+	}
+}
+
+func TestPromiseComposition(t *testing.T) {
+	_, f := filterFor(t, "stdio rpath inet")
+	if !allowed(f, "openat") || !allowed(f, "socket") || !allowed(f, "accept4") {
+		t.Error("composed promises missing grants")
+	}
+	if allowed(f, "execve") || allowed(f, "unlink") {
+		t.Error("composed promises over-grant")
+	}
+}
+
+func TestEmptyPledgeIsBaselineOnly(t *testing.T) {
+	p, f := filterFor(t, "")
+	if !allowed(f, "exit_group") {
+		t.Error("baseline missing exit_group")
+	}
+	if allowed(f, "read") {
+		t.Error("empty pledge grants read")
+	}
+	if p.NumSyscalls() > 25 {
+		t.Errorf("baseline pledge grants %d syscalls", p.NumSyscalls())
+	}
+}
+
+func TestUnknownPromise(t *testing.T) {
+	if _, err := Pledge("stdio warpdrive"); err == nil {
+		t.Fatal("unknown promise accepted")
+	}
+}
+
+func TestPromisesSorted(t *testing.T) {
+	ps := Promises()
+	if len(ps) < 10 {
+		t.Fatalf("only %d promises", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] >= ps[i] {
+			t.Fatal("promises not sorted/unique")
+		}
+	}
+}
+
+func TestPledgeWorksWithDracoChecker(t *testing.T) {
+	// The §VIII point: a pledge policy drops into the same Draco fast path.
+	p, f := filterFor(t, "stdio rpath")
+	chk := core.NewChecker(p, seccomp.Chain{f})
+	read := syscalls.MustByName("read").Num
+	out := chk.Check(read, hashes.Args{3, 0, 4096})
+	if !out.Allowed || !out.FilterRan {
+		t.Fatalf("first read: %+v", out)
+	}
+	out = chk.Check(read, hashes.Args{3, 0, 4096})
+	if !out.Allowed || out.FilterRan || !out.SPTHit {
+		t.Fatalf("second read should be an SPT hit: %+v", out)
+	}
+	if out2 := chk.Check(syscalls.MustByName("socket").Num, hashes.Args{}); out2.Allowed {
+		t.Fatal("socket allowed under stdio+rpath")
+	}
+}
+
+func TestIOCTLWhitelist(t *testing.T) {
+	p, err := Pledge("stdio tty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tcgets = 0x5401
+	narrowed, err := WithIOCTLWhitelist(p, []uint64{tcgets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := seccomp.NewFilter(narrowed, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed(f, "ioctl", 1, tcgets) {
+		t.Error("whitelisted ioctl request denied")
+	}
+	if allowed(f, "ioctl", 1, 0x5412 /* TIOCSTI: terminal injection */) {
+		t.Error("dangerous ioctl request allowed")
+	}
+	// Without the tty promise there is nothing to narrow.
+	bare, _ := Pledge("stdio")
+	if _, err := WithIOCTLWhitelist(bare, []uint64{tcgets}); err == nil {
+		t.Error("narrowing without ioctl grant succeeded")
+	}
+}

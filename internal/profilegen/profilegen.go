@@ -1,0 +1,154 @@
+// Package profilegen is the reproduction of the paper's profile-generation
+// toolkit (§X-B): it consumes a recorded system call trace (the strace
+// substitute) and emits the application-specific Seccomp profiles used in
+// the evaluation — syscall-noargs, syscall-complete, and (by attaching a
+// profile twice) syscall-complete-2x.
+package profilegen
+
+import (
+	"sort"
+
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+// RuntimeSyscalls are the calls any containerized process needs regardless
+// of the application: loader, allocator, and runtime plumbing. Figure 15(a)
+// attributes roughly 20% of an application-specific profile to these.
+var RuntimeSyscalls = []string{
+	"execve", "brk", "arch_prctl", "access", "mmap", "mprotect", "munmap",
+	"openat", "close", "read", "write", "fstat", "lstat", "stat", "lseek",
+	"pread64", "set_tid_address", "set_robust_list", "rt_sigaction",
+	"rt_sigprocmask", "rt_sigreturn", "sigaltstack", "prlimit64",
+	"getrandom", "exit", "exit_group", "futex", "clone", "wait4", "getpid",
+	"gettid", "getuid", "geteuid", "getgid", "getegid", "getcwd", "uname",
+	"readlink", "fcntl", "dup", "dup2", "pipe2", "epoll_create1",
+	"epoll_ctl", "epoll_wait", "eventfd2", "socket", "connect", "bind",
+	"getsockname", "setsockopt", "getsockopt", "sendto", "recvfrom",
+	"recvmsg", "sendmsg", "poll", "select", "nanosleep", "clock_gettime",
+	"clock_getres", "sched_getaffinity", "sched_yield", "madvise",
+	"getdents64", "statfs", "umask", "chdir", "fchmod", "fchown",
+	"ftruncate", "fsync", "fdatasync", "flock", "utimensat", "ioctl",
+	"getrlimit", "getrusage", "sysinfo", "times", "getpgrp", "setpgid",
+	"getppid", "capget", "capset", "seccomp", "membarrier", "mremap",
+	"mlock", "msync", "mincore", "tgkill", "kill", "alarm", "pause",
+	"restart_syscall", "timerfd_create", "timerfd_settime", "accept4",
+	"listen", "shutdown", "socketpair", "writev", "readv",
+}
+
+// Options controls profile generation.
+type Options struct {
+	// IncludeRuntime adds RuntimeSyscalls to the whitelist (ID-only rules
+	// unless the trace also observed them with arguments).
+	IncludeRuntime bool
+	// DefaultAction for non-whitelisted calls; zero value kills the process.
+	DefaultAction seccomp.Action
+}
+
+// Complete builds the syscall-complete profile for a trace: every observed
+// system call is whitelisted with exactly the argument tuples observed
+// (over its checkable, non-pointer arguments).
+func Complete(name string, tr trace.Trace, opts Options) *seccomp.Profile {
+	if opts.DefaultAction == 0 {
+		opts.DefaultAction = seccomp.ActKillProcess
+	}
+	type ruleAcc struct {
+		info syscalls.Info
+		sets map[string][]uint64 // canonical string -> tuple
+	}
+	acc := map[int]*ruleAcc{}
+	for _, e := range tr {
+		in, ok := syscalls.ByNum(e.SID)
+		if !ok {
+			continue
+		}
+		ra := acc[e.SID]
+		if ra == nil {
+			ra = &ruleAcc{info: in, sets: map[string][]uint64{}}
+			acc[e.SID] = ra
+		}
+		checked := in.CheckedArgs()
+		if len(checked) == 0 {
+			continue
+		}
+		tuple := make([]uint64, len(checked))
+		for i, idx := range checked {
+			// Store values at the argument's declared width: a fd's high
+			// garbage bytes are not part of its identity.
+			tuple[i] = e.Args[idx] & in.WidthMask(idx)
+		}
+		ra.sets[tupleKey(tuple)] = tuple
+	}
+	if opts.IncludeRuntime {
+		for _, n := range RuntimeSyscalls {
+			in := syscalls.MustByName(n)
+			if _, ok := acc[in.Num]; !ok {
+				acc[in.Num] = &ruleAcc{info: in, sets: map[string][]uint64{}}
+			}
+		}
+	}
+	p := &seccomp.Profile{Name: name + "-complete", DefaultAction: opts.DefaultAction}
+	for _, ra := range acc {
+		r := seccomp.Rule{Syscall: ra.info}
+		if len(ra.sets) > 0 {
+			r.CheckedArgs = ra.info.CheckedArgs()
+			keys := make([]string, 0, len(ra.sets))
+			for k := range ra.sets {
+				keys = append(keys, k)
+			}
+			// Deterministic but hotness-independent placement: real
+			// toolchains emit rules in observation order, so a call's most
+			// frequent tuple sits at an arbitrary position in the compiled
+			// compare chain. Sorting by a hash of the tuple reproduces
+			// that: expected scan length is half the set count, which is
+			// what makes exhaustive argument checking expensive (§IV-B).
+			sort.Slice(keys, func(i, j int) bool {
+				return fnv64(keys[i]) < fnv64(keys[j])
+			})
+			for _, k := range keys {
+				r.AllowedSets = append(r.AllowedSets, ra.sets[k])
+			}
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	p.SortRules()
+	return p
+}
+
+// NoArgs builds the syscall-noargs profile: the complete profile's syscall
+// whitelist with all argument checks removed.
+func NoArgs(name string, tr trace.Trace, opts Options) *seccomp.Profile {
+	p := seccomp.StripArgs(Complete(name, tr, opts))
+	p.Name = name + "-noargs"
+	return p
+}
+
+// ApplicationSpecificCount returns how many whitelisted syscalls came from
+// the trace itself rather than the runtime set: Figure 15(a)'s breakdown.
+func ApplicationSpecificCount(tr trace.Trace) int {
+	seen := map[int]bool{}
+	for _, e := range tr {
+		seen[e.SID] = true
+	}
+	return len(seen)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func tupleKey(t []uint64) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>uint(s)))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,149 @@
+package profilegen
+
+import (
+	"testing"
+
+	"draco/internal/hashes"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+	"draco/internal/workloads"
+)
+
+func miniTrace() trace.Trace {
+	read := syscalls.MustByName("read")
+	getppid := syscalls.MustByName("getppid")
+	return trace.Trace{
+		{SID: read.Num, Args: hashes.Args{3, 0x7f0000000000, 4096}},
+		{SID: read.Num, Args: hashes.Args{3, 0x7f0000001000, 4096}}, // same checked tuple, different buf ptr
+		{SID: read.Num, Args: hashes.Args{5, 0x7f0000002000, 8192}},
+		{SID: getppid.Num},
+	}
+}
+
+func TestCompleteCollectsObservedTuples(t *testing.T) {
+	p := Complete("mini", miniTrace(), Options{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSyscalls() != 2 {
+		t.Fatalf("syscalls = %d, want 2", p.NumSyscalls())
+	}
+	r, ok := p.RuleFor(0)
+	if !ok {
+		t.Fatal("no rule for read")
+	}
+	// Two distinct checked tuples: (3,4096) and (5,8192); the pointer
+	// variation must have been ignored.
+	if len(r.AllowedSets) != 2 {
+		t.Fatalf("read allowed sets = %v", r.AllowedSets)
+	}
+	// getppid has no checkable args: ID-only rule.
+	g, _ := p.RuleFor(110)
+	if g.ChecksArgs() {
+		t.Fatal("getppid rule checks args")
+	}
+}
+
+func TestCompleteSemantics(t *testing.T) {
+	p := Complete("mini", miniTrace(), Options{})
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(nr int32, args hashes.Args) bool {
+		d := &seccomp.Data{Nr: nr, Arch: seccomp.AuditArchX8664, Args: args}
+		return f.Check(d).Action.Allows()
+	}
+	if !check(0, hashes.Args{3, 0x7fdeadbeef00, 4096}) {
+		t.Error("observed tuple with fresh pointer denied")
+	}
+	if check(0, hashes.Args{3, 0, 1234}) {
+		t.Error("unobserved count allowed")
+	}
+	if check(1, hashes.Args{1, 0, 10}) {
+		t.Error("unobserved syscall allowed")
+	}
+	if !check(110, hashes.Args{}) {
+		t.Error("observed no-arg syscall denied")
+	}
+}
+
+func TestNoArgsStrips(t *testing.T) {
+	p := NoArgs("mini", miniTrace(), Options{})
+	if p.NumArgsChecked() != 0 {
+		t.Fatal("noargs profile checks args")
+	}
+	if p.NumSyscalls() != 2 {
+		t.Fatalf("syscalls = %d, want 2", p.NumSyscalls())
+	}
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &seccomp.Data{Nr: 0, Arch: seccomp.AuditArchX8664, Args: hashes.Args{99, 0, 99}}
+	if !f.Check(d).Action.Allows() {
+		t.Error("noargs profile denied arbitrary args")
+	}
+}
+
+func TestIncludeRuntime(t *testing.T) {
+	without := Complete("mini", miniTrace(), Options{})
+	with := Complete("mini", miniTrace(), Options{IncludeRuntime: true})
+	if with.NumSyscalls() <= without.NumSyscalls() {
+		t.Fatalf("runtime set added nothing: %d vs %d", with.NumSyscalls(), without.NumSyscalls())
+	}
+	// read was already observed; its arg checks must survive the merge.
+	r, _ := with.RuleFor(0)
+	if !r.ChecksArgs() {
+		t.Fatal("runtime merge clobbered observed arg checks")
+	}
+}
+
+// TestWorkloadProfilesMatchFigure15 generates per-workload complete
+// profiles and checks their Figure 15 shape: 50-100 allowed syscalls, tens
+// of checked args, and hundreds-to-thousands of allowed values.
+func TestWorkloadProfilesMatchFigure15(t *testing.T) {
+	for _, w := range workloads.All() {
+		tr := w.Generate(50000, 11)
+		p := Complete(w.Name, tr, Options{IncludeRuntime: true})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		n := p.NumSyscalls()
+		if n < 5 || n > 120 {
+			t.Errorf("%s: %d syscalls allowed, want app-specific scale (paper: 50-100)", w.Name, n)
+		}
+		if n >= seccomp.DockerDefault().NumSyscalls() {
+			t.Errorf("%s: app profile (%d) not smaller than docker-default", w.Name, n)
+		}
+		if p.NumArgsChecked() == 0 {
+			t.Errorf("%s: complete profile checks no arguments", w.Name)
+		}
+	}
+}
+
+func TestTraceReplaysCleanlyThroughOwnProfile(t *testing.T) {
+	// Property: a trace must be fully allowed by the profile generated
+	// from it (the paper's deployment model).
+	for _, w := range workloads.All() {
+		tr := w.Generate(5000, 13)
+		p := Complete(w.Name, tr, Options{})
+		f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range tr {
+			d := &seccomp.Data{Nr: int32(e.SID), Arch: seccomp.AuditArchX8664, Args: e.Args}
+			if !f.Check(d).Action.Allows() {
+				t.Fatalf("%s: event %d (sid %d) denied by own profile", w.Name, i, e.SID)
+			}
+		}
+	}
+}
+
+func TestApplicationSpecificCount(t *testing.T) {
+	if got := ApplicationSpecificCount(miniTrace()); got != 2 {
+		t.Fatalf("app-specific count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package seccomp implements a Seccomp-compatible system call filtering
+// engine on top of the classic BPF VM (paper §II-B): the seccomp_data
+// layout, filter actions, a profile model (whitelists of system call IDs and
+// exact argument values, which is what real-world profiles use), and two
+// profile-to-BPF compilers — the classic linear if-chain and the
+// binary-tree layout proposed for libseccomp (paper §XII).
+package seccomp
+
+import "fmt"
+
+// Action is a seccomp filter return value. The numeric values match the
+// kernel's SECCOMP_RET_* action words; when multiple filters are attached,
+// the numerically smallest (most restrictive) value wins, exactly as in the
+// kernel.
+type Action uint32
+
+const (
+	// ActKillProcess terminates the whole process.
+	ActKillProcess Action = 0x80000000
+	// ActKillThread terminates the calling thread.
+	ActKillThread Action = 0x00000000
+	// ActTrap delivers SIGSYS to the thread.
+	ActTrap Action = 0x00030000
+	// ActErrnoBase returns an errno to the caller without executing the
+	// call; OR in the errno value (use Errno).
+	ActErrnoBase Action = 0x00050000
+	// ActLog allows the call after logging it.
+	ActLog Action = 0x7ffc0000
+	// ActAllow lets the system call execute.
+	ActAllow Action = 0x7fff0000
+)
+
+// Errno builds an errno-returning action.
+func Errno(errno uint16) Action {
+	return ActErrnoBase | Action(errno)
+}
+
+// Masked returns the action with its data bits cleared (SECCOMP_RET_ACTION).
+func (a Action) Masked() Action { return a & 0xffff0000 }
+
+// Allows reports whether the action lets the system call run.
+func (a Action) Allows() bool {
+	m := a.Masked()
+	return m == ActAllow || m == ActLog
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a.Masked() {
+	case ActKillProcess:
+		return "kill_process"
+	case ActKillThread:
+		return "kill_thread"
+	case ActTrap:
+		return "trap"
+	case ActErrnoBase:
+		return fmt.Sprintf("errno(%d)", uint16(a))
+	case ActLog:
+		return "log"
+	case ActAllow:
+		return "allow"
+	default:
+		return fmt.Sprintf("action(%#x)", uint32(a))
+	}
+}
+
+// precedence returns the kernel's action precedence: lower ranks win when
+// multiple filters are attached (KILL_PROCESS > KILL_THREAD > TRAP > ERRNO >
+// LOG > ALLOW).
+func (a Action) precedence() int {
+	switch a.Masked() {
+	case ActKillProcess:
+		return 0
+	case ActKillThread:
+		return 1
+	case ActTrap:
+		return 2
+	case ActErrnoBase:
+		return 3
+	case ActLog:
+		return 4
+	case ActAllow:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Combine merges the results of stacked filters: the kernel keeps the
+// highest-precedence (most restrictive) action.
+func Combine(a, b Action) Action {
+	if a.precedence() <= b.precedence() {
+		return a
+	}
+	return b
+}

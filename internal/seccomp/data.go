@@ -1,0 +1,49 @@
+package seccomp
+
+import (
+	"encoding/binary"
+
+	"draco/internal/hashes"
+)
+
+// AuditArchX8664 is the AUDIT_ARCH_X86_64 architecture token carried in
+// seccomp_data.
+const AuditArchX8664 = 0xC000003E
+
+// DataSize is sizeof(struct seccomp_data): nr(4) + arch(4) + ip(8) + 6*8.
+const DataSize = 64
+
+// Field offsets within seccomp_data, used by the compilers.
+const (
+	OffNr   = 0
+	OffArch = 4
+	OffIP   = 8
+	OffArgs = 16
+)
+
+// Data mirrors the kernel's struct seccomp_data: the only state a seccomp
+// filter may inspect. Its statelessness is what makes Draco's caching
+// correct (paper §V: "Seccomp profiles are stateless").
+type Data struct {
+	Nr   int32
+	Arch uint32
+	IP   uint64
+	Args hashes.Args
+}
+
+// Marshal encodes the structure in the kernel's little-endian layout into
+// buf, which must have at least DataSize bytes.
+func (d *Data) Marshal(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[OffNr:], uint32(d.Nr))
+	binary.LittleEndian.PutUint32(buf[OffArch:], d.Arch)
+	binary.LittleEndian.PutUint64(buf[OffIP:], d.IP)
+	for i, a := range d.Args {
+		binary.LittleEndian.PutUint64(buf[OffArgs+8*i:], a)
+	}
+}
+
+// ArgLowOff returns the offset of the low 32-bit word of argument i.
+func ArgLowOff(i int) uint32 { return uint32(OffArgs + 8*i) }
+
+// ArgHighOff returns the offset of the high 32-bit word of argument i.
+func ArgHighOff(i int) uint32 { return uint32(OffArgs + 8*i + 4) }

@@ -1,0 +1,83 @@
+package seccomp
+
+import (
+	"draco/internal/bpf"
+)
+
+// Filter is an attached, compiled seccomp filter: the unit the kernel runs
+// on every system call of a filtered process.
+type Filter struct {
+	Profile *Profile
+	Shape   Shape
+	prog    bpf.Program
+	vm      *bpf.VM
+	buf     [DataSize]byte
+}
+
+// NewFilter compiles a profile into an attachable filter.
+func NewFilter(p *Profile, shape Shape) (*Filter, error) {
+	prog, err := Compile(p, shape)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := bpf.NewVM(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{Profile: p, Shape: shape, prog: prog, vm: vm}, nil
+}
+
+// Program returns the compiled BPF program.
+func (f *Filter) Program() bpf.Program { return f.prog }
+
+// Len returns the static program length in instructions.
+func (f *Filter) Len() int { return len(f.prog) }
+
+// CheckResult reports one filter execution.
+type CheckResult struct {
+	Action Action
+	// Executed is the number of BPF instructions the run executed; this is
+	// the quantity the execution-time model charges for.
+	Executed int
+}
+
+// Check runs the filter over a system call. Runtime faults (which real BPF
+// cannot have after validation, but belt-and-braces) deny the call.
+func (f *Filter) Check(d *Data) CheckResult {
+	d.Marshal(f.buf[:])
+	r, err := f.vm.Run(f.buf[:])
+	if err != nil {
+		return CheckResult{Action: ActKillProcess, Executed: r.Executed}
+	}
+	return CheckResult{Action: Action(r.Value), Executed: r.Executed}
+}
+
+// Chain is a stack of attached filters. The kernel runs every attached
+// filter on every system call and keeps the most restrictive result; the
+// paper's syscall-complete-2x profile is exactly the syscall-complete
+// filter attached twice (§IV-A).
+type Chain []*Filter
+
+// Check runs every filter and combines results; Executed sums across
+// filters, which is what doubles the checking overhead for -2x profiles.
+func (c Chain) Check(d *Data) CheckResult {
+	if len(c) == 0 {
+		return CheckResult{Action: ActAllow}
+	}
+	out := CheckResult{Action: ActAllow}
+	for _, f := range c {
+		r := f.Check(d)
+		out.Action = Combine(out.Action, r.Action)
+		out.Executed += r.Executed
+	}
+	return out
+}
+
+// TotalLen returns the summed static length of all filters.
+func (c Chain) TotalLen() int {
+	n := 0
+	for _, f := range c {
+		n += f.Len()
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package seccomp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary documents to the profile parser: it must
+// reject or accept without panicking, and anything it accepts must
+// re-serialize and re-parse to the same accounting.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteJSON(&seed, DockerDefault()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": []}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := ReadJSON(strings.NewReader(doc), "fuzz")
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSON(&out, p); err != nil {
+			t.Fatalf("accepted profile fails to serialize: %v", err)
+		}
+		back, err := ReadJSON(&out, "fuzz2")
+		if err != nil {
+			t.Fatalf("serialized profile fails to parse: %v", err)
+		}
+		if back.NumSyscalls() != p.NumSyscalls() || back.NumArgsChecked() != p.NumArgsChecked() {
+			t.Fatalf("roundtrip drift: %d/%d -> %d/%d",
+				p.NumSyscalls(), p.NumArgsChecked(), back.NumSyscalls(), back.NumArgsChecked())
+		}
+	})
+}

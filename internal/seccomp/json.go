@@ -1,0 +1,245 @@
+package seccomp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"draco/internal/syscalls"
+)
+
+// The JSON profile format follows Docker's seccomp profile documents (the
+// Moby project format, §II-C): a default action, an architecture list, and
+// per-syscall entries with optional argument conditions. The subset
+// real-world whitelist profiles use is supported: allow-listed names with
+// SCMP_CMP_EQ exact comparisons and SCMP_CMP_MASKED_EQ flag masks (the
+// form Docker's clone rule takes).
+
+type jsonProfile struct {
+	DefaultAction string        `json:"defaultAction"`
+	Architectures []string      `json:"architectures,omitempty"`
+	Syscalls      []jsonSyscall `json:"syscalls"`
+}
+
+type jsonSyscall struct {
+	Names  []string  `json:"names"`
+	Action string    `json:"action"`
+	Args   []jsonArg `json:"args,omitempty"`
+}
+
+type jsonArg struct {
+	Index int    `json:"index"`
+	Value uint64 `json:"value"`
+	// ValueTwo carries the comparison value for SCMP_CMP_MASKED_EQ
+	// (Value is the mask), matching Docker's JSON convention.
+	ValueTwo uint64 `json:"valueTwo,omitempty"`
+	Op       string `json:"op"`
+}
+
+const (
+	jsonActAllow       = "SCMP_ACT_ALLOW"
+	jsonActErrno       = "SCMP_ACT_ERRNO"
+	jsonActKillProcess = "SCMP_ACT_KILL_PROCESS"
+	jsonActKillThread  = "SCMP_ACT_KILL_THREAD"
+	jsonActTrap        = "SCMP_ACT_TRAP"
+	jsonActLog         = "SCMP_ACT_LOG"
+	jsonArchX8664      = "SCMP_ARCH_X86_64"
+	jsonCmpEq          = "SCMP_CMP_EQ"
+	jsonCmpMasked      = "SCMP_CMP_MASKED_EQ"
+)
+
+func actionToJSON(a Action) string {
+	switch a.Masked() {
+	case ActAllow:
+		return jsonActAllow
+	case ActErrnoBase:
+		return jsonActErrno
+	case ActKillProcess:
+		return jsonActKillProcess
+	case ActKillThread:
+		return jsonActKillThread
+	case ActTrap:
+		return jsonActTrap
+	case ActLog:
+		return jsonActLog
+	default:
+		return jsonActKillProcess
+	}
+}
+
+func actionFromJSON(s string) (Action, error) {
+	switch s {
+	case jsonActAllow:
+		return ActAllow, nil
+	case jsonActErrno:
+		return Errno(1), nil
+	case jsonActKillProcess:
+		return ActKillProcess, nil
+	case jsonActKillThread:
+		return ActKillThread, nil
+	case jsonActTrap:
+		return ActTrap, nil
+	case jsonActLog:
+		return ActLog, nil
+	default:
+		return 0, fmt.Errorf("seccomp: unknown action %q", s)
+	}
+}
+
+// WriteJSON serializes a profile as a Docker-format JSON document.
+// ID-only rules are coalesced into a single names entry (as Docker's
+// default profile does); each allowed argument tuple becomes its own entry
+// with SCMP_CMP_EQ conditions.
+func WriteJSON(w io.Writer, p *Profile) error {
+	doc := jsonProfile{
+		DefaultAction: actionToJSON(p.DefaultAction),
+		Architectures: []string{jsonArchX8664},
+	}
+	var plain []string
+	for _, r := range p.Rules {
+		if !r.ChecksArgs() {
+			plain = append(plain, r.Syscall.Name)
+			continue
+		}
+		for _, set := range r.AllowedSets {
+			js := jsonSyscall{Names: []string{r.Syscall.Name}, Action: jsonActAllow}
+			for i, idx := range r.CheckedArgs {
+				js.Args = append(js.Args, jsonArg{Index: idx, Value: set[i], Op: jsonCmpEq})
+			}
+			doc.Syscalls = append(doc.Syscalls, js)
+		}
+		for _, conds := range r.MaskedSets {
+			js := jsonSyscall{Names: []string{r.Syscall.Name}, Action: jsonActAllow}
+			for _, c := range conds {
+				js.Args = append(js.Args, jsonArg{Index: c.ArgIndex, Value: c.Mask, ValueTwo: c.Value, Op: jsonCmpMasked})
+			}
+			doc.Syscalls = append(doc.Syscalls, js)
+		}
+	}
+	if len(plain) > 0 {
+		sort.Strings(plain)
+		doc.Syscalls = append([]jsonSyscall{{Names: plain, Action: jsonActAllow}}, doc.Syscalls...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a Docker-format JSON profile into the whitelist model.
+// Entries for the same syscall merge; argument conditions must be
+// SCMP_CMP_EQ or SCMP_CMP_MASKED_EQ on checkable (non-pointer) arguments;
+// only allowing entry actions are supported (whitelists).
+func ReadJSON(r io.Reader, name string) (*Profile, error) {
+	var doc jsonProfile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("seccomp: parsing profile: %w", err)
+	}
+	def, err := actionFromJSON(doc.DefaultAction)
+	if err != nil {
+		return nil, err
+	}
+	if def.Allows() {
+		return nil, fmt.Errorf("seccomp: profile default action %q allows; only whitelists are supported", doc.DefaultAction)
+	}
+	for _, arch := range doc.Architectures {
+		if arch != jsonArchX8664 {
+			return nil, fmt.Errorf("seccomp: unsupported architecture %q", arch)
+		}
+	}
+
+	type acc struct {
+		info syscalls.Info
+		// tuples maps canonical arg-index lists to value tuples.
+		checked []int
+		sets    [][]uint64
+		masked  [][]MaskCond
+		idOnly  bool
+	}
+	rules := map[int]*acc{}
+	for _, js := range doc.Syscalls {
+		act, err := actionFromJSON(js.Action)
+		if err != nil {
+			return nil, err
+		}
+		if !act.Allows() {
+			return nil, fmt.Errorf("seccomp: non-allow syscall entry action %q unsupported", js.Action)
+		}
+		for _, n := range js.Names {
+			in, ok := syscalls.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("seccomp: unknown syscall %q", n)
+			}
+			a := rules[in.Num]
+			if a == nil {
+				a = &acc{info: in}
+				rules[in.Num] = a
+			}
+			if len(js.Args) == 0 {
+				a.idOnly = true
+				continue
+			}
+			// An entry is either all exact comparisons or all masked ones.
+			if js.Args[0].Op == jsonCmpMasked {
+				var conds []MaskCond
+				for _, ja := range js.Args {
+					if ja.Op != jsonCmpMasked {
+						return nil, fmt.Errorf("seccomp: %s mixes comparison kinds in one entry", n)
+					}
+					conds = append(conds, MaskCond{ArgIndex: ja.Index, Mask: ja.Value, Value: ja.ValueTwo})
+				}
+				a.masked = append(a.masked, conds)
+				continue
+			}
+			var checked []int
+			var vals []uint64
+			for _, ja := range js.Args {
+				if ja.Op != jsonCmpEq {
+					return nil, fmt.Errorf("seccomp: unsupported comparison %q (only %s / %s)", ja.Op, jsonCmpEq, jsonCmpMasked)
+				}
+				checked = append(checked, ja.Index)
+				vals = append(vals, ja.Value)
+			}
+			if a.checked == nil {
+				a.checked = checked
+			} else if !equalInts(a.checked, checked) {
+				return nil, fmt.Errorf("seccomp: %s has entries checking different argument sets (%v vs %v)", n, a.checked, checked)
+			}
+			a.sets = append(a.sets, vals)
+		}
+	}
+
+	p := &Profile{Name: name, DefaultAction: def}
+	for _, a := range rules {
+		r := Rule{Syscall: a.info}
+		// An ID-only entry for a syscall that also has argument entries
+		// means the call is allowed unconditionally; drop the conditions.
+		if !a.idOnly && (len(a.sets) > 0 || len(a.masked) > 0) {
+			if len(a.sets) > 0 {
+				r.CheckedArgs = a.checked
+				r.AllowedSets = a.sets
+			}
+			r.MaskedSets = a.masked
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	p.SortRules()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,269 @@
+package seccomp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"draco/internal/syscalls"
+)
+
+func TestJSONRoundtripDockerDefault(t *testing.T) {
+	p := DockerDefault()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, "docker-default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSyscalls() != p.NumSyscalls() {
+		t.Fatalf("syscalls %d != %d", back.NumSyscalls(), p.NumSyscalls())
+	}
+	if back.NumArgsChecked() != p.NumArgsChecked() {
+		t.Fatalf("args checked %d != %d", back.NumArgsChecked(), p.NumArgsChecked())
+	}
+	if back.NumValuesAllowed() != p.NumValuesAllowed() {
+		t.Fatalf("values %d != %d", back.NumValuesAllowed(), p.NumValuesAllowed())
+	}
+	// Semantics must survive: compile both and compare on key probes.
+	fa, err := NewFilter(p, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFilter(back, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []*Data{
+		data(0, 3), data(101), data(135, PersonalityAllowed[2]), data(135, 0xbad),
+		data(56, CloneAllowed[0]), data(56, 0xbad),
+	}
+	for _, d := range probes {
+		if fa.Check(d).Action.Allows() != fb.Check(d).Action.Allows() {
+			t.Fatalf("roundtrip changed semantics for nr=%d args=%v", d.Nr, d.Args)
+		}
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	p := DockerDefault()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"defaultAction": "SCMP_ACT_ERRNO"`,
+		`"SCMP_ARCH_X86_64"`,
+		`"SCMP_ACT_ALLOW"`,
+		`"SCMP_CMP_EQ"`,
+		`"personality"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+func TestReadJSONHandWritten(t *testing.T) {
+	src := `{
+	  "defaultAction": "SCMP_ACT_KILL_PROCESS",
+	  "architectures": ["SCMP_ARCH_X86_64"],
+	  "syscalls": [
+	    {"names": ["read", "write", "exit_group"], "action": "SCMP_ACT_ALLOW"},
+	    {"names": ["personality"], "action": "SCMP_ACT_ALLOW",
+	     "args": [{"index": 0, "value": 4294967295, "op": "SCMP_CMP_EQ"}]},
+	    {"names": ["personality"], "action": "SCMP_ACT_ALLOW",
+	     "args": [{"index": 0, "value": 131080, "op": "SCMP_CMP_EQ"}]}
+	  ]
+	}`
+	p, err := ReadJSON(strings.NewReader(src), "hand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSyscalls() != 4 {
+		t.Fatalf("syscalls = %d, want 4", p.NumSyscalls())
+	}
+	r, ok := p.RuleFor(135)
+	if !ok || len(r.AllowedSets) != 2 {
+		t.Fatalf("personality rule: %+v", r)
+	}
+	f, err := NewFilter(p, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Check(data(135, 0xffffffff)).Action.Allows() {
+		t.Error("allowed personality value denied")
+	}
+	if f.Check(data(135, 7)).Action.Allows() {
+		t.Error("disallowed personality value allowed")
+	}
+}
+
+func TestReadJSONIDOnlyOverridesArgs(t *testing.T) {
+	// An unconditional entry plus a conditional one = unconditional.
+	src := `{
+	  "defaultAction": "SCMP_ACT_KILL_PROCESS",
+	  "syscalls": [
+	    {"names": ["personality"], "action": "SCMP_ACT_ALLOW"},
+	    {"names": ["personality"], "action": "SCMP_ACT_ALLOW",
+	     "args": [{"index": 0, "value": 1, "op": "SCMP_CMP_EQ"}]}
+	  ]
+	}`
+	p, err := ReadJSON(strings.NewReader(src), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.RuleFor(135)
+	if r.ChecksArgs() {
+		t.Fatal("unconditional entry did not override")
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"allow default", `{"defaultAction": "SCMP_ACT_ALLOW", "syscalls": []}`},
+		{"bad action", `{"defaultAction": "SCMP_ACT_WAT", "syscalls": []}`},
+		{"bad arch", `{"defaultAction": "SCMP_ACT_ERRNO", "architectures": ["SCMP_ARCH_ARM"], "syscalls": []}`},
+		{"unknown syscall", `{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": [{"names": ["frobnicate"], "action": "SCMP_ACT_ALLOW"}]}`},
+		{"bad op", `{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": [{"names": ["personality"], "action": "SCMP_ACT_ALLOW", "args": [{"index":0,"value":1,"op":"SCMP_CMP_GE"}]}]}`},
+		{"deny entry", `{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": [{"names": ["read"], "action": "SCMP_ACT_KILL_PROCESS"}]}`},
+		{"ptr arg", `{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW", "args": [{"index":1,"value":1,"op":"SCMP_CMP_EQ"}]}]}`},
+		{"mismatched arg sets", `{"defaultAction": "SCMP_ACT_ERRNO", "syscalls": [
+			{"names": ["lseek"], "action": "SCMP_ACT_ALLOW", "args": [{"index":0,"value":1,"op":"SCMP_CMP_EQ"}]},
+			{"names": ["lseek"], "action": "SCMP_ACT_ALLOW", "args": [{"index":2,"value":1,"op":"SCMP_CMP_EQ"}]}]}`},
+		{"unknown field", `{"defaultAction": "SCMP_ACT_ERRNO", "bogus": 1, "syscalls": []}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.src), "t"); err == nil {
+			t.Errorf("%s: parsed unexpectedly", c.name)
+		}
+	}
+}
+
+func TestMaskedConditionSemantics(t *testing.T) {
+	// The real docker clone rule shape: allow clone only when none of the
+	// namespace-creating flag bits are set.
+	const nsBits = 0x7E020000
+	clone := syscalls.MustByName("clone")
+	prof := &Profile{
+		Name:          "masked",
+		DefaultAction: ActKillProcess,
+		Rules: []Rule{{
+			Syscall:    clone,
+			MaskedSets: [][]MaskCond{{{ArgIndex: 0, Mask: nsBits, Value: 0}}},
+		}},
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []Shape{ShapeLinear, ShapeBinaryTree} {
+		f, err := NewFilter(prof, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plain fork flags: allowed.
+		if !f.Check(data(clone.Num, 0x01200011)).Action.Allows() {
+			t.Errorf("%v: benign clone denied", shape)
+		}
+		// CLONE_NEWUSER (0x10000000): denied.
+		if f.Check(data(clone.Num, 0x01200011|0x10000000)).Action.Allows() {
+			t.Errorf("%v: CLONE_NEWUSER allowed", shape)
+		}
+		// Reference evaluator must agree.
+		for _, v := range []uint64{0x11, 0x10000000, nsBits, 0} {
+			d := data(clone.Num, v)
+			if f.Check(d).Action.Allows() != prof.Evaluate(d).Allows() {
+				t.Errorf("%v: filter/evaluate divergence on %#x", shape, v)
+			}
+		}
+	}
+}
+
+func TestMaskedConditionJSONRoundtrip(t *testing.T) {
+	clone := syscalls.MustByName("clone")
+	prof := &Profile{
+		Name:          "masked",
+		DefaultAction: Errno(1),
+		Rules: []Rule{
+			{Syscall: syscalls.MustByName("read")},
+			{
+				Syscall:    clone,
+				MaskedSets: [][]MaskCond{{{ArgIndex: 0, Mask: 0x7E020000, Value: 0}}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SCMP_CMP_MASKED_EQ") {
+		t.Fatal("masked op not serialized")
+	}
+	back, err := ReadJSON(&buf, "masked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := back.RuleFor(clone.Num)
+	if !ok || len(r.MaskedSets) != 1 {
+		t.Fatalf("masked rule lost: %+v", r)
+	}
+	c := r.MaskedSets[0][0]
+	if c.Mask != 0x7E020000 || c.Value != 0 || c.ArgIndex != 0 {
+		t.Fatalf("condition drifted: %+v", c)
+	}
+}
+
+func TestMaskedValidationRejects(t *testing.T) {
+	clone := syscalls.MustByName("clone")
+	bad := []*Profile{
+		{Name: "empty-set", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: clone, MaskedSets: [][]MaskCond{{}}}}},
+		{Name: "ptr", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: clone, MaskedSets: [][]MaskCond{{{ArgIndex: 1, Mask: 1, Value: 1}}}}}},
+		{Name: "range", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: clone, MaskedSets: [][]MaskCond{{{ArgIndex: 5, Mask: 1, Value: 1}}}}}},
+		{Name: "value-outside-mask", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: clone, MaskedSets: [][]MaskCond{{{ArgIndex: 0, Mask: 0x2, Value: 0x1}}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q validated", p.Name)
+		}
+	}
+}
+
+func TestDockerDefaultMasked(t *testing.T) {
+	p := DockerDefaultMasked()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(p, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := syscalls.MustByName("clone")
+	// Arbitrary thread flags without namespace bits: allowed (unlike the
+	// exact-value variant).
+	if !f.Check(data(clone.Num, 0x00000011)).Action.Allows() {
+		t.Error("plain clone denied by masked profile")
+	}
+	if f.Check(data(clone.Num, 0x10000000)).Action.Allows() {
+		t.Error("CLONE_NEWUSER allowed by masked profile")
+	}
+	// Everything else matches the exact-value variant.
+	exact, err := NewFilter(DockerDefault(), ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Data{data(0, 3), data(101), data(135, PersonalityAllowed[0]), data(135, 0xbad)} {
+		if f.Check(d).Action.Allows() != exact.Check(d).Action.Allows() {
+			t.Errorf("variants diverge on nr=%d", d.Nr)
+		}
+	}
+}

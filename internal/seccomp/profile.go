@@ -1,0 +1,234 @@
+package seccomp
+
+import (
+	"fmt"
+	"sort"
+
+	"draco/internal/hashes"
+	"draco/internal/syscalls"
+)
+
+// MaskCond is one masked comparison: the call passes this condition when
+// (args[ArgIndex] & Mask) == Value — libseccomp's SCMP_CMP_MASKED_EQ, which
+// real profiles use for flag arguments (Docker's clone rule denies the
+// namespace-creating CLONE_* bits this way).
+type MaskCond struct {
+	ArgIndex int
+	Mask     uint64
+	Value    uint64
+}
+
+// Holds reports whether the condition passes for args.
+func (c MaskCond) Holds(args hashes.Args) bool {
+	return args[c.ArgIndex]&c.Mask == c.Value
+}
+
+// Rule whitelists one system call, optionally restricted to exact argument
+// value tuples and/or masked conditions. This mirrors what real-world
+// profiles do: "most real-world profiles simply check system call IDs and
+// argument values based on a whitelist of exact IDs and values" (paper
+// §II-B), with flag arguments occasionally checked under a mask.
+type Rule struct {
+	// Syscall is the whitelisted call.
+	Syscall syscalls.Info
+	// CheckedArgs lists the argument indices whose values are checked.
+	// Empty (with no MaskedSets) means the call is allowed with any
+	// arguments.
+	CheckedArgs []int
+	// AllowedSets holds the allowed value tuples, each aligned with
+	// CheckedArgs. Ignored when CheckedArgs is empty.
+	AllowedSets [][]uint64
+	// MaskedSets holds alternative masked-comparison conjunctions: the
+	// call is also allowed when every condition of any one set holds.
+	MaskedSets [][]MaskCond
+}
+
+// ChecksArgs reports whether the rule restricts argument values.
+func (r Rule) ChecksArgs() bool { return len(r.CheckedArgs) > 0 || len(r.MaskedSets) > 0 }
+
+// Matches reports whether args satisfies the rule. Values compare at the
+// argument's declared width (widths.go): a file descriptor is a C int, so
+// only its low four bytes are meaningful — exactly the bytes the compiled
+// filter compares and the Draco bitmask selects.
+func (r Rule) Matches(args hashes.Args) bool {
+	if !r.ChecksArgs() {
+		return true
+	}
+	for _, set := range r.AllowedSets {
+		ok := true
+		for i, idx := range r.CheckedArgs {
+			m := r.Syscall.WidthMask(idx)
+			if args[idx]&m != set[i]&m {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	for _, conds := range r.MaskedSets {
+		ok := true
+		for _, c := range conds {
+			if !c.Holds(args) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Profile is a whitelist filter: rules allow, everything else gets the
+// default action.
+type Profile struct {
+	Name          string
+	DefaultAction Action
+	Rules         []Rule
+}
+
+// Validate checks internal consistency of the profile.
+func (p *Profile) Validate() error {
+	seen := map[int]bool{}
+	for _, r := range p.Rules {
+		if seen[r.Syscall.Num] {
+			return fmt.Errorf("seccomp: duplicate rule for %s", r.Syscall.Name)
+		}
+		seen[r.Syscall.Num] = true
+		for _, idx := range r.CheckedArgs {
+			if idx < 0 || idx >= r.Syscall.NArgs {
+				return fmt.Errorf("seccomp: %s checks arg %d of %d", r.Syscall.Name, idx, r.Syscall.NArgs)
+			}
+			if r.Syscall.PtrMask&(1<<uint(idx)) != 0 {
+				return fmt.Errorf("seccomp: %s checks pointer arg %d (TOCTOU)", r.Syscall.Name, idx)
+			}
+		}
+		for _, set := range r.AllowedSets {
+			if len(set) != len(r.CheckedArgs) {
+				return fmt.Errorf("seccomp: %s has a %d-value set for %d checked args", r.Syscall.Name, len(set), len(r.CheckedArgs))
+			}
+		}
+		for _, conds := range r.MaskedSets {
+			if len(conds) == 0 {
+				return fmt.Errorf("seccomp: %s has an empty masked-condition set", r.Syscall.Name)
+			}
+			for _, c := range conds {
+				if c.ArgIndex < 0 || c.ArgIndex >= r.Syscall.NArgs {
+					return fmt.Errorf("seccomp: %s masked cond on arg %d of %d", r.Syscall.Name, c.ArgIndex, r.Syscall.NArgs)
+				}
+				if r.Syscall.PtrMask&(1<<uint(c.ArgIndex)) != 0 {
+					return fmt.Errorf("seccomp: %s masked cond on pointer arg %d (TOCTOU)", r.Syscall.Name, c.ArgIndex)
+				}
+				if c.Value&^c.Mask != 0 {
+					return fmt.Errorf("seccomp: %s masked cond value %#x has bits outside mask %#x", r.Syscall.Name, c.Value, c.Mask)
+				}
+			}
+		}
+		if r.ChecksArgs() && len(r.AllowedSets) == 0 && len(r.MaskedSets) == 0 {
+			return fmt.Errorf("seccomp: %s checks args but allows no sets", r.Syscall.Name)
+		}
+	}
+	if p.DefaultAction.Allows() {
+		return fmt.Errorf("seccomp: whitelist profile with allowing default action")
+	}
+	return nil
+}
+
+// SortRules orders rules by system call number; this is how container
+// runtimes emit their profiles and it makes the linear chain deterministic.
+func (p *Profile) SortRules() {
+	sort.Slice(p.Rules, func(i, j int) bool {
+		return p.Rules[i].Syscall.Num < p.Rules[j].Syscall.Num
+	})
+}
+
+// RuleFor returns the rule for a syscall number, if any.
+func (p *Profile) RuleFor(num int) (Rule, bool) {
+	for _, r := range p.Rules {
+		if r.Syscall.Num == num {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Evaluate applies the profile semantics directly (without BPF). This is
+// the reference implementation the compilers are differentially tested
+// against, and the oracle Draco consults on a cache miss.
+func (p *Profile) Evaluate(d *Data) Action {
+	if d.Arch != AuditArchX8664 {
+		return ActKillProcess
+	}
+	for _, r := range p.Rules {
+		if r.Syscall.Num != int(d.Nr) {
+			continue
+		}
+		if r.Matches(d.Args) {
+			return ActAllow
+		}
+		break // rules are unique per syscall; no other rule can match
+	}
+	return p.DefaultAction
+}
+
+// --- Security accounting (Figure 15) -----------------------------------
+
+// NumSyscalls returns how many system calls the profile allows.
+func (p *Profile) NumSyscalls() int { return len(p.Rules) }
+
+// NumArgsChecked returns the total number of (syscall, argument-index)
+// pairs the profile checks — Figure 15(b)'s "# Arguments Checked".
+func (p *Profile) NumArgsChecked() int {
+	n := 0
+	for _, r := range p.Rules {
+		n += len(r.CheckedArgs)
+		seen := map[int]bool{}
+		for _, idx := range r.CheckedArgs {
+			seen[idx] = true
+		}
+		for _, conds := range r.MaskedSets {
+			for _, c := range conds {
+				if !seen[c.ArgIndex] {
+					seen[c.ArgIndex] = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// NumValuesAllowed returns the total number of distinct argument values the
+// profile admits across all checked arguments — Figure 15(b)'s "# Argument
+// Values Allowed".
+func (p *Profile) NumValuesAllowed() int {
+	n := 0
+	for _, r := range p.Rules {
+		for col := range r.CheckedArgs {
+			distinct := map[uint64]bool{}
+			for _, set := range r.AllowedSets {
+				distinct[set[col]] = true
+			}
+			n += len(distinct)
+		}
+		// Each masked condition admits a value family; count it once, the
+		// way the paper's accounting counts docker-default's conditions.
+		for _, conds := range r.MaskedSets {
+			n += len(conds)
+		}
+	}
+	return n
+}
+
+// NumArgSets returns the total number of allowed argument tuples, which is
+// what sizes the Draco VAT.
+func (p *Profile) NumArgSets() int {
+	n := 0
+	for _, r := range p.Rules {
+		n += len(r.AllowedSets)
+	}
+	return n
+}

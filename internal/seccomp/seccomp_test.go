@@ -1,0 +1,444 @@
+package seccomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"draco/internal/hashes"
+	"draco/internal/syscalls"
+)
+
+func data(nr int, args ...uint64) *Data {
+	d := &Data{Nr: int32(nr), Arch: AuditArchX8664, IP: 0x400000}
+	copy(d.Args[:], args)
+	return d
+}
+
+func TestActionSemantics(t *testing.T) {
+	if !ActAllow.Allows() {
+		t.Error("allow does not allow")
+	}
+	if !ActLog.Allows() {
+		t.Error("log should allow")
+	}
+	for _, a := range []Action{ActKillProcess, ActKillThread, ActTrap, Errno(13)} {
+		if a.Allows() {
+			t.Errorf("%v should not allow", a)
+		}
+	}
+	if Errno(13).Masked() != ActErrnoBase {
+		t.Error("errno masking broken")
+	}
+	if Combine(ActAllow, ActKillProcess) != ActKillProcess {
+		t.Error("combine should keep most restrictive (kill < allow numerically... kill_process=0x80000000)")
+	}
+	if Combine(ActKillThread, ActAllow) != ActKillThread {
+		t.Error("combine kept wrong action")
+	}
+}
+
+// figure1Profile reproduces the paper's Figure 1 example: personality is
+// allowed only with persona 0xffffffff or 0x20008.
+func figure1Profile() *Profile {
+	return &Profile{
+		Name:          "figure1",
+		DefaultAction: ActKillProcess,
+		Rules: []Rule{{
+			Syscall:     syscalls.MustByName("personality"),
+			CheckedArgs: []int{0},
+			AllowedSets: [][]uint64{{0xffffffff}, {0x20008}},
+		}},
+	}
+}
+
+func TestFigure1Semantics(t *testing.T) {
+	p := figure1Profile()
+	for _, shape := range []Shape{ShapeLinear, ShapeBinaryTree} {
+		f, err := NewFilter(p, shape)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if r := f.Check(data(135, 0xffffffff)); r.Action != ActAllow {
+			t.Errorf("%v: personality(0xffffffff) = %v, want allow", shape, r.Action)
+		}
+		if r := f.Check(data(135, 0x20008)); r.Action != ActAllow {
+			t.Errorf("%v: personality(0x20008) = %v, want allow", shape, r.Action)
+		}
+		if r := f.Check(data(135, 0x1234)); r.Action != ActKillProcess {
+			t.Errorf("%v: personality(0x1234) = %v, want kill", shape, r.Action)
+		}
+		if r := f.Check(data(0, 3)); r.Action != ActKillProcess {
+			t.Errorf("%v: read = %v, want kill", shape, r.Action)
+		}
+	}
+}
+
+func TestWrongArchKilled(t *testing.T) {
+	f, err := NewFilter(figure1Profile(), ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data(135, 0xffffffff)
+	d.Arch = 0x40000003 // i386
+	if r := f.Check(d); r.Action != ActKillProcess {
+		t.Fatalf("foreign arch allowed: %v", r.Action)
+	}
+}
+
+func TestHighArgWordChecked(t *testing.T) {
+	// Values above 2^32 must be distinguished: cBPF compares both words.
+	p := &Profile{
+		Name:          "hi",
+		DefaultAction: ActKillProcess,
+		Rules: []Rule{{
+			Syscall:     syscalls.MustByName("lseek"),
+			CheckedArgs: []int{1},
+			AllowedSets: [][]uint64{{0x1_00000000}},
+		}},
+	}
+	for _, shape := range []Shape{ShapeLinear, ShapeBinaryTree} {
+		f, err := NewFilter(p, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := f.Check(data(8, 0, 0x1_00000000)); r.Action != ActAllow {
+			t.Errorf("%v: exact 64-bit value not allowed", shape)
+		}
+		if r := f.Check(data(8, 0, 0)); r.Action == ActAllow {
+			t.Errorf("%v: low-word-only match allowed", shape)
+		}
+		if r := f.Check(data(8, 0, 0x2_00000000)); r.Action == ActAllow {
+			t.Errorf("%v: high-word mismatch allowed", shape)
+		}
+	}
+}
+
+func TestDockerDefaultShape(t *testing.T) {
+	p := DockerDefault()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumSyscalls()
+	// Our syscall table is slightly smaller than the paper's 403-call
+	// kernel; docker-default must still be a broad whitelist.
+	if n < 250 || n >= syscalls.Count() {
+		t.Fatalf("docker-default allows %d syscalls, want broad whitelist < %d", n, syscalls.Count())
+	}
+	if got := p.NumArgsChecked(); got != 2 {
+		t.Fatalf("docker-default checks %d args, want 2 (clone, personality)", got)
+	}
+	if got := p.NumValuesAllowed(); got != 7 {
+		t.Fatalf("docker-default allows %d argument values, want 7 (paper §II-C)", got)
+	}
+}
+
+func TestDockerDefaultBehaviour(t *testing.T) {
+	f, err := NewFilter(DockerDefault(), ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Check(data(0, 3)); r.Action != ActAllow { // read
+		t.Errorf("read denied: %v", r.Action)
+	}
+	ptrace := syscalls.MustByName("ptrace")
+	if r := f.Check(data(ptrace.Num)); r.Action.Allows() {
+		t.Error("ptrace allowed by docker-default")
+	}
+	if r := f.Check(data(135, PersonalityAllowed[0])); r.Action != ActAllow {
+		t.Error("allowed personality value denied")
+	}
+	if r := f.Check(data(135, 0xdead)); r.Action.Allows() {
+		t.Error("arbitrary personality value allowed")
+	}
+}
+
+func TestGVisorAndFirecrackerCounts(t *testing.T) {
+	g := GVisorDefault()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumSyscalls(); got != 74 {
+		t.Errorf("gvisor allows %d syscalls, want 74", got)
+	}
+	if got := g.NumArgsChecked(); got != 130 {
+		t.Errorf("gvisor checks %d args, want 130", got)
+	}
+	fc := Firecracker()
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.NumSyscalls(); got != 37 {
+		t.Errorf("firecracker allows %d syscalls, want 37", got)
+	}
+	if got := fc.NumArgsChecked(); got != 8 {
+		t.Errorf("firecracker checks %d args, want 8", got)
+	}
+}
+
+func TestStripArgs(t *testing.T) {
+	p := figure1Profile()
+	s := StripArgs(p)
+	if s.NumArgsChecked() != 0 {
+		t.Fatal("StripArgs left arg checks")
+	}
+	f, err := NewFilter(s, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Check(data(135, 0xdead)); r.Action != ActAllow {
+		t.Error("noargs profile should allow any personality value")
+	}
+}
+
+func TestChainCombinesAndSumsCost(t *testing.T) {
+	f, err := NewFilter(figure1Profile(), ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := Chain{f}.Check(data(135, 0x20008))
+	double := Chain{f, f}.Check(data(135, 0x20008))
+	if double.Action != ActAllow {
+		t.Fatal("chain denied an allowed call")
+	}
+	if double.Executed != 2*single.Executed {
+		t.Fatalf("2x chain executed %d, want %d", double.Executed, 2*single.Executed)
+	}
+	// A denying filter anywhere in the chain denies.
+	deny := &Profile{Name: "deny-all", DefaultAction: ActKillProcess}
+	fd, err := NewFilter(deny, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := (Chain{f, fd}).Check(data(135, 0x20008)); r.Action.Allows() {
+		t.Fatal("deny-all filter in chain did not deny")
+	}
+}
+
+func TestEmptyChainAllows(t *testing.T) {
+	if r := (Chain{}).Check(data(0)); r.Action != ActAllow || r.Executed != 0 {
+		t.Fatalf("empty chain: %+v", r)
+	}
+}
+
+func TestTreeCheaperThanLinearForHighSyscalls(t *testing.T) {
+	p := DockerDefault()
+	lin, err := NewFilter(p, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewFilter(p, ShapeBinaryTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// openat (257) sits deep in the linear chain; the tree reaches it in
+	// O(log n).
+	d := data(257, 4, 0, 0, 0)
+	rl := lin.Check(d)
+	rt := tree.Check(d)
+	if rl.Action != ActAllow || rt.Action != ActAllow {
+		t.Fatalf("openat denied: lin=%v tree=%v", rl.Action, rt.Action)
+	}
+	if rt.Executed >= rl.Executed {
+		t.Fatalf("tree executed %d >= linear %d for a deep syscall", rt.Executed, rl.Executed)
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	read := syscalls.MustByName("read")
+	bad := []*Profile{
+		// duplicate rule
+		{Name: "dup", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: read}, {Syscall: read}}},
+		// pointer arg checked
+		{Name: "ptr", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: read, CheckedArgs: []int{1}, AllowedSets: [][]uint64{{1}}}}},
+		// arg index out of range
+		{Name: "range", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: read, CheckedArgs: []int{5}, AllowedSets: [][]uint64{{1}}}}},
+		// set width mismatch
+		{Name: "width", DefaultAction: ActKillProcess,
+			Rules: []Rule{{Syscall: read, CheckedArgs: []int{0}, AllowedSets: [][]uint64{{1, 2}}}}},
+		// allowing default
+		{Name: "default", DefaultAction: ActAllow},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q validated unexpectedly", p.Name)
+		}
+	}
+}
+
+// TestDifferentialCompilers checks linear and tree compilation against the
+// reference Evaluate over randomized profiles and inputs.
+func TestDifferentialCompilers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	allCalls := syscalls.All()
+	for trial := 0; trial < 25; trial++ {
+		// Random profile: 1..40 syscalls, some with arg checks.
+		nRules := 1 + rng.Intn(40)
+		perm := rng.Perm(len(allCalls))
+		p := &Profile{Name: "fuzz", DefaultAction: ActKillProcess}
+		for i := 0; i < nRules; i++ {
+			in := allCalls[perm[i]]
+			r := Rule{Syscall: in}
+			checked := in.CheckedArgs()
+			if len(checked) > 0 && rng.Intn(2) == 0 {
+				k := 1 + rng.Intn(len(checked))
+				r.CheckedArgs = checked[:k]
+				nSets := 1 + rng.Intn(4)
+				for s := 0; s < nSets; s++ {
+					set := make([]uint64, k)
+					for j := range set {
+						set[j] = uint64(rng.Intn(4)) << (32 * uint(rng.Intn(2)))
+					}
+					r.AllowedSets = append(r.AllowedSets, set)
+				}
+			}
+			p.Rules = append(p.Rules, r)
+		}
+		lin, err := NewFilter(p, ShapeLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := NewFilter(p, ShapeBinaryTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			var d Data
+			d.Arch = AuditArchX8664
+			if rng.Intn(4) == 0 {
+				d.Nr = int32(rng.Intn(440))
+			} else {
+				d.Nr = int32(p.Rules[rng.Intn(len(p.Rules))].Syscall.Num)
+			}
+			for j := range d.Args {
+				d.Args[j] = uint64(rng.Intn(4)) << (32 * uint(rng.Intn(2)))
+			}
+			want := p.Evaluate(&d)
+			if got := lin.Check(&d); got.Action != want {
+				t.Fatalf("linear mismatch nr=%d args=%v: got %v want %v", d.Nr, d.Args, got.Action, want)
+			}
+			if got := tree.Check(&d); got.Action != want {
+				t.Fatalf("tree mismatch nr=%d args=%v: got %v want %v", d.Nr, d.Args, got.Action, want)
+			}
+		}
+	}
+}
+
+func TestQuickRuleMatches(t *testing.T) {
+	read := syscalls.MustByName("read")
+	r := Rule{
+		Syscall:     read,
+		CheckedArgs: []int{0, 2},
+		AllowedSets: [][]uint64{{3, 4096}, {5, 8192}},
+	}
+	f := func(fd, count uint64) bool {
+		args := hashes.Args{fd, 0xdead, count}
+		want := (fd == 3 && count == 4096) || (fd == 5 && count == 8192)
+		return r.Matches(args) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinearDockerDefaultRead(b *testing.B) {
+	f, err := NewFilter(DockerDefault(), ShapeLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := data(0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Check(d)
+	}
+}
+
+func BenchmarkLinearDockerDefaultDeepSyscall(b *testing.B) {
+	f, err := NewFilter(DockerDefault(), ShapeLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := data(288, 5) // accept4: deep in the chain
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Check(d)
+	}
+}
+
+func BenchmarkTreeDockerDefaultDeepSyscall(b *testing.B) {
+	f, err := NewFilter(DockerDefault(), ShapeBinaryTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := data(288, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Check(d)
+	}
+}
+
+func TestNarrowArgumentWidthSemantics(t *testing.T) {
+	// read's fd is a C int (4 bytes): values differing only above the
+	// declared width are the same fd to the kernel, the compiled filter,
+	// the reference Evaluate, and the Draco bitmask machinery.
+	read := syscalls.MustByName("read")
+	p := &Profile{
+		Name:          "width",
+		DefaultAction: ActKillProcess,
+		Rules: []Rule{{
+			Syscall:     read,
+			CheckedArgs: []int{0, 2},
+			AllowedSets: [][]uint64{{3, 4096}},
+		}},
+	}
+	for _, shape := range []Shape{ShapeLinear, ShapeBinaryTree} {
+		f, err := NewFilter(p, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes := []struct {
+			fd, count uint64
+			want      bool
+		}{
+			{3, 4096, true},
+			{0xdeadbeef00000003, 4096, true}, // same fd in the low word
+			{4, 4096, false},                 // different fd
+			{3, 0xdeadbeef00001000, false},   // count is size_t: full width
+			{3, 4097, false},
+		}
+		for _, pr := range probes {
+			d := data(0, pr.fd, 0x7f0000000000, pr.count)
+			got := f.Check(d).Action.Allows()
+			ref := p.Evaluate(d).Allows()
+			if got != pr.want || ref != pr.want {
+				t.Errorf("%v fd=%#x count=%#x: filter=%v eval=%v want %v",
+					shape, pr.fd, pr.count, got, ref, pr.want)
+			}
+		}
+	}
+}
+
+func TestNarrowWidthFilterIsShorter(t *testing.T) {
+	// Narrow arguments compile to one comparison instead of two.
+	read := syscalls.MustByName("read")
+	p := &Profile{
+		Name:          "w",
+		DefaultAction: ActKillProcess,
+		Rules: []Rule{{
+			Syscall:     read,
+			CheckedArgs: []int{0}, // fd: 4 bytes
+			AllowedSets: [][]uint64{{3}},
+		}},
+	}
+	prog, err := Compile(p, ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prologue(4) + jeq + [ld, jeq, ret] + reload + default ret = 10.
+	if len(prog) != 10 {
+		t.Fatalf("narrow-arg filter has %d instructions, want 10:\n%v", len(prog), prog)
+	}
+}

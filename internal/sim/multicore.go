@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"draco/internal/hwdraco"
+	"draco/internal/kernelmodel"
+	"draco/internal/microarch"
+	"draco/internal/trace"
+	"draco/internal/workloads"
+)
+
+// Multicore simulation (paper Figure 10): each core runs one checked
+// process with its own L1/L2, TLB, and per-core Draco hardware (SLB, STB,
+// SPT); the L3 is shared, so VAT traffic and cache pollution from all cores
+// contend. Draco needs no coherence between the per-core structures
+// (paper §VII-B: filters are immutable at runtime), which this model
+// exploits by construction: cores never exchange table state.
+
+// CoreResult is one core's outcome in a multicore run.
+type CoreResult struct {
+	Core    int
+	Metrics Metrics
+}
+
+// MulticoreResult aggregates a run.
+type MulticoreResult struct {
+	Cores []CoreResult
+	// SharedL3 reports the contended L3's hit rate.
+	SharedL3 microarch.CacheStats
+}
+
+// MeanSlowdown returns the arithmetic mean of per-core slowdowns relative
+// to the supplied per-core baselines.
+func (m MulticoreResult) MeanSlowdown(base MulticoreResult) float64 {
+	if len(m.Cores) == 0 || len(m.Cores) != len(base.Cores) {
+		return 0
+	}
+	s := 0.0
+	for i := range m.Cores {
+		s += m.Cores[i].Metrics.Slowdown(base.Cores[i].Metrics)
+	}
+	return s / float64(len(m.Cores))
+}
+
+// coreState carries one core's simulation position.
+type coreState struct {
+	idx    int
+	w      *workloads.Workload
+	kernel *kernelmodel.Kernel
+	proc   *kernelmodel.Process
+	mem    *microarch.Hierarchy
+	trace  []coreEvent
+	pos    int
+	// now is the core's local cycle count.
+	now uint64
+	m   Metrics
+
+	rng            *rand.Rand
+	pollutionCarry float64
+	nextSwitch     uint64
+	nextSweep      uint64
+}
+
+type coreEvent struct {
+	gap  uint64
+	body uint64
+	pc   uint64
+	sid  int
+	args [6]uint64
+}
+
+// RunMulticore simulates one process per core over the given workloads,
+// sharing an L3. Each core uses cfg's mode/profile settings.
+func RunMulticore(ws []*workloads.Workload, cfg Config) (MulticoreResult, error) {
+	return runMulticore(ws, cfg, false)
+}
+
+// RunMulticoreShared simulates THREADS of one process across the cores: all
+// cores run the same workload model and share the OS-side Draco state (one
+// SPT image and one VAT), while each core keeps its private SLB/STB/SPT —
+// exactly Figure 10's organization. No coherence is needed between the
+// per-core structures because VAT entries are only ever added (§VII-B).
+func RunMulticoreShared(w *workloads.Workload, nCores int, cfg Config) (MulticoreResult, error) {
+	ws := make([]*workloads.Workload, nCores)
+	for i := range ws {
+		ws[i] = w
+	}
+	return runMulticore(ws, cfg, true)
+}
+
+func runMulticore(ws []*workloads.Workload, cfg Config, sharedProcess bool) (MulticoreResult, error) {
+	if len(ws) == 0 {
+		return MulticoreResult{}, fmt.Errorf("sim: no workloads")
+	}
+	sharedL3 := microarch.NewCache("L3", 8<<20, 16, 64, 32)
+	sharedDRAM := microarch.NewDRAM()
+
+	var sharedProc *kernelmodel.Process
+	cores := make([]*coreState, len(ws))
+	for i, w := range ws {
+		trainSeed := cfg.TrainSeed + int64(i)
+		if sharedProcess {
+			trainSeed = cfg.TrainSeed
+		}
+		profile, depth := BuildProfile(w, cfg.Profile, cfg.TrainEvents, trainSeed)
+		mode := cfg.Mode
+		if profile == nil {
+			mode = kernelmodel.ModeInsecure
+		}
+		mem := &microarch.Hierarchy{
+			L1:          microarch.NewCache(fmt.Sprintf("L1D-%d", i), 32<<10, 8, 64, 2),
+			L2:          microarch.NewCache(fmt.Sprintf("L2-%d", i), 256<<10, 8, 64, 8),
+			L3:          sharedL3,
+			DRAMLatency: 200,
+		}
+		mem.AttachDRAM(sharedDRAM)
+		tlb := microarch.DefaultTLB()
+		kernel := kernelmodel.NewKernel(mode, cfg.Costs, mem, tlb)
+		kernel.NoSPTSaveRestore = cfg.NoSPTSaveRestore
+		proc, err := kernelmodel.NewProcess(w.Name, profile, cfg.Shape, depth, cfg.HW, mem, tlb)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		if sharedProcess {
+			if sharedProc == nil {
+				sharedProc = proc
+			} else if proc.SW != nil {
+				// Threads share the process's OS-side state: one SPT image
+				// and one VAT; the per-core hardware engine stays private.
+				proc.SW = sharedProc.SW
+				proc.HW = hwdraco.NewEngine(cfg.HW, sharedProc.SW, mem, tlb)
+			}
+		}
+		tr := w.Generate(cfg.Events, cfg.Seed+int64(i))
+		events := make([]coreEvent, len(tr))
+		for j, e := range tr {
+			events[j] = coreEvent{gap: e.Gap, body: e.Body, pc: e.PC, sid: e.SID, args: e.Args}
+		}
+		cores[i] = &coreState{
+			idx:        i,
+			w:          w,
+			kernel:     kernel,
+			proc:       proc,
+			mem:        mem,
+			trace:      events,
+			m:          Metrics{Workload: w.Name, Mode: mode, Profile: cfg.Profile},
+			rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(i)<<16 ^ 0x5eed)),
+			nextSwitch: cfg.CtxSwitchInterval,
+			nextSweep:  cfg.AccessedSweepInterval,
+		}
+	}
+
+	// Advance the globally-earliest core one event at a time so shared-L3
+	// interleaving approximates concurrent execution.
+	for {
+		var next *coreState
+		for _, c := range cores {
+			if c.pos >= len(c.trace) {
+				continue
+			}
+			if next == nil || c.now < next.now {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		stepCore(next, cfg)
+	}
+
+	res := MulticoreResult{SharedL3: sharedL3.Stats()}
+	for _, c := range cores {
+		res.Cores = append(res.Cores, CoreResult{Core: c.idx, Metrics: c.m})
+	}
+	return res, nil
+}
+
+func stepCore(c *coreState, cfg Config) {
+	e := c.trace[c.pos]
+	c.pos++
+
+	c.now += e.gap
+	c.m.TotalCycles += e.gap
+	c.m.UserCycles += e.gap
+
+	if cfg.PollutionPerKCycle > 0 && cfg.PollutionWorkingSet > 0 {
+		c.pollutionCarry += float64(e.gap) * cfg.PollutionPerKCycle / 1000
+		for ; c.pollutionCarry >= 1; c.pollutionCarry-- {
+			// Per-core private working sets: disjoint address regions.
+			addr := uint64(c.idx+1)<<40 + (c.rng.Uint64()%cfg.PollutionWorkingSet)&^63
+			c.mem.Access(addr)
+		}
+	}
+
+	if cfg.CtxSwitchInterval > 0 && c.now >= c.nextSwitch {
+		same := c.rng.Float64() < cfg.SameProcessProb
+		cost := c.kernel.ContextSwitch(c.proc, same)
+		if !same {
+			cost += c.kernel.Resume(c.proc)
+		}
+		c.now += cost
+		c.m.TotalCycles += cost
+		c.m.CtxSwitchCycles += cost
+		c.m.CtxSwitches++
+		c.nextSwitch += cfg.CtxSwitchInterval
+	}
+	if cfg.AccessedSweepInterval > 0 && c.now >= c.nextSweep {
+		if c.proc.HW != nil {
+			c.proc.HW.ClearAccessedBits()
+		}
+		if c.proc.SW != nil {
+			c.proc.SW.SPT.ClearAccessed()
+		}
+		c.nextSweep += cfg.AccessedSweepInterval
+	}
+	if c.kernel.Mode == kernelmodel.ModeDracoHW && cfg.SquashRate > 0 && c.rng.Float64() < cfg.SquashRate {
+		c.proc.HW.Squash()
+	}
+
+	ev := trace.Event{PC: e.pc, SID: e.sid, Args: e.args, Gap: e.gap, Body: e.body}
+	r := c.kernel.Syscall(c.proc, ev)
+	c.m.Syscalls++
+	c.m.CheckCycles += r.Check
+	c.m.EntryExitCycles += cfg.Costs.SyscallEntryExit
+	if r.Allowed {
+		c.m.BodyCycles += e.body
+		c.now += r.Cycles
+		c.m.TotalCycles += r.Cycles
+	} else {
+		c.m.Denied++
+		cost := cfg.Costs.SyscallEntryExit + r.Check
+		c.now += cost
+		c.m.TotalCycles += cost
+		if r.Killed {
+			c.m.KilledAt = c.m.Syscalls
+			c.pos = len(c.trace) // terminate the core's run
+		}
+	}
+
+	if c.pos == len(c.trace) {
+		if c.proc.HW != nil {
+			c.m.HW = c.proc.HW.Stats()
+		}
+		if c.proc.SW != nil {
+			c.m.SW = c.proc.SW.Stats
+			c.m.VATBytes = c.proc.SW.VAT.SizeBytes()
+		}
+	}
+}

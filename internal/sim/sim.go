@@ -1,0 +1,277 @@
+// Package sim is the full-system cycle-accounting simulator: it drives a
+// workload's system call trace through the kernel model under a chosen
+// checking mode and profile, modeling cache pollution from user
+// computation, periodic context switches, speculative squashes, and the
+// Accessed-bit sweep (paper §X-C's evaluation methodology, substituted per
+// DESIGN.md).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"draco/internal/core"
+	"draco/internal/hwdraco"
+	"draco/internal/kernelmodel"
+	"draco/internal/microarch"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/workloads"
+)
+
+// ProfileKind selects the Seccomp profile of §IV-A.
+type ProfileKind int
+
+const (
+	// ProfileInsecure disables checking entirely.
+	ProfileInsecure ProfileKind = iota
+	// ProfileDockerDefault is Docker's default profile.
+	ProfileDockerDefault
+	// ProfileNoArgs is the application-specific ID-only whitelist.
+	ProfileNoArgs
+	// ProfileComplete is the application-specific ID+arguments whitelist.
+	ProfileComplete
+	// ProfileComplete2x attaches the complete profile twice.
+	ProfileComplete2x
+)
+
+func (p ProfileKind) String() string {
+	switch p {
+	case ProfileInsecure:
+		return "insecure"
+	case ProfileDockerDefault:
+		return "docker-default"
+	case ProfileNoArgs:
+		return "syscall-noargs"
+	case ProfileComplete:
+		return "syscall-complete"
+	default:
+		return "syscall-complete-2x"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Mode    kernelmodel.Mode
+	Profile ProfileKind
+	Shape   seccomp.Shape
+	Costs   kernelmodel.CostModel
+	HW      hwdraco.Config
+
+	// Events is the number of system calls to simulate; TrainEvents sizes
+	// the profiling trace the application-specific profiles are generated
+	// from (§X-B).
+	Events      int
+	Seed        int64
+	TrainEvents int
+	TrainSeed   int64
+
+	// CtxSwitchInterval is the scheduler timeslice in cycles (0 disables
+	// context switches); SameProcessProb is the chance the same process is
+	// rescheduled (§VII-B's no-invalidation case).
+	CtxSwitchInterval uint64
+	SameProcessProb   float64
+
+	// SquashRate is the per-syscall probability of a pipeline squash with
+	// a preload in flight (§IX's Temporary Buffer case).
+	SquashRate float64
+
+	// Cache pollution from user computation between syscalls: the process
+	// touches PollutionPerKCycle cache lines per 1000 user cycles within a
+	// PollutionWorkingSet-byte region.
+	PollutionWorkingSet uint64
+	PollutionPerKCycle  float64
+
+	// AccessedSweepInterval is the periodic Accessed-bit clear (~500us).
+	AccessedSweepInterval uint64
+
+	// NoSPTSaveRestore disables the §VII-B SPT save/restore context-switch
+	// support (ablation): switches fully invalidate the hardware state.
+	NoSPTSaveRestore bool
+}
+
+// DefaultConfig returns the paper's configuration: Table II hardware,
+// Linux 5.3 costs, 100K syscalls, 1M-cycle timeslices.
+func DefaultConfig() Config {
+	return Config{
+		Mode:                  kernelmodel.ModeInsecure,
+		Profile:               ProfileInsecure,
+		Shape:                 seccomp.ShapeLinear,
+		Costs:                 kernelmodel.Linux53Costs(),
+		HW:                    hwdraco.DefaultConfig(),
+		Events:                100_000,
+		Seed:                  1,
+		TrainEvents:           150_000,
+		TrainSeed:             999,
+		CtxSwitchInterval:     4_000_000,
+		SameProcessProb:       0.5,
+		SquashRate:            0.01,
+		PollutionWorkingSet:   32 << 20,
+		PollutionPerKCycle:    16,
+		AccessedSweepInterval: 1_000_000,
+	}
+}
+
+// Metrics is the result of one run.
+type Metrics struct {
+	Workload string
+	Mode     kernelmodel.Mode
+	Profile  ProfileKind
+
+	TotalCycles     uint64
+	UserCycles      uint64
+	EntryExitCycles uint64
+	CheckCycles     uint64
+	BodyCycles      uint64
+	CtxSwitchCycles uint64
+
+	Syscalls    uint64
+	Denied      uint64
+	CtxSwitches uint64
+	// KilledAt is the syscall index at which a kill action terminated the
+	// process (0 = ran to completion).
+	KilledAt uint64
+
+	HW hwdraco.Stats
+	SW core.Stats
+	// VATBytes is the process's VAT memory consumption (§XI-C).
+	VATBytes int
+}
+
+// Slowdown returns this run's execution time normalized to a baseline run
+// (the Figure 2/11/12 y-axis).
+func (m Metrics) Slowdown(base Metrics) float64 {
+	if base.TotalCycles == 0 {
+		return 0
+	}
+	return float64(m.TotalCycles) / float64(base.TotalCycles)
+}
+
+// BuildProfile constructs the profile of kind k for workload w, using the
+// §X-B toolkit for the application-specific kinds. It returns nil for
+// ProfileInsecure. The chain depth is 2 for Complete2x, else 1.
+func BuildProfile(w *workloads.Workload, k ProfileKind, trainEvents int, trainSeed int64) (*seccomp.Profile, int) {
+	switch k {
+	case ProfileInsecure:
+		return nil, 0
+	case ProfileDockerDefault:
+		return seccomp.DockerDefault(), 1
+	case ProfileNoArgs:
+		tr := w.Generate(trainEvents, trainSeed)
+		return profilegen.NoArgs(w.Name, tr, genOpts()), 1
+	case ProfileComplete:
+		tr := w.Generate(trainEvents, trainSeed)
+		return profilegen.Complete(w.Name, tr, genOpts()), 1
+	case ProfileComplete2x:
+		tr := w.Generate(trainEvents, trainSeed)
+		return profilegen.Complete(w.Name, tr, genOpts()), 2
+	default:
+		panic(fmt.Sprintf("sim: unknown profile kind %d", k))
+	}
+}
+
+// genOpts returns the profile-generation options production deployments
+// use: errno on violation (EPERM, like docker-default) so a profiling gap
+// degrades the app instead of killing it.
+func genOpts() profilegen.Options {
+	return profilegen.Options{IncludeRuntime: true, DefaultAction: seccomp.Errno(1)}
+}
+
+// Run simulates workload w under cfg.
+func Run(w *workloads.Workload, cfg Config) (Metrics, error) {
+	profile, depth := BuildProfile(w, cfg.Profile, cfg.TrainEvents, cfg.TrainSeed)
+	mode := cfg.Mode
+	if profile == nil {
+		mode = kernelmodel.ModeInsecure
+	}
+
+	mem := microarch.DefaultHierarchy()
+	mem.AttachDRAM(microarch.NewDRAM())
+	tlb := microarch.DefaultTLB()
+	kernel := kernelmodel.NewKernel(mode, cfg.Costs, mem, tlb)
+	kernel.NoSPTSaveRestore = cfg.NoSPTSaveRestore
+	proc, err := kernelmodel.NewProcess(w.Name, profile, cfg.Shape, depth, cfg.HW, mem, tlb)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	tr := w.Generate(cfg.Events, cfg.Seed)
+	m := Metrics{Workload: w.Name, Mode: mode, Profile: cfg.Profile}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+
+	var pollutionCarry float64
+	nextSwitch := cfg.CtxSwitchInterval
+	nextSweep := cfg.AccessedSweepInterval
+
+	for _, ev := range tr {
+		// User computation since the previous syscall.
+		m.TotalCycles += ev.Gap
+		m.UserCycles += ev.Gap
+
+		// Cache pollution proportional to user time.
+		if cfg.PollutionPerKCycle > 0 && cfg.PollutionWorkingSet > 0 {
+			pollutionCarry += float64(ev.Gap) * cfg.PollutionPerKCycle / 1000
+			for ; pollutionCarry >= 1; pollutionCarry-- {
+				addr := 0x10_0000_0000 + (rng.Uint64()%cfg.PollutionWorkingSet)&^63
+				mem.Access(addr)
+			}
+		}
+
+		// Scheduler timeslice.
+		if cfg.CtxSwitchInterval > 0 && m.TotalCycles >= nextSwitch {
+			same := rng.Float64() < cfg.SameProcessProb
+			c := kernel.ContextSwitch(proc, same)
+			if !same {
+				c += kernel.Resume(proc)
+			}
+			m.TotalCycles += c
+			m.CtxSwitchCycles += c
+			m.CtxSwitches++
+			nextSwitch += cfg.CtxSwitchInterval
+		}
+
+		// Periodic Accessed-bit sweep.
+		if cfg.AccessedSweepInterval > 0 && m.TotalCycles >= nextSweep {
+			if proc.HW != nil {
+				proc.HW.ClearAccessedBits()
+			}
+			if proc.SW != nil {
+				proc.SW.SPT.ClearAccessed()
+			}
+			nextSweep += cfg.AccessedSweepInterval
+		}
+
+		// Occasional pipeline squash with a preload in flight.
+		if mode == kernelmodel.ModeDracoHW && cfg.SquashRate > 0 && rng.Float64() < cfg.SquashRate {
+			proc.HW.Squash()
+		}
+
+		// The system call itself.
+		r := kernel.Syscall(proc, ev)
+		m.Syscalls++
+		m.CheckCycles += r.Check
+		m.EntryExitCycles += cfg.Costs.SyscallEntryExit
+		if r.Allowed {
+			m.BodyCycles += ev.Body
+			m.TotalCycles += r.Cycles
+		} else {
+			// Denied: errno path, no kernel body work.
+			m.Denied++
+			m.TotalCycles += cfg.Costs.SyscallEntryExit + r.Check
+			if r.Killed {
+				// Kill-action profile: the process is gone (§II-B).
+				m.KilledAt = m.Syscalls
+				break
+			}
+		}
+	}
+
+	if proc.HW != nil {
+		m.HW = proc.HW.Stats()
+	}
+	if proc.SW != nil {
+		m.SW = proc.SW.Stats
+		m.VATBytes = proc.SW.VAT.SizeBytes()
+	}
+	return m, nil
+}

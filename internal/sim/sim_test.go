@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+
+	"draco/internal/kernelmodel"
+	"draco/internal/workloads"
+)
+
+func wl(t *testing.T, name string) *workloads.Workload {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	return w
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Events = 5000
+	cfg.TrainEvents = 30000
+	return cfg
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := wl(t, "httpd")
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeSeccomp
+	cfg.Profile = ProfileComplete
+	a, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles || a.CheckCycles != b.CheckCycles {
+		t.Fatalf("nondeterministic: %d vs %d", a.TotalCycles, b.TotalCycles)
+	}
+}
+
+func TestInsecureBaselineHasNoCheckCost(t *testing.T) {
+	w := wl(t, "pipe-ipc")
+	m, err := Run(w, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckCycles != 0 {
+		t.Fatalf("insecure run charged %d check cycles", m.CheckCycles)
+	}
+	if m.Syscalls != 5000 {
+		t.Fatalf("syscalls = %d", m.Syscalls)
+	}
+	if m.Denied != 0 {
+		t.Fatalf("denied = %d", m.Denied)
+	}
+}
+
+// TestOrderingInvariant is the headline reproduction property: for every
+// workload, insecure <= hwDraco <= swDraco <= seccomp under the complete
+// profile, and the hardware stays within a couple percent of insecure
+// (paper Figures 2, 11, 12).
+func TestOrderingInvariant(t *testing.T) {
+	for _, name := range []string{"httpd", "redis", "unixbench-syscall", "mq-ipc"} {
+		w := wl(t, name)
+		base, err := Run(w, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(mode kernelmodel.Mode) float64 {
+			cfg := smallCfg()
+			cfg.Mode = mode
+			cfg.Profile = ProfileComplete
+			m, err := Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.Slowdown(base)
+		}
+		sec := run(kernelmodel.ModeSeccomp)
+		sw := run(kernelmodel.ModeDracoSW)
+		hw := run(kernelmodel.ModeDracoHW)
+		if !(1.0 <= hw && hw <= sw && sw <= sec) {
+			t.Errorf("%s: ordering violated: hw=%.3f sw=%.3f sec=%.3f", name, hw, sw, sec)
+		}
+		if hw > 1.03 {
+			t.Errorf("%s: hardware Draco overhead %.3f, want within ~1%% of insecure", name, hw)
+		}
+		if sec < 1.01 {
+			t.Errorf("%s: seccomp overhead %.3f implausibly low", name, sec)
+		}
+	}
+}
+
+func TestComplete2xRoughlyDoublesSeccompOverhead(t *testing.T) {
+	w := wl(t, "elasticsearch")
+	base, err := Run(w, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeSeccomp
+	cfg.Profile = ProfileComplete
+	m1, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = ProfileComplete2x
+	m2, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := m1.Slowdown(base) - 1
+	o2 := m2.Slowdown(base) - 1
+	if o2 < 1.6*o1 || o2 > 2.4*o1 {
+		t.Fatalf("2x overhead %.4f not ~2x of %.4f", o2, o1)
+	}
+}
+
+func TestDracoSWStableUnder2x(t *testing.T) {
+	// Paper §XI-A: doubling the checks barely moves software Draco because
+	// the filter only runs on misses.
+	w := wl(t, "mysql")
+	base, err := Run(w, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeDracoSW
+	cfg.Profile = ProfileComplete
+	m1, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = ProfileComplete2x
+	m2, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := m1.Slowdown(base) - 1
+	o2 := m2.Slowdown(base) - 1
+	if o2 > 1.4*o1 {
+		t.Fatalf("draco-sw 2x overhead %.4f vs %.4f: should rise only modestly", o2, o1)
+	}
+}
+
+func TestHWStatsPopulated(t *testing.T) {
+	w := wl(t, "nginx")
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeDracoHW
+	cfg.Profile = ProfileComplete
+	m, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HW.Syscalls == 0 || m.HW.SLBAccesses == 0 || m.HW.STBAccesses == 0 {
+		t.Fatalf("hw stats empty: %+v", m.HW)
+	}
+	if m.HW.STBHitRate() < 0.5 {
+		t.Fatalf("STB hit rate %.2f implausible", m.HW.STBHitRate())
+	}
+	if m.VATBytes == 0 {
+		t.Fatal("VAT size not reported")
+	}
+	var flows uint64
+	for _, f := range m.HW.Flows {
+		flows += f
+	}
+	if flows == 0 {
+		t.Fatal("no flows recorded")
+	}
+}
+
+func TestContextSwitchesHappen(t *testing.T) {
+	w := wl(t, "httpd")
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeDracoHW
+	cfg.Profile = ProfileComplete
+	m, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CtxSwitches == 0 {
+		t.Fatal("no context switches in a 5000-event httpd run")
+	}
+	if m.CtxSwitchCycles == 0 {
+		t.Fatal("context switches cost nothing")
+	}
+}
+
+func TestProfileKindsBuild(t *testing.T) {
+	w := wl(t, "grep")
+	for _, k := range []ProfileKind{ProfileInsecure, ProfileDockerDefault, ProfileNoArgs, ProfileComplete, ProfileComplete2x} {
+		p, depth := BuildProfile(w, k, 10000, 1)
+		switch k {
+		case ProfileInsecure:
+			if p != nil || depth != 0 {
+				t.Error("insecure built a profile")
+			}
+		case ProfileComplete2x:
+			if depth != 2 {
+				t.Errorf("%v depth = %d", k, depth)
+			}
+		default:
+			if p == nil || depth != 1 {
+				t.Errorf("%v: profile nil or depth %d", k, depth)
+			}
+		}
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func TestNoPreloadAblationIsSlower(t *testing.T) {
+	w := wl(t, "elasticsearch")
+	cfg := smallCfg()
+	cfg.Mode = kernelmodel.ModeDracoHW
+	cfg.Profile = ProfileComplete
+	with, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HW.PreloadEnabled = false
+	without, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.CheckCycles <= with.CheckCycles {
+		t.Fatalf("preload off (%d check cycles) not slower than on (%d)",
+			without.CheckCycles, with.CheckCycles)
+	}
+}

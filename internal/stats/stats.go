@@ -1,0 +1,143 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harness uses: means, geometric means, and fixed-width text
+// tables that mirror the paper's figures as rows/series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean (0 for empty input; panics on
+// non-positive values, which would indicate a broken measurement).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table is a labeled grid of cells rendered in fixed-width text.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	label string
+	cells []string
+}
+
+// NewTable creates a table with the given column headers (the first column
+// is the row label).
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.rows = append(t.rows, row{label: label, cells: cells})
+}
+
+// AddFloats appends a row of float cells rendered with 3 decimals.
+func (t *Table) AddFloats(label string, values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%.3f", v)
+	}
+	t.AddRow(label, cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	labelW := len("workload")
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r.cells {
+			if i < len(colW) && len(c) > colW[i] {
+				colW[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.label)
+		for i, c := range r.cells {
+			w := 8
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, " %*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with the label column
+// first; cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(csvEscape(r.label))
+		for _, c := range r.cells {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

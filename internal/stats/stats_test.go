@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %f", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("geomean of empty != 0")
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %f, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("geomean of non-positive did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestQuickGeomeanLeqMean(t *testing.T) {
+	// AM-GM inequality as a property check.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return Geomean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "a", "bb")
+	tb.AddRow("first", "1", "2")
+	tb.AddFloats("second-longer-label", 1.23456, 7)
+	out := tb.String()
+	for _, want := range []string{"Figure X", "first", "second-longer-label", "1.235", "7.000", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", "1", "2")
+	tb.AddRow("with,comma", `quote"d`, "3")
+	out := tb.CSV()
+	want := "label,a,b\nplain,1,2\n\"with,comma\",\"quote\"\"d\",3\n"
+	if out != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", out, want)
+	}
+}

@@ -1,0 +1,115 @@
+package syscalls
+
+import "fmt"
+
+// The x86-64 system call ABI (paper §II-A): the syscall instruction
+// transfers to the kernel with the system call ID in rax and up to six
+// arguments in fixed general-purpose registers; the return value comes back
+// in rax. The paper's §VIII generality discussion proposes an
+// OS-programmable table mapping argument numbers to registers so the Draco
+// hardware works on any kernel's convention — RegisterMap is that table.
+
+// Register names the general-purpose registers the ABI uses.
+type Register int
+
+const (
+	RAX Register = iota
+	RDI
+	RSI
+	RDX
+	R10
+	R8
+	R9
+	RCX
+	R11
+)
+
+func (r Register) String() string {
+	switch r {
+	case RAX:
+		return "rax"
+	case RDI:
+		return "rdi"
+	case RSI:
+		return "rsi"
+	case RDX:
+		return "rdx"
+	case R10:
+		return "r10"
+	case R8:
+		return "r8"
+	case R9:
+		return "r9"
+	case RCX:
+		return "rcx"
+	case R11:
+		return "r11"
+	default:
+		return fmt.Sprintf("reg(%d)", int(r))
+	}
+}
+
+// RegisterMap is the OS-programmable mapping from system call argument
+// index to the register carrying it (paper §VIII: "we can add an
+// OS-programmable table that contains the mapping between system call
+// argument number and general-purpose register").
+type RegisterMap struct {
+	// ID is the register holding the system call number.
+	ID Register
+	// Args maps argument index to register.
+	Args [MaxArgs]Register
+	// Ret is the return-value register.
+	Ret Register
+}
+
+// LinuxX8664ABI is Linux's x86-64 convention: rax for the ID and return
+// value; rdi, rsi, rdx, r10, r8, r9 for the six arguments (§II-A; note r10
+// replaces the function-call ABI's rcx, which the syscall instruction
+// clobbers).
+func LinuxX8664ABI() RegisterMap {
+	return RegisterMap{
+		ID:   RAX,
+		Args: [MaxArgs]Register{RDI, RSI, RDX, R10, R8, R9},
+		Ret:  RAX,
+	}
+}
+
+// Validate checks the mapping is usable by the hardware: distinct argument
+// registers, none clobbered by the syscall instruction itself (rcx/r11 on
+// x86-64 hold the return RIP and RFLAGS).
+func (m RegisterMap) Validate() error {
+	seen := map[Register]bool{}
+	for i, r := range m.Args {
+		if r == RCX || r == R11 {
+			return fmt.Errorf("syscalls: arg %d mapped to %s, clobbered by the syscall instruction", i, r)
+		}
+		if seen[r] {
+			return fmt.Errorf("syscalls: register %s carries two arguments", r)
+		}
+		seen[r] = true
+	}
+	if seen[m.ID] {
+		return fmt.Errorf("syscalls: ID register %s also carries an argument", m.ID)
+	}
+	return nil
+}
+
+// RegisterFor returns the register carrying argument idx.
+func (m RegisterMap) RegisterFor(idx int) (Register, error) {
+	if idx < 0 || idx >= MaxArgs {
+		return 0, fmt.Errorf("syscalls: argument index %d out of range", idx)
+	}
+	return m.Args[idx], nil
+}
+
+// GatherArgs reads the argument vector out of a register file snapshot
+// (register -> value), the operation the Draco hardware performs when the
+// system call reaches the ROB head (paper §V-D: "all the information about
+// the arguments is guaranteed to be available in specific registers").
+func (m RegisterMap) GatherArgs(regs map[Register]uint64) (int, [MaxArgs]uint64) {
+	var args [MaxArgs]uint64
+	for i, r := range m.Args {
+		args[i] = regs[r]
+	}
+	return int(regs[m.ID]), args
+}

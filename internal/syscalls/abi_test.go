@@ -1,0 +1,78 @@
+package syscalls
+
+import "testing"
+
+func TestLinuxABIValid(t *testing.T) {
+	m := LinuxX8664ABI()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != RAX || m.Ret != RAX {
+		t.Error("ID/return must be rax on x86-64")
+	}
+	want := []Register{RDI, RSI, RDX, R10, R8, R9}
+	for i, r := range want {
+		got, err := m.RegisterFor(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Errorf("arg %d in %s, want %s", i, got, r)
+		}
+	}
+	if _, err := m.RegisterFor(6); err == nil {
+		t.Error("arg 6 accepted")
+	}
+	if _, err := m.RegisterFor(-1); err == nil {
+		t.Error("arg -1 accepted")
+	}
+}
+
+func TestABIValidateRejects(t *testing.T) {
+	m := LinuxX8664ABI()
+	m.Args[3] = RCX // clobbered by syscall
+	if err := m.Validate(); err == nil {
+		t.Error("rcx mapping accepted")
+	}
+	m = LinuxX8664ABI()
+	m.Args[1] = RDI // duplicate
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate register accepted")
+	}
+	m = LinuxX8664ABI()
+	m.ID = RDI // ID register carries arg 0
+	if err := m.Validate(); err == nil {
+		t.Error("ID/arg collision accepted")
+	}
+}
+
+func TestGatherArgs(t *testing.T) {
+	m := LinuxX8664ABI()
+	regs := map[Register]uint64{
+		RAX: 0, // read
+		RDI: 3,
+		RSI: 0x7f00_0000_0000,
+		RDX: 4096,
+	}
+	sid, args := m.GatherArgs(regs)
+	if sid != 0 {
+		t.Fatalf("sid = %d", sid)
+	}
+	if args[0] != 3 || args[1] != 0x7f00_0000_0000 || args[2] != 4096 {
+		t.Fatalf("args = %v", args)
+	}
+	if args[3] != 0 || args[4] != 0 || args[5] != 0 {
+		t.Fatal("absent registers not zero")
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	for r := RAX; r <= R11; r++ {
+		if r.String() == "" {
+			t.Fatalf("register %d unnamed", r)
+		}
+	}
+	if Register(99).String() != "reg(99)" {
+		t.Fatal("unknown register format")
+	}
+}

@@ -1,0 +1,239 @@
+package syscalls
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableWellFormed(t *testing.T) {
+	for _, in := range All() {
+		if in.Name == "" {
+			t.Fatalf("syscall %d has empty name", in.Num)
+		}
+		if in.NArgs < 0 || in.NArgs > MaxArgs {
+			t.Errorf("%s: bad arg count %d", in.Name, in.NArgs)
+		}
+		if in.PtrMask>>uint(in.NArgs) != 0 {
+			t.Errorf("%s: pointer mask %#b names args beyond count %d", in.Name, in.PtrMask, in.NArgs)
+		}
+	}
+}
+
+func TestTableSize(t *testing.T) {
+	// The paper's kernel exposes 403 syscalls (§XI-D). Our table covers the
+	// standard x86-64 range plus the 424+ additions; assert it is in the
+	// same ballpark so docker-default/linux comparisons keep their shape.
+	if n := Count(); n < 300 || n > 450 {
+		t.Fatalf("table has %d syscalls, want 300..450", n)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	cases := []struct {
+		name  string
+		num   int
+		nargs int
+	}{
+		{"read", 0, 3},
+		{"write", 1, 3},
+		{"close", 3, 1},
+		{"mmap", 9, 6},
+		{"personality", 135, 1},
+		{"futex", 202, 6},
+		{"clone", 56, 5},
+		{"getppid", 110, 0},
+		{"openat", 257, 4},
+		{"accept4", 288, 4},
+		{"clone3", 435, 2},
+	}
+	for _, c := range cases {
+		in, ok := ByName(c.name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", c.name)
+		}
+		if in.Num != c.num {
+			t.Errorf("%s: number %d, want %d", c.name, in.Num, c.num)
+		}
+		if in.NArgs != c.nargs {
+			t.Errorf("%s: nargs %d, want %d", c.name, in.NArgs, c.nargs)
+		}
+		back, ok := ByNum(c.num)
+		if !ok || back.Name != c.name {
+			t.Errorf("ByNum(%d) = %v, want %s", c.num, back, c.name)
+		}
+	}
+}
+
+func TestByNumMissing(t *testing.T) {
+	if _, ok := ByNum(999); ok {
+		t.Fatal("ByNum(999) unexpectedly present")
+	}
+	if _, ok := ByName("not_a_syscall"); ok {
+		t.Fatal("ByName(not_a_syscall) unexpectedly present")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName did not panic on unknown name")
+		}
+	}()
+	MustByName("definitely_not_a_syscall")
+}
+
+func TestCheckedArgs(t *testing.T) {
+	// read(fd, buf*, count): args 0 and 2 are checkable.
+	read := MustByName("read")
+	got := read.CheckedArgs()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("read checked args = %v, want [0 2]", got)
+	}
+	// futex(uaddr*, op, val, utime*, uaddr2*, val3): checkable 1, 2, 5.
+	// The paper's CVE-2014-3153 mitigation checks futex_op, arg index 1.
+	futex := MustByName("futex")
+	got = futex.CheckedArgs()
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("futex checked args = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("futex checked args = %v, want %v", got, want)
+		}
+	}
+	if n := futex.NCheckedArgs(); n != 3 {
+		t.Fatalf("futex NCheckedArgs = %d, want 3", n)
+	}
+}
+
+func TestArgBitmask(t *testing.T) {
+	// personality(persona): one int arg => low 8 bits set.
+	p := MustByName("personality")
+	if m := p.ArgBitmask(); m != 0xff {
+		t.Fatalf("personality bitmask = %#x, want 0xff", m)
+	}
+	// getppid: no args => empty mask.
+	g := MustByName("getppid")
+	if m := g.ArgBitmask(); m != 0 {
+		t.Fatalf("getppid bitmask = %#x, want 0", m)
+	}
+	// read: fd (int, 4 bytes) and count (size_t, 8 bytes) => bytes 0-3
+	// of arg 0 and 16-23 of arg 2.
+	r := MustByName("read")
+	want := uint64(0x0f) | uint64(0xff)<<16
+	if m := r.ArgBitmask(); m != want {
+		t.Fatalf("read bitmask = %#x, want %#x", m, want)
+	}
+}
+
+func TestArgWidths(t *testing.T) {
+	read := MustByName("read")
+	if read.ArgWidth(0) != 4 || read.ArgWidth(2) != 8 {
+		t.Fatalf("read widths: %d, %d", read.ArgWidth(0), read.ArgWidth(2))
+	}
+	if read.WidthMask(0) != 0xffffffff {
+		t.Fatalf("fd mask = %#x", read.WidthMask(0))
+	}
+	if read.WidthMask(2) != ^uint64(0) {
+		t.Fatalf("count mask = %#x", read.WidthMask(2))
+	}
+	// Unlisted syscalls default to full width.
+	p := MustByName("personality")
+	if p.ArgWidth(0) != 8 {
+		t.Fatalf("personality width = %d", p.ArgWidth(0))
+	}
+	// Widths table must only name checkable args of known syscalls.
+	for name, ws := range argWidths {
+		in, ok := ByName(name)
+		if !ok {
+			t.Errorf("widths table names unknown syscall %s", name)
+			continue
+		}
+		for i, w := range ws {
+			if w == 0 {
+				continue
+			}
+			if i >= in.NArgs {
+				t.Errorf("%s: width for absent arg %d", name, i)
+			}
+			if w != 4 && w != 8 {
+				t.Errorf("%s arg %d: width %d unsupported", name, i, w)
+			}
+		}
+	}
+}
+
+func TestArgBitmaskNeverCoversPointers(t *testing.T) {
+	for _, in := range All() {
+		m := in.ArgBitmask()
+		for i := 0; i < MaxArgs; i++ {
+			byteBits := (m >> uint(i*ArgBytes)) & 0xff
+			isPtr := in.PtrMask&(1<<uint(i)) != 0
+			beyond := i >= in.NArgs
+			switch {
+			case (isPtr || beyond) && byteBits != 0:
+				t.Fatalf("%s: bitmask covers pointer/absent arg %d", in.Name, i)
+			case !isPtr && !beyond && byteBits != (uint64(1)<<(uint(in.ArgWidth(i))))-1:
+				t.Fatalf("%s: bitmask %#x inconsistent with width %d for arg %d", in.Name, byteBits, in.ArgWidth(i), i)
+			}
+		}
+	}
+}
+
+func TestArgCountHistogram(t *testing.T) {
+	h := ArgCountHistogram()
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != Count() {
+		t.Fatalf("histogram sums to %d, want %d", total, Count())
+	}
+	// Figure 14: most Linux syscalls take 1-4 arguments; zero-arg calls are
+	// a small minority and 3-arg calls are the single largest bucket range.
+	if h[0] >= h[3] {
+		t.Errorf("unexpected shape: %d zero-arg >= %d three-arg", h[0], h[3])
+	}
+	if h[3]+h[2]+h[4] < Count()/2 {
+		t.Errorf("2..4-arg calls = %d, want a majority of %d", h[2]+h[3]+h[4], Count())
+	}
+}
+
+func TestCheckedHistogramShiftsDown(t *testing.T) {
+	full := ArgCountHistogram()
+	checked := CheckedArgCountHistogram()
+	// Removing pointer args can only shift mass toward lower counts.
+	cumFull, cumChecked := 0, 0
+	for i := 0; i <= MaxArgs; i++ {
+		cumFull += full[i]
+		cumChecked += checked[i]
+		if cumChecked < cumFull {
+			t.Fatalf("checked histogram not stochastically <= full at %d args", i)
+		}
+	}
+}
+
+func TestQuickBitmaskConsistency(t *testing.T) {
+	nums := make([]int, 0, Count())
+	for _, in := range All() {
+		nums = append(nums, in.Num)
+	}
+	f := func(idx uint) bool {
+		in := all[idx%uint(len(all))]
+		// Bitmask population must equal the summed widths of checked args.
+		pop := 0
+		for m := in.ArgBitmask(); m != 0; m &= m - 1 {
+			pop++
+		}
+		want := 0
+		for _, i := range in.CheckedArgs() {
+			want += in.ArgWidth(i)
+		}
+		return pop == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = nums
+}

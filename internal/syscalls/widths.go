@@ -1,0 +1,112 @@
+package syscalls
+
+// Argument byte widths. The Draco Argument Bitmask has one bit per argument
+// BYTE (paper §V-B: "for a system call that uses two arguments of one byte
+// each, the Argument Bitmask has bits 0 and 8 set"), so arguments narrower
+// than a full register — C int/unsigned (file descriptors, flags, modes,
+// ops) — contribute only their meaningful low bytes to hashing and
+// comparison. Checking and filtering both mask to these widths, keeping the
+// cached semantics identical to the compiled filter's.
+//
+// The table below declares widths for the system calls whose arguments the
+// evaluation checks; any syscall or argument not listed defaults to the
+// conservative full 8 bytes, which is always sound.
+
+// argWidths maps syscall name -> per-argument width in bytes (0 = default 8).
+var argWidths = map[string][MaxArgs]uint8{
+	// fd, buf*, count(size_t)
+	"read":  {4, 0, 8},
+	"write": {4, 0, 8},
+	// pathname*, flags(int), mode(mode_t)
+	"open":  {0, 4, 4},
+	"close": {4},
+	"fstat": {4},
+	// fd, off(off_t), whence(int)
+	"lseek": {4, 8, 4},
+	// addr*, len(size_t), prot(int), flags(int), fd(int), off(off_t)
+	"mmap":    {0, 8, 4, 4, 4, 8},
+	"munmap":  {0, 8},
+	"madvise": {0, 8, 4},
+	// fd, buf*, count, off
+	"pread64":  {4, 0, 8, 8},
+	"pwrite64": {4, 0, 8, 8},
+	"readv":    {4, 0, 4},
+	"writev":   {4, 0, 4},
+	"poll":     {0, 8, 4},
+	"dup":      {4},
+	"dup2":     {4, 4},
+	"dup3":     {4, 4, 4},
+	// out_fd, in_fd, offset*, count
+	"sendfile":   {4, 4, 0, 8},
+	"socket":     {4, 4, 4},
+	"connect":    {4, 0, 4},
+	"accept":     {4},
+	"accept4":    {4, 0, 0, 4},
+	"sendto":     {4, 0, 8, 4, 0, 4},
+	"recvfrom":   {4, 0, 8, 4},
+	"sendmsg":    {4, 0, 4},
+	"recvmsg":    {4, 0, 4},
+	"shutdown":   {4, 4},
+	"bind":       {4, 0, 4},
+	"listen":     {4, 4},
+	"setsockopt": {4, 4, 4, 0, 4},
+	"getsockopt": {4, 4, 4},
+	"fcntl":      {4, 4, 8},
+	"flock":      {4, 4},
+	"fsync":      {4},
+	"fdatasync":  {4},
+	"ftruncate":  {4, 8},
+	"getdents64": {4, 0, 8},
+	"fchmod":     {4, 4},
+	"fchown":     {4, 4, 4},
+	"umask":      {4},
+	// uaddr*, op(int), val(int), timeout*, uaddr2*, val3(int)
+	"futex":             {0, 4, 4, 0, 0, 4},
+	"sched_getaffinity": {4, 8},
+	"epoll_create":      {4},
+	"epoll_create1":     {4},
+	"epoll_wait":        {4, 0, 4, 4},
+	"epoll_ctl":         {4, 4, 4},
+	"epoll_pwait":       {4, 0, 4, 4, 0, 8},
+	"eventfd":           {4},
+	"eventfd2":          {4, 4},
+	"openat":            {4, 0, 4, 4},
+	"mkdirat":           {4, 0, 4},
+	"unlinkat":          {4, 0, 4},
+	"faccessat":         {4, 0, 4},
+	"fchmodat":          {4, 0, 4},
+	"getrandom":         {0, 8, 4},
+	"memfd_create":      {0, 4},
+	"clock_gettime":     {4},
+	"clock_getres":      {4},
+	"timerfd_create":    {4, 4},
+	"inotify_add_watch": {4, 0, 4},
+	"inotify_rm_watch":  {4, 4},
+	"kill":              {4, 4},
+	"tkill":             {4, 4},
+	"tgkill":            {4, 4, 4},
+	"mq_timedsend":      {4, 0, 8, 4},
+	"mq_timedreceive":   {4, 0, 8},
+	"ioctl":             {4, 4},
+	"syncfs":            {4},
+	"fallocate":         {4, 4, 8, 8},
+	"socketpair":        {4, 4, 4},
+}
+
+// ArgWidth returns the width in bytes of argument i (1..8); unlisted
+// arguments are full-width.
+func (in Info) ArgWidth(i int) int {
+	if w, ok := argWidths[in.Name]; ok && i >= 0 && i < MaxArgs && w[i] != 0 {
+		return int(w[i])
+	}
+	return ArgBytes
+}
+
+// WidthMask returns the value mask for argument i.
+func (in Info) WidthMask(i int) uint64 {
+	w := in.ArgWidth(i)
+	if w >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (uint(w) * 8)) - 1
+}

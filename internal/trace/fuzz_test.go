@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the trace parser: reject or accept
+// without panicking; accepted traces must roundtrip.
+func FuzzRead(f *testing.F) {
+	f.Add("# comment\n401000 0 3 0 0 0 0 0 10 20\n")
+	f.Add("")
+	f.Add("zzz")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace fails to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace fails to parse: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("roundtrip lost events: %d -> %d", len(tr), len(back))
+		}
+		for i := range tr {
+			if tr[i] != back[i] {
+				t.Fatalf("event %d drifted", i)
+			}
+		}
+	})
+}

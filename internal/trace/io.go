@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk trace format is one event per line:
+//
+//	pc sid arg0 arg1 arg2 arg3 arg4 arg5 gap body
+//
+// with hexadecimal pc/args and decimal sid/gap/body. Lines starting with
+// '#' are comments. This is the interchange format between cmd/tracegen
+// (the strace substitute) and cmd/profilegen (the §X-B toolkit).
+
+// Write encodes a trace.
+func Write(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# draco trace: %d events\n", len(tr))
+	for _, e := range tr {
+		fmt.Fprintf(bw, "%x %d %x %x %x %x %x %x %d %d\n",
+			e.PC, e.SID,
+			e.Args[0], e.Args[1], e.Args[2], e.Args[3], e.Args[4], e.Args[5],
+			e.Gap, e.Body)
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace.
+func Read(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 10 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 10", lineNo, len(fields))
+		}
+		var e Event
+		var err error
+		if e.PC, err = strconv.ParseUint(fields[0], 16, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: pc: %v", lineNo, err)
+		}
+		sid, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: sid: %v", lineNo, err)
+		}
+		e.SID = sid
+		for i := 0; i < 6; i++ {
+			if e.Args[i], err = strconv.ParseUint(fields[2+i], 16, 64); err != nil {
+				return nil, fmt.Errorf("trace: line %d: arg%d: %v", lineNo, i, err)
+			}
+		}
+		if e.Gap, err = strconv.ParseUint(fields[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: gap: %v", lineNo, err)
+		}
+		if e.Body, err = strconv.ParseUint(fields[9], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: body: %v", lineNo, err)
+		}
+		tr = append(tr, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

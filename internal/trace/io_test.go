@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"draco/internal/hashes"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	in := Trace{
+		{PC: 0x401000, SID: 0, Args: hashes.Args{3, 0x7f00aa, 4096}, Gap: 1200, Body: 900},
+		{PC: 0x402020, SID: 135, Args: hashes.Args{0xffffffff}, Gap: 0, Body: 1},
+		{PC: 0, SID: 435, Args: hashes.Args{}, Gap: 18446744073709551615, Body: 0},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# comment\n\n401000 0 3 0 0 0 0 0 10 20\n"
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0].SID != 0 || tr[0].Gap != 10 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"401000 0 3 0 0 0 0 0 10",        // 9 fields
+		"zzz 0 3 0 0 0 0 0 10 20",        // bad pc
+		"401000 x 3 0 0 0 0 0 10 20",     // bad sid
+		"401000 0 q 0 0 0 0 0 10 20",     // bad arg
+		"401000 0 3 0 0 0 0 0 ten 20",    // bad gap
+		"401000 0 3 0 0 0 0 0 10 twenty", // bad body
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("line %q parsed unexpectedly", c)
+		}
+	}
+}

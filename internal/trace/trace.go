@@ -1,0 +1,241 @@
+// Package trace defines the system call trace model the evaluation runs on:
+// events carrying the call-site PC, system call ID, argument vector, and the
+// user-computation gap preceding the call. It also implements the locality
+// analyses of paper §IV-C (Figure 3): frequency by call and argument set,
+// coverage of the top-K calls, and reuse distance.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"draco/internal/hashes"
+)
+
+// Event is one system call occurrence in a workload's execution.
+type Event struct {
+	// PC is the address of the syscall instruction (the STB index).
+	PC uint64
+	// SID is the system call number.
+	SID int
+	// Args is the full argument vector.
+	Args hashes.Args
+	// Gap is the number of user-mode cycles executed since the previous
+	// system call.
+	Gap uint64
+	// Body is the number of kernel cycles the call's actual work takes
+	// (excluding entry/exit and checking, which the simulator charges).
+	Body uint64
+}
+
+// Trace is a finite sequence of events.
+type Trace []Event
+
+// Key identifies a (syscall, argument set) pair for locality accounting.
+// Only the checked argument values participate via the caller-provided
+// canonicalization, so Key is built with MakeKey.
+type Key struct {
+	SID int
+	// ArgSig is a canonical signature of the argument values.
+	ArgSig uint64
+}
+
+// MakeKey builds the locality key of an event given the argument bitmask of
+// its syscall (zero bitmask folds all argument values together).
+func MakeKey(e Event, bitmask uint64) Key {
+	if bitmask == 0 {
+		return Key{SID: e.SID}
+	}
+	p := hashes.ArgSet(e.Args, bitmask)
+	return Key{SID: e.SID, ArgSig: p.H1}
+}
+
+// FreqEntry reports the frequency of one syscall and its argument-set
+// breakdown, plus the mean reuse distance — one bar of Figure 3.
+type FreqEntry struct {
+	SID      int
+	Count    int
+	Fraction float64
+	// ArgSetCounts holds per-argument-set counts, descending.
+	ArgSetCounts []int
+	// MeanReuseDistance is the average number of other system calls
+	// between two occurrences of the same (ID, argument set).
+	MeanReuseDistance float64
+}
+
+// Analysis is the result of analyzing a trace.
+type Analysis struct {
+	Total   int
+	Entries []FreqEntry // sorted by Count descending
+}
+
+// BitmaskFunc supplies the checked-argument bitmask for a syscall.
+type BitmaskFunc func(sid int) uint64
+
+// Analyze computes Figure 3's statistics over a trace.
+func Analyze(tr Trace, bitmask BitmaskFunc) Analysis {
+	type keyState struct {
+		count   int
+		lastPos int
+		distSum int
+		distCnt int
+	}
+	perKey := make(map[Key]*keyState)
+	perSID := make(map[int]int)
+	for pos, e := range tr {
+		k := MakeKey(e, bitmask(e.SID))
+		st := perKey[k]
+		if st == nil {
+			st = &keyState{lastPos: -1}
+			perKey[k] = st
+		}
+		if st.lastPos >= 0 {
+			st.distSum += pos - st.lastPos - 1
+			st.distCnt++
+		}
+		st.lastPos = pos
+		st.count++
+		perSID[e.SID]++
+	}
+	an := Analysis{Total: len(tr)}
+	for sid, cnt := range perSID {
+		fe := FreqEntry{SID: sid, Count: cnt, Fraction: float64(cnt) / float64(len(tr))}
+		var dSum, dCnt int
+		for k, st := range perKey {
+			if k.SID != sid {
+				continue
+			}
+			fe.ArgSetCounts = append(fe.ArgSetCounts, st.count)
+			dSum += st.distSum
+			dCnt += st.distCnt
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(fe.ArgSetCounts)))
+		if dCnt > 0 {
+			fe.MeanReuseDistance = float64(dSum) / float64(dCnt)
+		}
+		an.Entries = append(an.Entries, fe)
+	}
+	sort.Slice(an.Entries, func(i, j int) bool {
+		if an.Entries[i].Count != an.Entries[j].Count {
+			return an.Entries[i].Count > an.Entries[j].Count
+		}
+		return an.Entries[i].SID < an.Entries[j].SID
+	})
+	return an
+}
+
+// TopKCoverage returns the fraction of all calls covered by the K most
+// frequent syscalls (the paper finds 20 calls cover 86%).
+func (a Analysis) TopKCoverage(k int) float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	n := 0
+	for i, e := range a.Entries {
+		if i >= k {
+			break
+		}
+		n += e.Count
+	}
+	return float64(n) / float64(a.Total)
+}
+
+// DistinctArgSets returns how many distinct (syscall, argset) keys appear.
+func (a Analysis) DistinctArgSets() int {
+	n := 0
+	for _, e := range a.Entries {
+		n += len(e.ArgSetCounts)
+	}
+	return n
+}
+
+// String renders a compact summary.
+func (a Analysis) String() string {
+	s := fmt.Sprintf("%d calls, %d distinct syscalls, top-20 covers %.1f%%\n",
+		a.Total, len(a.Entries), 100*a.TopKCoverage(20))
+	return s
+}
+
+// WorkingSet computes the cold-start-excluded working-set curve: for each
+// window size w in windows (in syscalls), the mean number of DISTINCT
+// (syscall, argument-set) keys per window of w consecutive calls. This is
+// the quantity that must fit in the SLB for the access hit rate to be high:
+// Table II's 240 entries comfortably cover the tens-of-entries working sets
+// the Figure 3 locality implies.
+func WorkingSet(tr Trace, bitmask BitmaskFunc, windows []int) map[int]float64 {
+	out := make(map[int]float64, len(windows))
+	for _, w := range windows {
+		if w <= 0 || w > len(tr) {
+			continue
+		}
+		distinct := map[Key]int{}
+		// Sliding window with per-key counts.
+		var sum float64
+		samples := 0
+		for i, e := range tr {
+			k := MakeKey(e, bitmask(e.SID))
+			distinct[k]++
+			if i >= w {
+				old := MakeKey(tr[i-w], bitmask(tr[i-w].SID))
+				distinct[old]--
+				if distinct[old] == 0 {
+					delete(distinct, old)
+				}
+			}
+			if i >= w-1 {
+				sum += float64(len(distinct))
+				samples++
+			}
+		}
+		if samples > 0 {
+			out[w] = sum / float64(samples)
+		}
+	}
+	return out
+}
+
+// PerArgCountWorkingSet splits the working set by checked-argument count:
+// the SLB subtable a key occupies is determined by its syscall's argument
+// count, so the paper's per-count sizing must cover each bucket.
+func PerArgCountWorkingSet(tr Trace, bitmask BitmaskFunc, argc func(sid int) int, window int) map[int]float64 {
+	if window <= 0 || window > len(tr) {
+		return nil
+	}
+	type bucketKey struct {
+		argc int
+		k    Key
+	}
+	distinct := map[bucketKey]int{}
+	sums := map[int]float64{}
+	samples := 0
+	counts := map[int]int{}
+	for i, e := range tr {
+		bk := bucketKey{argc: argc(e.SID), k: MakeKey(e, bitmask(e.SID))}
+		if distinct[bk] == 0 {
+			counts[bk.argc]++
+		}
+		distinct[bk]++
+		if i >= window {
+			old := tr[i-window]
+			obk := bucketKey{argc: argc(old.SID), k: MakeKey(old, bitmask(old.SID))}
+			distinct[obk]--
+			if distinct[obk] == 0 {
+				delete(distinct, obk)
+				counts[obk.argc]--
+			}
+		}
+		if i >= window-1 {
+			for a, c := range counts {
+				sums[a] += float64(c)
+			}
+			samples++
+		}
+	}
+	out := make(map[int]float64, len(sums))
+	for a, s := range sums {
+		if samples > 0 && s > 0 {
+			out[a] = s / float64(samples)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"testing"
+
+	"draco/internal/hashes"
+)
+
+func ev(sid int, arg0 uint64) Event {
+	return Event{SID: sid, Args: hashes.Args{arg0}}
+}
+
+const mask0 = 0xff // arg 0 checked
+
+func TestAnalyzeCountsAndFractions(t *testing.T) {
+	tr := Trace{ev(0, 1), ev(0, 1), ev(0, 2), ev(1, 0)}
+	an := Analyze(tr, func(int) uint64 { return mask0 })
+	if an.Total != 4 {
+		t.Fatalf("total = %d", an.Total)
+	}
+	if len(an.Entries) != 2 {
+		t.Fatalf("entries = %d", len(an.Entries))
+	}
+	top := an.Entries[0]
+	if top.SID != 0 || top.Count != 3 {
+		t.Fatalf("top entry %+v", top)
+	}
+	if top.Fraction < 0.74 || top.Fraction > 0.76 {
+		t.Fatalf("fraction = %f", top.Fraction)
+	}
+	// syscall 0 has two argument sets: counts 2 and 1, descending.
+	if len(top.ArgSetCounts) != 2 || top.ArgSetCounts[0] != 2 || top.ArgSetCounts[1] != 1 {
+		t.Fatalf("arg set counts %v", top.ArgSetCounts)
+	}
+}
+
+func TestReuseDistance(t *testing.T) {
+	// Sequence: A B B A -> A's reuse distance = 2 (two other calls
+	// between), B's = 0.
+	tr := Trace{ev(0, 1), ev(1, 1), ev(1, 1), ev(0, 1)}
+	an := Analyze(tr, func(int) uint64 { return mask0 })
+	for _, e := range an.Entries {
+		switch e.SID {
+		case 0:
+			if e.MeanReuseDistance != 2 {
+				t.Errorf("A distance = %f, want 2", e.MeanReuseDistance)
+			}
+		case 1:
+			if e.MeanReuseDistance != 0 {
+				t.Errorf("B distance = %f, want 0", e.MeanReuseDistance)
+			}
+		}
+	}
+}
+
+func TestReuseDistanceDistinguishesArgSets(t *testing.T) {
+	// Same syscall, alternating argsets: with args considered, each argset
+	// repeats at distance 1; with a zero bitmask they merge to distance 0.
+	tr := Trace{ev(0, 1), ev(0, 2), ev(0, 1), ev(0, 2)}
+	withArgs := Analyze(tr, func(int) uint64 { return mask0 })
+	if d := withArgs.Entries[0].MeanReuseDistance; d != 1 {
+		t.Fatalf("per-argset distance = %f, want 1", d)
+	}
+	noArgs := Analyze(tr, func(int) uint64 { return 0 })
+	if d := noArgs.Entries[0].MeanReuseDistance; d != 0 {
+		t.Fatalf("merged distance = %f, want 0", d)
+	}
+	if noArgs.Entries[0].ArgSetCounts[0] != 4 {
+		t.Fatalf("merged argset counts %v", noArgs.Entries[0].ArgSetCounts)
+	}
+}
+
+func TestTopKCoverage(t *testing.T) {
+	tr := Trace{}
+	for i := 0; i < 90; i++ {
+		tr = append(tr, ev(0, 0))
+	}
+	for i := 0; i < 10; i++ {
+		tr = append(tr, ev(i+1, 0))
+	}
+	an := Analyze(tr, func(int) uint64 { return 0 })
+	if c := an.TopKCoverage(1); c != 0.9 {
+		t.Fatalf("top-1 coverage = %f, want 0.9", c)
+	}
+	if c := an.TopKCoverage(100); c != 1.0 {
+		t.Fatalf("top-100 coverage = %f, want 1", c)
+	}
+	if an.TopKCoverage(0) != 0 {
+		t.Fatal("top-0 coverage nonzero")
+	}
+}
+
+func TestMakeKeyIgnoresUnmaskedArgs(t *testing.T) {
+	a := Event{SID: 0, Args: hashes.Args{1, 0xAAAA}}
+	b := Event{SID: 0, Args: hashes.Args{1, 0xBBBB}}
+	if MakeKey(a, mask0) != MakeKey(b, mask0) {
+		t.Fatal("unmasked arg influenced key")
+	}
+	c := Event{SID: 0, Args: hashes.Args{2, 0xAAAA}}
+	if MakeKey(a, mask0) == MakeKey(c, mask0) {
+		t.Fatal("masked arg did not influence key")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	an := Analyze(nil, func(int) uint64 { return 0 })
+	if an.Total != 0 || len(an.Entries) != 0 || an.TopKCoverage(5) != 0 {
+		t.Fatalf("empty trace analysis: %+v", an)
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	// Alternating two keys: any window >= 2 sees exactly 2 distinct keys.
+	tr := Trace{}
+	for i := 0; i < 100; i++ {
+		tr = append(tr, ev(i%2, 0))
+	}
+	ws := WorkingSet(tr, func(int) uint64 { return 0 }, []int{2, 10, 50})
+	for _, w := range []int{2, 10, 50} {
+		if ws[w] != 2 {
+			t.Errorf("window %d: working set %f, want 2", w, ws[w])
+		}
+	}
+	// Oversized/invalid windows are skipped.
+	if _, ok := WorkingSet(tr, func(int) uint64 { return 0 }, []int{1000})[1000]; ok {
+		t.Error("oversized window produced a value")
+	}
+}
+
+func TestWorkingSetGrowsWithVariety(t *testing.T) {
+	narrow := Trace{}
+	wide := Trace{}
+	for i := 0; i < 200; i++ {
+		narrow = append(narrow, ev(0, uint64(i%2)))
+		wide = append(wide, ev(0, uint64(i%32)))
+	}
+	bm := func(int) uint64 { return mask0 }
+	n := WorkingSet(narrow, bm, []int{64})[64]
+	w := WorkingSet(wide, bm, []int{64})[64]
+	if w <= n {
+		t.Fatalf("wide trace working set %f <= narrow %f", w, n)
+	}
+}
+
+func TestPerArgCountWorkingSet(t *testing.T) {
+	tr := Trace{}
+	for i := 0; i < 100; i++ {
+		tr = append(tr, ev(0, uint64(i%3))) // sid 0 -> argc 1, 3 keys
+		tr = append(tr, ev(1, uint64(i%5))) // sid 1 -> argc 2, 5 keys
+	}
+	ws := PerArgCountWorkingSet(tr,
+		func(int) uint64 { return mask0 },
+		func(sid int) int { return sid + 1 },
+		40)
+	if ws[1] < 2.5 || ws[1] > 3.5 {
+		t.Errorf("argc-1 working set %f, want ~3", ws[1])
+	}
+	if ws[2] < 4.5 || ws[2] > 5.5 {
+		t.Errorf("argc-2 working set %f, want ~5", ws[2])
+	}
+}

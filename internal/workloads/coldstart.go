@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+// Process cold start. The paper's hardware evaluation mostly measures
+// steady state, noting that kernel-version effects only matter "during the
+// cold-start phase of the application, when the VAT structures are
+// populated" (§X-C). This file models that phase: the loader/runtime
+// prologue every Linux process executes before reaching its steady-state
+// loop — execve, heap setup, library mapping, TLS setup — which is also
+// when FaaS functions pay their Draco warm-up (every call is a miss until
+// the SPT/VAT fill).
+
+// coldStartScript is the canonical startup sequence; {name, checked-arg
+// values} pairs executed in order, with library-loading loops expanded at
+// generation time.
+type coldStep struct {
+	name string
+	vals []uint64
+}
+
+var coldPrologue = []coldStep{
+	{"execve", nil},
+	{"brk", nil},
+	{"arch_prctl", []uint64{0x3001}}, // ARCH_CET_STATUS probe (addr arg is a pointer)
+	{"access", []uint64{4}},          // R_OK on ld.so.preload
+	{"openat", []uint64{0xffffff9c, 0x80000, 0}},
+	{"fstat", []uint64{3}},
+	{"mmap", []uint64{8192, 1, 2, 3, 0}},
+	{"close", []uint64{3}},
+}
+
+// perLibrary is executed once per shared library mapped at startup.
+var perLibrary = []coldStep{
+	{"openat", []uint64{0xffffff9c, 0x80000, 0}},
+	{"read", []uint64{3, 832}},
+	{"fstat", []uint64{3}},
+	{"mmap", []uint64{0x200000, 5, 0x802, 3, 0}},
+	{"mmap", []uint64{0x30000, 3, 0x812, 3, 0x1d0000}},
+	{"mprotect", []uint64{0x4000, 1}},
+	{"close", []uint64{3}},
+}
+
+var coldEpilogue = []coldStep{
+	{"mprotect", []uint64{0x1000, 1}},
+	{"arch_prctl", []uint64{0x1002}}, // ARCH_SET_FS
+	{"set_tid_address", nil},
+	{"set_robust_list", nil},
+	{"rt_sigaction", []uint64{13, 8}},
+	{"rt_sigprocmask", []uint64{1, 8}},
+	{"prlimit64", []uint64{0, 3}},
+	{"getrandom", []uint64{8, 1}}, // AT_RANDOM refresh
+	{"brk", nil},
+	{"brk", nil},
+}
+
+// ColdStart generates the startup prologue trace: the loader sequence with
+// nLibs shared libraries. Gaps are short (the loader is CPU-light) and
+// bodies modest.
+func ColdStart(nLibs int, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed ^ 0xc01d))
+	var out trace.Trace
+	emit := func(st coldStep) {
+		in := syscalls.MustByName(st.name)
+		checked := in.CheckedArgs()
+		vals := st.vals
+		if vals == nil {
+			vals = make([]uint64, len(checked))
+		}
+		if len(vals) != len(checked) {
+			panic("workloads: cold-start step " + st.name + " arg arity mismatch")
+		}
+		args := buildArgs(in, vals, rng)
+		out = append(out, trace.Event{
+			PC:   0x0000_7f77_7700_0000 + uint64(in.Num)*0x40,
+			SID:  in.Num,
+			Args: args,
+			Gap:  jitter(rng, 900),
+			Body: jitter(rng, 1500),
+		})
+	}
+	for _, st := range coldPrologue {
+		emit(st)
+	}
+	for lib := 0; lib < nLibs; lib++ {
+		for _, st := range perLibrary {
+			emit(st)
+		}
+	}
+	for _, st := range coldEpilogue {
+		emit(st)
+	}
+	return out
+}
+
+// GenerateWithColdStart prepends the startup prologue to a steady-state
+// trace: the realistic shape of a short-lived (FaaS) process.
+func (w *Workload) GenerateWithColdStart(n, nLibs int, seed int64) trace.Trace {
+	cold := ColdStart(nLibs, seed)
+	if len(cold) >= n {
+		return cold[:n]
+	}
+	return append(cold, w.Generate(n-len(cold), seed)...)
+}

@@ -1,0 +1,422 @@
+package workloads
+
+// The workload mixes below are statistical stand-ins for the paper's
+// benchmarks (§X-A). Weights are relative call frequencies; argument tuples
+// align with each syscall's checked (non-pointer) arguments. In aggregate
+// the macro mixes reproduce the Figure 3 characterization: read is the most
+// frequent call (~18%), 20 calls cover ~86% of the total, and a few
+// argument sets dominate each call while a long observed tail (Spread with
+// TailDecay near 1) accounts for Figure 15(b)'s hundreds of allowed values.
+//
+// Gap/Body cycle budgets put the server workloads under saturation (the
+// paper drives them with ab/YCSB/sysbench at high concurrency), so system
+// calls come every few thousand cycles; micro benchmarks are syscall-bound.
+
+// fd/flag constants used in the tuples, for readability.
+const (
+	oRdonly     = 0x0
+	oWronly     = 0x1
+	oRdwr       = 0x2
+	oNonblock   = 0x800
+	oCloexec    = 0x80000
+	protRW      = 0x3
+	mapPriv     = 0x22 // MAP_PRIVATE|MAP_ANONYMOUS
+	futexWait   = 0x80 // FUTEX_WAIT|PRIVATE_FLAG
+	futexWake   = 0x81 // FUTEX_WAKE|PRIVATE_FLAG
+	epollCtlAdd = 1
+	epollCtlMod = 3
+)
+
+var macroWorkloads = []*Workload{
+	{
+		Name: "httpd", Class: Macro, GapCycles: 3500, BodyCycles: 2200, Burstiness: 0.25,
+		Mix: []MixEntry{
+			{Syscall: "read", Weight: 0.17, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 0.6, Values: []uint64{9, 8000}, Spread: 48, TailDecay: 0.95},
+				{Weight: 0.3, Values: []uint64{9, 4096}},
+				{Weight: 0.1, Values: []uint64{11, 4096}},
+			}},
+			{Syscall: "writev", Weight: 0.12, ArgSets: []ArgSetSpec{
+				{Weight: 0.7, Values: []uint64{9, 2}, Spread: 12, TailDecay: 0.9},
+				{Weight: 0.3, Values: []uint64{9, 3}, Spread: 12, TailDecay: 0.9},
+			}},
+			{Syscall: "accept4", Weight: 0.08, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, oNonblock | oCloexec}, Spread: 6, TailDecay: 0.85},
+			}},
+			{Syscall: "close", Weight: 0.10, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 0.8, Values: []uint64{9}, Spread: 12, TailDecay: 0.9},
+				{Weight: 0.2, Values: []uint64{11}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "epoll_wait", Weight: 0.09, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{5, 512, 100}, Spread: 16, TailDecay: 0.9},
+			}},
+			{Syscall: "epoll_ctl", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 0.6, Values: []uint64{5, epollCtlAdd, 9}, Spread: 8, TailDecay: 0.85},
+				{Weight: 0.4, Values: []uint64{5, epollCtlMod, 9}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "sendfile", Weight: 0.07, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{9, 12, 65536}, Spread: 48, TailDecay: 0.95},
+			}},
+			{Syscall: "openat", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{0xffffff9c, oRdonly | oCloexec, 0}},
+			}},
+			{Syscall: "fstat", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 0.7, Values: []uint64{12}},
+				{Weight: 0.3, Values: []uint64{9}},
+			}},
+			{Syscall: "stat", Weight: 0.05},
+			{Syscall: "fcntl", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{9, 4, oNonblock}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "times", Weight: 0.04},
+			{Syscall: "shutdown", Weight: 0.03, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{9, 1}},
+			}},
+			{Syscall: "poll", Weight: 0.02, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1, 100}},
+			}},
+			{Syscall: "getpid", Weight: 0.01},
+		},
+	},
+	{
+		Name: "nginx", Class: Macro, GapCycles: 4000, BodyCycles: 2200, Burstiness: 0.25,
+		Mix: []MixEntry{
+			{Syscall: "recvfrom", Weight: 0.16, ArgSets: []ArgSetSpec{
+				{Weight: 0.8, Values: []uint64{8, 16384, 0}, Spread: 12, TailDecay: 0.9},
+				{Weight: 0.2, Values: []uint64{10, 16384, 0}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "writev", Weight: 0.14, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{8, 2}, Spread: 12, TailDecay: 0.9},
+			}},
+			{Syscall: "epoll_wait", Weight: 0.12, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{6, 512, 0xffffffffffffffff}, Spread: 16, TailDecay: 0.9},
+			}},
+			{Syscall: "epoll_ctl", Weight: 0.08, ArgSets: []ArgSetSpec{
+				{Weight: 0.5, Values: []uint64{6, epollCtlAdd, 8}, Spread: 8, TailDecay: 0.85},
+				{Weight: 0.5, Values: []uint64{6, epollCtlMod, 8}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "accept4", Weight: 0.08, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{5, oNonblock}},
+			}},
+			{Syscall: "close", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{8}, Spread: 12, TailDecay: 0.9},
+			}},
+			{Syscall: "sendfile", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{8, 13, 32768}, Spread: 40, TailDecay: 0.95},
+			}},
+			{Syscall: "write", Weight: 0.07, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 110}, Spread: 32, TailDecay: 0.9},
+			}},
+			{Syscall: "openat", Weight: 0.05, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{0xffffff9c, oRdonly | oNonblock, 0}},
+			}},
+			{Syscall: "fstat", Weight: 0.05, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{13}},
+			}},
+			{Syscall: "setsockopt", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{8, 6, 3, 4}},
+			}},
+			{Syscall: "read", Weight: 0.05, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{13, 4096}, Spread: 8, TailDecay: 0.85},
+			}},
+		},
+	},
+	{
+		Name: "elasticsearch", Class: Macro, GapCycles: 5000, BodyCycles: 2500, Burstiness: 0.15,
+		Mix: []MixEntry{
+			// JVM: futex-heavy with many distinct (op, val) pairs, long
+			// value tails, and many distinct call sites; this is why the
+			// paper sees lower STB/SLB hit rates here (Figure 13) and a
+			// high argument-checking cost (Figure 2).
+			{Syscall: "futex", Weight: 0.30, Sites: 8, ArgSets: []ArgSetSpec{
+				{Weight: 0.4, Values: []uint64{futexWait, 0, 0}, Spread: 160, TailDecay: 0.95},
+				{Weight: 0.4, Values: []uint64{futexWake, 1, 0}, Spread: 160, TailDecay: 0.95},
+				{Weight: 0.2, Values: []uint64{futexWake, 0x7fffffff, 0}, Spread: 80, TailDecay: 0.95},
+			}},
+			{Syscall: "read", Weight: 0.16, Sites: 6, ArgSets: []ArgSetSpec{
+				{Weight: 0.5, Values: []uint64{20, 8192}, Spread: 120, TailDecay: 0.95},
+				{Weight: 0.5, Values: []uint64{25, 16384}, Spread: 120, TailDecay: 0.95},
+			}},
+			{Syscall: "write", Weight: 0.12, Sites: 5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{21, 4096}, Spread: 120, TailDecay: 0.95},
+			}},
+			{Syscall: "mmap", Weight: 0.06, Sites: 3, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1 << 20, protRW, mapPriv, 0xffffffffffffffff, 0}, Spread: 20, TailDecay: 0.9},
+			}},
+			{Syscall: "epoll_wait", Weight: 0.08, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{40, 1024, 0xffffffffffffffff}},
+			}},
+			{Syscall: "recvfrom", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{41, 65536, 0}},
+			}},
+			{Syscall: "sendto", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{41, 8192, 0x4000, 0}, Spread: 24, TailDecay: 0.9},
+			}},
+			{Syscall: "fstat", Weight: 0.04, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{20}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "close", Weight: 0.04, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{20}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "openat", Weight: 0.04, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{0xffffff9c, oRdonly, 0}},
+			}},
+			{Syscall: "lseek", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{20, 0, 0}, Spread: 60, TailDecay: 0.95},
+			}},
+		},
+	},
+	{
+		Name: "mysql", Class: Macro, GapCycles: 4500, BodyCycles: 2400, Burstiness: 0.2,
+		Mix: []MixEntry{
+			{Syscall: "futex", Weight: 0.22, Sites: 4, ArgSets: []ArgSetSpec{
+				{Weight: 0.5, Values: []uint64{futexWait, 0, 0}, Spread: 120, TailDecay: 0.95},
+				{Weight: 0.5, Values: []uint64{futexWake, 1, 0}, Spread: 120, TailDecay: 0.95},
+			}},
+			{Syscall: "read", Weight: 0.14, Sites: 3, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{30, 16384}, Spread: 96, TailDecay: 0.95},
+			}},
+			{Syscall: "recvfrom", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{33, 16384, 0}, Spread: 24, TailDecay: 0.85},
+			}},
+			{Syscall: "sendto", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{33, 11, 0x4000, 0}, Spread: 20, TailDecay: 0.9},
+			}},
+			{Syscall: "pread64", Weight: 0.09, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{30, 16384, 0}, Spread: 96, TailDecay: 0.95},
+			}},
+			{Syscall: "pwrite64", Weight: 0.09, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{31, 16384, 0}, Spread: 96, TailDecay: 0.95},
+			}},
+			{Syscall: "fsync", Weight: 0.05, ArgSets: []ArgSetSpec{
+				{Weight: 0.6, Values: []uint64{31}},
+				{Weight: 0.4, Values: []uint64{32}},
+			}},
+			{Syscall: "write", Weight: 0.07, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{32, 512}, Spread: 24, TailDecay: 0.9},
+			}},
+			{Syscall: "poll", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1, 0xffffffffffffffff}},
+			}},
+			{Syscall: "times", Weight: 0.04},
+			{Syscall: "lseek", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{30, 0, 1}, Spread: 24, TailDecay: 0.85},
+			}},
+		},
+	},
+	{
+		Name: "cassandra", Class: Macro, GapCycles: 5000, BodyCycles: 2500, Burstiness: 0.15,
+		Mix: []MixEntry{
+			{Syscall: "futex", Weight: 0.28, Sites: 5, ArgSets: []ArgSetSpec{
+				{Weight: 0.5, Values: []uint64{futexWait, 0, 0}, Spread: 120, TailDecay: 0.95},
+				{Weight: 0.5, Values: []uint64{futexWake, 1, 0}, Spread: 120, TailDecay: 0.95},
+			}},
+			{Syscall: "read", Weight: 0.16, Sites: 3, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{45, 65536}, Spread: 80, TailDecay: 0.95},
+			}},
+			{Syscall: "write", Weight: 0.12, Sites: 3, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{46, 32768}, Spread: 80, TailDecay: 0.95},
+			}},
+			{Syscall: "mmap", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1 << 21, protRW, mapPriv, 0xffffffffffffffff, 0}, Spread: 24, TailDecay: 0.85},
+			}},
+			{Syscall: "madvise", Weight: 0.05, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1 << 21, 4}},
+			}},
+			{Syscall: "epoll_wait", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{50, 1024, 0xffffffffffffffff}},
+			}},
+			{Syscall: "recvfrom", Weight: 0.07, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{51, 65536, 0}},
+			}},
+			{Syscall: "sendto", Weight: 0.07, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{51, 16384, 0x4000, 0}, Spread: 24, TailDecay: 0.85},
+			}},
+			{Syscall: "fstat", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{45}, Spread: 8},
+			}},
+			{Syscall: "getpid", Weight: 0.05},
+		},
+	},
+	{
+		Name: "redis", Class: Macro, GapCycles: 2500, BodyCycles: 1500, Burstiness: 0.3,
+		Mix: []MixEntry{
+			// Event-loop server with dispatch through many code paths:
+			// high site counts drive the below-average STB hit rate the
+			// paper observes (Figure 13); reply sizes give write a long
+			// value tail.
+			{Syscall: "read", Weight: 0.26, Sites: 7, ArgSets: []ArgSetSpec{
+				{Weight: 0.7, Values: []uint64{7, 16384}, Spread: 48, TailDecay: 0.95},
+				{Weight: 0.3, Values: []uint64{8, 16384}, Spread: 48, TailDecay: 0.95},
+			}},
+			{Syscall: "write", Weight: 0.24, Sites: 7, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{7, 52}, Spread: 128, TailDecay: 0.95},
+			}},
+			{Syscall: "epoll_wait", Weight: 0.18, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{5, 10128, 100}},
+			}},
+			{Syscall: "epoll_ctl", Weight: 0.10, Sites: 3, ArgSets: []ArgSetSpec{
+				{Weight: 0.5, Values: []uint64{5, epollCtlAdd, 7}},
+				{Weight: 0.5, Values: []uint64{5, epollCtlMod, 7}},
+			}},
+			{Syscall: "accept4", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, oNonblock | oCloexec}},
+			}},
+			{Syscall: "close", Weight: 0.06, Sites: 2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{7}, Spread: 6},
+			}},
+			{Syscall: "open", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{oRdwr, 0644}},
+			}},
+			{Syscall: "getpid", Weight: 0.06},
+		},
+	},
+	{
+		Name: "grep", Class: Macro, GapCycles: 6000, BodyCycles: 2000, Burstiness: 0.5,
+		Mix: []MixEntry{
+			// FaaS function: scan the Linux source tree.
+			{Syscall: "openat", Weight: 0.18, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{0xffffff9c, oRdonly | oCloexec, 0}},
+			}},
+			{Syscall: "read", Weight: 0.34, ArgSets: []ArgSetSpec{
+				{Weight: 0.9, Values: []uint64{3, 32768}},
+				{Weight: 0.1, Values: []uint64{3, 65536}},
+			}},
+			{Syscall: "close", Weight: 0.18, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3}},
+			}},
+			{Syscall: "fstat", Weight: 0.12, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3}},
+			}},
+			{Syscall: "getdents64", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 32768}},
+			}},
+			{Syscall: "write", Weight: 0.06, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1, 4096}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "munmap", Weight: 0.02, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{32768}},
+			}},
+		},
+	},
+	{
+		Name: "pwgen", Class: Macro, GapCycles: 5000, BodyCycles: 1800, Burstiness: 0.6,
+		Mix: []MixEntry{
+			// FaaS function: generate 10K passwords.
+			{Syscall: "getrandom", Weight: 0.55, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{16, 0}},
+			}},
+			{Syscall: "write", Weight: 0.30, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1, 17}},
+			}},
+			{Syscall: "read", Weight: 0.08, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3, 4096}},
+			}},
+			{Syscall: "close", Weight: 0.04, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3}},
+			}},
+			{Syscall: "getpid", Weight: 0.03},
+		},
+	},
+}
+
+var microWorkloads = []*Workload{
+	{
+		Name: "sysbench-fio", Class: Micro, GapCycles: 900, BodyCycles: 1800, Burstiness: 0.4,
+		Mix: []MixEntry{
+			{Syscall: "pread64", Weight: 0.36, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 16384, 0}, Spread: 96, TailDecay: 0.95},
+			}},
+			{Syscall: "pwrite64", Weight: 0.36, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 16384, 0}, Spread: 96, TailDecay: 0.95},
+			}},
+			{Syscall: "fsync", Weight: 0.14, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4}},
+			}},
+			{Syscall: "lseek", Weight: 0.10, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 0, 0}, Spread: 32, TailDecay: 0.9},
+			}},
+			{Syscall: "times", Weight: 0.04},
+		},
+	},
+	{
+		Name: "hpcc", Class: Micro, GapCycles: 400000, BodyCycles: 1500, Burstiness: 0.2,
+		Mix: []MixEntry{
+			// GUPS: essentially pure compute; syscalls are rare (this is
+			// the workload whose Figure 2 bar sits at ~1.0).
+			{Syscall: "write", Weight: 0.4, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1, 80}},
+			}},
+			{Syscall: "mmap", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1 << 26, protRW, mapPriv, 0xffffffffffffffff, 0}},
+			}},
+			{Syscall: "munmap", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1 << 26}},
+			}},
+			{Syscall: "clock_gettime", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{1}},
+			}},
+		},
+	},
+	{
+		Name: "unixbench-syscall", Class: Micro, GapCycles: 300, BodyCycles: 400, Burstiness: 0.0,
+		Mix: []MixEntry{
+			// UnixBench "syscall" in mix mode: the classic five-call loop.
+			{Syscall: "dup", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{0}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "close", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3}, Spread: 8, TailDecay: 0.85},
+			}},
+			{Syscall: "getpid", Weight: 0.2},
+			{Syscall: "getuid", Weight: 0.2},
+			{Syscall: "umask", Weight: 0.2, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{022}},
+			}},
+		},
+	},
+	{
+		Name: "fifo-ipc", Class: Micro, GapCycles: 500, BodyCycles: 1000, Burstiness: 0.5,
+		Mix: []MixEntry{
+			{Syscall: "read", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3, 1000}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "write", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{4, 1000}, Spread: 18, TailDecay: 0.8},
+			}},
+		},
+	},
+	{
+		Name: "pipe-ipc", Class: Micro, GapCycles: 450, BodyCycles: 900, Burstiness: 0.5,
+		Mix: []MixEntry{
+			{Syscall: "read", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{5, 1000}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "write", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{6, 1000}, Spread: 18, TailDecay: 0.8},
+			}},
+		},
+	},
+	{
+		Name: "domain-ipc", Class: Micro, GapCycles: 550, BodyCycles: 1100, Burstiness: 0.5,
+		Mix: []MixEntry{
+			{Syscall: "recvfrom", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{7, 1000, 0}, Spread: 18, TailDecay: 0.8},
+			}},
+			{Syscall: "sendto", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{7, 1000, 0x4000, 0}, Spread: 18, TailDecay: 0.8},
+			}},
+		},
+	},
+	{
+		Name: "mq-ipc", Class: Micro, GapCycles: 600, BodyCycles: 1200, Burstiness: 0.5,
+		Mix: []MixEntry{
+			{Syscall: "mq_timedsend", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3, 1000, 0}, Spread: 16, TailDecay: 0.9},
+			}},
+			{Syscall: "mq_timedreceive", Weight: 0.5, ArgSets: []ArgSetSpec{
+				{Weight: 1, Values: []uint64{3, 1000}, Spread: 16, TailDecay: 0.9},
+			}},
+		},
+	},
+}

@@ -1,0 +1,284 @@
+// Package workloads models the fifteen evaluation workloads of the paper
+// (§X-A): eight macro benchmarks (server applications and FaaS functions)
+// and seven micro benchmarks (I/O, compute, syscall, and IPC stress tests).
+//
+// The real applications are substituted by statistical models of their
+// system call behaviour: a weighted mix of system calls, each with a
+// weighted distribution over checked-argument value tuples and a number of
+// distinct call sites. This preserves exactly the properties Draco exploits
+// and the paper characterizes (§IV-C): a small hot set of syscalls, a few
+// argument sets per call, short reuse distances, and stable call-site PCs.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"draco/internal/hashes"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+// Class splits workloads into the paper's two groups.
+type Class int
+
+const (
+	Macro Class = iota
+	Micro
+)
+
+func (c Class) String() string {
+	if c == Micro {
+		return "micro"
+	}
+	return "macro"
+}
+
+// ArgSetSpec is one weighted argument-value tuple. Values align with the
+// syscall's checked (non-pointer) arguments, in index order.
+type ArgSetSpec struct {
+	Weight float64
+	Values []uint64
+	// Spread expands this spec into Spread distinct sets with geometrically
+	// decaying weights, modeling long-tailed argument values (e.g. varying
+	// read lengths). Zero or one means a single set.
+	Spread int
+	// TailDecay is the per-set weight decay across the spread (default
+	// 0.55: a tight working set). Values near 1 model the long observed
+	// tails behind Figure 15(b)'s hundreds-to-thousands of allowed values,
+	// which is what makes exhaustive Seccomp argument checking expensive
+	// while Draco's caches still capture the hot sets.
+	TailDecay float64
+}
+
+// MixEntry is one system call's share of a workload.
+type MixEntry struct {
+	Syscall string
+	Weight  float64
+	// ArgSets is the distribution over checked-argument tuples. Empty
+	// means a single all-zeros tuple.
+	ArgSets []ArgSetSpec
+	// Sites is the number of distinct syscall-instruction PCs issuing this
+	// call (1 when unset): the STB working-set knob.
+	Sites int
+}
+
+// Workload is one benchmark's statistical model.
+type Workload struct {
+	Name  string
+	Class Class
+	Mix   []MixEntry
+	// GapCycles is the mean number of user-mode cycles between syscalls.
+	GapCycles uint64
+	// BodyCycles is the mean kernel-work cost of a syscall, excluding
+	// entry/exit and security checking.
+	BodyCycles uint64
+	// Burstiness is the probability that the next call repeats the
+	// previous call's mix entry, concentrating reuse distances.
+	Burstiness float64
+}
+
+// expanded is the flattened sampling form of a workload.
+type expanded struct {
+	entries []expandedEntry
+	cum     []float64
+	total   float64
+}
+
+type expandedEntry struct {
+	info   syscalls.Info
+	sets   [][]uint64
+	setCum []float64
+	sites  int
+	pcBase uint64
+}
+
+// Expand resolves names against the syscall table and flattens Spread
+// specs. It panics on unknown syscalls (workloads are static data).
+func (w *Workload) expand() *expanded {
+	ex := &expanded{}
+	var pc uint64 = 0x0000_5555_5555_0000
+	for _, m := range w.Mix {
+		in := syscalls.MustByName(m.Syscall)
+		checked := in.CheckedArgs()
+		e := expandedEntry{info: in, sites: m.Sites, pcBase: pc}
+		pc += 0x1000
+		if e.sites <= 0 {
+			e.sites = 1
+		}
+		specs := m.ArgSets
+		if len(specs) == 0 {
+			specs = []ArgSetSpec{{Weight: 1, Values: make([]uint64, len(checked))}}
+		}
+		var cum float64
+		for _, s := range specs {
+			if len(s.Values) != len(checked) {
+				panic(fmt.Sprintf("workload %s: %s argset has %d values for %d checked args",
+					w.Name, m.Syscall, len(s.Values), len(checked)))
+			}
+			n := s.Spread
+			if n <= 1 {
+				n = 1
+			}
+			weights := spreadWeights(n, s.Weight, s.TailDecay)
+			for k := 0; k < n; k++ {
+				vals := append([]uint64(nil), s.Values...)
+				if k > 0 && len(vals) > 0 {
+					// Vary the last checked value to spread the tail.
+					vals[len(vals)-1] += uint64(k) * 512
+				}
+				cum += weights[k]
+				e.sets = append(e.sets, vals)
+				e.setCum = append(e.setCum, cum)
+			}
+		}
+		ex.entries = append(ex.entries, e)
+		ex.total += m.Weight
+		ex.cum = append(ex.cum, ex.total)
+	}
+	return ex
+}
+
+// Generate produces a deterministic trace of n system call events.
+func (w *Workload) Generate(n int, seed int64) trace.Trace {
+	ex := w.expand()
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(trace.Trace, 0, n)
+	last := -1
+	for i := 0; i < n; i++ {
+		var idx int
+		if last >= 0 && rng.Float64() < w.Burstiness {
+			idx = last
+		} else {
+			idx = pickCum(ex.cum, rng.Float64()*ex.total)
+		}
+		last = idx
+		e := &ex.entries[idx]
+		// Pick an argument set.
+		set := e.sets[0]
+		if len(e.sets) > 1 {
+			total := e.setCum[len(e.setCum)-1]
+			set = e.sets[pickCum(e.setCum, rng.Float64()*total)]
+		}
+		args := buildArgs(e.info, set, rng)
+		site := rng.Intn(e.sites)
+		gap := jitter(rng, w.GapCycles)
+		body := jitter(rng, w.BodyCycles)
+		tr = append(tr, trace.Event{
+			PC:   e.pcBase + uint64(site)*0x20,
+			SID:  e.info.Num,
+			Args: args,
+			Gap:  gap,
+			Body: body,
+		})
+	}
+	return tr
+}
+
+// spreadWeights distributes a spec's weight over its n expanded sets with
+// the locality shape of Figure 3: for wide spreads, the first three sets
+// carry ~88% of the calls (real syscalls run with "three or fewer different
+// argument sets" most of the time) while the remaining sets form a long,
+// thin tail — it is that tail that inflates the *profile* (Figure 15b) and
+// the Seccomp compare chains without inflating the caches' working sets.
+// Narrow spreads keep a simple geometric decay.
+func spreadWeights(n int, total, decay float64) []float64 {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.55
+	}
+	w := make([]float64, n)
+	if n < 8 {
+		g := 1.0
+		for k := 0; k < n; k++ {
+			w[k] = total * g
+			g *= decay
+		}
+		return w
+	}
+	hot := [3]float64{0.52, 0.24, 0.12}
+	for k := 0; k < 3; k++ {
+		w[k] = total * hot[k]
+	}
+	// Remaining 12% over the tail with a gentle geometric decay,
+	// normalized so the tail really carries 12%.
+	const r = 0.97
+	tailN := n - 3
+	norm := (1 - r) / (1 - pow(r, tailN))
+	g := 1.0
+	for k := 3; k < n; k++ {
+		w[k] = total * 0.12 * norm * g
+		g *= r
+	}
+	return w
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for ; n > 0; n-- {
+		out *= x
+	}
+	return out
+}
+
+// buildArgs places the checked values at their argument indices and fills
+// pointer arguments with varying addresses (pointers are never checked, and
+// varying them exercises the bitmask masking everywhere).
+func buildArgs(in syscalls.Info, checkedVals []uint64, rng *rand.Rand) hashes.Args {
+	var args hashes.Args
+	checked := in.CheckedArgs()
+	for i, idx := range checked {
+		args[idx] = checkedVals[i]
+	}
+	for i := 0; i < in.NArgs; i++ {
+		if in.PtrMask&(1<<uint(i)) != 0 {
+			args[i] = 0x7ffc_0000_0000 | uint64(rng.Intn(1<<20))<<4
+		}
+	}
+	return args
+}
+
+func pickCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// jitter returns a value uniformly in [0.5, 1.5) * mean, preserving the
+// mean while avoiding lockstep timing.
+func jitter(rng *rand.Rand, mean uint64) uint64 {
+	if mean == 0 {
+		return 0
+	}
+	return uint64(float64(mean) * (0.5 + rng.Float64()))
+}
+
+// ByName returns a workload by name.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// All returns the fifteen workloads, macro first.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(macroWorkloads)+len(microWorkloads))
+	out = append(out, macroWorkloads...)
+	out = append(out, microWorkloads...)
+	return out
+}
+
+// MacroWorkloads returns the eight macro benchmarks.
+func MacroWorkloads() []*Workload { return append([]*Workload(nil), macroWorkloads...) }
+
+// MicroWorkloads returns the seven micro benchmarks.
+func MicroWorkloads() []*Workload { return append([]*Workload(nil), microWorkloads...) }

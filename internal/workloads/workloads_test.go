@@ -1,0 +1,232 @@
+package workloads
+
+import (
+	"testing"
+
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+func TestAllWorkloadsWellFormed(t *testing.T) {
+	ws := All()
+	if len(ws) != 15 {
+		t.Fatalf("workload count = %d, want 15 (paper §X-A)", len(ws))
+	}
+	macros, micros := 0, 0
+	for _, w := range ws {
+		if w.Class == Macro {
+			macros++
+		} else {
+			micros++
+		}
+		if w.GapCycles == 0 || w.BodyCycles == 0 {
+			t.Errorf("%s: zero timing parameters", w.Name)
+		}
+		// expand() panics on malformed argsets; exercise it.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: expand panicked: %v", w.Name, r)
+				}
+			}()
+			w.expand()
+		}()
+	}
+	if macros != 8 || micros != 7 {
+		t.Fatalf("split = %d macro / %d micro, want 8/7", macros, micros)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w, ok := ByName("httpd")
+	if !ok {
+		t.Fatal("httpd missing")
+	}
+	a := w.Generate(500, 1)
+	b := w.Generate(500, 1)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := w.Generate(500, 2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRespectsArgLayout(t *testing.T) {
+	for _, w := range All() {
+		tr := w.Generate(300, 3)
+		for _, e := range tr {
+			in, ok := syscalls.ByNum(e.SID)
+			if !ok {
+				t.Fatalf("%s: unknown SID %d", w.Name, e.SID)
+			}
+			// Pointer args must look like user addresses; absent args zero.
+			for i := 0; i < syscalls.MaxArgs; i++ {
+				isPtr := in.PtrMask&(1<<uint(i)) != 0
+				if isPtr && e.Args[i]>>40 != 0x7f {
+					t.Fatalf("%s/%s: pointer arg %d = %#x", w.Name, in.Name, i, e.Args[i])
+				}
+				if i >= in.NArgs && e.Args[i] != 0 {
+					t.Fatalf("%s/%s: absent arg %d = %#x", w.Name, in.Name, i, e.Args[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPointerArgsVaryButKeysStable(t *testing.T) {
+	w, _ := ByName("grep")
+	tr := w.Generate(2000, 4)
+	ptrSeen := map[uint64]bool{}
+	read := syscalls.MustByName("read")
+	for _, e := range tr {
+		if e.SID == read.Num {
+			ptrSeen[e.Args[1]] = true
+		}
+	}
+	if len(ptrSeen) < 10 {
+		t.Fatalf("read buffer pointers barely vary: %d distinct", len(ptrSeen))
+	}
+	// Despite varying pointers, the checked-args locality key space stays
+	// small (this is what makes Draco work at all).
+	an := trace.Analyze(tr, func(sid int) uint64 {
+		in, _ := syscalls.ByNum(sid)
+		return in.ArgBitmask()
+	})
+	if n := an.DistinctArgSets(); n > 40 {
+		t.Fatalf("grep has %d distinct argsets, want a small working set", n)
+	}
+}
+
+// TestMacroAggregateMatchesFigure3 checks the §IV-C characterization over
+// the combined macro workloads: top-20 syscalls cover ~86% of calls and
+// mean reuse distances are tens of calls.
+func TestMacroAggregateMatchesFigure3(t *testing.T) {
+	var all trace.Trace
+	for _, w := range MacroWorkloads() {
+		all = append(all, w.Generate(20000, 7)...)
+	}
+	an := trace.Analyze(all, func(sid int) uint64 {
+		in, _ := syscalls.ByNum(sid)
+		return in.ArgBitmask()
+	})
+	cov := an.TopKCoverage(20)
+	if cov < 0.80 || cov > 0.999 {
+		t.Errorf("top-20 coverage = %.3f, want ~0.86 (paper Figure 3)", cov)
+	}
+	// read must be the single most frequent call at roughly 18%.
+	top := an.Entries[0]
+	if top.SID != 0 {
+		t.Errorf("most frequent syscall is %d, want read (0)", top.SID)
+	}
+	if top.Fraction < 0.10 || top.Fraction > 0.30 {
+		t.Errorf("read fraction = %.3f, want ~0.18", top.Fraction)
+	}
+	// Reuse distances of hot calls are tens of syscalls, not thousands.
+	for i, e := range an.Entries {
+		if i >= 10 {
+			break
+		}
+		if e.MeanReuseDistance > 2000 {
+			t.Errorf("syscall %d mean reuse distance %.0f implausibly large", e.SID, e.MeanReuseDistance)
+		}
+	}
+}
+
+func TestMicroWorkloadsAreSyscallDense(t *testing.T) {
+	for _, w := range MicroWorkloads() {
+		if w.Name == "hpcc" {
+			// The exception: GUPS is compute-bound by design.
+			if w.GapCycles < 100000 {
+				t.Errorf("hpcc gap = %d, want compute-bound", w.GapCycles)
+			}
+			continue
+		}
+		if w.GapCycles > 3000 {
+			t.Errorf("%s gap = %d, micro benchmarks should be syscall-dense", w.Name, w.GapCycles)
+		}
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}
+
+func BenchmarkGenerateHTTPD(b *testing.B) {
+	w, _ := ByName("httpd")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Generate(1000, int64(i))
+	}
+}
+
+func TestColdStartTrace(t *testing.T) {
+	tr := ColdStart(8, 1)
+	if len(tr) < 40 {
+		t.Fatalf("cold start only %d events", len(tr))
+	}
+	// First call is execve; the sequence only uses known syscalls with
+	// valid argument layouts.
+	execve := syscalls.MustByName("execve")
+	if tr[0].SID != execve.Num {
+		t.Fatalf("cold start begins with sid %d, want execve", tr[0].SID)
+	}
+	mmaps := 0
+	for _, e := range tr {
+		in, ok := syscalls.ByNum(e.SID)
+		if !ok {
+			t.Fatalf("unknown sid %d", e.SID)
+		}
+		if in.Name == "mmap" {
+			mmaps++
+		}
+	}
+	if mmaps < 8 {
+		t.Fatalf("only %d mmaps for 8 libraries", mmaps)
+	}
+	// Deterministic.
+	tr2 := ColdStart(8, 1)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("cold start nondeterministic")
+		}
+	}
+}
+
+func TestGenerateWithColdStart(t *testing.T) {
+	w, _ := ByName("pwgen")
+	tr := w.GenerateWithColdStart(2000, 6, 3)
+	if len(tr) != 2000 {
+		t.Fatalf("length %d", len(tr))
+	}
+	// The tail must be steady-state pwgen traffic (getrandom-heavy).
+	getrandom := syscalls.MustByName("getrandom")
+	n := 0
+	for _, e := range tr[1000:] {
+		if e.SID == getrandom.Num {
+			n++
+		}
+	}
+	if n < 300 {
+		t.Fatalf("steady tail has only %d getrandom calls", n)
+	}
+	// Truncation path.
+	short := w.GenerateWithColdStart(10, 6, 3)
+	if len(short) != 10 {
+		t.Fatalf("short length %d", len(short))
+	}
+}
