@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test test-race bench bench-server
+
+# check is the CI gate: build, vet, and the full test suite under the race
+# detector (scripts/check.sh is the same sequence for environments without
+# make).
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# bench runs the concurrent checker's parallel throughput benchmarks across
+# 1/4/16-shard configurations (see results/concurrent_baseline.json for a
+# recorded reference run).
+bench:
+	$(GO) test -run='^$$' -bench 'BenchmarkConcurrentChecker' -benchmem ./internal/concurrent
+
+bench-server:
+	$(GO) test -run='^$$' -bench 'BenchmarkServerCheck' ./internal/server

@@ -1,0 +1,358 @@
+// Command dracod runs the Draco syscall-check service and doubles as its
+// control client (dracoctl mode).
+//
+// Serving:
+//
+//	dracod serve -addr :8477 -shards 8 -default-profile docker
+//
+// Control subcommands (thin client over the JSON API):
+//
+//	dracod check   -server http://127.0.0.1:8477 -tenant web -syscall read -args 3,0,4096
+//	dracod batch   -server ... -tenant web -trace trace.txt -batch-size 64
+//	dracod profile -server ... -tenant web -file profile.json
+//	dracod stats   -server ... -tenant web
+//	dracod tenants -server ...
+//	dracod metrics -server ...
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"draco/internal/concurrent"
+	"draco/internal/seccomp"
+	"draco/internal/server"
+	"draco/internal/server/client"
+	"draco/internal/syscalls"
+	"draco/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dracod: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = runServe(args)
+	case "check":
+		err = runCheck(args)
+	case "batch":
+		err = runBatch(args)
+	case "profile":
+		err = runProfile(args)
+	case "stats":
+		err = runStats(args)
+	case "tenants":
+		err = runTenants(args)
+	case "metrics":
+		err = runMetrics(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dracod <command> [flags]
+
+commands:
+  serve    run the syscall-check service
+  check    check one system call against a running dracod
+  batch    replay a trace file through the batch endpoint
+  profile  upload a Docker-format JSON profile (hot swap)
+  stats    print a tenant's checker statistics
+  tenants  list provisioned tenants
+  metrics  print the service metrics page
+
+run 'dracod <command> -h' for the command's flags`)
+}
+
+func presetProfile(name string) (*seccomp.Profile, error) {
+	switch name {
+	case "docker":
+		return seccomp.DockerDefault(), nil
+	case "docker-masked":
+		return seccomp.DockerDefaultMasked(), nil
+	case "gvisor":
+		return seccomp.GVisorDefault(), nil
+	case "firecracker":
+		return seccomp.Firecracker(), nil
+	case "none", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown profile preset %q (docker, docker-masked, gvisor, firecracker, none)", name)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8477", "listen address")
+	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
+	routing := fs.String("routing", "syscall", "shard routing key: syscall (exact sequential semantics) or args (spread hot syscalls)")
+	preset := fs.String("default-profile", "docker", "auto-provision tenants with this preset (docker, docker-masked, gvisor, firecracker, none)")
+	fs.Parse(args)
+
+	var rt concurrent.Routing
+	switch *routing {
+	case "syscall":
+		rt = concurrent.RouteBySyscall
+	case "args":
+		rt = concurrent.RouteByArgs
+	default:
+		return fmt.Errorf("unknown -routing %q (syscall or args)", *routing)
+	}
+	def, err := presetProfile(*preset)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Options{Shards: *shards, Routing: rt, DefaultProfile: def})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	defProfile := "none (tenants must upload profiles)"
+	if def != nil {
+		defProfile = def.Name
+	}
+	log.Printf("listening on %s (shards=%d routing=%s default-profile=%s)", *addr, *shards, rt, defProfile)
+	return hs.ListenAndServe()
+}
+
+// ctlFlags adds the flags every client subcommand shares.
+func ctlFlags(fs *flag.FlagSet) (srvURL *string, timeout *time.Duration) {
+	srvURL = fs.String("server", "http://127.0.0.1:8477", "dracod base URL")
+	timeout = fs.Duration("timeout", 30*time.Second, "request timeout")
+	return
+}
+
+func dial(srvURL string, timeout time.Duration) (*client.Client, context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	return client.New(srvURL, nil), ctx, cancel
+}
+
+func parseArgs(spec string) ([]uint64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	tenant := fs.String("tenant", "default", "tenant id")
+	name := fs.String("syscall", "", "syscall name (e.g. openat)")
+	num := fs.Int("num", -1, "syscall number (alternative to -syscall)")
+	argSpec := fs.String("args", "", "comma-separated argument values (decimal or 0x hex)")
+	fs.Parse(args)
+
+	vals, err := parseArgs(*argSpec)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		if _, ok := syscalls.ByName(*name); !ok {
+			return fmt.Errorf("check: unknown syscall %q", *name)
+		}
+	}
+	req := server.CheckRequest{Tenant: *tenant, Syscall: *name, Args: vals}
+	if *num >= 0 {
+		req.Num = num
+	}
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	res, err := c.Check(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	tenant := fs.String("tenant", "default", "tenant id")
+	traceFile := fs.String("trace", "", "trace file in the toolkit's text format (required)")
+	batchSize := fs.Int("batch-size", 64, "calls per request")
+	fs.Parse(args)
+	if *traceFile == "" {
+		return fmt.Errorf("batch: -trace is required")
+	}
+	if *batchSize < 1 || *batchSize > server.MaxBatch {
+		return fmt.Errorf("batch: -batch-size %d out of range [1,%d]", *batchSize, server.MaxBatch)
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	var allowed, denied, cached int
+	start := time.Now()
+	for off := 0; off < len(tr); off += *batchSize {
+		end := off + *batchSize
+		if end > len(tr) {
+			end = len(tr)
+		}
+		calls := make([]server.BatchCall, end-off)
+		for i, ev := range tr[off:end] {
+			sid := ev.SID
+			calls[i] = server.BatchCall{Num: &sid, Args: ev.Args[:]}
+		}
+		results, err := c.CheckBatch(ctx, server.BatchRequest{Tenant: *tenant, Calls: calls})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if r.Allowed {
+				allowed++
+			} else {
+				denied++
+			}
+			if r.Cached {
+				cached++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d calls in %v (%.0f checks/sec): %d allowed, %d denied, %d cached\n",
+		len(tr), elapsed.Round(time.Millisecond), float64(len(tr))/elapsed.Seconds(), allowed, denied, cached)
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	tenant := fs.String("tenant", "default", "tenant id")
+	file := fs.String("file", "", "Docker-format JSON profile file (or -preset)")
+	preset := fs.String("preset", "", "upload a built-in preset instead of a file (docker, docker-masked, gvisor, firecracker)")
+	fs.Parse(args)
+
+	var body *os.File
+	switch {
+	case *file != "" && *preset != "":
+		return fmt.Errorf("profile: -file and -preset are mutually exclusive")
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		body = f
+	case *preset != "":
+		p, err := presetProfile(*preset)
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			return fmt.Errorf("profile: preset %q names no profile", *preset)
+		}
+		tmp, err := os.CreateTemp("", "dracod-profile-*.json")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		defer tmp.Close()
+		if err := seccomp.WriteJSON(tmp, p); err != nil {
+			return err
+		}
+		if _, err := tmp.Seek(0, 0); err != nil {
+			return err
+		}
+		body = tmp
+	default:
+		return fmt.Errorf("profile: -file or -preset is required")
+	}
+
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	res, err := c.PutProfile(ctx, *tenant, body)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	tenant := fs.String("tenant", "default", "tenant id")
+	fs.Parse(args)
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	res, err := c.Stats(ctx, *tenant)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func runTenants(args []string) error {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	fs.Parse(args)
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	names, err := c.Tenants(ctx)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	srvURL, timeout := ctlFlags(fs)
+	fs.Parse(args)
+	c, ctx, cancel := dial(*srvURL, *timeout)
+	defer cancel()
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}

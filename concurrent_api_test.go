@@ -1,0 +1,81 @@
+package draco
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCheckerPublicAPI exercises the exported concurrent surface:
+// parallel checks, batches, hot swap, and stats.
+func TestConcurrentCheckerPublicAPI(t *testing.T) {
+	chk, err := NewConcurrentChecker(DockerDefaultProfile(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Shards() != 4 {
+		t.Fatalf("shards = %d", chk.Shards())
+	}
+	if _, err := NewConcurrentChecker(DockerDefaultProfile(), 3); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+
+	read := Syscall("read").Num
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if d := chk.Check(read, Args{3, 0, 4096}); !d.Allowed {
+					t.Error("read denied")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	ds := chk.CheckBatch([]BatchCall{
+		{SID: read, Args: Args{3, 0, 4096}},
+		{SID: Syscall("init_module").Num},
+	})
+	if !ds[0].Allowed || !ds[0].Cached {
+		t.Fatalf("batch read: %+v", ds[0])
+	}
+	if ds[1].Allowed {
+		t.Fatalf("batch init_module: %+v", ds[1])
+	}
+
+	st := chk.Stats()
+	if st.Checks != 8*500+2 {
+		t.Fatalf("checks = %d", st.Checks)
+	}
+	if st.Denied != 1 {
+		t.Fatalf("denied = %d", st.Denied)
+	}
+
+	if err := chk.SetProfile(DockerDefaultMaskedProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if d := chk.Check(read, Args{3, 0, 4096}); !d.Allowed || d.Cached {
+		t.Fatalf("read after swap should revalidate: %+v", d)
+	}
+}
+
+// TestSimulateRejectsUnknownSelectors covers the shared config-mapping
+// helper's error paths for both simulation entry points.
+func TestSimulateRejectsUnknownSelectors(t *testing.T) {
+	w, _ := WorkloadByName("nginx")
+	if _, err := Simulate(w, Mechanism(99), DockerDefault, 100, 1); err == nil {
+		t.Fatal("unknown mechanism accepted by Simulate")
+	}
+	if _, err := Simulate(w, Seccomp, PolicyKind(99), 100, 1); err == nil {
+		t.Fatal("unknown policy accepted by Simulate")
+	}
+	if _, err := SimulateMulticore(w, 2, Mechanism(99), DockerDefault, 100, 1); err == nil {
+		t.Fatal("unknown mechanism accepted by SimulateMulticore")
+	}
+	if _, err := SimulateMulticore(w, 2, Seccomp, PolicyKind(99), 100, 1); err == nil {
+		t.Fatal("unknown policy accepted by SimulateMulticore")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"draco/internal/concurrent"
 	"draco/internal/core"
 	"draco/internal/experiments"
 	"draco/internal/hashes"
@@ -190,6 +191,72 @@ func (c *Checker) Check(sid int, args Args) Decision {
 // Argument Table.
 func (c *Checker) VATBytes() int { return c.inner.VAT.SizeBytes() }
 
+// CheckerStats aggregates checker behaviour over a run: total checks, SPT
+// and VAT hits, filter executions, inserts, and denials.
+type CheckerStats = core.Stats
+
+// ConcurrentChecker is a concurrency-safe Draco checker: a read-mostly SPT
+// behind an atomic profile pointer plus an N-way sharded VAT. Any number of
+// goroutines may call Check and CheckBatch while another hot-swaps the
+// profile with SetProfile; decisions are identical to Checker's. It backs
+// the dracod service (cmd/dracod).
+type ConcurrentChecker struct {
+	inner *concurrent.Checker
+}
+
+// NewConcurrentChecker builds a sharded concurrent checker. shards must be
+// a power of two (0 picks a default suited to server use).
+func NewConcurrentChecker(p *Profile, shards int) (*ConcurrentChecker, error) {
+	inner, err := concurrent.NewChecker(p, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentChecker{inner: inner}, nil
+}
+
+// Check validates a system call invocation. Safe for concurrent use.
+func (c *ConcurrentChecker) Check(sid int, args Args) Decision {
+	out := c.inner.Check(sid, args)
+	return Decision{
+		Allowed:            out.Allowed,
+		Cached:             !out.FilterRan,
+		FilterInstructions: out.FilterExecuted,
+	}
+}
+
+// BatchCall names one call in a CheckBatch request.
+type BatchCall = concurrent.Call
+
+// CheckBatch validates a batch of calls in one pass, locking each VAT
+// shard at most once (amortized, AnyCall-style batching). Results are in
+// call order.
+func (c *ConcurrentChecker) CheckBatch(calls []BatchCall) []Decision {
+	outs := c.inner.CheckBatch(calls, nil)
+	ds := make([]Decision, len(outs))
+	for i, out := range outs {
+		ds[i] = Decision{
+			Allowed:            out.Allowed,
+			Cached:             !out.FilterRan,
+			FilterInstructions: out.FilterExecuted,
+		}
+	}
+	return ds
+}
+
+// SetProfile hot-swaps the checker's profile without dropping in-flight
+// checks; cached validations are discarded (the new policy revalidates).
+func (c *ConcurrentChecker) SetProfile(p *Profile) error { return c.inner.SetProfile(p) }
+
+// Stats returns cumulative statistics across all shards and profile swaps.
+func (c *ConcurrentChecker) Stats() CheckerStats { return c.inner.Stats() }
+
+// VATBytes returns the current Validated Argument Table footprint summed
+// across shards.
+func (c *ConcurrentChecker) VATBytes() int { return c.inner.VATBytes() }
+
+// Shards returns the checker's VAT shard count.
+func (c *ConcurrentChecker) Shards() int { return c.inner.Shards() }
+
 // FilterOnly wraps a compiled Seccomp filter without Draco caching, for
 // baseline comparisons.
 type FilterOnly struct {
@@ -289,9 +356,10 @@ type SimResult struct {
 	Denied uint64
 }
 
-// Simulate runs a workload under the given mechanism and policy with the
-// paper's Table II configuration and returns normalized results.
-func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed int64) (SimResult, error) {
+// simConfig maps the public Mechanism and PolicyKind selectors onto a
+// simulator configuration, rejecting unknown values. Simulate and
+// SimulateMulticore share it.
+func simConfig(mech Mechanism, policy PolicyKind, events int, seed int64) (sim.Config, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Events = events
 	cfg.Seed = seed
@@ -305,7 +373,7 @@ func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed i
 	case HardwareDraco:
 		cfg.Mode = kernelmodel.ModeDracoHW
 	default:
-		return SimResult{}, fmt.Errorf("draco: unknown mechanism %d", mech)
+		return cfg, fmt.Errorf("draco: unknown mechanism %d", mech)
 	}
 	switch policy {
 	case NoPolicy:
@@ -319,7 +387,17 @@ func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed i
 	case AppComplete2x:
 		cfg.Profile = sim.ProfileComplete2x
 	default:
-		return SimResult{}, fmt.Errorf("draco: unknown policy %d", policy)
+		return cfg, fmt.Errorf("draco: unknown policy %d", policy)
+	}
+	return cfg, nil
+}
+
+// Simulate runs a workload under the given mechanism and policy with the
+// paper's Table II configuration and returns normalized results.
+func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed int64) (SimResult, error) {
+	cfg, err := simConfig(mech, policy, events, seed)
+	if err != nil {
+		return SimResult{}, err
 	}
 
 	baseCfg := cfg
@@ -352,34 +430,9 @@ func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed i
 // organization), returning the mean slowdown across cores relative to an
 // insecure multicore baseline.
 func SimulateMulticore(w *Workload, nCores int, mech Mechanism, policy PolicyKind, events int, seed int64) (float64, error) {
-	cfg := sim.DefaultConfig()
-	cfg.Events = events
-	cfg.Seed = seed
-	switch mech {
-	case Insecure:
-		cfg.Mode = kernelmodel.ModeInsecure
-	case Seccomp:
-		cfg.Mode = kernelmodel.ModeSeccomp
-	case SoftwareDraco:
-		cfg.Mode = kernelmodel.ModeDracoSW
-	case HardwareDraco:
-		cfg.Mode = kernelmodel.ModeDracoHW
-	default:
-		return 0, fmt.Errorf("draco: unknown mechanism %d", mech)
-	}
-	switch policy {
-	case NoPolicy:
-		cfg.Profile = sim.ProfileInsecure
-	case DockerDefault:
-		cfg.Profile = sim.ProfileDockerDefault
-	case AppNoArgs:
-		cfg.Profile = sim.ProfileNoArgs
-	case AppComplete:
-		cfg.Profile = sim.ProfileComplete
-	case AppComplete2x:
-		cfg.Profile = sim.ProfileComplete2x
-	default:
-		return 0, fmt.Errorf("draco: unknown policy %d", policy)
+	cfg, err := simConfig(mech, policy, events, seed)
+	if err != nil {
+		return 0, err
 	}
 	baseCfg := cfg
 	baseCfg.Mode = kernelmodel.ModeInsecure

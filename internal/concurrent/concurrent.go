@@ -1,0 +1,358 @@
+// Package concurrent makes Draco's software checker safe for many callers.
+//
+// The sequential core.Checker is a per-process model: one SPT, one VAT, no
+// locks. A long-running enforcement service (cmd/dracod) instead needs one
+// shared table serving checks from many goroutines while the profile can be
+// hot-swapped underneath. This package provides that layer:
+//
+//   - A read-mostly profile state behind an atomic pointer. Check paths
+//     load the pointer once and never block on profile reloads; SetProfile
+//     builds a whole new state and swaps it in, so in-flight checks finish
+//     against the state they started with.
+//   - An N-way sharded VAT. A check routes to a shard by a CRC-64/ECMA
+//     routing key, and each shard is an independent core.Checker (own SPT,
+//     own VAT sections, own compiled filter chain) guarded by one mutex.
+//
+// Two routing keys are offered. The default, RouteBySyscall, hashes the
+// syscall ID alone, so a syscall's whole cuckoo table lives in exactly one
+// shard and the sharded checker reproduces the sequential checker's
+// decisions bit for bit — including the cache evictions that 2-ary cuckoo
+// tables at 0.5 load actually perform. RouteByArgs additionally mixes in
+// the argument-set hash (computed under the syscall's SPT Argument Bitmask,
+// the same masked-byte hash family the VAT probes with), spreading a hot
+// syscall's argument sets across shards for maximum parallelism; allow/deny
+// decisions are still always identical to the sequential checker (cached
+// entries were validated by the same deterministic filter), but splitting a
+// syscall's table into per-shard sections changes cuckoo eviction timing,
+// so a decision can be served cached where the sequential checker would
+// re-run the filter. The differential tests in this package prove both
+// properties on full workload traces.
+package concurrent
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/seccomp"
+)
+
+// DefaultShards is the shard count used when a caller passes 0: enough to
+// keep a busy multi-core service out of lock convoys without bloating the
+// per-tenant footprint.
+const DefaultShards = 8
+
+// MaxShards bounds the shard fan-out; beyond this the per-shard tables are
+// so sparse that memory overhead dominates any contention win.
+const MaxShards = 1024
+
+// Routing selects the shard-routing key.
+type Routing int
+
+const (
+	// RouteBySyscall routes by CRC-64 of the syscall ID: each syscall's
+	// VAT table lives wholly in one shard, which preserves the sequential
+	// checker's allow/deny/cached decisions exactly.
+	RouteBySyscall Routing = iota
+	// RouteByArgs routes by CRC-64 of the syscall ID plus the masked
+	// argument-set hash: a hot syscall's argument sets spread across
+	// shards. Allow/deny decisions remain exact; cache-hit timing may
+	// differ from the sequential checker around cuckoo evictions.
+	RouteByArgs
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RouteBySyscall:
+		return "syscall"
+	case RouteByArgs:
+		return "args"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Call names one system call invocation in a batch.
+type Call struct {
+	SID  int
+	Args hashes.Args
+}
+
+// Stats aggregates checker behaviour; it is core.Stats summed across shards
+// and across profile generations.
+type Stats = core.Stats
+
+// Outcome is the per-check result, identical to the sequential checker's.
+type Outcome = core.Outcome
+
+// shard is one slice of the sharded VAT: an independent sequential checker
+// under its own lock.
+type shard struct {
+	mu  sync.Mutex
+	chk *core.Checker
+}
+
+// state is one immutable profile generation. All fields except the shards'
+// interior are read-only after construction, so check paths may use them
+// without synchronization.
+type state struct {
+	profile *seccomp.Profile
+	gen     uint64
+	routing Routing
+	// masks maps syscall ID to the SPT Argument Bitmask of its rule (zero
+	// for ID-only and unknown syscalls), precomputed so shard routing does
+	// not consult the profile per check.
+	masks  []uint64
+	shards []*shard
+}
+
+func newState(p *seccomp.Profile, nShards int, routing Routing, gen uint64) (*state, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := &state{profile: p, gen: gen, routing: routing, shards: make([]*shard, nShards)}
+	maxNum := 0
+	for _, r := range p.Rules {
+		if r.Syscall.Num > maxNum {
+			maxNum = r.Syscall.Num
+		}
+	}
+	st.masks = make([]uint64, maxNum+1)
+	for _, r := range p.Rules {
+		if r.ChecksArgs() {
+			st.masks[r.Syscall.Num] = core.BitmaskFor(r)
+		}
+	}
+	for i := range st.shards {
+		// Each shard owns its filter chain: the BPF VM carries scratch
+		// state and is not safe for concurrent use, so sharing one chain
+		// across shards would serialize (or corrupt) the miss path.
+		f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+		if err != nil {
+			return nil, err
+		}
+		st.shards[i] = &shard{chk: core.NewChecker(p, seccomp.Chain{f})}
+	}
+	return st, nil
+}
+
+// mask returns the argument bitmask governing a syscall's routing.
+func (st *state) mask(sid int) uint64 {
+	if sid >= 0 && sid < len(st.masks) {
+		return st.masks[sid]
+	}
+	return 0
+}
+
+// shardFor routes a call to its shard: CRC-64 over the syscall ID and —
+// under RouteByArgs — the H1 hash of the argument bytes selected by the
+// syscall's bitmask. ID-only syscalls always hash by ID alone.
+func (st *state) shardFor(sid int, args hashes.Args) *shard {
+	return st.shards[st.shardIndex(sid, args)]
+}
+
+func (st *state) shardIndex(sid int, args hashes.Args) int {
+	if len(st.shards) == 1 {
+		return 0
+	}
+	var key [16]byte
+	binary.LittleEndian.PutUint64(key[:8], uint64(sid))
+	n := 8
+	if st.routing == RouteByArgs {
+		if m := st.mask(sid); m != 0 {
+			binary.LittleEndian.PutUint64(key[8:], hashes.ArgSet(args, m).H1)
+		}
+		n = 16
+	}
+	return int(hashes.Sum64(key[:n]) % uint64(len(st.shards)))
+}
+
+// Checker is a concurrency-safe Draco checker: any number of goroutines may
+// call Check/CheckBatch while another reloads the profile with SetProfile.
+type Checker struct {
+	state atomic.Pointer[state]
+	// mu serializes profile swaps and guards retired.
+	mu sync.Mutex
+	// retired keeps superseded generations so Stats stays cumulative across
+	// hot swaps (in-flight checks may still be ticking their counters).
+	retired []*state
+}
+
+// NewChecker builds a sharded checker for a profile with the default
+// RouteBySyscall routing. shards must be a positive power of two up to
+// MaxShards (0 selects DefaultShards); a power of two keeps shard selection
+// a mask-and-index like the VAT itself.
+func NewChecker(p *seccomp.Profile, shards int) (*Checker, error) {
+	return NewCheckerRouted(p, shards, RouteBySyscall)
+}
+
+// NewCheckerRouted builds a sharded checker with an explicit routing key.
+func NewCheckerRouted(p *seccomp.Profile, shards int, routing Routing) (*Checker, error) {
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("concurrent: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	if routing != RouteBySyscall && routing != RouteByArgs {
+		return nil, fmt.Errorf("concurrent: unknown routing %d", int(routing))
+	}
+	st, err := newState(p, shards, routing, 1)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checker{}
+	c.state.Store(st)
+	return c, nil
+}
+
+// Check validates one system call. Safe for concurrent use.
+func (c *Checker) Check(sid int, args hashes.Args) core.Outcome {
+	st := c.state.Load()
+	sh := st.shardFor(sid, args)
+	sh.mu.Lock()
+	out := sh.chk.Check(sid, args)
+	sh.mu.Unlock()
+	return out
+}
+
+// CheckBatch validates a batch of calls, amortizing state loads and shard
+// locking: each shard involved is locked once per batch, not once per call
+// (the AnyCall-style batching the serving layer exposes). Results are
+// returned in call order. dst is reused when it has sufficient capacity.
+func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
+	if cap(dst) < len(calls) {
+		dst = make([]core.Outcome, len(calls))
+	}
+	dst = dst[:len(calls)]
+	if len(calls) == 0 {
+		return dst
+	}
+	st := c.state.Load()
+	if len(st.shards) == 1 {
+		sh := st.shards[0]
+		sh.mu.Lock()
+		for i, cl := range calls {
+			dst[i] = sh.chk.Check(cl.SID, cl.Args)
+		}
+		sh.mu.Unlock()
+		return dst
+	}
+	// Group call indices by shard, then drain each group under one lock.
+	// Relative order within a shard is preserved, and calls on different
+	// shards touch disjoint (syscall, argument-set) keys, so the outcomes
+	// match a sequential left-to-right execution of the batch.
+	groups := make([][]int, len(st.shards))
+	for i, cl := range calls {
+		si := st.shardIndex(cl.SID, cl.Args)
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := st.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			cl := calls[i]
+			dst[i] = sh.chk.Check(cl.SID, cl.Args)
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// SetProfile hot-swaps the profile: a fresh state (empty SPT/VAT, newly
+// compiled filters) is built off to the side and atomically published.
+// Checks already in flight complete against the old generation; new checks
+// see the new one. Shard count and routing are preserved.
+func (c *Checker) SetProfile(p *seccomp.Profile) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.state.Load()
+	st, err := newState(p, len(old.shards), old.routing, old.gen+1)
+	if err != nil {
+		return err
+	}
+	c.state.Store(st)
+	c.retired = append(c.retired, old)
+	return nil
+}
+
+// Reset clears all cached state (every shard's SPT and VAT) while keeping
+// the current profile, like core.Checker.Reset on a security-epoch change.
+func (c *Checker) Reset() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.state.Load()
+	st, err := newState(old.profile, len(old.shards), old.routing, old.gen+1)
+	if err != nil {
+		return err
+	}
+	c.state.Store(st)
+	c.retired = append(c.retired, old)
+	return nil
+}
+
+// Routing returns the checker's shard-routing mode.
+func (c *Checker) Routing() Routing {
+	return c.state.Load().routing
+}
+
+// Profile returns the currently active profile.
+func (c *Checker) Profile() *seccomp.Profile {
+	return c.state.Load().profile
+}
+
+// Generation returns the current profile generation, starting at 1 and
+// incremented on every SetProfile/Reset.
+func (c *Checker) Generation() uint64 {
+	return c.state.Load().gen
+}
+
+// Shards returns the shard count.
+func (c *Checker) Shards() int {
+	return len(c.state.Load().shards)
+}
+
+// Stats sums checker statistics across all shards and all profile
+// generations since construction.
+func (c *Checker) Stats() Stats {
+	c.mu.Lock()
+	states := make([]*state, 0, len(c.retired)+1)
+	states = append(states, c.retired...)
+	states = append(states, c.state.Load())
+	c.mu.Unlock()
+	var total Stats
+	for _, st := range states {
+		for _, sh := range st.shards {
+			sh.mu.Lock()
+			s := sh.chk.Stats
+			sh.mu.Unlock()
+			total.Checks += s.Checks
+			total.SPTHits += s.SPTHits
+			total.VATHits += s.VATHits
+			total.FilterRuns += s.FilterRuns
+			total.FilterInsns += s.FilterInsns
+			total.Inserts += s.Inserts
+			total.Denied += s.Denied
+		}
+	}
+	return total
+}
+
+// VATBytes returns the memory footprint of the current generation's VAT,
+// summed across shards.
+func (c *Checker) VATBytes() int {
+	st := c.state.Load()
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += sh.chk.VAT.SizeBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,333 @@
+package concurrent
+
+import (
+	"testing"
+
+	"draco/internal/core"
+	"draco/internal/hashes"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/syscalls"
+	"draco/internal/workloads"
+)
+
+func sequentialChecker(t testing.TB, p *seccomp.Profile) *core.Checker {
+	t.Helper()
+	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewChecker(p, seccomp.Chain{f})
+}
+
+func mustChecker(t testing.TB, p *seccomp.Profile, shards int) *Checker {
+	t.Helper()
+	c, err := NewChecker(p, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// decision is the externally visible outcome of one check: what the service
+// reports to a caller. The differential test requires these to be identical
+// between the sequential and the sharded checker.
+type decision struct {
+	allowed  bool
+	cached   bool
+	executed int
+	action   seccomp.Action
+}
+
+func decide(o core.Outcome) decision {
+	return decision{allowed: o.Allowed, cached: !o.FilterRan, executed: o.FilterExecuted, action: o.Action}
+}
+
+// TestDifferentialAgainstSequential replays a 100k-event trace of every
+// workload through the sharded checker and the sequential core.Checker and
+// requires identical allow/deny/cached decisions event for event, under
+// both the workload's complete application-specific profile and the Docker
+// default profile.
+func TestDifferentialAgainstSequential(t *testing.T) {
+	const events = 100_000
+	genOpts := profilegen.Options{IncludeRuntime: true}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.Generate(events, 0xD12AC0)
+			profiles := map[string]*seccomp.Profile{
+				"app-complete":   profilegen.Complete(w.Name, tr, genOpts),
+				"docker-default": seccomp.DockerDefault(),
+			}
+			for pname, p := range profiles {
+				seq := sequentialChecker(t, p)
+				con := mustChecker(t, p, 4)
+				for i, ev := range tr {
+					want := decide(seq.Check(ev.SID, ev.Args))
+					got := decide(con.Check(ev.SID, ev.Args))
+					if got != want {
+						t.Fatalf("%s event %d (sid=%d args=%v): sequential %+v, sharded %+v",
+							pname, i, ev.SID, ev.Args, want, got)
+					}
+				}
+				ss, cs := seq.Stats, con.Stats()
+				if ss.Checks != cs.Checks || ss.FilterRuns != cs.FilterRuns || ss.Denied != cs.Denied {
+					t.Fatalf("%s stats diverge: sequential %+v, sharded %+v", pname, ss, cs)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRouteByArgs exercises the argument-spreading routing key:
+// allow/deny decisions must still match the sequential checker event for
+// event on every workload (cached entries were validated by the same
+// deterministic filter, so splitting a syscall's table across shards can
+// never flip a decision — only cache-hit timing around cuckoo evictions).
+func TestDifferentialRouteByArgs(t *testing.T) {
+	const events = 100_000
+	genOpts := profilegen.Options{IncludeRuntime: true}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.Generate(events, 0xD12AC0)
+			p := profilegen.Complete(w.Name, tr, genOpts)
+			seq := sequentialChecker(t, p)
+			con, err := NewCheckerRouted(p, 16, RouteByArgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cacheDivergence int
+			for i, ev := range tr {
+				want := seq.Check(ev.SID, ev.Args)
+				got := con.Check(ev.SID, ev.Args)
+				if got.Allowed != want.Allowed {
+					t.Fatalf("event %d (sid=%d): sequential allowed=%v, sharded allowed=%v",
+						i, ev.SID, want.Allowed, got.Allowed)
+				}
+				if got.FilterRan != want.FilterRan {
+					cacheDivergence++
+				}
+			}
+			// Cache behaviour should agree on the overwhelming majority of
+			// events even in spreading mode; divergence is bounded by
+			// eviction churn, not systematic.
+			if cacheDivergence > events/100 {
+				t.Fatalf("cache decisions diverged on %d/%d events", cacheDivergence, events)
+			}
+		})
+	}
+}
+
+// TestDifferentialShardCounts repeats the differential comparison across
+// shard fan-outs on one workload, including the degenerate 1-shard case.
+func TestDifferentialShardCounts(t *testing.T) {
+	w, ok := workloads.ByName("nginx")
+	if !ok {
+		w = workloads.All()[0]
+	}
+	tr := w.Generate(100_000, 7)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	seq := sequentialChecker(t, p)
+	shardCounts := []int{1, 4, 16}
+	cons := make([]*Checker, len(shardCounts))
+	for i, n := range shardCounts {
+		cons[i] = mustChecker(t, p, n)
+	}
+	for i, ev := range tr {
+		want := decide(seq.Check(ev.SID, ev.Args))
+		for j, con := range cons {
+			if got := decide(con.Check(ev.SID, ev.Args)); got != want {
+				t.Fatalf("event %d shards=%d: sequential %+v, sharded %+v", i, shardCounts[j], want, got)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSingle checks that CheckBatch returns exactly what the
+// same calls issued one at a time would return, in order.
+func TestBatchMatchesSingle(t *testing.T) {
+	w := workloads.All()[0]
+	tr := w.Generate(20_000, 11)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	single := mustChecker(t, p, 4)
+	batched := mustChecker(t, p, 4)
+
+	const batchSize = 64
+	for off := 0; off < len(tr); off += batchSize {
+		end := off + batchSize
+		if end > len(tr) {
+			end = len(tr)
+		}
+		calls := make([]Call, end-off)
+		for i, ev := range tr[off:end] {
+			calls[i] = Call{SID: ev.SID, Args: ev.Args}
+		}
+		outs := batched.CheckBatch(calls, nil)
+		if len(outs) != len(calls) {
+			t.Fatalf("batch returned %d results for %d calls", len(outs), len(calls))
+		}
+		for i, cl := range calls {
+			want := decide(single.Check(cl.SID, cl.Args))
+			if got := decide(outs[i]); got != want {
+				t.Fatalf("batch offset %d call %d: single %+v, batch %+v", off, i, want, got)
+			}
+		}
+	}
+}
+
+func TestCheckBatchEmptyAndReuse(t *testing.T) {
+	c := mustChecker(t, seccomp.DockerDefault(), 2)
+	if got := c.CheckBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	buf := make([]core.Outcome, 0, 8)
+	read := syscalls.MustByName("read").Num
+	out := c.CheckBatch([]Call{{SID: read}}, buf)
+	if len(out) != 1 || !out[0].Allowed {
+		t.Fatalf("reused-buffer batch: %+v", out)
+	}
+}
+
+// TestHotSwapSemantics verifies that SetProfile empties the cache (new
+// generation revalidates through the filter), switches decisions to the new
+// profile, and keeps cumulative statistics.
+func TestHotSwapSemantics(t *testing.T) {
+	read := syscalls.MustByName("read").Num
+	openat := syscalls.MustByName("openat").Num
+
+	allowRead := &seccomp.Profile{
+		Name:          "read-only",
+		DefaultAction: seccomp.Errno(1),
+		Rules:         []seccomp.Rule{{Syscall: syscalls.MustByName("read")}},
+	}
+	allowBoth := &seccomp.Profile{
+		Name:          "read-openat",
+		DefaultAction: seccomp.Errno(1),
+		Rules: []seccomp.Rule{
+			{Syscall: syscalls.MustByName("read")},
+			{Syscall: syscalls.MustByName("openat")},
+		},
+	}
+
+	c := mustChecker(t, allowRead, 4)
+	if out := c.Check(read, hashes.Args{}); !out.Allowed || !out.FilterRan {
+		t.Fatalf("first read: %+v", out)
+	}
+	if out := c.Check(read, hashes.Args{}); !out.Allowed || out.FilterRan {
+		t.Fatalf("cached read: %+v", out)
+	}
+	if out := c.Check(openat, hashes.Args{}); out.Allowed {
+		t.Fatalf("openat should be denied under read-only: %+v", out)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+
+	if err := c.SetProfile(allowBoth); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Generation(); g != 2 {
+		t.Fatalf("generation after swap = %d, want 2", g)
+	}
+	if c.Profile().Name != "read-openat" {
+		t.Fatalf("active profile = %q", c.Profile().Name)
+	}
+	// New generation: the read entry must be revalidated (filter runs), and
+	// openat is now allowed.
+	if out := c.Check(read, hashes.Args{}); !out.Allowed || !out.FilterRan {
+		t.Fatalf("read after swap should re-run filter: %+v", out)
+	}
+	if out := c.Check(openat, hashes.Args{}); !out.Allowed {
+		t.Fatalf("openat after swap: %+v", out)
+	}
+
+	st := c.Stats()
+	if st.Checks != 5 {
+		t.Fatalf("stats not cumulative across swap: %+v", st)
+	}
+	if st.Denied != 1 {
+		t.Fatalf("denied = %d, want 1: %+v", st.Denied, st)
+	}
+}
+
+func TestSetProfileRejectsInvalid(t *testing.T) {
+	c := mustChecker(t, seccomp.DockerDefault(), 2)
+	bad := &seccomp.Profile{Name: "bad", DefaultAction: seccomp.ActAllow}
+	if err := c.SetProfile(bad); err == nil {
+		t.Fatal("SetProfile accepted an allowing-default profile")
+	}
+	// The active profile must be unchanged after a rejected swap.
+	if c.Profile().Name != seccomp.DockerDefault().Name || c.Generation() != 1 {
+		t.Fatalf("state changed after rejected swap: %s gen %d", c.Profile().Name, c.Generation())
+	}
+}
+
+func TestNewCheckerShardValidation(t *testing.T) {
+	p := seccomp.DockerDefault()
+	for _, bad := range []int{-1, 3, 5, 1000, MaxShards * 2} {
+		if _, err := NewChecker(p, bad); err == nil {
+			t.Fatalf("NewChecker accepted shard count %d", bad)
+		}
+	}
+	c, err := NewChecker(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != DefaultShards {
+		t.Fatalf("default shards = %d, want %d", c.Shards(), DefaultShards)
+	}
+}
+
+func TestResetClearsCache(t *testing.T) {
+	c := mustChecker(t, seccomp.DockerDefault(), 2)
+	read := syscalls.MustByName("read").Num
+	c.Check(read, hashes.Args{})
+	if out := c.Check(read, hashes.Args{}); out.FilterRan {
+		t.Fatalf("expected cached: %+v", out)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if out := c.Check(read, hashes.Args{}); !out.FilterRan {
+		t.Fatalf("expected revalidation after reset: %+v", out)
+	}
+}
+
+// TestVATBytesGrows sanity-checks the footprint gauge: argument-checked
+// validations must allocate VAT sections.
+func TestVATBytesGrows(t *testing.T) {
+	w := workloads.All()[0]
+	tr := w.Generate(5_000, 3)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	c := mustChecker(t, p, 4)
+	if c.VATBytes() != 0 {
+		t.Fatalf("fresh checker VATBytes = %d, want 0", c.VATBytes())
+	}
+	for _, ev := range tr {
+		c.Check(ev.SID, ev.Args)
+	}
+	if c.VATBytes() == 0 {
+		t.Fatal("VATBytes still 0 after replaying an argument-checked trace")
+	}
+}
+
+// Guard against trace generation accidentally becoming arg-free, which
+// would hollow out the differential tests.
+func TestTracesExerciseArgChecking(t *testing.T) {
+	w := workloads.All()[0]
+	tr := w.Generate(10_000, 5)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	c := mustChecker(t, p, 4)
+	var argChecked int
+	for _, ev := range tr {
+		if c.Check(ev.SID, ev.Args).ArgsChecked {
+			argChecked++
+		}
+	}
+	if argChecked == 0 {
+		t.Fatal("no event exercised argument checking")
+	}
+}

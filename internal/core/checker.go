@@ -128,7 +128,7 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	if e == nil || !e.Valid {
 		entry := SPTEntry{Valid: true, Accessed: true}
 		if rule.ChecksArgs() {
-			entry.ArgBitmask = bitmaskFor(rule)
+			entry.ArgBitmask = BitmaskFor(rule)
 			entry.Base = c.VAT.CreateTable(sid, len(rule.AllowedSets), entry.ArgBitmask)
 		}
 		c.SPT.Set(sid, entry)
@@ -144,10 +144,11 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	return out
 }
 
-// bitmaskFor derives the SPT Argument Bitmask from a profile rule: the
+// BitmaskFor derives the SPT Argument Bitmask from a profile rule: the
 // meaningful bytes (per the argument's declared width) of every checked
-// argument.
-func bitmaskFor(rule seccomp.Rule) uint64 {
+// argument. It is exported because the concurrent checker routes argument
+// sets to VAT shards by the same masked-byte hash the SPT uses.
+func BitmaskFor(rule seccomp.Rule) uint64 {
 	var m uint64
 	cover := func(idx int) {
 		w := rule.Syscall.ArgWidth(idx)

@@ -300,7 +300,7 @@ func TestBitmaskForSubsetOfInfoBitmask(t *testing.T) {
 		}
 		rule := seccomp.Rule{Syscall: in, CheckedArgs: checked,
 			AllowedSets: [][]uint64{make([]uint64, len(checked))}}
-		m := bitmaskFor(rule)
+		m := BitmaskFor(rule)
 		if m&^in.ArgBitmask() != 0 {
 			t.Fatalf("%s: rule bitmask %#x escapes info bitmask %#x",
 				in.Name, m, in.ArgBitmask())

@@ -80,6 +80,17 @@ func ArgSet(args Args, bitmask uint64) Pair {
 	return Pair{H1: ^h1, H2: ^h2}
 }
 
+// Sum64 returns the CRC-64/ECMA code of an arbitrary byte string. The
+// concurrent checker uses it to spread (syscall ID, argument-set hash) keys
+// across VAT shards with the same hash family the VAT itself uses.
+func Sum64(b []byte) uint64 {
+	h := ^uint64(0)
+	for _, v := range b {
+		h = update(h, &ecmaTable, v)
+	}
+	return ^h
+}
+
 // Select returns which of the pair's values matches h, or -1. The SLB and
 // STB store the single hash value that located the entry in the VAT
 // ("the one hash value (of the two possible) that fetched this argument

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed latency bucket ladder: powers of two from 256ns
+// to ~8.6s, plus an overflow bucket. Fixed buckets keep recording a single
+// atomic increment — no allocation, no locks, no external deps.
+const (
+	histBuckets   = 26
+	histBaseNanos = 256
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	bound := int64(histBaseNanos)
+	for i := 0; i < histBuckets-1; i++ {
+		if ns < bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(uint64(max64(d.Nanoseconds(), 0)))
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// MeanNanos returns the mean sample in nanoseconds (0 when empty).
+func (h *Histogram) MeanNanos() uint64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sumNs.Load() / n
+}
+
+// Quantile returns an upper bound on the q-quantile latency in nanoseconds,
+// resolved to bucket granularity. q is clamped to [0,1].
+func (h *Histogram) Quantile(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	bound := uint64(histBaseNanos)
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bound >> 1 // report the bucket's lower bound
+		}
+		bound <<= 1
+	}
+	return bound >> 1
+}
+
+// Metrics is dracod's live counter set. Endpoint histograms are created up
+// front so the hot path never takes a lock.
+type Metrics struct {
+	start     time.Time
+	requests  map[string]*atomic.Uint64
+	latencies map[string]*Histogram
+	// BatchCalls counts individual calls submitted through /v1/check-batch.
+	BatchCalls atomic.Uint64
+	// ProfileSwaps counts successful profile uploads.
+	ProfileSwaps atomic.Uint64
+	// HTTPErrors counts requests answered with a 4xx/5xx status.
+	HTTPErrors atomic.Uint64
+}
+
+// endpoint labels; one histogram each.
+var endpointLabels = []string{"check", "check-batch", "profile", "stats", "metrics"}
+
+// NewMetrics creates the counter set.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		requests:  make(map[string]*atomic.Uint64, len(endpointLabels)),
+		latencies: make(map[string]*Histogram, len(endpointLabels)),
+	}
+	for _, e := range endpointLabels {
+		m.requests[e] = &atomic.Uint64{}
+		m.latencies[e] = &Histogram{}
+	}
+	return m
+}
+
+// ObserveRequest records one served request for an endpoint label.
+func (m *Metrics) ObserveRequest(endpoint string, d time.Duration) {
+	if r, ok := m.requests[endpoint]; ok {
+		r.Add(1)
+		m.latencies[endpoint].Observe(d)
+	}
+}
+
+// Latency returns the histogram for an endpoint label (nil if unknown).
+func (m *Metrics) Latency(endpoint string) *Histogram { return m.latencies[endpoint] }
+
+// checkerTotals is the tenant-aggregated checker view the metrics page
+// renders; the server fills it from the live checkers.
+type checkerTotals struct {
+	Tenants    int
+	Checks     uint64
+	SPTHits    uint64
+	VATHits    uint64
+	FilterRuns uint64
+	Denied     uint64
+	VATBytes   int
+}
+
+// WriteTo renders the metrics in a flat, plain-text exposition format
+// (counter name, space, value — one per line, prometheus-style labels on
+// the per-endpoint series).
+func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals) {
+	fmt.Fprintf(w, "dracod_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "dracod_tenants %d\n", totals.Tenants)
+	fmt.Fprintf(w, "dracod_checks_total %d\n", totals.Checks)
+	fmt.Fprintf(w, "dracod_cache_hits_total %d\n", totals.SPTHits+totals.VATHits)
+	fmt.Fprintf(w, "dracod_spt_hits_total %d\n", totals.SPTHits)
+	fmt.Fprintf(w, "dracod_vat_hits_total %d\n", totals.VATHits)
+	fmt.Fprintf(w, "dracod_filter_runs_total %d\n", totals.FilterRuns)
+	fmt.Fprintf(w, "dracod_denials_total %d\n", totals.Denied)
+	fmt.Fprintf(w, "dracod_vat_bytes %d\n", totals.VATBytes)
+	fmt.Fprintf(w, "dracod_batch_calls_total %d\n", m.BatchCalls.Load())
+	fmt.Fprintf(w, "dracod_profile_swaps_total %d\n", m.ProfileSwaps.Load())
+	fmt.Fprintf(w, "dracod_http_errors_total %d\n", m.HTTPErrors.Load())
+
+	labels := make([]string, len(endpointLabels))
+	copy(labels, endpointLabels)
+	sort.Strings(labels)
+	for _, e := range labels {
+		h := m.latencies[e]
+		fmt.Fprintf(w, "dracod_http_requests_total{endpoint=%q} %d\n", e, m.requests[e].Load())
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "dracod_http_latency_mean_ns{endpoint=%q} %d\n", e, h.MeanNanos())
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "dracod_http_latency_ns{endpoint=%q,quantile=\"%g\"} %d\n", e, q, h.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package draco
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestProfileJSONRoundTrip serializes each built-in profile and an
+// application-specific one and reads them back, requiring the reparsed
+// profile to make identical decisions and carry the same rule counts.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	w, _ := WorkloadByName("nginx")
+	tr := GenerateTrace(w, 5_000, 1)
+	profiles := map[string]*Profile{
+		"docker":        DockerDefaultProfile(),
+		"docker-masked": DockerDefaultMaskedProfile(),
+		"gvisor":        GVisorProfile(),
+		"firecracker":   FirecrackerProfile(),
+		"app-complete":  ProfileFromTrace("nginx-app", tr, true),
+	}
+	for name, p := range profiles {
+		var buf bytes.Buffer
+		if err := WriteProfileJSON(&buf, p); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ReadProfileJSON(bytes.NewReader(buf.Bytes()), p.Name)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", name, err)
+		}
+		if back.NumSyscalls() != p.NumSyscalls() {
+			t.Fatalf("%s: %d syscalls, reparsed %d", name, p.NumSyscalls(), back.NumSyscalls())
+		}
+		if back.NumArgSets() != p.NumArgSets() {
+			t.Fatalf("%s: %d arg sets, reparsed %d", name, p.NumArgSets(), back.NumArgSets())
+		}
+
+		// Decision equivalence over the trace plus probes the profile denies.
+		orig, err := NewChecker(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reread, err := NewChecker(back)
+		if err != nil {
+			t.Fatalf("%s: reparsed profile rejected: %v", name, err)
+		}
+		for i, ev := range tr {
+			a := orig.Check(ev.SID, ev.Args)
+			b := reread.Check(ev.SID, ev.Args)
+			if a.Allowed != b.Allowed || a.Cached != b.Cached {
+				t.Fatalf("%s event %d: original %+v, reparsed %+v", name, i, a, b)
+			}
+		}
+	}
+}
+
+// TestReadProfileJSONMalformed covers the error paths a profile upload can
+// hit: truncated documents, unknown actions, unknown syscall names,
+// non-whitelist defaults, unsupported operators and architectures.
+func TestReadProfileJSONMalformed(t *testing.T) {
+	valid := `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "architectures": ["SCMP_ARCH_X86_64"],
+  "syscalls": [{"names": ["read", "write"], "action": "SCMP_ACT_ALLOW"}]
+}`
+	if _, err := ReadProfileJSON(strings.NewReader(valid), "ok"); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+
+	cases := map[string]string{
+		"empty":     "",
+		"truncated": valid[:len(valid)/2],
+		"not JSON":  "defaultAction: SCMP_ACT_ERRNO",
+		"unknown default action": `{
+  "defaultAction": "SCMP_ACT_FROBNICATE",
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]
+}`,
+		"unknown entry action": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_BOGUS"}]
+}`,
+		"unknown syscall name": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["sys_hyperwarp"], "action": "SCMP_ACT_ALLOW"}]
+}`,
+		"allowing default": `{
+  "defaultAction": "SCMP_ACT_ALLOW",
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]
+}`,
+		"deny entry": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_KILL_PROCESS"}]
+}`,
+		"unsupported operator": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["personality"], "action": "SCMP_ACT_ALLOW",
+    "args": [{"index": 0, "value": 8, "op": "SCMP_CMP_GT"}]}]
+}`,
+		"unsupported architecture": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "architectures": ["SCMP_ARCH_AARCH64"],
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]
+}`,
+		"out-of-range arg index": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["close"], "action": "SCMP_ACT_ALLOW",
+    "args": [{"index": 5, "value": 1, "op": "SCMP_CMP_EQ"}]}]
+}`,
+		"pointer arg check": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW",
+    "args": [{"index": 1, "value": 4096, "op": "SCMP_CMP_EQ"}]}]
+}`,
+		"unknown field": `{
+  "defaultAction": "SCMP_ACT_ERRNO",
+  "frobnication": true,
+  "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]
+}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadProfileJSON(strings.NewReader(doc), name); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
