@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-server
+.PHONY: check build vet test test-race test-engine bench bench-server bench-engine
 
-# check is the CI gate: build, vet, and the full test suite under the race
-# detector (scripts/check.sh is the same sequence for environments without
-# make).
-check: build vet test-race
+# check is the CI gate: build, vet, the full test suite under the race
+# detector, and the engine alloc-guard/differential tests (which skip
+# themselves under -race). scripts/check.sh is the same sequence for
+# environments without make.
+check: build vet test-race test-engine
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# test-engine runs the Engine-contract guards without the race detector:
+# the 0-allocs/op assertions (perturbed by -race) and the registry-level
+# decision-stream differential tests.
+test-engine:
+	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/
+
 # bench runs the concurrent checker's parallel throughput benchmarks across
 # 1/4/16-shard configurations (see results/concurrent_baseline.json for a
 # recorded reference run).
@@ -27,3 +34,9 @@ bench:
 
 bench-server:
 	$(GO) test -run='^$$' -bench 'BenchmarkServerCheck' ./internal/server
+
+# bench-engine runs the registry-level sweep: every engine serially plus the
+# PR-1 shard grid through draco-concurrent (results/engine_baseline.json
+# records a `dracobench -engine all` run of the same workload).
+bench-engine:
+	$(GO) test -run='^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"draco/internal/engine"
+	"draco/internal/profilegen"
+	"draco/internal/workloads"
+)
+
+// Engine-bench mode: instead of regenerating paper figures, replay a
+// workload trace through registered check engines by name and report
+// steady-state throughput. This is the registry-level rerun of the PR-1
+// shard benchmarks; results/engine_baseline.json records a run of
+//
+//	dracobench -engine all -json results/engine_baseline.json
+//
+// The draco-concurrent engine is swept across the PR-1 shard/routing grid;
+// the other engines run their single configuration.
+
+// engineBenchConfig is one (engine, shards, routing) cell.
+type engineBenchConfig struct {
+	Engine  string
+	Shards  int
+	Routing string
+}
+
+// engineBenchResult is one measured cell.
+type engineBenchResult struct {
+	Engine          string  `json:"engine"`
+	Shards          int     `json:"shards,omitempty"`
+	Routing         string  `json:"routing,omitempty"`
+	NsPerCheck      float64 `json:"ns_per_check"`
+	ChecksPerSec    float64 `json:"checks_per_sec"`
+	AllocsPerCheck  int64   `json:"allocs_per_check"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_check,omitempty"`
+	ParallelPerSec  float64 `json:"parallel_checks_per_sec,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	VATBytes        int     `json:"vat_bytes"`
+}
+
+// engineBenchDoc is the JSON document -json writes.
+type engineBenchDoc struct {
+	Description string              `json:"description"`
+	Recorded    string              `json:"recorded"`
+	Machine     map[string]any      `json:"machine"`
+	Workload    string              `json:"workload"`
+	Events      int                 `json:"events"`
+	Results     []engineBenchResult `json:"results"`
+}
+
+// engineBenchConfigs expands an engine selector ("all" or a registry name)
+// into the benchmark grid.
+func engineBenchConfigs(selector string, shards int, routing string) ([]engineBenchConfig, error) {
+	names := []string{selector}
+	if selector == "all" {
+		names = engine.Names()
+	} else if _, ok := engine.Lookup(selector); !ok {
+		return nil, fmt.Errorf("unknown engine %q (have %v)", selector, engine.Names())
+	}
+	var cfgs []engineBenchConfig
+	for _, name := range names {
+		if name == "draco-concurrent" && selector == "all" {
+			for _, rt := range []string{"syscall", "args"} {
+				for _, sh := range []int{1, 4, 16} {
+					cfgs = append(cfgs, engineBenchConfig{Engine: name, Shards: sh, Routing: rt})
+				}
+			}
+			continue
+		}
+		cfg := engineBenchConfig{Engine: name}
+		if name == "draco-concurrent" {
+			cfg.Shards, cfg.Routing = shards, routing
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
+}
+
+// runEngineBench measures every config and optionally writes the JSON doc.
+func runEngineBench(selector, workload string, events, shards int, routing string, seed int64, jsonPath string) error {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if events <= 0 {
+		events = 50_000
+	}
+	tr := w.Generate(events, seed)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	cfgs, err := engineBenchConfigs(selector, shards, routing)
+	if err != nil {
+		return err
+	}
+
+	var results []engineBenchResult
+	for _, cfg := range cfgs {
+		e, err := engine.New(cfg.Engine, engine.Options{Profile: p, Shards: cfg.Shards, Routing: cfg.Routing})
+		if err != nil {
+			return err
+		}
+		// Warm the tables so the measured path is the serving steady state.
+		for _, ev := range tr {
+			e.Check(ev.SID, ev.Args)
+		}
+		warm := e.Stats()
+
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			i := 0
+			for n := 0; n < b.N; n++ {
+				ev := tr[i%len(tr)]
+				e.Check(ev.SID, ev.Args)
+				i++
+			}
+		})
+
+		r := engineBenchResult{
+			Engine:         cfg.Engine,
+			Shards:         e.Describe().Shards,
+			Routing:        e.Describe().Routing,
+			NsPerCheck:     float64(res.NsPerOp()),
+			AllocsPerCheck: res.AllocsPerOp(),
+			VATBytes:       e.VATBytes(),
+		}
+		if r.NsPerCheck > 0 {
+			r.ChecksPerSec = 1e9 / r.NsPerCheck
+		}
+		if warm.Checks > 0 {
+			r.CacheHitRate = float64(warm.SPTHits+warm.VATHits) / float64(warm.Checks)
+		}
+
+		// Concurrency-safe engines also get the parallel sweep the PR-1
+		// shard benchmarks ran: every P walks the trace from its own offset.
+		if info, _ := engine.Lookup(cfg.Engine); info.Concurrent {
+			pres := testing.Benchmark(func(b *testing.B) {
+				var cursor atomic.Uint64
+				b.RunParallel(func(pb *testing.PB) {
+					i := cursor.Add(1) * 7919
+					for pb.Next() {
+						ev := tr[i%uint64(len(tr))]
+						e.Check(ev.SID, ev.Args)
+						i++
+					}
+				})
+			})
+			r.ParallelNsPerOp = float64(pres.NsPerOp())
+			if r.ParallelNsPerOp > 0 {
+				r.ParallelPerSec = 1e9 / r.ParallelNsPerOp
+			}
+		}
+		e.Close()
+		results = append(results, r)
+
+		line := fmt.Sprintf("%-17s", r.Engine)
+		if r.Routing != "" {
+			line += fmt.Sprintf(" shards=%-2d routing=%-7s", r.Shards, r.Routing)
+		}
+		line += fmt.Sprintf(" %8.1f ns/check (%.2fM checks/sec, %d allocs)", r.NsPerCheck, r.ChecksPerSec/1e6, r.AllocsPerCheck)
+		if r.ParallelNsPerOp > 0 {
+			line += fmt.Sprintf(", parallel %8.1f ns/check", r.ParallelNsPerOp)
+		}
+		fmt.Println(line)
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	doc := engineBenchDoc{
+		Description: "Steady-state single-call throughput of every registered check engine (internal/engine registry), warm tables; draco-concurrent swept across the shard/routing grid of results/concurrent_baseline.json. Recorded from `dracobench -engine all -json ...`.",
+		Recorded:    time.Now().Format("2006-01-02"),
+		Machine: map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cores":  runtime.NumCPU(),
+		},
+		Workload: w.Name + " trace, app-complete profile, warm tables",
+		Events:   events,
+		Results:  results,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+}

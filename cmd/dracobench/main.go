@@ -9,6 +9,12 @@
 //	dracobench -events 100000       # override events per simulation
 //	dracobench -nopreload           # disable SLB preloading
 //	dracobench -shape tree          # binary-tree Seccomp filters
+//
+// Engine-bench mode (replay a trace through registered check engines):
+//
+//	dracobench -engine all                                  # sweep every engine
+//	dracobench -engine draco-concurrent -shards 8           # one engine, one config
+//	dracobench -engine all -json results/engine_baseline.json
 package main
 
 import (
@@ -35,8 +41,21 @@ func main() {
 		shape      = flag.String("shape", "linear", "seccomp filter shape: linear or tree")
 		csvDir     = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
 		repeats    = flag.Int("repeats", 1, "average each simulation over N seeds")
+		engName    = flag.String("engine", "", "engine-bench mode: replay a workload through this registered engine ('all' = every engine)")
+		workload   = flag.String("workload", "httpd", "workload for -engine mode")
+		shards     = flag.Int("shards", 0, "shard count for -engine draco-concurrent (0 = default)")
+		routing    = flag.String("routing", "syscall", "shard routing for -engine draco-concurrent: syscall or args")
+		jsonOut    = flag.String("json", "", "write -engine results as a JSON document to this file")
 	)
 	flag.Parse()
+
+	if *engName != "" {
+		if err := runEngineBench(*engName, *workload, *events, *shards, *routing, *seed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Registry() {

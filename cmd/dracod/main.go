@@ -3,15 +3,16 @@
 //
 // Serving:
 //
-//	dracod serve -addr :8477 -shards 8 -default-profile docker
+//	dracod serve -addr :8477 -engine draco-concurrent -shards 8 -default-profile docker
 //
 // Control subcommands (thin client over the JSON API):
 //
 //	dracod check   -server http://127.0.0.1:8477 -tenant web -syscall read -args 3,0,4096
 //	dracod batch   -server ... -tenant web -trace trace.txt -batch-size 64
-//	dracod profile -server ... -tenant web -file profile.json
+//	dracod profile -server ... -tenant web -file profile.json -engine draco-sw
 //	dracod stats   -server ... -tenant web
 //	dracod tenants -server ...
+//	dracod engines
 //	dracod metrics -server ...
 package main
 
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"draco/internal/concurrent"
+	"draco/internal/engine"
 	"draco/internal/seccomp"
 	"draco/internal/server"
 	"draco/internal/server/client"
@@ -57,6 +59,8 @@ func main() {
 		err = runStats(args)
 	case "tenants":
 		err = runTenants(args)
+	case "engines":
+		err = runEngines(args)
 	case "metrics":
 		err = runMetrics(args)
 	case "-h", "-help", "--help", "help":
@@ -80,6 +84,7 @@ commands:
   profile  upload a Docker-format JSON profile (hot swap)
   stats    print a tenant's checker statistics
   tenants  list provisioned tenants
+  engines  list the registered check engines
   metrics  print the service metrics page
 
 run 'dracod <command> -h' for the command's flags`)
@@ -107,23 +112,23 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8477", "listen address")
 	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
 	routing := fs.String("routing", "syscall", "shard routing key: syscall (exact sequential semantics) or args (spread hot syscalls)")
+	engName := fs.String("engine", server.DefaultEngine, "default check engine for new tenants: "+strings.Join(engine.Names(), ", "))
 	preset := fs.String("default-profile", "docker", "auto-provision tenants with this preset (docker, docker-masked, gvisor, firecracker, none)")
 	fs.Parse(args)
 
-	var rt concurrent.Routing
 	switch *routing {
-	case "syscall":
-		rt = concurrent.RouteBySyscall
-	case "args":
-		rt = concurrent.RouteByArgs
+	case "syscall", "args":
 	default:
 		return fmt.Errorf("unknown -routing %q (syscall or args)", *routing)
+	}
+	if _, ok := engine.Lookup(*engName); !ok {
+		return fmt.Errorf("unknown -engine %q (have %s)", *engName, strings.Join(engine.Names(), ", "))
 	}
 	def, err := presetProfile(*preset)
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Options{Shards: *shards, Routing: rt, DefaultProfile: def})
+	srv := server.New(server.Options{Shards: *shards, Routing: *routing, DefaultEngine: *engName, DefaultProfile: def})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -133,7 +138,7 @@ func runServe(args []string) error {
 	if def != nil {
 		defProfile = def.Name
 	}
-	log.Printf("listening on %s (shards=%d routing=%s default-profile=%s)", *addr, *shards, rt, defProfile)
+	log.Printf("listening on %s (engine=%s shards=%d routing=%s default-profile=%s)", *addr, *engName, *shards, *routing, defProfile)
 	return hs.ListenAndServe()
 }
 
@@ -266,7 +271,13 @@ func runProfile(args []string) error {
 	tenant := fs.String("tenant", "default", "tenant id")
 	file := fs.String("file", "", "Docker-format JSON profile file (or -preset)")
 	preset := fs.String("preset", "", "upload a built-in preset instead of a file (docker, docker-masked, gvisor, firecracker)")
+	engName := fs.String("engine", "", "check engine for this tenant ("+strings.Join(engine.Names(), ", ")+"; empty keeps the server default)")
 	fs.Parse(args)
+	if *engName != "" {
+		if _, ok := engine.Lookup(*engName); !ok {
+			return fmt.Errorf("unknown -engine %q (have %s)", *engName, strings.Join(engine.Names(), ", "))
+		}
+	}
 
 	var body *os.File
 	switch {
@@ -306,11 +317,24 @@ func runProfile(args []string) error {
 
 	c, ctx, cancel := dial(*srvURL, *timeout)
 	defer cancel()
-	res, err := c.PutProfile(ctx, *tenant, body)
+	res, err := c.PutProfileEngine(ctx, *tenant, *engName, body)
 	if err != nil {
 		return err
 	}
 	return printJSON(res)
+}
+
+func runEngines(args []string) error {
+	fs := flag.NewFlagSet("engines", flag.ExitOnError)
+	fs.Parse(args)
+	for _, info := range engine.Infos() {
+		safety := "wrapped with a mutex when shared"
+		if info.Concurrent {
+			safety = "concurrency-safe"
+		}
+		fmt.Printf("%-17s %s (%s)\n", info.Name, info.Description, safety)
+	}
+	return nil
 }
 
 func runStats(args []string) error {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"draco/internal/hwdraco"
 	"draco/internal/kernelmodel"
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "httpd", "workload name")
-		mode      = flag.String("mode", "seccomp", "insecure | seccomp | draco-sw | draco-hw")
+		mode      = flag.String("mode", "seccomp", "checking mechanism: insecure | seccomp/filter-only | draco-sw | draco-hw | tracer")
 		profile   = flag.String("profile", "syscall-complete", "insecure | docker-default | syscall-noargs | syscall-complete | syscall-complete-2x")
 		events    = flag.Int("events", 100_000, "system calls to simulate")
 		seed      = flag.Int64("seed", 1, "seed")
@@ -56,19 +57,12 @@ func main() {
 	if *kernel310 {
 		cfg.Costs = kernelmodel.Linux310Costs()
 	}
-	switch *mode {
-	case "insecure":
-		cfg.Mode = kernelmodel.ModeInsecure
-	case "seccomp":
-		cfg.Mode = kernelmodel.ModeSeccomp
-	case "draco-sw":
-		cfg.Mode = kernelmodel.ModeDracoSW
-	case "draco-hw":
-		cfg.Mode = kernelmodel.ModeDracoHW
-	default:
-		fmt.Fprintf(os.Stderr, "dracosim: unknown mode %q\n", *mode)
+	md, ok := kernelmodel.ModeByName(*mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dracosim: unknown mode %q (have %s)\n", *mode, strings.Join(kernelmodel.ModeNames(), ", "))
 		os.Exit(2)
 	}
+	cfg.Mode = md
 	switch *profile {
 	case "insecure":
 		cfg.Profile = sim.ProfileInsecure

@@ -29,8 +29,8 @@ import (
 	"fmt"
 	"io"
 
-	"draco/internal/concurrent"
 	"draco/internal/core"
+	"draco/internal/engine"
 	"draco/internal/experiments"
 	"draco/internal/hashes"
 	"draco/internal/kernelmodel"
@@ -148,136 +148,165 @@ func ReadProfileJSON(r io.Reader, name string) (*Profile, error) {
 }
 
 // --- checking -------------------------------------------------------------
+//
+// Every checking mechanism lives behind the internal/engine registry; the
+// types below are thin wrappers that select an engine by name. Use
+// NewEngine directly to program against the unified interface, or the
+// Checker/ConcurrentChecker/FilterOnly convenience types for the common
+// mechanisms.
 
-// Decision reports one checked system call.
-type Decision struct {
-	// Allowed reports whether the call may proceed.
-	Allowed bool
-	// Cached reports whether Draco's tables served the decision without
-	// running the filter.
-	Cached bool
-	// FilterInstructions is the number of BPF instructions executed when
-	// the filter ran (zero on cache hits).
-	FilterInstructions int
+// Decision reports one checked system call: whether it may proceed, whether
+// Draco's tables served the decision without running the filter, the BPF
+// instructions executed when the filter ran, and the effective action.
+type Decision = engine.Decision
+
+// Engine is the unified checking interface every mechanism implements:
+// Check/CheckBatch (the hot paths), SetProfile, Stats, VATBytes, Describe,
+// and Close. Whether an instance is safe for concurrent use is a
+// per-mechanism property (see EngineInfos); draco-concurrent is.
+type Engine = engine.Engine
+
+// EngineCall names one call in an Engine batch.
+type EngineCall = engine.Call
+
+// EngineDesc identifies an engine instance (mechanism, profile, generation,
+// shards, routing).
+type EngineDesc = engine.Desc
+
+// EngineInfo describes one registered mechanism.
+type EngineInfo = engine.Info
+
+// Observer receives one callback per check; see Observation. The default is
+// a no-op and costs nothing on the hot path.
+type Observer = engine.Observer
+
+// Observation carries one check's outcome to an Observer, by value.
+type Observation = engine.Observation
+
+// EngineOptions tunes engine construction; the zero value selects each
+// mechanism's defaults.
+type EngineOptions struct {
+	// Shards is the VAT shard fan-out for sharded engines (power of two;
+	// 0 selects the default).
+	Shards int
+	// Routing is the shard-routing key: "syscall" (decision-exact,
+	// default) or "args" (spread hot syscalls; see DESIGN.md).
+	Routing string
+	// Observer receives per-check callbacks (nil: none).
+	Observer Observer
 }
 
+// EngineNames lists the registered checking mechanisms: filter-only,
+// draco-sw, draco-concurrent, draco-hw.
+func EngineNames() []string { return engine.Names() }
+
+// EngineInfos lists the registered mechanisms with descriptions.
+func EngineInfos() []EngineInfo { return engine.Infos() }
+
+// NewEngine builds a checking engine by registry name.
+func NewEngine(name string, p *Profile, opts EngineOptions) (Engine, error) {
+	return engine.New(name, engine.Options{
+		Profile:  p,
+		Shards:   opts.Shards,
+		Routing:  opts.Routing,
+		Observer: opts.Observer,
+	})
+}
+
+// NewTraceDumpObserver builds an Observer writing one text line per check
+// to w; flush it by closing the engine it is attached to.
+func NewTraceDumpObserver(w io.Writer) *engine.TraceDump { return engine.NewTraceDump(w) }
+
 // Checker validates system calls with Draco's software fast path (SPT +
-// VAT) backed by a compiled Seccomp filter. It is not safe for concurrent
-// use; create one per goroutine or process model.
+// VAT) backed by a compiled Seccomp filter: the draco-sw engine. It is not
+// safe for concurrent use; create one per goroutine or process model.
 type Checker struct {
-	inner *core.Checker
+	eng Engine
 }
 
 // NewChecker compiles the profile and builds the Draco state.
 func NewChecker(p *Profile) (*Checker, error) {
-	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	eng, err := NewEngine("draco-sw", p, EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return &Checker{inner: core.NewChecker(p, seccomp.Chain{f})}, nil
+	return &Checker{eng: eng}, nil
 }
 
 // Check validates a system call invocation.
-func (c *Checker) Check(sid int, args Args) Decision {
-	out := c.inner.Check(sid, args)
-	return Decision{
-		Allowed:            out.Allowed,
-		Cached:             !out.FilterRan,
-		FilterInstructions: out.FilterExecuted,
-	}
-}
+func (c *Checker) Check(sid int, args Args) Decision { return c.eng.Check(sid, args) }
 
 // VATBytes returns the current memory footprint of the checker's Validated
 // Argument Table.
-func (c *Checker) VATBytes() int { return c.inner.VAT.SizeBytes() }
+func (c *Checker) VATBytes() int { return c.eng.VATBytes() }
 
 // CheckerStats aggregates checker behaviour over a run: total checks, SPT
 // and VAT hits, filter executions, inserts, and denials.
 type CheckerStats = core.Stats
 
 // ConcurrentChecker is a concurrency-safe Draco checker: a read-mostly SPT
-// behind an atomic profile pointer plus an N-way sharded VAT. Any number of
-// goroutines may call Check and CheckBatch while another hot-swaps the
-// profile with SetProfile; decisions are identical to Checker's. It backs
-// the dracod service (cmd/dracod).
+// behind an atomic profile pointer plus an N-way sharded VAT — the
+// draco-concurrent engine. Any number of goroutines may call Check and
+// CheckBatch while another hot-swaps the profile with SetProfile; decisions
+// are identical to Checker's. It backs the dracod service (cmd/dracod).
 type ConcurrentChecker struct {
-	inner *concurrent.Checker
+	eng Engine
 }
 
 // NewConcurrentChecker builds a sharded concurrent checker. shards must be
 // a power of two (0 picks a default suited to server use).
 func NewConcurrentChecker(p *Profile, shards int) (*ConcurrentChecker, error) {
-	inner, err := concurrent.NewChecker(p, shards)
+	eng, err := NewEngine("draco-concurrent", p, EngineOptions{Shards: shards})
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentChecker{inner: inner}, nil
+	return &ConcurrentChecker{eng: eng}, nil
 }
 
 // Check validates a system call invocation. Safe for concurrent use.
-func (c *ConcurrentChecker) Check(sid int, args Args) Decision {
-	out := c.inner.Check(sid, args)
-	return Decision{
-		Allowed:            out.Allowed,
-		Cached:             !out.FilterRan,
-		FilterInstructions: out.FilterExecuted,
-	}
-}
+func (c *ConcurrentChecker) Check(sid int, args Args) Decision { return c.eng.Check(sid, args) }
 
 // BatchCall names one call in a CheckBatch request.
-type BatchCall = concurrent.Call
+type BatchCall = engine.Call
 
 // CheckBatch validates a batch of calls in one pass, locking each VAT
 // shard at most once (amortized, AnyCall-style batching). Results are in
 // call order.
 func (c *ConcurrentChecker) CheckBatch(calls []BatchCall) []Decision {
-	outs := c.inner.CheckBatch(calls, nil)
-	ds := make([]Decision, len(outs))
-	for i, out := range outs {
-		ds[i] = Decision{
-			Allowed:            out.Allowed,
-			Cached:             !out.FilterRan,
-			FilterInstructions: out.FilterExecuted,
-		}
-	}
-	return ds
+	return c.eng.CheckBatch(calls, nil)
 }
 
 // SetProfile hot-swaps the checker's profile without dropping in-flight
 // checks; cached validations are discarded (the new policy revalidates).
-func (c *ConcurrentChecker) SetProfile(p *Profile) error { return c.inner.SetProfile(p) }
+func (c *ConcurrentChecker) SetProfile(p *Profile) error { return c.eng.SetProfile(p) }
 
 // Stats returns cumulative statistics across all shards and profile swaps.
-func (c *ConcurrentChecker) Stats() CheckerStats { return c.inner.Stats() }
+func (c *ConcurrentChecker) Stats() CheckerStats { return c.eng.Stats() }
 
 // VATBytes returns the current Validated Argument Table footprint summed
 // across shards.
-func (c *ConcurrentChecker) VATBytes() int { return c.inner.VATBytes() }
+func (c *ConcurrentChecker) VATBytes() int { return c.eng.VATBytes() }
 
 // Shards returns the checker's VAT shard count.
-func (c *ConcurrentChecker) Shards() int { return c.inner.Shards() }
+func (c *ConcurrentChecker) Shards() int { return c.eng.Describe().Shards }
 
 // FilterOnly wraps a compiled Seccomp filter without Draco caching, for
-// baseline comparisons.
+// baseline comparisons: the filter-only engine.
 type FilterOnly struct {
-	f *seccomp.Filter
+	eng Engine
 }
 
 // NewFilterOnly compiles a profile to a plain filter.
 func NewFilterOnly(p *Profile) (*FilterOnly, error) {
-	f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
+	eng, err := NewEngine("filter-only", p, EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return &FilterOnly{f: f}, nil
+	return &FilterOnly{eng: eng}, nil
 }
 
 // Check runs the filter.
-func (f *FilterOnly) Check(sid int, args Args) Decision {
-	d := seccomp.Data{Nr: int32(sid), Arch: seccomp.AuditArchX8664, Args: args}
-	r := f.f.Check(&d)
-	return Decision{Allowed: r.Action.Allows(), FilterInstructions: r.Executed}
-}
+func (f *FilterOnly) Check(sid int, args Args) Decision { return f.eng.Check(sid, args) }
 
 // --- workloads and traces ---------------------------------------------------
 
@@ -325,6 +354,19 @@ const (
 	HardwareDraco
 )
 
+// mechanismNames maps the legacy Mechanism selectors onto the registry's
+// engine names; Simulate funnels through the same name-keyed lookup as
+// everything else (kernelmodel.ModeByName).
+var mechanismNames = map[Mechanism]string{
+	Insecure:      "insecure",
+	Seccomp:       "seccomp",
+	SoftwareDraco: "draco-sw",
+	HardwareDraco: "draco-hw",
+}
+
+// EngineName returns the registry name of a mechanism's engine.
+func (m Mechanism) EngineName() string { return mechanismNames[m] }
+
 // PolicyKind selects the profile used in a simulation.
 type PolicyKind int
 
@@ -356,25 +398,18 @@ type SimResult struct {
 	Denied uint64
 }
 
-// simConfig maps the public Mechanism and PolicyKind selectors onto a
-// simulator configuration, rejecting unknown values. Simulate and
-// SimulateMulticore share it.
-func simConfig(mech Mechanism, policy PolicyKind, events int, seed int64) (sim.Config, error) {
+// simConfig maps a mechanism engine name and the PolicyKind selector onto a
+// simulator configuration, rejecting unknown values. Simulate,
+// SimulateEngine, and SimulateMulticore share it.
+func simConfig(engineName string, policy PolicyKind, events int, seed int64) (sim.Config, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Events = events
 	cfg.Seed = seed
-	switch mech {
-	case Insecure:
-		cfg.Mode = kernelmodel.ModeInsecure
-	case Seccomp:
-		cfg.Mode = kernelmodel.ModeSeccomp
-	case SoftwareDraco:
-		cfg.Mode = kernelmodel.ModeDracoSW
-	case HardwareDraco:
-		cfg.Mode = kernelmodel.ModeDracoHW
-	default:
-		return cfg, fmt.Errorf("draco: unknown mechanism %d", mech)
+	mode, ok := kernelmodel.ModeByName(engineName)
+	if !ok {
+		return cfg, fmt.Errorf("draco: unknown engine %q (have %v)", engineName, kernelmodel.ModeNames())
 	}
+	cfg.Mode = mode
 	switch policy {
 	case NoPolicy:
 		cfg.Profile = sim.ProfileInsecure
@@ -395,7 +430,19 @@ func simConfig(mech Mechanism, policy PolicyKind, events int, seed int64) (sim.C
 // Simulate runs a workload under the given mechanism and policy with the
 // paper's Table II configuration and returns normalized results.
 func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed int64) (SimResult, error) {
-	cfg, err := simConfig(mech, policy, events, seed)
+	name, ok := mechanismNames[mech]
+	if !ok {
+		return SimResult{}, fmt.Errorf("draco: unknown mechanism %d", mech)
+	}
+	return SimulateEngine(w, name, policy, events, seed)
+}
+
+// SimulateEngine is Simulate with the mechanism selected by engine registry
+// name ("insecure", "seccomp"/"filter-only", "draco-sw", "draco-hw",
+// "tracer"), so simulations, the server, and the benchmarks pick mechanisms
+// the same way.
+func SimulateEngine(w *Workload, engineName string, policy PolicyKind, events int, seed int64) (SimResult, error) {
+	cfg, err := simConfig(engineName, policy, events, seed)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -430,7 +477,17 @@ func Simulate(w *Workload, mech Mechanism, policy PolicyKind, events int, seed i
 // organization), returning the mean slowdown across cores relative to an
 // insecure multicore baseline.
 func SimulateMulticore(w *Workload, nCores int, mech Mechanism, policy PolicyKind, events int, seed int64) (float64, error) {
-	cfg, err := simConfig(mech, policy, events, seed)
+	name, ok := mechanismNames[mech]
+	if !ok {
+		return 0, fmt.Errorf("draco: unknown mechanism %d", mech)
+	}
+	return SimulateMulticoreEngine(w, nCores, name, policy, events, seed)
+}
+
+// SimulateMulticoreEngine is SimulateMulticore with the mechanism selected
+// by engine registry name.
+func SimulateMulticoreEngine(w *Workload, nCores int, engineName string, policy PolicyKind, events int, seed int64) (float64, error) {
+	cfg, err := simConfig(engineName, policy, events, seed)
 	if err != nil {
 		return 0, err
 	}

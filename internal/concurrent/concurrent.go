@@ -59,8 +59,11 @@ const (
 	RouteBySyscall Routing = iota
 	// RouteByArgs routes by CRC-64 of the syscall ID plus the masked
 	// argument-set hash: a hot syscall's argument sets spread across
-	// shards. Allow/deny decisions remain exact; cache-hit timing may
-	// differ from the sequential checker around cuckoo evictions.
+	// shards. Decision-exact but cuckoo-eviction-timing-inexact: allow/
+	// deny/action always match the sequential checker, while the cached
+	// flag may differ around evictions because a syscall's table is split
+	// into per-shard sections (see DESIGN.md §7; pinned at the registry
+	// level by engine.TestDifferentialArgsRoutingDecisionExact).
 	RouteByArgs
 )
 

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"testing"
+
+	"draco/internal/profilegen"
+	"draco/internal/workloads"
+)
+
+// The zero-allocation property of the single-call hot path is part of the
+// Engine contract for the software mechanisms: Args and Decision travel by
+// value, stats are pre-sized counters, and the default NopObserver receives
+// its Observation on the stack. These guards fail the build the moment a
+// refactor reintroduces a per-check allocation.
+
+// warmEngine builds an engine over a workload's complete profile and warms
+// its tables by replaying the trace once, so the measured path is the
+// steady-state hit path (SPT/VAT hits plus the occasional filter run on
+// cuckoo evictions — none of which may allocate either).
+func warmEngine(t testing.TB, name string, opts Options) (Engine, []Call) {
+	t.Helper()
+	w := workloads.All()[0]
+	tr := w.Generate(20_000, 0xA110C)
+	opts.Profile = profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	e, err := New(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := make([]Call, len(tr))
+	for i, ev := range tr {
+		calls[i] = Call{SID: ev.SID, Args: ev.Args}
+		e.Check(ev.SID, ev.Args)
+	}
+	return e, calls
+}
+
+// assertZeroAllocs replays the warm trace under testing.AllocsPerRun and
+// requires zero allocations per checked call.
+func assertZeroAllocs(t *testing.T, e Engine, calls []Call) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc accounting is perturbed under -race")
+	}
+	i := 0
+	perRun := testing.AllocsPerRun(2000, func() {
+		cl := calls[i%len(calls)]
+		e.Check(cl.SID, cl.Args)
+		i++
+	})
+	if perRun != 0 {
+		t.Fatalf("%s single-call hot path allocates %.2f allocs/op, want 0", e.Name(), perRun)
+	}
+}
+
+func TestDracoSWCheckZeroAllocs(t *testing.T) {
+	e, calls := warmEngine(t, "draco-sw", Options{})
+	assertZeroAllocs(t, e, calls)
+}
+
+func TestDracoConcurrentCheckZeroAllocs(t *testing.T) {
+	for _, routing := range []string{"syscall", "args"} {
+		t.Run(routing, func(t *testing.T) {
+			e, calls := warmEngine(t, "draco-concurrent", Options{Shards: 4, Routing: routing})
+			assertZeroAllocs(t, e, calls)
+		})
+	}
+}
+
+// TestZeroAllocsWithCounters pins that swapping in the atomic Counters
+// observer — the one dracod hangs off /metrics — keeps the hot path
+// allocation-free too: observation delivery is by value.
+func TestZeroAllocsWithCounters(t *testing.T) {
+	var c Counters
+	e, calls := warmEngine(t, "draco-sw", Options{Observer: &c})
+	assertZeroAllocs(t, e, calls)
+	if c.Checks() == 0 || c.CacheHits() == 0 {
+		t.Fatalf("counters not fed: checks=%d hits=%d", c.Checks(), c.CacheHits())
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"draco/internal/concurrent"
+	"draco/internal/seccomp"
+)
+
+func init() {
+	Register(Info{
+		Name:        "draco-concurrent",
+		Description: "sharded concurrent Draco: read-mostly SPT behind an atomic profile pointer, N-way sharded VAT, hot-swappable profile",
+		Concurrent:  true,
+		New:         newDracoConcurrent,
+	})
+}
+
+// dracoConcurrent wraps the sharded concurrent checker. Safe for concurrent
+// use: any number of goroutines may call Check/CheckBatch while another
+// hot-swaps the profile.
+type dracoConcurrent struct {
+	chk *concurrent.Checker
+	obs Observer
+}
+
+func newDracoConcurrent(opts Options) (Engine, error) {
+	routing, err := opts.routing()
+	if err != nil {
+		return nil, err
+	}
+	chk, err := concurrent.NewCheckerRouted(opts.Profile, opts.Shards, routing)
+	if err != nil {
+		return nil, err
+	}
+	return &dracoConcurrent{chk: chk, obs: opts.observer()}, nil
+}
+
+func (e *dracoConcurrent) Name() string { return "draco-concurrent" }
+
+func (e *dracoConcurrent) Check(sid int, args Args) Decision {
+	out := e.chk.Check(sid, args)
+	dec := decisionFrom(out)
+	class, hit := classify(out)
+	e.obs.Observe(Observation{SID: sid, Decision: dec, CacheHit: hit, Class: class})
+	return dec
+}
+
+func (e *dracoConcurrent) CheckBatch(calls []Call, dst []Decision) []Decision {
+	dst = sizeBatch(dst, len(calls))
+	if len(calls) == 0 {
+		return dst
+	}
+	// The concurrent checker batches natively (one lock per shard per
+	// batch); translate calls and outcomes at the boundary.
+	ccalls := make([]concurrent.Call, len(calls))
+	for i, cl := range calls {
+		ccalls[i] = concurrent.Call{SID: cl.SID, Args: cl.Args}
+	}
+	outs := e.chk.CheckBatch(ccalls, nil)
+	for i, out := range outs {
+		dec := decisionFrom(out)
+		class, hit := classify(out)
+		e.obs.Observe(Observation{SID: calls[i].SID, Decision: dec, CacheHit: hit, Class: class})
+		dst[i] = dec
+	}
+	return dst
+}
+
+func (e *dracoConcurrent) Stats() Stats { return e.chk.Stats() }
+
+func (e *dracoConcurrent) SetProfile(p *seccomp.Profile) error { return e.chk.SetProfile(p) }
+
+func (e *dracoConcurrent) VATBytes() int { return e.chk.VATBytes() }
+
+func (e *dracoConcurrent) Describe() Desc {
+	return Desc{
+		Engine:     "draco-concurrent",
+		Profile:    e.chk.Profile().Name,
+		Generation: e.chk.Generation(),
+		Shards:     e.chk.Shards(),
+		Routing:    e.chk.Routing().String(),
+	}
+}
+
+func (e *dracoConcurrent) Close() error { return closeObserver(e.obs) }
+
+// Inner exposes the wrapped concurrent checker for callers needing the
+// full concurrent surface (the public draco.ConcurrentChecker wrapper).
+func (e *dracoConcurrent) Inner() *concurrent.Checker { return e.chk }

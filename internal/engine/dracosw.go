@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"draco/internal/core"
+	"draco/internal/seccomp"
+)
+
+func init() {
+	Register(Info{
+		Name:        "draco-sw",
+		Description: "software Draco (paper §V): SPT + cuckoo VAT consulted before the filter, one table per process",
+		Concurrent:  false,
+		New:         newDracoSW,
+	})
+}
+
+// dracoSW wraps the sequential software checker. Not safe for concurrent
+// use (one SPT/VAT, no locks); wrap with Synchronized to share.
+type dracoSW struct {
+	chk   *core.Checker
+	shape seccomp.Shape
+	obs   Observer
+	gen   uint64
+	// prior accumulates stats from generations retired by SetProfile.
+	prior Stats
+}
+
+func newDracoSW(opts Options) (Engine, error) {
+	chk, err := buildCoreChecker(opts.Profile, opts.Shape)
+	if err != nil {
+		return nil, err
+	}
+	return &dracoSW{chk: chk, shape: opts.Shape, obs: opts.observer(), gen: 1}, nil
+}
+
+// buildCoreChecker compiles a profile (compilation validates it) and
+// assembles the sequential checker.
+func buildCoreChecker(p *seccomp.Profile, shape seccomp.Shape) (*core.Checker, error) {
+	f, err := seccomp.NewFilter(p, shape)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewChecker(p, seccomp.Chain{f}), nil
+}
+
+func (e *dracoSW) Name() string { return "draco-sw" }
+
+func (e *dracoSW) Check(sid int, args Args) Decision {
+	out := e.chk.Check(sid, args)
+	dec := decisionFrom(out)
+	class, hit := classify(out)
+	e.obs.Observe(Observation{SID: sid, Decision: dec, CacheHit: hit, Class: class})
+	return dec
+}
+
+func (e *dracoSW) CheckBatch(calls []Call, dst []Decision) []Decision {
+	dst = sizeBatch(dst, len(calls))
+	for i, cl := range calls {
+		dst[i] = e.Check(cl.SID, cl.Args)
+	}
+	return dst
+}
+
+func (e *dracoSW) Stats() Stats {
+	return addStats(e.prior, e.chk.Stats)
+}
+
+func (e *dracoSW) SetProfile(p *seccomp.Profile) error {
+	chk, err := buildCoreChecker(p, e.shape)
+	if err != nil {
+		return err
+	}
+	e.prior = addStats(e.prior, e.chk.Stats)
+	e.chk = chk
+	e.gen++
+	return nil
+}
+
+func (e *dracoSW) VATBytes() int { return e.chk.VAT.SizeBytes() }
+
+func (e *dracoSW) Describe() Desc {
+	return Desc{Engine: "draco-sw", Profile: e.chk.Profile.Name, Generation: e.gen, Shards: 1}
+}
+
+func (e *dracoSW) Close() error { return closeObserver(e.obs) }
+
+// addStats sums two counter sets.
+func addStats(a, b Stats) Stats {
+	return Stats{
+		Checks:      a.Checks + b.Checks,
+		SPTHits:     a.SPTHits + b.SPTHits,
+		VATHits:     a.VATHits + b.VATHits,
+		FilterRuns:  a.FilterRuns + b.FilterRuns,
+		FilterInsns: a.FilterInsns + b.FilterInsns,
+		Inserts:     a.Inserts + b.Inserts,
+		Denied:      a.Denied + b.Denied,
+	}
+}

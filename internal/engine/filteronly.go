@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"draco/internal/seccomp"
+)
+
+func init() {
+	Register(Info{
+		Name:        "filter-only",
+		Description: "plain Seccomp filter on every call, no Draco caching (the paper's baseline mechanism)",
+		Concurrent:  false,
+		New:         newFilterOnly,
+	})
+}
+
+// filterOnly wraps a compiled Seccomp filter without Draco caching: every
+// check runs the BPF program. Not safe for concurrent use (the BPF VM
+// carries scratch state); wrap with Synchronized to share.
+type filterOnly struct {
+	f       *seccomp.Filter
+	profile *seccomp.Profile
+	shape   seccomp.Shape
+	obs     Observer
+	gen     uint64
+	stats   Stats
+}
+
+func newFilterOnly(opts Options) (Engine, error) {
+	f, err := seccomp.NewFilter(opts.Profile, opts.Shape)
+	if err != nil {
+		return nil, err
+	}
+	return &filterOnly{f: f, profile: opts.Profile, shape: opts.Shape, obs: opts.observer(), gen: 1}, nil
+}
+
+func (e *filterOnly) Name() string { return "filter-only" }
+
+func (e *filterOnly) Check(sid int, args Args) Decision {
+	d := seccomp.Data{Nr: int32(sid), Arch: seccomp.AuditArchX8664, Args: args}
+	r := e.f.Check(&d)
+	dec := Decision{Allowed: r.Action.Allows(), FilterInstructions: r.Executed, Action: r.Action}
+	e.stats.Checks++
+	e.stats.FilterRuns++
+	e.stats.FilterInsns += uint64(r.Executed)
+	class := ClassFilter
+	if !dec.Allowed {
+		e.stats.Denied++
+		class = ClassDenied
+	}
+	e.obs.Observe(Observation{SID: sid, Decision: dec, Class: class})
+	return dec
+}
+
+func (e *filterOnly) CheckBatch(calls []Call, dst []Decision) []Decision {
+	dst = sizeBatch(dst, len(calls))
+	for i, cl := range calls {
+		dst[i] = e.Check(cl.SID, cl.Args)
+	}
+	return dst
+}
+
+func (e *filterOnly) Stats() Stats { return e.stats }
+
+func (e *filterOnly) SetProfile(p *seccomp.Profile) error {
+	f, err := seccomp.NewFilter(p, e.shape)
+	if err != nil {
+		return err
+	}
+	e.f = f
+	e.profile = p
+	e.gen++
+	return nil
+}
+
+func (e *filterOnly) VATBytes() int { return 0 }
+
+func (e *filterOnly) Describe() Desc {
+	return Desc{Engine: "filter-only", Profile: e.profile.Name, Generation: e.gen, Shards: 1}
+}
+
+func (e *filterOnly) Close() error { return closeObserver(e.obs) }
+
+// sizeBatch returns dst resized to n results, reusing its capacity.
+func sizeBatch(dst []Decision, n int) []Decision {
+	if cap(dst) < n {
+		return make([]Decision, n)
+	}
+	return dst[:n]
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+
+	"draco/internal/seccomp"
+)
+
+// Synchronized wraps an engine with a mutex, making any mechanism safe for
+// concurrent use at the cost of serializing its checks. Engines whose
+// registry Info reports Concurrent do not need it. Wrapping an
+// already-concurrent engine returns it unchanged.
+func Synchronized(e Engine) Engine {
+	if info, ok := Lookup(e.Name()); ok && info.Concurrent {
+		return e
+	}
+	if _, already := e.(*synchronized); already {
+		return e
+	}
+	return &synchronized{inner: e}
+}
+
+type synchronized struct {
+	mu    sync.Mutex
+	inner Engine
+}
+
+func (s *synchronized) Name() string { return s.inner.Name() }
+
+func (s *synchronized) Check(sid int, args Args) Decision {
+	s.mu.Lock()
+	d := s.inner.Check(sid, args)
+	s.mu.Unlock()
+	return d
+}
+
+func (s *synchronized) CheckBatch(calls []Call, dst []Decision) []Decision {
+	s.mu.Lock()
+	dst = s.inner.CheckBatch(calls, dst)
+	s.mu.Unlock()
+	return dst
+}
+
+func (s *synchronized) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Stats()
+}
+
+func (s *synchronized) SetProfile(p *seccomp.Profile) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.SetProfile(p)
+}
+
+func (s *synchronized) VATBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.VATBytes()
+}
+
+func (s *synchronized) Describe() Desc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Describe()
+}
+
+func (s *synchronized) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Close()
+}

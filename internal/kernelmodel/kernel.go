@@ -9,6 +9,7 @@ package kernelmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"draco/internal/core"
 	"draco/internal/hwdraco"
@@ -44,9 +45,40 @@ func (m Mode) String() string {
 		return "seccomp"
 	case ModeDracoSW:
 		return "draco-sw"
+	case ModeTracer:
+		return "tracer"
 	default:
 		return "draco-hw"
 	}
+}
+
+// modeNames maps mechanism names to modes; it is the name-keyed lookup the
+// simulator layers use so mechanisms are selected the same way everywhere
+// (the engine registry uses the same names for the serving-side engines).
+// "filter-only" aliases seccomp: one filter run per call, no caching.
+var modeNames = map[string]Mode{
+	"insecure":    ModeInsecure,
+	"seccomp":     ModeSeccomp,
+	"filter-only": ModeSeccomp,
+	"draco-sw":    ModeDracoSW,
+	"draco-hw":    ModeDracoHW,
+	"tracer":      ModeTracer,
+}
+
+// ModeByName resolves a checking mechanism by name.
+func ModeByName(name string) (Mode, bool) {
+	m, ok := modeNames[name]
+	return m, ok
+}
+
+// ModeNames lists the recognized mechanism names, sorted.
+func ModeNames() []string {
+	out := make([]string, 0, len(modeNames))
+	for n := range modeNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CostModel holds the cycle costs of the syscall path at 2 GHz.
@@ -187,48 +219,91 @@ func NewKernel(mode Mode, costs CostModel, mem *microarch.Hierarchy, tlb *microa
 	return &Kernel{Mode: mode, Costs: costs, Mem: mem, TLB: tlb}
 }
 
+// checkResult is what one mechanism's check path reports to the syscall
+// dispatcher: the checking cycles, the decision, and (hardware mode) the
+// flow taken.
+type checkResult struct {
+	check   uint64
+	allowed bool
+	action  seccomp.Action
+	flow    hwdraco.Flow
+}
+
+// checkFn is one mechanism's check path. The dispatcher looks the active
+// mode's function up in modeChecks instead of switching per call site, so
+// adding a mechanism is one table entry.
+type checkFn func(k *Kernel, p *Process, ev trace.Event) checkResult
+
+// modeChecks is the mechanism dispatch table, indexed by Mode.
+var modeChecks = [...]checkFn{
+	ModeInsecure: checkInsecure,
+	ModeSeccomp:  checkSeccomp,
+	ModeDracoSW:  checkDracoSW,
+	ModeDracoHW:  checkDracoHW,
+	ModeTracer:   checkTracer,
+}
+
+// checkInsecure performs no checking (the paper's baseline).
+func checkInsecure(*Kernel, *Process, trace.Event) checkResult {
+	return checkResult{allowed: true, action: seccomp.ActAllow}
+}
+
+// checkSeccomp runs the BPF filter chain on every call.
+func checkSeccomp(k *Kernel, p *Process, ev trace.Event) checkResult {
+	d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
+	r := p.Chain.Check(&d)
+	return checkResult{
+		check:   k.Costs.SeccompDispatch*uint64(len(p.Chain)) + uint64(float64(r.Executed)*k.Costs.BPFInstrCost),
+		allowed: r.Action.Allows(),
+		action:  r.Action,
+	}
+}
+
+// checkTracer models the pre-Seccomp generation of checkers: two context
+// switches (to the monitor and back) plus the policy evaluation in the
+// monitor process.
+func checkTracer(k *Kernel, p *Process, ev trace.Event) checkResult {
+	d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
+	r := p.Chain.Check(&d)
+	return checkResult{
+		check:   2*k.Costs.ContextSwitchBase + uint64(float64(r.Executed)*k.Costs.BPFInstrCost),
+		allowed: r.Action.Allows(),
+		action:  r.Action,
+	}
+}
+
+// checkDracoSW is the software Draco path (§V-C).
+func checkDracoSW(k *Kernel, p *Process, ev trace.Event) checkResult {
+	check, allowed, action := k.dracoSW(p, ev)
+	return checkResult{check: check, allowed: allowed, action: action}
+}
+
+// checkDracoHW is the hardware path (§VI): the SLB/STB/SPT engine, plus the
+// OS slow-path costs when the hardware missed.
+func checkDracoHW(k *Kernel, p *Process, ev trace.Event) checkResult {
+	r := p.HW.OnSyscall(ev.PC, ev.SID, ev.Args)
+	check := r.CheckCycles
+	if r.OSRan {
+		check += k.Costs.SeccompDispatch*uint64(len(p.Chain)) +
+			uint64(float64(r.FilterExecuted)*k.Costs.BPFInstrCost) +
+			k.Costs.VATInsert
+	}
+	action := seccomp.ActAllow
+	if !r.Allowed {
+		action = p.Profile.DefaultAction
+	}
+	return checkResult{check: check, allowed: r.Allowed, action: action, flow: r.Flow}
+}
+
 // Syscall executes one system call event for p and returns its cost.
 func (k *Kernel) Syscall(p *Process, ev trace.Event) SyscallResult {
 	if p.Killed {
 		return SyscallResult{Killed: true}
 	}
-	res := SyscallResult{Allowed: true}
-	var action seccomp.Action = seccomp.ActAllow
-	var check uint64
-	switch k.Mode {
-	case ModeInsecure:
-		// No checking.
-	case ModeSeccomp:
-		d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
-		r := p.Chain.Check(&d)
-		check = k.Costs.SeccompDispatch*uint64(len(p.Chain)) + uint64(float64(r.Executed)*k.Costs.BPFInstrCost)
-		res.Allowed = r.Action.Allows()
-		action = r.Action
-	case ModeDracoSW:
-		check, res.Allowed, action = k.dracoSW(p, ev)
-	case ModeTracer:
-		// Two context switches (to the monitor and back) plus the policy
-		// evaluation in the monitor process.
-		d := seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
-		r := p.Chain.Check(&d)
-		check = 2*k.Costs.ContextSwitchBase +
-			uint64(float64(r.Executed)*k.Costs.BPFInstrCost)
-		res.Allowed = r.Action.Allows()
-		action = r.Action
-	case ModeDracoHW:
-		r := p.HW.OnSyscall(ev.PC, ev.SID, ev.Args)
-		check = r.CheckCycles
-		if r.OSRan {
-			check += k.Costs.SeccompDispatch*uint64(len(p.Chain)) +
-				uint64(float64(r.FilterExecuted)*k.Costs.BPFInstrCost) +
-				k.Costs.VATInsert
-		}
-		res.Allowed = r.Allowed
-		res.Flow = r.Flow
-		if !r.Allowed {
-			action = p.Profile.DefaultAction
-		}
-	}
+	cr := modeChecks[k.Mode](k, p, ev)
+	res := SyscallResult{Allowed: cr.allowed, Flow: cr.flow}
+	action := cr.action
+	check := cr.check
 	if !res.Allowed {
 		switch action.Masked() {
 		case seccomp.ActKillProcess, seccomp.ActKillThread, seccomp.ActTrap:

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"draco/internal/engine"
 )
 
 // histBuckets is the fixed latency bucket ladder: powers of two from 256ns
@@ -148,10 +150,18 @@ type checkerTotals struct {
 	VATBytes   int
 }
 
+// observedTotals carries the engine.Counters observation streams the server
+// hangs off every tenant engine: one aggregate, one per registry name.
+type observedTotals struct {
+	All             *engine.Counters
+	ByEngine        map[string]*engine.Counters
+	TenantsByEngine map[string]int
+}
+
 // WriteTo renders the metrics in a flat, plain-text exposition format
 // (counter name, space, value — one per line, prometheus-style labels on
 // the per-endpoint series).
-func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals) {
+func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals, obs observedTotals) {
 	fmt.Fprintf(w, "dracod_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "dracod_tenants %d\n", totals.Tenants)
 	fmt.Fprintf(w, "dracod_checks_total %d\n", totals.Checks)
@@ -164,6 +174,30 @@ func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals) {
 	fmt.Fprintf(w, "dracod_batch_calls_total %d\n", m.BatchCalls.Load())
 	fmt.Fprintf(w, "dracod_profile_swaps_total %d\n", m.ProfileSwaps.Load())
 	fmt.Fprintf(w, "dracod_http_errors_total %d\n", m.HTTPErrors.Load())
+
+	// Observation-layer series: fed per check by the engine.Observer hook,
+	// independent of (and cross-checkable against) the engine stats above.
+	if obs.All != nil {
+		fmt.Fprintf(w, "dracod_observed_checks_total %d\n", obs.All.Checks())
+		fmt.Fprintf(w, "dracod_observed_cache_hits_total %d\n", obs.All.CacheHits())
+		fmt.Fprintf(w, "dracod_observed_denials_total %d\n", obs.All.Denied())
+		fmt.Fprintf(w, "dracod_observed_check_cycles_total %d\n", obs.All.CheckCycles())
+		for cl := engine.LatencyClass(0); cl < engine.NumLatencyClasses; cl++ {
+			fmt.Fprintf(w, "dracod_check_class_total{class=%q} %d\n", cl.String(), obs.All.ByClass(cl))
+		}
+	}
+	engines := make([]string, 0, len(obs.ByEngine))
+	for name := range obs.ByEngine {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		c := obs.ByEngine[name]
+		fmt.Fprintf(w, "dracod_engine_tenants{engine=%q} %d\n", name, obs.TenantsByEngine[name])
+		fmt.Fprintf(w, "dracod_engine_checks_total{engine=%q} %d\n", name, c.Checks())
+		fmt.Fprintf(w, "dracod_engine_cache_hits_total{engine=%q} %d\n", name, c.CacheHits())
+		fmt.Fprintf(w, "dracod_engine_denials_total{engine=%q} %d\n", name, c.Denied())
+	}
 
 	labels := make([]string, len(endpointLabels))
 	copy(labels, endpointLabels)

@@ -1,5 +1,5 @@
 // Package server implements dracod's HTTP serving layer: a stdlib-only JSON
-// API that exposes the concurrent Draco checker as a long-running,
+// API that exposes the registered Draco check engines as a long-running,
 // multi-tenant syscall-check service.
 //
 // Endpoints:
@@ -10,8 +10,18 @@
 //	GET  /v1/tenants/{id}/stats        per-tenant checker statistics
 //	GET  /metrics                      plain-text service counters and latency quantiles
 //
-// Each tenant owns one concurrent.Checker; profile uploads hot-swap the
-// tenant's profile without dropping in-flight checks.
+// Each tenant owns one engine.Engine selected by registry name, so the HTTP
+// surface can A/B mechanisms apples-to-apples: pass ?engine=<name> on a
+// profile upload (or on the check that auto-provisions a tenant) to pick one
+// of engine.Names(); the default is draco-concurrent. Engines whose registry
+// entry is not concurrency-safe are wrapped with engine.Synchronized.
+// Profile uploads hot-swap the tenant's profile without dropping in-flight
+// checks; uploading with a different ?engine= rebuilds the tenant on the new
+// mechanism (statistics and generation restart).
+//
+// Every tenant engine feeds the server's engine.Counters observers; /metrics
+// renders the aggregate and per-engine observation streams alongside the
+// HTTP counters.
 package server
 
 import (
@@ -19,10 +29,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
-	"draco/internal/concurrent"
+	"draco/internal/engine"
 	"draco/internal/seccomp"
 	"draco/internal/syscalls"
 )
@@ -34,12 +45,20 @@ const MaxBatch = 4096
 // maxBodyBytes bounds request bodies (profiles included).
 const maxBodyBytes = 8 << 20
 
+// DefaultEngine is the engine used for tenants that never named one.
+const DefaultEngine = "draco-concurrent"
+
 // Options configures a Server.
 type Options struct {
-	// Shards is the per-tenant VAT shard count (0 = concurrent.DefaultShards).
+	// Shards is the per-tenant VAT shard fan-out for sharded engines
+	// (0 = the engine's default).
 	Shards int
-	// Routing selects the shard-routing key for tenant checkers.
-	Routing concurrent.Routing
+	// Routing selects the shard-routing key for sharded engines:
+	// "" or "syscall" (decision-exact), or "args" (spread hot syscalls).
+	Routing string
+	// DefaultEngine names the registry engine for tenants that do not pass
+	// ?engine= ("" = DefaultEngine).
+	DefaultEngine string
 	// DefaultProfile, when non-nil, auto-provisions unknown tenants named
 	// in check requests with this profile. When nil, tenants must upload a
 	// profile before checking.
@@ -51,26 +70,60 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 
+	// obsAll aggregates observations across every tenant engine; obsByEngine
+	// splits the same stream per registry name. Both are pre-built so the
+	// check hot path never touches a map under a lock.
+	obsAll      *engine.Counters
+	obsByEngine map[string]*engine.Counters
+
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 }
 
+// tenant binds a name to its engine. The engine pointer is swapped when a
+// profile upload changes mechanisms, so reads go through engine().
 type tenant struct {
 	name string
-	chk  *concurrent.Checker
+
+	mu      sync.RWMutex
+	engName string
+	eng     engine.Engine
+}
+
+func (t *tenant) engine() engine.Engine {
+	t.mu.RLock()
+	e := t.eng
+	t.mu.RUnlock()
+	return e
+}
+
+func (t *tenant) engineName() string {
+	t.mu.RLock()
+	n := t.engName
+	t.mu.RUnlock()
+	return n
 }
 
 // New creates a server.
 func New(opts Options) *Server {
-	return &Server{
-		opts:    opts,
-		metrics: NewMetrics(),
-		tenants: make(map[string]*tenant),
+	s := &Server{
+		opts:        opts,
+		metrics:     NewMetrics(),
+		obsAll:      &engine.Counters{},
+		obsByEngine: make(map[string]*engine.Counters),
+		tenants:     make(map[string]*tenant),
 	}
+	for _, name := range engine.Names() {
+		s.obsByEngine[name] = &engine.Counters{}
+	}
+	return s
 }
 
 // Metrics exposes the live counter set (for embedding programs).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Observed exposes the aggregate engine observation counters.
+func (s *Server) Observed() *engine.Counters { return s.obsAll }
 
 // --- API documents ---------------------------------------------------------
 
@@ -116,10 +169,11 @@ type BatchResponse struct {
 // StatsResponse reports one tenant's checker state.
 type StatsResponse struct {
 	Tenant      string `json:"tenant"`
+	Engine      string `json:"engine"`
 	Profile     string `json:"profile"`
 	Generation  uint64 `json:"generation"`
 	Shards      int    `json:"shards"`
-	Routing     string `json:"routing"`
+	Routing     string `json:"routing,omitempty"`
 	Checks      uint64 `json:"checks"`
 	SPTHits     uint64 `json:"sptHits"`
 	VATHits     uint64 `json:"vatHits"`
@@ -133,6 +187,7 @@ type StatsResponse struct {
 // ProfileResponse acknowledges a profile upload.
 type ProfileResponse struct {
 	Tenant     string `json:"tenant"`
+	Engine     string `json:"engine"`
 	Profile    string `json:"profile"`
 	Generation uint64 `json:"generation"`
 	Syscalls   int    `json:"syscalls"`
@@ -180,38 +235,77 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// resolveEngineName applies the default chain and validates against the
+// registry.
+func (s *Server) resolveEngineName(requested string) (string, error) {
+	name := requested
+	if name == "" {
+		name = s.opts.DefaultEngine
+	}
+	if name == "" {
+		name = DefaultEngine
+	}
+	if _, ok := engine.Lookup(name); !ok {
+		return "", fmt.Errorf("unknown engine %q (have %s)", name, strings.Join(engine.Names(), ", "))
+	}
+	return name, nil
+}
+
+// newEngine builds one tenant engine, wires the server's observers in, and
+// wraps mechanisms that are not concurrency-safe.
+func (s *Server) newEngine(name string, p *seccomp.Profile) (engine.Engine, error) {
+	e, err := engine.New(name, engine.Options{
+		Profile:  p,
+		Shards:   s.opts.Shards,
+		Routing:  s.opts.Routing,
+		Observer: engine.MultiObserver{s.obsAll, s.obsByEngine[name]},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Synchronized(e), nil
+}
+
 // lookupTenant resolves a tenant for checking, auto-provisioning it with
-// the default profile when one is configured.
-func (s *Server) lookupTenant(name string) (*tenant, error) {
+// the default profile when one is configured. engineName, when non-empty,
+// selects the engine for auto-provisioning and must match an existing
+// tenant's engine.
+func (s *Server) lookupTenant(name, engineName string) (*tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("missing tenant")
 	}
 	s.mu.RLock()
 	t := s.tenants[name]
 	s.mu.RUnlock()
-	if t != nil {
-		return t, nil
+	if t == nil {
+		if s.opts.DefaultProfile == nil {
+			return nil, fmt.Errorf("unknown tenant %q (upload a profile first)", name)
+		}
+		eng, err := s.resolveEngineName(engineName)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if t = s.tenants[name]; t == nil {
+			e, err := s.newEngine(eng, s.opts.DefaultProfile)
+			if err != nil {
+				return nil, err
+			}
+			t = &tenant{name: name, engName: eng, eng: e}
+			s.tenants[name] = t
+		}
 	}
-	if s.opts.DefaultProfile == nil {
-		return nil, fmt.Errorf("unknown tenant %q (upload a profile first)", name)
+	if engineName != "" && engineName != t.engineName() {
+		return nil, fmt.Errorf("tenant %q runs engine %q, not %q (switch engines by re-uploading the profile with ?engine=)",
+			name, t.engineName(), engineName)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t = s.tenants[name]; t != nil {
-		return t, nil
-	}
-	chk, err := concurrent.NewCheckerRouted(s.opts.DefaultProfile, s.opts.Shards, s.opts.Routing)
-	if err != nil {
-		return nil, err
-	}
-	t = &tenant{name: name, chk: chk}
-	s.tenants[name] = t
 	return t, nil
 }
 
-// resolveCall turns a (syscall name, num, args) triple into a checker call.
-func resolveCall(name string, num *int, args []uint64) (concurrent.Call, error) {
-	var cl concurrent.Call
+// resolveCall turns a (syscall name, num, args) triple into an engine call.
+func resolveCall(name string, num *int, args []uint64) (engine.Call, error) {
+	var cl engine.Call
 	switch {
 	case name != "":
 		in, ok := syscalls.ByName(name)
@@ -237,12 +331,12 @@ func resolveCall(name string, num *int, args []uint64) (concurrent.Call, error) 
 	return cl, nil
 }
 
-func resultFrom(out concurrent.Outcome) CheckResult {
+func resultFrom(d engine.Decision) CheckResult {
 	return CheckResult{
-		Allowed:            out.Allowed,
-		Cached:             !out.FilterRan,
-		FilterInstructions: out.FilterExecuted,
-		Action:             out.Action.String(),
+		Allowed:            d.Allowed,
+		Cached:             d.Cached,
+		FilterInstructions: d.FilterInstructions,
+		Action:             d.Action.String(),
 	}
 }
 
@@ -252,7 +346,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	t, err := s.lookupTenant(req.Tenant)
+	t, err := s.lookupTenant(req.Tenant, r.URL.Query().Get("engine"))
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -262,7 +356,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resultFrom(t.chk.Check(cl.SID, cl.Args)))
+	s.writeJSON(w, http.StatusOK, resultFrom(t.engine().Check(cl.SID, cl.Args)))
 }
 
 func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
@@ -275,12 +369,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Calls), MaxBatch)
 		return
 	}
-	t, err := s.lookupTenant(req.Tenant)
+	t, err := s.lookupTenant(req.Tenant, r.URL.Query().Get("engine"))
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	calls := make([]concurrent.Call, len(req.Calls))
+	calls := make([]engine.Call, len(req.Calls))
 	for i, bc := range req.Calls {
 		cl, err := resolveCall(bc.Syscall, bc.Num, bc.Args)
 		if err != nil {
@@ -289,11 +383,11 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		calls[i] = cl
 	}
-	outs := t.chk.CheckBatch(calls, nil)
+	outs := t.engine().CheckBatch(calls, nil)
 	s.metrics.BatchCalls.Add(uint64(len(calls)))
 	resp := BatchResponse{Results: make([]CheckResult, len(outs))}
-	for i, out := range outs {
-		resp.Results[i] = resultFrom(out)
+	for i, d := range outs {
+		resp.Results[i] = resultFrom(d)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -303,6 +397,13 @@ func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
 	if id == "" {
 		s.writeError(w, http.StatusBadRequest, "missing tenant id")
 		return
+	}
+	requested := r.URL.Query().Get("engine")
+	if requested != "" {
+		if _, ok := engine.Lookup(requested); !ok {
+			s.writeError(w, http.StatusBadRequest, "unknown engine %q (have %s)", requested, strings.Join(engine.Names(), ", "))
+			return
+		}
 	}
 	p, err := seccomp.ReadJSON(r.Body, id)
 	if err != nil {
@@ -314,42 +415,66 @@ func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
 	t := s.tenants[id]
 	created := t == nil
 	if created {
-		chk, err := concurrent.NewCheckerRouted(p, s.opts.Shards, s.opts.Routing)
+		eng, err := s.resolveEngineName(requested)
 		if err != nil {
 			s.mu.Unlock()
 			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		t = &tenant{name: id, chk: chk}
+		e, err := s.newEngine(eng, p)
+		if err != nil {
+			s.mu.Unlock()
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		t = &tenant{name: id, engName: eng, eng: e}
 		s.tenants[id] = t
 		s.mu.Unlock()
 	} else {
 		// Swap outside the registry lock: SetProfile compiles filters per
 		// shard, and in-flight checks must keep flowing meanwhile.
 		s.mu.Unlock()
-		if err := t.chk.SetProfile(p); err != nil {
+		if requested != "" && requested != t.engineName() {
+			// Mechanism switch: rebuild the tenant on the new engine. The
+			// old engine keeps serving in-flight checks until the swap.
+			e, err := s.newEngine(requested, p)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			t.mu.Lock()
+			old := t.eng
+			t.eng, t.engName = e, requested
+			t.mu.Unlock()
+			old.Close()
+		} else if err := t.engine().SetProfile(p); err != nil {
 			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	s.metrics.ProfileSwaps.Add(1)
+	e := t.engine()
 	s.writeJSON(w, http.StatusOK, ProfileResponse{
 		Tenant:     id,
+		Engine:     t.engineName(),
 		Profile:    p.Name,
-		Generation: t.chk.Generation(),
+		Generation: e.Describe().Generation,
 		Syscalls:   p.NumSyscalls(),
 		Created:    created,
 	})
 }
 
 func (s *Server) statsFor(t *tenant) StatsResponse {
-	st := t.chk.Stats()
+	e := t.engine()
+	st := e.Stats()
+	d := e.Describe()
 	return StatsResponse{
 		Tenant:      t.name,
-		Profile:     t.chk.Profile().Name,
-		Generation:  t.chk.Generation(),
-		Shards:      t.chk.Shards(),
-		Routing:     t.chk.Routing().String(),
+		Engine:      d.Engine,
+		Profile:     d.Profile,
+		Generation:  d.Generation,
+		Shards:      d.Shards,
+		Routing:     d.Routing,
 		Checks:      st.Checks,
 		SPTHits:     st.SPTHits,
 		VATHits:     st.VATHits,
@@ -357,7 +482,7 @@ func (s *Server) statsFor(t *tenant) StatsResponse {
 		FilterInsns: st.FilterInsns,
 		Inserts:     st.Inserts,
 		Denied:      st.Denied,
-		VATBytes:    t.chk.VATBytes(),
+		VATBytes:    e.VATBytes(),
 	}
 }
 
@@ -392,15 +517,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	totals := checkerTotals{Tenants: len(tenants)}
+	tenantsByEngine := make(map[string]int)
 	for _, t := range tenants {
-		st := t.chk.Stats()
+		e := t.engine()
+		st := e.Stats()
 		totals.Checks += st.Checks
 		totals.SPTHits += st.SPTHits
 		totals.VATHits += st.VATHits
 		totals.FilterRuns += st.FilterRuns
 		totals.Denied += st.Denied
-		totals.VATBytes += t.chk.VATBytes()
+		totals.VATBytes += e.VATBytes()
+		tenantsByEngine[t.engineName()]++
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.WriteTo(w, totals)
+	s.metrics.WriteTo(w, totals, observedTotals{
+		All:             s.obsAll,
+		ByEngine:        s.obsByEngine,
+		TenantsByEngine: tenantsByEngine,
+	})
 }

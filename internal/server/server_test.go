@@ -178,6 +178,111 @@ func TestProfileUploadAndHotSwap(t *testing.T) {
 	}
 }
 
+// TestEngineSelection drives the ?engine= surface: per-tenant engine choice
+// on profile upload and on auto-provision, conflict detection, and mechanism
+// switching by re-upload.
+func TestEngineSelection(t *testing.T) {
+	ts, c := newTestServer(t, server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()})
+	ctx := context.Background()
+
+	// Upload with an explicit engine: the tenant runs draco-sw (a
+	// sequential engine the server wraps for sharing).
+	pr, err := c.PutProfileEngine(ctx, "sw", "draco-sw", bytes.NewReader(profileJSON(t, seccomp.DockerDefault())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Created || pr.Engine != "draco-sw" {
+		t.Fatalf("upload with engine: %+v", pr)
+	}
+	res, err := c.Check(ctx, server.CheckRequest{Tenant: "sw", Syscall: "read"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allowed || res.Cached {
+		t.Fatalf("first draco-sw check: %+v", res)
+	}
+	res, err = c.Check(ctx, server.CheckRequest{Tenant: "sw", Syscall: "read"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatalf("second draco-sw check not cached: %+v", res)
+	}
+	st, err := c.Stats(ctx, "sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine != "draco-sw" || st.Checks != 2 {
+		t.Fatalf("draco-sw stats: %+v", st)
+	}
+
+	// filter-only never caches.
+	if _, err := c.PutProfileEngine(ctx, "fo", "filter-only", bytes.NewReader(profileJSON(t, seccomp.DockerDefault()))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err = c.Check(ctx, server.CheckRequest{Tenant: "fo", Syscall: "read"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Allowed || res.Cached {
+			t.Fatalf("filter-only check %d: %+v", i, res)
+		}
+	}
+
+	// Auto-provision with ?engine= on the check URL itself.
+	resp, err := http.Post(ts.URL+"/v1/check?engine=draco-sw", "application/json",
+		strings.NewReader(`{"tenant":"auto","syscall":"read"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto-provision with engine: HTTP %d", resp.StatusCode)
+	}
+	if st, err = c.Stats(ctx, "auto"); err != nil || st.Engine != "draco-sw" {
+		t.Fatalf("auto-provisioned engine: %+v err=%v", st, err)
+	}
+
+	// A conflicting ?engine= on an existing tenant is rejected.
+	resp, err = http.Post(ts.URL+"/v1/check?engine=draco-concurrent", "application/json",
+		strings.NewReader(`{"tenant":"auto","syscall":"read"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("conflicting engine accepted on check")
+	}
+
+	// Unknown engines are rejected everywhere.
+	if _, err := c.PutProfileEngine(ctx, "x", "warp-drive", bytes.NewReader(profileJSON(t, seccomp.DockerDefault()))); err == nil {
+		t.Fatal("unknown engine accepted on upload")
+	}
+	resp, err = http.Post(ts.URL+"/v1/check?engine=warp-drive", "application/json",
+		strings.NewReader(`{"tenant":"fresh","syscall":"read"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("unknown engine accepted on check")
+	}
+
+	// Re-uploading with a different engine rebuilds the tenant on the new
+	// mechanism: stats and generation restart.
+	pr, err = c.PutProfileEngine(ctx, "sw", "draco-concurrent", bytes.NewReader(profileJSON(t, seccomp.DockerDefault())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Created || pr.Engine != "draco-concurrent" || pr.Generation != 1 {
+		t.Fatalf("engine switch: %+v", pr)
+	}
+	if st, err = c.Stats(ctx, "sw"); err != nil || st.Engine != "draco-concurrent" || st.Checks != 0 {
+		t.Fatalf("stats after engine switch: %+v err=%v", st, err)
+	}
+}
+
 func TestBatchEndpoint(t *testing.T) {
 	_, c := newTestServer(t, server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()})
 	ctx := context.Background()
@@ -233,7 +338,7 @@ func TestStatsAndMetrics(t *testing.T) {
 	if st.Checks != 10 || st.FilterRuns != 1 || st.SPTHits != 9 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if st.Shards != 4 || st.Routing != "syscall" || st.Profile != seccomp.DockerDefault().Name {
+	if st.Engine != server.DefaultEngine || st.Shards != 4 || st.Routing != "syscall" || st.Profile != seccomp.DockerDefault().Name {
 		t.Fatalf("stats metadata: %+v", st)
 	}
 
@@ -254,6 +359,13 @@ func TestStatsAndMetrics(t *testing.T) {
 		"dracod_cache_hits_total 9",
 		"dracod_filter_runs_total 1",
 		"dracod_tenants 1",
+		// Observation-layer series fed by the engine.Observer hook.
+		"dracod_observed_checks_total 10",
+		"dracod_observed_cache_hits_total 9",
+		`dracod_check_class_total{class="id-fast"} 9`,
+		`dracod_engine_tenants{engine="draco-concurrent"} 1`,
+		`dracod_engine_checks_total{engine="draco-concurrent"} 10`,
+		`dracod_engine_checks_total{engine="draco-sw"} 0`,
 		`dracod_http_requests_total{endpoint="check"} 10`,
 		`dracod_http_latency_ns{endpoint="check",quantile="0.99"}`,
 	} {

@@ -7,3 +7,11 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# The zero-allocation guards skip themselves under -race (the detector
+# perturbs alloc accounting), so run them - plus the registry-level
+# differential suite they share a package with - without it. These pin the
+# Engine contract: 0 allocs/op on the draco-sw and draco-concurrent hot
+# paths, and decision-stream identity across filter-only, draco-sw, and
+# draco-concurrent.
+go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/
