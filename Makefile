@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine bench bench-server bench-engine
+.PHONY: check build vet test test-race test-engine bench bench-server bench-engine bench-batch slbsweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector, and the engine alloc-guard/differential tests (which skip
@@ -24,7 +24,7 @@ test-race:
 # the 0-allocs/op assertions (perturbed by -race) and the registry-level
 # decision-stream differential tests.
 test-engine:
-	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/
+	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
 
 # bench runs the concurrent checker's parallel throughput benchmarks across
 # 1/4/16-shard configurations (see results/concurrent_baseline.json for a
@@ -40,3 +40,14 @@ bench-server:
 # records a `dracobench -engine all` run of the same workload).
 bench-engine:
 	$(GO) test -run='^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine
+
+# bench-batch compares the shard-grouped CheckBatch path against the
+# one-lock-per-call baseline at batch sizes 8/64/512.
+bench-batch:
+	$(GO) test -run='^$$' -bench 'BenchmarkCheckBatch' -benchmem ./internal/concurrent
+
+# slbsweep regenerates the software-SLB geometry sweep recorded in
+# results/slbsweep_sw.json (sets x ways x indexing, every workload, bare
+# draco-concurrent baseline).
+slbsweep:
+	$(GO) run ./cmd/dracobench -slbsweep -json results/slbsweep_sw.json

@@ -75,7 +75,7 @@ func engineBenchConfigs(selector string, shards int, routing string) ([]engineBe
 			continue
 		}
 		cfg := engineBenchConfig{Engine: name}
-		if name == "draco-concurrent" {
+		if name == "draco-concurrent" || name == "draco-concurrent+slb" {
 			cfg.Shards, cfg.Routing = shards, routing
 		}
 		cfgs = append(cfgs, cfg)

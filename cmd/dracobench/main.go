@@ -15,6 +15,11 @@
 //	dracobench -engine all                                  # sweep every engine
 //	dracobench -engine draco-concurrent -shards 8           # one engine, one config
 //	dracobench -engine all -json results/engine_baseline.json
+//
+// Software-SLB geometry sweep (sets × ways × set-index routing, every
+// workload, bare draco-concurrent as baseline):
+//
+//	dracobench -slbsweep -json results/slbsweep_sw.json
 package main
 
 import (
@@ -43,11 +48,20 @@ func main() {
 		repeats    = flag.Int("repeats", 1, "average each simulation over N seeds")
 		engName    = flag.String("engine", "", "engine-bench mode: replay a workload through this registered engine ('all' = every engine)")
 		workload   = flag.String("workload", "httpd", "workload for -engine mode")
-		shards     = flag.Int("shards", 0, "shard count for -engine draco-concurrent (0 = default)")
-		routing    = flag.String("routing", "syscall", "shard routing for -engine draco-concurrent: syscall or args")
-		jsonOut    = flag.String("json", "", "write -engine results as a JSON document to this file")
+		shards     = flag.Int("shards", 0, "shard count for -engine draco-concurrent[+slb] (0 = default)")
+		routing    = flag.String("routing", "syscall", "shard routing for -engine draco-concurrent[+slb]: syscall or args")
+		jsonOut    = flag.String("json", "", "write -engine/-slbsweep results as a JSON document to this file")
+		slbsweep   = flag.Bool("slbsweep", false, "software-SLB geometry sweep: replay every workload through draco-concurrent+slb across sets x ways x indexing")
 	)
 	flag.Parse()
+
+	if *slbsweep {
+		if err := runSLBSweep(*events, *seed, *repeats, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *engName != "" {
 		if err := runEngineBench(*engName, *workload, *events, *shards, *routing, *seed, *jsonOut); err != nil {

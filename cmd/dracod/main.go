@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -114,6 +115,7 @@ func runServe(args []string) error {
 	routing := fs.String("routing", "syscall", "shard routing key: syscall (exact sequential semantics) or args (spread hot syscalls)")
 	engName := fs.String("engine", server.DefaultEngine, "default check engine for new tenants: "+strings.Join(engine.Names(), ", "))
 	preset := fs.String("default-profile", "docker", "auto-provision tenants with this preset (docker, docker-masked, gvisor, firecracker, none)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	fs.Parse(args)
 
 	switch *routing {
@@ -129,16 +131,35 @@ func runServe(args []string) error {
 		return err
 	}
 	srv := server.New(server.Options{Shards: *shards, Routing: *routing, DefaultEngine: *engName, DefaultProfile: def})
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profiler next to the API instead of importing
+		// net/http/pprof for its DefaultServeMux side effect: profiling
+		// stays opt-in, and the service handler keeps owning every other
+		// path.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		handler = mux
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	defProfile := "none (tenants must upload profiles)"
 	if def != nil {
 		defProfile = def.Name
 	}
-	log.Printf("listening on %s (engine=%s shards=%d routing=%s default-profile=%s)", *addr, *engName, *shards, *routing, defProfile)
+	extra := ""
+	if *pprofOn {
+		extra = ", pprof on /debug/pprof/"
+	}
+	log.Printf("listening on %s (engine=%s shards=%d routing=%s default-profile=%s%s)", *addr, *engName, *shards, *routing, defProfile, extra)
 	return hs.ListenAndServe()
 }
 

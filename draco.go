@@ -194,10 +194,17 @@ type EngineOptions struct {
 	Routing string
 	// Observer receives per-check callbacks (nil: none).
 	Observer Observer
+	// SLBSets/SLBWays are the per-worker software SLB geometry for the
+	// +slb engines (0 selects the defaults: 64 sets × 4 ways).
+	SLBSets, SLBWays int
+	// SLBIndexing selects the SLB set-index function for the +slb
+	// engines: "sid" (default) or "hash" (spread hot syscalls).
+	SLBIndexing string
 }
 
 // EngineNames lists the registered checking mechanisms: filter-only,
-// draco-sw, draco-concurrent, draco-hw.
+// draco-sw, draco-concurrent, draco-hw, and the software-SLB-wrapped
+// draco-sw+slb and draco-concurrent+slb (see DESIGN.md §8).
 func EngineNames() []string { return engine.Names() }
 
 // EngineInfos lists the registered mechanisms with descriptions.
@@ -206,10 +213,13 @@ func EngineInfos() []EngineInfo { return engine.Infos() }
 // NewEngine builds a checking engine by registry name.
 func NewEngine(name string, p *Profile, opts EngineOptions) (Engine, error) {
 	return engine.New(name, engine.Options{
-		Profile:  p,
-		Shards:   opts.Shards,
-		Routing:  opts.Routing,
-		Observer: opts.Observer,
+		Profile:     p,
+		Shards:      opts.Shards,
+		Routing:     opts.Routing,
+		Observer:    opts.Observer,
+		SLBSets:     opts.SLBSets,
+		SLBWays:     opts.SLBWays,
+		SLBIndexing: opts.SLBIndexing,
 	})
 }
 

@@ -1,0 +1,92 @@
+package concurrent
+
+import (
+	"fmt"
+	"testing"
+
+	"draco/internal/profilegen"
+	"draco/internal/workloads"
+)
+
+// benchBatchSetup builds a warm checker over the first workload's trace and
+// the call slices the batch benchmarks replay.
+func benchBatchSetup(b testing.TB, shards int) (*Checker, []Call) {
+	b.Helper()
+	w := workloads.All()[0]
+	tr := w.Generate(50_000, 42)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	c := mustChecker(b, p, shards)
+	calls := make([]Call, len(tr))
+	for i, ev := range tr {
+		calls[i] = Call{SID: ev.SID, Args: ev.Args}
+		c.Check(ev.SID, ev.Args)
+	}
+	return c, calls
+}
+
+// BenchmarkCheckBatchGrouped measures the shard-grouped batch path (one
+// lock per touched shard per batch) against BenchmarkCheckBatchNaive (one
+// lock per call) at the service's batch sizes. The 512-call case is the
+// stack-buffer cutoff; 8 and 64 sit well inside it.
+func BenchmarkCheckBatchGrouped(b *testing.B) {
+	for _, size := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			c, calls := benchBatchSetup(b, 16)
+			var dst []Outcome
+			off := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if off+size > len(calls) {
+					off = 0
+				}
+				dst = c.CheckBatch(calls[off:off+size], dst)
+				off += size
+			}
+		})
+	}
+}
+
+// BenchmarkCheckBatchNaive is the ungrouped baseline: the same batches
+// checked call by call, paying the route + lock + unlock on every call.
+func BenchmarkCheckBatchNaive(b *testing.B) {
+	for _, size := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			c, calls := benchBatchSetup(b, 16)
+			dst := make([]Outcome, size)
+			off := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if off+size > len(calls) {
+					off = 0
+				}
+				for j, cl := range calls[off : off+size] {
+					dst[j] = c.Check(cl.SID, cl.Args)
+				}
+				off += size
+			}
+		})
+	}
+}
+
+// TestCheckBatchZeroAllocs pins the grouped batch path at zero heap
+// allocations for batches up to batchStack when dst is reused: the
+// counting-sort index buffers live on the stack.
+func TestCheckBatchZeroAllocs(t *testing.T) {
+	c, calls := benchBatchSetup(t, 16)
+	for _, size := range []int{8, 64, batchStack} {
+		dst := make([]Outcome, size)
+		off := 0
+		per := testing.AllocsPerRun(500, func() {
+			if off+size > len(calls) {
+				off = 0
+			}
+			dst = c.CheckBatch(calls[off:off+size], dst)
+			off += size
+		})
+		if per != 0 {
+			t.Fatalf("CheckBatch(n=%d) allocates %.2f allocs/op, want 0", size, per)
+		}
+	}
+}

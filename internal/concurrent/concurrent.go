@@ -244,29 +244,77 @@ func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
 		sh.mu.Unlock()
 		return dst
 	}
-	// Group call indices by shard, then drain each group under one lock.
-	// Relative order within a shard is preserved, and calls on different
-	// shards touch disjoint (syscall, argument-set) keys, so the outcomes
-	// match a sequential left-to-right execution of the batch.
-	groups := make([][]int, len(st.shards))
+	// Group call indices by shard with a two-pass counting sort, then drain
+	// each group under one lock. Relative order within a shard is preserved
+	// (the sort is stable), and calls on different shards touch disjoint
+	// (syscall, argument-set) keys, so the outcomes match a sequential
+	// left-to-right execution of the batch. Service-sized batches group
+	// entirely in stack buffers: no per-shard slices, no per-batch heap
+	// allocation.
+	n := len(calls)
+	var sidxA, orderA [batchStack]int32
+	var sidx, order []int32
+	if n <= batchStack {
+		sidx, order = sidxA[:n], orderA[:n]
+	} else {
+		buf := make([]int32, 2*n)
+		sidx, order = buf[:n], buf[n:]
+	}
+	// The counts buffer is sized to the fan-out: clearing it is part of
+	// every batch's fixed cost, so small services (the common <= 64 shard
+	// case) must not pay for a MaxShards-sized array.
+	ns := len(st.shards)
+	if ns <= smallShards {
+		var counts [smallShards + 1]int32
+		st.drainGrouped(calls, dst, sidx, order, counts[:ns+1])
+	} else {
+		var counts [MaxShards + 1]int32
+		st.drainGrouped(calls, dst, sidx, order, counts[:ns+1])
+	}
+	return dst
+}
+
+// drainGrouped is CheckBatch's grouped path: a stable two-pass counting
+// sort of call indices by shard (len(counts) == shards+1), then one
+// lock-drain per touched shard.
+func (st *state) drainGrouped(calls []Call, dst []core.Outcome, sidx, order, counts []int32) {
 	for i, cl := range calls {
 		si := st.shardIndex(cl.SID, cl.Args)
-		groups[si] = append(groups[si], i)
+		sidx[i] = int32(si)
+		counts[si+1]++
 	}
-	for si, idxs := range groups {
-		if len(idxs) == 0 {
+	for s := 1; s < len(counts); s++ {
+		counts[s] += counts[s-1]
+	}
+	for i, si := range sidx {
+		order[counts[si]] = int32(i)
+		counts[si]++
+	}
+	// counts[s] is now the end of shard s's run in order.
+	start := int32(0)
+	for s := range st.shards {
+		end := counts[s]
+		if end == start {
 			continue
 		}
-		sh := st.shards[si]
+		sh := st.shards[s]
 		sh.mu.Lock()
-		for _, i := range idxs {
+		for _, i := range order[start:end] {
 			cl := calls[i]
 			dst[i] = sh.chk.Check(cl.SID, cl.Args)
 		}
 		sh.mu.Unlock()
+		start = end
 	}
-	return dst
 }
+
+// batchStack is the largest batch the grouping pass handles without heap
+// allocation: index buffers for up to batchStack calls live on the stack.
+const batchStack = 512
+
+// smallShards is the fan-out up to which the grouping pass uses its small
+// stack counts buffer.
+const smallShards = 64
 
 // SetProfile hot-swaps the profile: a fresh state (empty SPT/VAT, newly
 // compiled filters) is built off to the side and atomically published.

@@ -75,6 +75,9 @@ const (
 	ClassInsert
 	// ClassDenied: the filter ran and rejected the call.
 	ClassDenied
+	// ClassSLBHit: a per-worker software SLB served the decision without
+	// touching the shared tables (see WithSLB).
+	ClassSLBHit
 
 	// NumLatencyClasses sizes per-class counter arrays.
 	NumLatencyClasses
@@ -92,6 +95,8 @@ func (c LatencyClass) String() string {
 		return "insert"
 	case ClassDenied:
 		return "denied"
+	case ClassSLBHit:
+		return "slb-hit"
 	default:
 		return "unknown"
 	}

@@ -24,6 +24,12 @@ type Options struct {
 	Observer Observer
 	// Shape selects the compiled filter shape (zero value: linear).
 	Shape seccomp.Shape
+	// SLBSets/SLBWays are the per-worker software SLB geometry for +slb
+	// engines (0 selects the slb package defaults: 64 sets × 4 ways).
+	SLBSets, SLBWays int
+	// SLBIndexing selects the SLB set-index function for +slb engines:
+	// "" or "sid" (per-syscall sets), or "hash" (spread hot syscalls).
+	SLBIndexing string
 }
 
 // observer returns the effective observer, defaulting to the no-op.

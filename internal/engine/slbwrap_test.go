@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/workloads"
+)
+
+// TestDifferentialSLBDecisionExact replays 100k-event traces of every
+// workload through both +slb engines and their bare inner mechanisms, and
+// requires the allow/deny/action streams to agree event for event: a
+// lookaside in front of the checker must never change what a caller is
+// told. The cached flag carries the same cache-timing carve-out as args
+// routing (DESIGN.md §7): an SLB hit may report cached=true where the bare
+// engine happened to re-run the filter after a cuckoo eviction, bounded.
+func TestDifferentialSLBDecisionExact(t *testing.T) {
+	const events = 100_000
+	genOpts := profilegen.Options{IncludeRuntime: true}
+	pairs := []struct {
+		wrapped, bare string
+		opts          Options
+	}{
+		{"draco-sw+slb", "draco-sw", Options{}},
+		{"draco-concurrent+slb", "draco-concurrent", Options{Shards: 4, Routing: "syscall"}},
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.Generate(events, 0xD12AC0)
+			profiles := map[string]*seccomp.Profile{
+				"app-complete":   profilegen.Complete(w.Name, tr, genOpts),
+				"docker-default": seccomp.DockerDefault(),
+			}
+			for pname, p := range profiles {
+				for _, pair := range pairs {
+					bopts, wopts := pair.opts, pair.opts
+					bopts.Profile, wopts.Profile = p, p
+					bare, err := New(pair.bare, bopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wrapped, err := New(pair.wrapped, wopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var cacheDivergence int
+					for i, ev := range tr {
+						want := bare.Check(ev.SID, ev.Args)
+						got := wrapped.Check(ev.SID, ev.Args)
+						if got.Allowed != want.Allowed || got.Action != want.Action {
+							t.Fatalf("%s/%s event %d (sid=%d args=%v): %s %+v, %s %+v",
+								pname, pair.wrapped, i, ev.SID, ev.Args, pair.bare, want, pair.wrapped, got)
+						}
+						if got.Cached != want.Cached {
+							cacheDivergence++
+						}
+					}
+					if cacheDivergence > events/100 {
+						t.Fatalf("%s/%s: cache decisions diverged on %d/%d events",
+							pname, pair.wrapped, cacheDivergence, events)
+					}
+					sl, ok := SLBStatsOf(wrapped)
+					if !ok {
+						t.Fatalf("%s: no SLB stats", pair.wrapped)
+					}
+					if sl.Hits+sl.Misses != events {
+						t.Fatalf("%s/%s: SLB hits %d + misses %d != %d checks",
+							pname, pair.wrapped, sl.Hits, sl.Misses, events)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSLBBatch pins the batch path: CheckBatch through an +slb
+// engine must produce the same allow/deny/action stream as single-call
+// checks through the bare mechanism, across uneven batch boundaries.
+func TestDifferentialSLBBatch(t *testing.T) {
+	const events = 50_000
+	w := workloads.All()[0]
+	tr := w.Generate(events, 0xD12AC0)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	bare, err := New("draco-concurrent", Options{Profile: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := New("draco-concurrent+slb", Options{Profile: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := make([]Call, len(tr))
+	for i, ev := range tr {
+		calls[i] = Call{SID: ev.SID, Args: ev.Args}
+	}
+	var dst []Decision
+	for base := 0; base < len(calls); {
+		n := 1 + (base*7)%251 // uneven batch sizes, crossing the stack-buffer cutoff
+		if base+n > len(calls) {
+			n = len(calls) - base
+		}
+		batch := calls[base : base+n]
+		dst = wrapped.CheckBatch(batch, dst)
+		for i, got := range dst {
+			want := bare.Check(batch[i].SID, batch[i].Args)
+			if got.Allowed != want.Allowed || got.Action != want.Action {
+				t.Fatalf("event %d (sid=%d): bare %+v, batched+slb %+v",
+					base+i, batch[i].SID, want, got)
+			}
+		}
+		base += n
+	}
+}
+
+// TestSLBWrappedCheckZeroAllocs pins the wrapper's steady-state hit path at
+// zero allocations: pooled worker checkout, cache probe, decision, and
+// observation all stay on the stack.
+func TestSLBWrappedCheckZeroAllocs(t *testing.T) {
+	for _, name := range []string{"draco-sw+slb", "draco-concurrent+slb"} {
+		t.Run(name, func(t *testing.T) {
+			e, calls := warmEngine(t, name, Options{})
+			assertZeroAllocs(t, e, calls)
+			sl, ok := SLBStatsOf(e)
+			if !ok || sl.Hits == 0 {
+				t.Fatalf("SLB not exercised: stats=%+v ok=%v", sl, ok)
+			}
+		})
+	}
+}
+
+// TestSLBObserverClasses verifies the observer plumbing: every check is
+// observed exactly once, with SLB-served decisions reported as ClassSLBHit
+// and misses carrying the inner engine's classes.
+func TestSLBObserverClasses(t *testing.T) {
+	const events = 30_000
+	w := workloads.All()[0]
+	tr := w.Generate(events, 0xA110C)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	var c Counters
+	e, err := New("draco-concurrent+slb", Options{Profile: p, Observer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tr {
+		e.Check(ev.SID, ev.Args)
+	}
+	if c.Checks() != events {
+		t.Fatalf("observed %d checks, want %d (one observation per check)", c.Checks(), events)
+	}
+	hits := c.ByClass(ClassSLBHit)
+	if hits == 0 {
+		t.Fatal("no ClassSLBHit observations on a cache-friendly trace")
+	}
+	sl, _ := SLBStatsOf(e)
+	if hits != sl.Hits {
+		t.Fatalf("observer saw %d SLB hits, stats say %d", hits, sl.Hits)
+	}
+	var innerSum uint64
+	for class := LatencyClass(0); class < NumLatencyClasses; class++ {
+		if class != ClassSLBHit {
+			innerSum += c.ByClass(class)
+		}
+	}
+	if innerSum != sl.Misses {
+		t.Fatalf("inner classes total %d, SLB misses %d", innerSum, sl.Misses)
+	}
+}
+
+// TestSLBStatsFoldIntoEngineStats verifies the aggregate Stats contract:
+// Checks still counts every call, with SLB hits folded into the SPT/VAT hit
+// counters they shortcut.
+func TestSLBStatsFoldIntoEngineStats(t *testing.T) {
+	const events = 20_000
+	w := workloads.All()[0]
+	tr := w.Generate(events, 0xA110C)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	e, err := New("draco-sw+slb", Options{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tr {
+		e.Check(ev.SID, ev.Args)
+	}
+	s := e.Stats()
+	if s.Checks != events {
+		t.Fatalf("Stats.Checks = %d, want %d", s.Checks, events)
+	}
+	sl, _ := SLBStatsOf(e)
+	if sl.Hits == 0 || s.SPTHits+s.VATHits < sl.Hits {
+		t.Fatalf("SLB hits %d not folded into stats %+v", sl.Hits, s)
+	}
+}
+
+// TestSLBStatsOfUnwrapsSynchronized: the serving layer wraps non-concurrent
+// engines in Synchronized; SLB stats must remain reachable through it.
+func TestSLBStatsOfUnwrapsSynchronized(t *testing.T) {
+	w := workloads.All()[0]
+	tr := w.Generate(1000, 1)
+	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+	e, err := New("draco-sw+slb", Options{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Synchronized(e)
+	for _, ev := range tr {
+		s.Check(ev.SID, ev.Args)
+	}
+	if sl, ok := SLBStatsOf(s); !ok || sl.Hits+sl.Misses == 0 {
+		t.Fatalf("SLBStatsOf(Synchronized(+slb)) = %+v, %v", sl, ok)
+	}
+	if _, ok := SLBStatsOf(Synchronized(mustBare(t, p))); ok {
+		t.Fatal("SLBStatsOf reported stats for an engine without an SLB")
+	}
+}
+
+func mustBare(t *testing.T, p *seccomp.Profile) Engine {
+	t.Helper()
+	e, err := New("draco-sw", Options{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// withoutSyscall returns a copy of p with num's rule removed, so num falls
+// to the (denying) default action.
+func withoutSyscall(p *seccomp.Profile, num int) *seccomp.Profile {
+	q := &seccomp.Profile{Name: p.Name + "-deny", DefaultAction: p.DefaultAction}
+	for _, r := range p.Rules {
+		if r.Syscall.Num != num {
+			q.Rules = append(q.Rules, r)
+		}
+	}
+	return q
+}
+
+// TestSLBEpochInvalidationRace is the flash-invalidation correctness test:
+// one writer hot-swaps between a profile that allows the trace's hottest
+// syscall and one that denies it, while 16 readers check through the
+// SLB-wrapped concurrent engine. No check that starts after a swap
+// completes may be served from a pre-swap SLB entry.
+//
+// The writer asserts this directly (a check issued right after SetProfile
+// returns must match the new profile), and the readers assert it
+// opportunistically: each brackets its check with loads of a version word
+// the writer publishes after every swap, and when the bracket proves the
+// check ran entirely within one profile generation, the decision must
+// match that generation.
+func TestSLBEpochInvalidationRace(t *testing.T) {
+	const (
+		readers = 16
+		swaps   = 150
+		events  = 20_000
+	)
+	w := workloads.All()[0]
+	tr := w.Generate(events, 0x51B)
+	allow := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+
+	// Hottest syscall in the trace, with a witness argument vector.
+	counts := map[int]int{}
+	for _, ev := range tr {
+		counts[ev.SID]++
+	}
+	hot, best := tr[0], 0
+	for _, ev := range tr {
+		if counts[ev.SID] > best {
+			hot, best = ev, counts[ev.SID]
+		}
+	}
+	deny := withoutSyscall(allow, hot.SID)
+
+	e, err := New("draco-concurrent+slb", Options{Profile: allow, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Check(hot.SID, hot.Args).Allowed {
+		t.Fatalf("sid %d not allowed under the complete profile", hot.SID)
+	}
+
+	var (
+		expect  atomic.Uint64 // version<<1 | allow-bit, published after each swap
+		pending atomic.Uint32 // 1 while a swap is in flight
+		done    atomic.Bool
+		wg      sync.WaitGroup
+	)
+	expect.Store(1) // version 0, allowed
+	errs := make(chan string, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r
+			for !done.Load() {
+				// Background traffic keeps every worker's SLB full.
+				ev := tr[i%len(tr)]
+				e.Check(ev.SID, ev.Args)
+				i++
+
+				e1 := expect.Load()
+				p1 := pending.Load()
+				dec := e.Check(hot.SID, hot.Args)
+				p2 := pending.Load()
+				e2 := expect.Load()
+				// p1==p2==0 and e1==e2 proves no swap overlapped the check:
+				// a swap completing inside the bracket bumps expect, one
+				// still in flight leaves pending set.
+				if p1 == 0 && p2 == 0 && e1 == e2 {
+					if wantAllow := e1&1 == 1; dec.Allowed != wantAllow {
+						select {
+						case errs <- fmt.Sprintf("reader %d: generation %d wants allowed=%v, got %+v (stale SLB entry)",
+							r, e1>>1, wantAllow, dec):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for v := uint64(1); v <= swaps; v++ {
+		p, bit := allow, uint64(1)
+		if v%2 == 1 {
+			p, bit = deny, 0
+		}
+		pending.Store(1)
+		if err := e.SetProfile(p); err != nil {
+			t.Fatal(err)
+		}
+		expect.Store(v<<1 | bit)
+		pending.Store(0)
+		// The direct assertion: this check starts strictly after the swap
+		// completed, so a pre-swap SLB entry must not serve it.
+		if dec := e.Check(hot.SID, hot.Args); dec.Allowed != (bit == 1) {
+			done.Store(true)
+			wg.Wait()
+			t.Fatalf("post-swap check served stale decision: swap %d wants allowed=%v, got %+v", v, bit == 1, dec)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	sl, _ := SLBStatsOf(e)
+	if sl.Invalidations != swaps {
+		t.Fatalf("invalidations = %d, want %d", sl.Invalidations, swaps)
+	}
+}

@@ -7,9 +7,21 @@
 // Hashing is always performed over the bytes the SPT Argument Bitmask
 // selects: one bit per argument byte, so pointer arguments and absent
 // arguments never influence the hash (paper §V-B).
+//
+// Both hot paths — shard routing (Sum64) and the VAT probe (ArgSet) — hash
+// on every check, so the implementation is slicing-by-8: selected bytes are
+// gathered into a contiguous buffer and consumed eight at a time through
+// eight derived tables, one table lookup per input byte but only one
+// dependent chain step per eight bytes. The hardware LFSR this models
+// consumes the whole argument set in 3 cycles (§XI-C); slicing-by-8 is the
+// software analog of widening the datapath.
 package hashes
 
-import "draco/internal/syscalls"
+import (
+	"encoding/binary"
+
+	"draco/internal/syscalls"
+)
 
 // ECMAPoly is the CRC-64/ECMA-182 polynomial in the reversed (LSB-first)
 // representation used by table-driven implementations.
@@ -20,16 +32,19 @@ const ECMAPoly = 0xC96C5795D7870F42
 const NotECMAPoly = ^uint64(ECMAPoly) | 1 // force odd so the LSB-first CRC stays full-period
 
 var (
-	ecmaTable    [256]uint64
-	notEcmaTable [256]uint64
+	ecmaTable    [8][256]uint64
+	notEcmaTable [8][256]uint64
 )
 
 func init() {
-	fillTable(&ecmaTable, ECMAPoly)
-	fillTable(&notEcmaTable, NotECMAPoly)
+	fillTables(&ecmaTable, ECMAPoly)
+	fillTables(&notEcmaTable, NotECMAPoly)
 }
 
-func fillTable(t *[256]uint64, poly uint64) {
+// fillTables builds the slicing-by-8 table set: t[0] is the classic bytewise
+// table; t[k][i] advances a byte through k additional zero bytes, so eight
+// lookups combine into one 8-byte step.
+func fillTables(t *[8][256]uint64, poly uint64) {
 	for i := 0; i < 256; i++ {
 		crc := uint64(i)
 		for j := 0; j < 8; j++ {
@@ -39,12 +54,68 @@ func fillTable(t *[256]uint64, poly uint64) {
 				crc >>= 1
 			}
 		}
-		t[i] = crc
+		t[0][i] = crc
+	}
+	for k := 1; k < 8; k++ {
+		for i := 0; i < 256; i++ {
+			prev := t[k-1][i]
+			t[k][i] = t[0][byte(prev)] ^ (prev >> 8)
+		}
 	}
 }
 
-func update(crc uint64, t *[256]uint64, b byte) uint64 {
-	return t[byte(crc)^b] ^ (crc >> 8)
+// crcUpdate advances crc over p: whole 8-byte blocks through the slicing
+// tables, the tail bytewise.
+func crcUpdate(crc uint64, t *[8][256]uint64, p []byte) uint64 {
+	for len(p) >= 8 {
+		crc ^= binary.LittleEndian.Uint64(p)
+		crc = t[7][byte(crc)] ^
+			t[6][byte(crc>>8)] ^
+			t[5][byte(crc>>16)] ^
+			t[4][byte(crc>>24)] ^
+			t[3][byte(crc>>32)] ^
+			t[2][byte(crc>>40)] ^
+			t[1][byte(crc>>48)] ^
+			t[0][byte(crc>>56)]
+		p = p[8:]
+	}
+	for _, b := range p {
+		crc = t[0][byte(crc)^b] ^ (crc >> 8)
+	}
+	return crc
+}
+
+// crcUpdatePair advances both hash functions over p in one pass: the two
+// CRCs have no data dependency on each other, so interleaving them fills
+// the load ports instead of walking the buffer twice.
+func crcUpdatePair(h1, h2 uint64, p []byte) (uint64, uint64) {
+	for len(p) >= 8 {
+		w := binary.LittleEndian.Uint64(p)
+		h1 ^= w
+		h2 ^= w
+		h1 = ecmaTable[7][byte(h1)] ^
+			ecmaTable[6][byte(h1>>8)] ^
+			ecmaTable[5][byte(h1>>16)] ^
+			ecmaTable[4][byte(h1>>24)] ^
+			ecmaTable[3][byte(h1>>32)] ^
+			ecmaTable[2][byte(h1>>40)] ^
+			ecmaTable[1][byte(h1>>48)] ^
+			ecmaTable[0][byte(h1>>56)]
+		h2 = notEcmaTable[7][byte(h2)] ^
+			notEcmaTable[6][byte(h2>>8)] ^
+			notEcmaTable[5][byte(h2>>16)] ^
+			notEcmaTable[4][byte(h2>>24)] ^
+			notEcmaTable[3][byte(h2>>32)] ^
+			notEcmaTable[2][byte(h2>>40)] ^
+			notEcmaTable[1][byte(h2>>48)] ^
+			notEcmaTable[0][byte(h2>>56)]
+		p = p[8:]
+	}
+	for _, b := range p {
+		h1 = ecmaTable[0][byte(h1)^b] ^ (h1 >> 8)
+		h2 = notEcmaTable[0][byte(h2)^b] ^ (h2 >> 8)
+	}
+	return h1, h2
 }
 
 // Pair holds both hash values of an argument set. Draco computes both in
@@ -60,23 +131,40 @@ type Args = [syscalls.MaxArgs]uint64
 // ArgSet hashes the bytes of args selected by bitmask (the SPT Argument
 // Bitmask: bit k selects byte k%8 of argument k/8) and returns both CRCs.
 func ArgSet(args Args, bitmask uint64) Pair {
-	h1 := ^uint64(0)
-	h2 := ^uint64(0)
+	if bitmask == 0 {
+		// No selected bytes: both CRCs of the empty string.
+		return Pair{}
+	}
+	// Gather the selected bytes (in argument, then byte order — the wire
+	// order the bitmask defines) into a stack buffer, then run both CRCs
+	// over it with the slicing path. Fully-selected arguments — the common
+	// case, since bitmasks cover whole declared widths — copy as one word.
+	var buf [syscalls.MaxArgs * syscalls.ArgBytes]byte
+	n := 0
 	for i := 0; i < syscalls.MaxArgs; i++ {
 		byteBits := (bitmask >> uint(i*syscalls.ArgBytes)) & 0xff
 		if byteBits == 0 {
 			continue
 		}
 		a := args[i]
-		for b := 0; b < syscalls.ArgBytes; b++ {
-			if byteBits&(1<<uint(b)) == 0 {
-				continue
+		switch byteBits {
+		case 0xff: // full 8-byte argument
+			binary.LittleEndian.PutUint64(buf[n:], a)
+			n += syscalls.ArgBytes
+		case 0x0f: // 4-byte declared width (int/fd/flags), the common case
+			binary.LittleEndian.PutUint32(buf[n:], uint32(a))
+			n += 4
+		default:
+			for b := 0; b < syscalls.ArgBytes; b++ {
+				if byteBits&(1<<uint(b)) == 0 {
+					continue
+				}
+				buf[n] = byte(a >> uint(b*8))
+				n++
 			}
-			v := byte(a >> uint(b*8))
-			h1 = update(h1, &ecmaTable, v)
-			h2 = update(h2, &notEcmaTable, v)
 		}
 	}
+	h1, h2 := crcUpdatePair(^uint64(0), ^uint64(0), buf[:n])
 	return Pair{H1: ^h1, H2: ^h2}
 }
 
@@ -84,11 +172,7 @@ func ArgSet(args Args, bitmask uint64) Pair {
 // concurrent checker uses it to spread (syscall ID, argument-set hash) keys
 // across VAT shards with the same hash family the VAT itself uses.
 func Sum64(b []byte) uint64 {
-	h := ^uint64(0)
-	for _, v := range b {
-		h = update(h, &ecmaTable, v)
-	}
-	return ^h
+	return ^crcUpdate(^uint64(0), &ecmaTable, b)
 }
 
 // Select returns which of the pair's values matches h, or -1. The SLB and

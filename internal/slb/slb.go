@@ -1,0 +1,234 @@
+// Package slb implements a software System Call Lookaside Buffer: a small,
+// fixed-size, set-associative cache of recent allow decisions keyed by
+// (syscall ID, masked-argument hash pair).
+//
+// The paper's hardware design (§VI, Figure 6) puts a per-core SLB in front
+// of the checking machinery so the common case never touches shared state;
+// until now that idea lived only in the internal/hwdraco simulation, while
+// the real serving hot path paid a CRC-64 shard route, a mutex, and two
+// cuckoo bucket probes on every check. This package is the production
+// counterpart: each worker owns one Cache by value-typed entries — no
+// locks, no allocation, no shared mutable state on the hit path — and the
+// engine layer (engine.WithSLB) hands caches out per goroutine.
+//
+// Where the hardware SLB clears a valid-bit column on a VAT update, the
+// software analog is an epoch counter: every entry records the epoch it was
+// filled under, and a profile swap bumps the owner's epoch, flash-
+// invalidating every entry in every worker's cache at once without touching
+// them. Lookup treats an epoch mismatch as a miss; Insert prefers stale
+// entries as victims, so one generation's entries recycle into the next
+// without a sweep. SetProfile therefore stays wait-free for checkers: no
+// reader-writer handshake, no per-cache invalidation walk.
+//
+// Unlike the hardware model (and like the VAT itself, §VII-A), entries
+// store the 128-bit hash pair instead of the raw argument bytes: the two
+// independent CRC-64s make a false hit as unlikely as a VAT false hit, and
+// keep the entry a flat 32 bytes.
+package slb
+
+import (
+	"fmt"
+
+	"draco/internal/hashes"
+)
+
+// Defaults for Config fields left zero: 64 sets × 4 ways = 256 entries,
+// about 8 KiB per worker — comfortably L1-resident, mirroring the paper's
+// default SLB capacity ballpark (Table II).
+const (
+	DefaultSets = 64
+	DefaultWays = 4
+
+	// MaxSets/MaxWays bound the geometry: past this the "small lookaside
+	// in front of the real tables" premise is gone and the cache is just a
+	// worse VAT.
+	MaxSets = 1 << 16
+	MaxWays = 16
+)
+
+// Indexing selects how an entry's set is chosen.
+type Indexing uint8
+
+const (
+	// IndexBySID indexes sets by syscall ID alone (the paper's Figure 6
+	// design): all argument sets of one syscall compete for one set's ways.
+	IndexBySID Indexing = iota
+	// IndexByHash folds the argument-set hash into the set index, spreading
+	// a hot syscall's argument sets across the whole cache (the §VI-D
+	// hash-indexed alternative).
+	IndexByHash
+)
+
+func (ix Indexing) String() string {
+	switch ix {
+	case IndexBySID:
+		return "sid"
+	case IndexByHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Indexing(%d)", uint8(ix))
+	}
+}
+
+// IndexingByName parses an indexing mode name ("" selects the default).
+func IndexingByName(name string) (Indexing, error) {
+	switch name {
+	case "", "sid":
+		return IndexBySID, nil
+	case "hash":
+		return IndexByHash, nil
+	default:
+		return 0, fmt.Errorf("slb: unknown indexing %q (sid or hash)", name)
+	}
+}
+
+// Config is the cache geometry.
+type Config struct {
+	// Sets is the number of sets (power of two; 0 selects DefaultSets).
+	Sets int
+	// Ways is the associativity (0 selects DefaultWays).
+	Ways int
+	// Indexing selects the set-index function.
+	Indexing Indexing
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Sets == 0 {
+		c.Sets = DefaultSets
+	}
+	if c.Ways == 0 {
+		c.Ways = DefaultWays
+	}
+	return c
+}
+
+// Validate reports whether the geometry is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Sets < 1 || c.Sets > MaxSets || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("slb: sets %d not a power of two in [1,%d]", c.Sets, MaxSets)
+	}
+	if c.Ways < 1 || c.Ways > MaxWays {
+		return fmt.Errorf("slb: ways %d out of range [1,%d]", c.Ways, MaxWays)
+	}
+	if c.Indexing != IndexBySID && c.Indexing != IndexByHash {
+		return fmt.Errorf("slb: unknown indexing %d", uint8(c.Indexing))
+	}
+	return nil
+}
+
+// entry is one cached allow decision. The zero value (epoch 0) never
+// matches: epochs start at 1.
+type entry struct {
+	h1, h2 uint64 // masked-argument hash pair (Pair{0,0} for ID-only syscalls)
+	epoch  uint64 // owner epoch at fill time
+	sid    int32
+}
+
+// Cache is one worker's lookaside buffer. It is NOT safe for concurrent
+// use — that is the point: give each worker its own and the hit path takes
+// no locks. All entries are value types in one flat slice; Lookup and
+// Insert allocate nothing.
+type Cache struct {
+	entries []entry // set-major: set s occupies [s*ways, (s+1)*ways)
+	setMask uint64
+	ways    int
+	cfg     Config
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		entries: make([]entry, cfg.Sets*cfg.Ways),
+		setMask: uint64(cfg.Sets - 1),
+		ways:    cfg.Ways,
+		cfg:     cfg,
+	}, nil
+}
+
+// Geometry returns the cache's configuration (defaults resolved).
+func (c *Cache) Geometry() Config { return c.cfg }
+
+// Entries returns the total entry count.
+func (c *Cache) Entries() int { return len(c.entries) }
+
+// SizeBytes returns the cache's table footprint.
+func (c *Cache) SizeBytes() int { return len(c.entries) * 32 }
+
+// fibMix spreads small integers (syscall IDs) across the index space.
+const fibMix = 0x9E3779B97F4A7C15
+
+// set returns the first entry index of the set for (sid, h1).
+func (c *Cache) set(sid int, h1 uint64) int {
+	h := uint64(sid) * fibMix
+	if c.cfg.Indexing == IndexByHash {
+		h ^= h1
+	} else {
+		h >>= 32 // sid*fib mixes into the high bits; fold them down
+	}
+	return int(h&c.setMask) * c.ways
+}
+
+// Lookup probes for (sid, pair) filled under epoch, moving a hit to the
+// front of its set (LRU). Entries from any other epoch never match; epoch 0
+// is reserved (never hits, so the zero-valued entry is simply empty).
+func (c *Cache) Lookup(sid int, pair hashes.Pair, epoch uint64) bool {
+	if epoch == 0 {
+		return false
+	}
+	base := c.set(sid, pair.H1)
+	ws := c.entries[base : base+c.ways]
+	for i := range ws {
+		e := ws[i]
+		if e.epoch == epoch && e.sid == int32(sid) && e.h1 == pair.H1 && e.h2 == pair.H2 {
+			copy(ws[1:i+1], ws[:i])
+			ws[0] = e
+			return true
+		}
+	}
+	return false
+}
+
+// Insert records an allow decision for (sid, pair) under epoch. The victim
+// is the first entry from another epoch (stale entries recycle before live
+// ones are evicted), else the set's LRU way.
+func (c *Cache) Insert(sid int, pair hashes.Pair, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	base := c.set(sid, pair.H1)
+	ws := c.entries[base : base+c.ways]
+	victim := -1
+	for i := range ws {
+		e := ws[i]
+		if e.epoch == epoch && e.sid == int32(sid) && e.h1 == pair.H1 && e.h2 == pair.H2 {
+			copy(ws[1:i+1], ws[:i])
+			ws[0] = e
+			return
+		}
+		if victim < 0 && e.epoch != epoch {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = len(ws) - 1
+	}
+	copy(ws[1:victim+1], ws[:victim])
+	ws[0] = entry{h1: pair.H1, h2: pair.H2, epoch: epoch, sid: int32(sid)}
+}
+
+// Live counts entries filled under epoch (diagnostics; walks the table).
+func (c *Cache) Live(epoch uint64) int {
+	n := 0
+	for i := range c.entries {
+		if epoch != 0 && c.entries[i].epoch == epoch {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package slb
+
+import (
+	"testing"
+
+	"draco/internal/hashes"
+)
+
+func mustCache(t testing.TB, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pairFor(v uint64) hashes.Pair {
+	return hashes.ArgSet(hashes.Args{v}, 0xff)
+}
+
+func TestDefaults(t *testing.T) {
+	c := mustCache(t, Config{})
+	g := c.Geometry()
+	if g.Sets != DefaultSets || g.Ways != DefaultWays || g.Indexing != IndexBySID {
+		t.Fatalf("defaults = %+v", g)
+	}
+	if c.Entries() != DefaultSets*DefaultWays {
+		t.Fatalf("entries = %d", c.Entries())
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Sets: 3},
+		{Sets: -1},
+		{Sets: MaxSets * 2},
+		{Ways: MaxWays + 1},
+		{Ways: -1},
+		{Indexing: Indexing(9)},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted bad geometry", cfg)
+		}
+	}
+}
+
+func TestLookupInsertRoundTrip(t *testing.T) {
+	for _, ix := range []Indexing{IndexBySID, IndexByHash} {
+		c := mustCache(t, Config{Sets: 8, Ways: 2, Indexing: ix})
+		p := pairFor(42)
+		if c.Lookup(1, p, 1) {
+			t.Fatal("hit in empty cache")
+		}
+		c.Insert(1, p, 1)
+		if !c.Lookup(1, p, 1) {
+			t.Fatalf("miss after insert (indexing=%s)", ix)
+		}
+		// Different sid, hash, or epoch: all misses.
+		if c.Lookup(2, p, 1) {
+			t.Fatal("hit on wrong sid")
+		}
+		if c.Lookup(1, pairFor(43), 1) {
+			t.Fatal("hit on wrong hash")
+		}
+		if c.Lookup(1, p, 2) {
+			t.Fatal("hit across epochs")
+		}
+	}
+}
+
+func TestEpochZeroReserved(t *testing.T) {
+	c := mustCache(t, Config{Sets: 2, Ways: 1})
+	c.Insert(0, hashes.Pair{}, 0)
+	if c.Lookup(0, hashes.Pair{}, 0) {
+		t.Fatal("epoch 0 must never hit (zero-valued entries are empty)")
+	}
+}
+
+// TestEpochFlashInvalidation is the software analog of the SLB valid-bit
+// clear: bumping the epoch makes every prior entry a miss at once, and new
+// fills under the new epoch recycle the stale ways.
+func TestEpochFlashInvalidation(t *testing.T) {
+	c := mustCache(t, Config{Sets: 4, Ways: 4})
+	for v := uint64(0); v < 32; v++ {
+		c.Insert(int(v%7), pairFor(v), 1)
+	}
+	if c.Live(1) == 0 {
+		t.Fatal("nothing cached")
+	}
+	for v := uint64(0); v < 32; v++ {
+		if c.Lookup(int(v%7), pairFor(v), 2) {
+			t.Fatalf("value %d served across epoch bump", v)
+		}
+	}
+	// Fills under epoch 2 must prefer stale (epoch-1) victims.
+	c.Insert(3, pairFor(100), 2)
+	if !c.Lookup(3, pairFor(100), 2) {
+		t.Fatal("fresh fill missing")
+	}
+	if c.Live(2) != 1 {
+		t.Fatalf("live(2) = %d, want 1", c.Live(2))
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// One set, two ways: A, B, touch A, insert C -> B (LRU) evicted.
+	c := mustCache(t, Config{Sets: 1, Ways: 2})
+	a, b, cc := pairFor(1), pairFor(2), pairFor(3)
+	c.Insert(7, a, 1)
+	c.Insert(7, b, 1)
+	if !c.Lookup(7, a, 1) {
+		t.Fatal("A missing")
+	}
+	c.Insert(7, cc, 1)
+	if !c.Lookup(7, a, 1) || !c.Lookup(7, cc, 1) {
+		t.Fatal("MRU entries evicted")
+	}
+	if c.Lookup(7, b, 1) {
+		t.Fatal("LRU entry survived eviction")
+	}
+}
+
+func TestInsertIsIdempotent(t *testing.T) {
+	c := mustCache(t, Config{Sets: 1, Ways: 4})
+	p := pairFor(9)
+	for i := 0; i < 10; i++ {
+		c.Insert(5, p, 3)
+	}
+	if c.Live(3) != 1 {
+		t.Fatalf("duplicate inserts created %d entries", c.Live(3))
+	}
+}
+
+func TestHashIndexingSpreadsHotSyscall(t *testing.T) {
+	// With sid indexing, one syscall's argument sets all compete for one
+	// set (ways entries). Hash indexing must retain more of them.
+	const vals = 64
+	sidIdx := mustCache(t, Config{Sets: 16, Ways: 2, Indexing: IndexBySID})
+	hashIdx := mustCache(t, Config{Sets: 16, Ways: 2, Indexing: IndexByHash})
+	for v := uint64(0); v < vals; v++ {
+		sidIdx.Insert(1, pairFor(v), 1)
+		hashIdx.Insert(1, pairFor(v), 1)
+	}
+	if got := sidIdx.Live(1); got > 2 {
+		t.Fatalf("sid indexing kept %d entries of one syscall, want <= ways", got)
+	}
+	if got := hashIdx.Live(1); got <= 2 {
+		t.Fatalf("hash indexing kept only %d entries", got)
+	}
+}
+
+func TestLookupZeroAllocs(t *testing.T) {
+	c := mustCache(t, Config{})
+	for v := uint64(0); v < 128; v++ {
+		c.Insert(int(v%11), pairFor(v), 1)
+	}
+	v := uint64(0)
+	per := testing.AllocsPerRun(2000, func() {
+		c.Lookup(int(v%11), pairFor(v), 1)
+		c.Insert(int(v%11), pairFor(v), 1)
+		v++
+	})
+	if per != 0 {
+		t.Fatalf("Lookup+Insert allocate %.2f allocs/op, want 0", per)
+	}
+}
+
+// BenchmarkLookupHit measures the raw probe cost at the default geometry:
+// the price of an SLB hit before hashing and decision plumbing are added on
+// top by the engine wrapper.
+func BenchmarkLookupHit(b *testing.B) {
+	c, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 11 syscalls × 4 pairs each: every set's ways are full but nothing is
+	// evicted, so every probe hits.
+	const n = 44
+	pairs := make([]hashes.Pair, n)
+	for v := 0; v < n; v++ {
+		pairs[v] = pairFor(uint64(v))
+		c.Insert(v%11, pairs[v], 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % n
+		if !c.Lookup(v%11, pairs[v], 1) {
+			b.Fatal("miss on resident entry")
+		}
+	}
+}
+
+func TestIndexingByName(t *testing.T) {
+	for name, want := range map[string]Indexing{"": IndexBySID, "sid": IndexBySID, "hash": IndexByHash} {
+		got, err := IndexingByName(name)
+		if err != nil || got != want {
+			t.Fatalf("IndexingByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := IndexingByName("bogus"); err == nil {
+		t.Fatal("bogus indexing accepted")
+	}
+}

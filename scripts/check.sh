@@ -1,17 +1,20 @@
 #!/bin/sh
 # CI gate: build everything, vet, then run the full test suite under the
 # race detector (includes the 32-goroutine hot-swap hammer test in
-# internal/concurrent). Mirrors `make check`.
+# internal/concurrent and the SLB epoch flash-invalidation test in
+# internal/engine: a writer hot-swapping profiles under 16 readers checking
+# through SLB-wrapped engines). Mirrors `make check`.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
 
-# The zero-allocation guards skip themselves under -race (the detector
-# perturbs alloc accounting), so run them - plus the registry-level
-# differential suite they share a package with - without it. These pin the
-# Engine contract: 0 allocs/op on the draco-sw and draco-concurrent hot
-# paths, and decision-stream identity across filter-only, draco-sw, and
-# draco-concurrent.
-go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/
+# The engine zero-allocation guards skip themselves under -race (the
+# detector perturbs alloc accounting), so run them - plus the
+# registry-level differential suite they share a package with - without it.
+# These pin the Engine contract: 0 allocs/op on the draco-sw,
+# draco-concurrent, and +slb hot paths (including the SLB hit path and the
+# grouped CheckBatch), and decision-stream identity across filter-only,
+# draco-sw, draco-concurrent, and the +slb wrappers.
+go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
