@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine bench bench-server bench-engine bench-batch slbsweep
+.PHONY: check build vet test test-race test-engine test-wire bench bench-server bench-engine bench-batch slbsweep loadgen
 
 # check is the CI gate: build, vet, the full test suite under the race
-# detector, and the engine alloc-guard/differential tests (which skip
-# themselves under -race). scripts/check.sh is the same sequence for
-# environments without make.
-check: build vet test-race test-engine
+# detector (which includes the 32-goroutine wire hot-swap hammer), the
+# engine alloc-guard/differential tests (which skip themselves under
+# -race), and the wire fuzz-seed + differential suite. scripts/check.sh is
+# the same sequence for environments without make.
+check: build vet test-race test-engine test-wire
 
 build:
 	$(GO) build ./...
@@ -18,13 +19,23 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # test-engine runs the Engine-contract guards without the race detector:
 # the 0-allocs/op assertions (perturbed by -race) and the registry-level
 # decision-stream differential tests.
 test-engine:
 	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
+
+# test-wire runs the wire protocol's guards explicitly: the frame-decoder
+# fuzz seed corpus (every seed as a unit test; `go test -fuzz
+# FuzzFrameDecode ./internal/wire` explores further), the codec
+# zero-allocation pins, and the wire-vs-in-process differential suite
+# (100k-event traces, all 15 workloads, batch frames + the coalescer).
+test-wire:
+	$(GO) test -count=1 -run 'Fuzz' ./internal/wire/
+	$(GO) test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
+	$(GO) test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
 
 # bench runs the concurrent checker's parallel throughput benchmarks across
 # 1/4/16-shard configurations (see results/concurrent_baseline.json for a
@@ -51,3 +62,10 @@ bench-batch:
 # draco-concurrent baseline).
 slbsweep:
 	$(GO) run ./cmd/dracobench -slbsweep -json results/slbsweep_sw.json
+
+# loadgen regenerates the service-edge comparison recorded in
+# results/wire_loadgen.json: single-check traffic from every workload over
+# the HTTP JSON API vs the binary wire protocol at equal client
+# concurrency.
+loadgen:
+	$(GO) run ./cmd/dracobench -loadgen -json results/wire_loadgen.json

@@ -1,0 +1,293 @@
+package main
+
+// Loadgen mode: the service-edge benchmark. Starts an in-process dracod
+// with both front ends — the HTTP JSON API and the binary wire protocol —
+// and drives single-check traffic from every workload trace through each
+// at equal client concurrency, reporting throughput and p50/p95/p99
+// request latency. This is the measurement behind PR 4's claim: with the
+// in-process check path already allocation-free, the remaining hot-path
+// cost is request framing, and the wire protocol removes most of it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"draco/internal/engine"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/server"
+	"draco/internal/server/client"
+	"draco/internal/stats"
+	"draco/internal/trace"
+	"draco/internal/workloads"
+)
+
+// loadgenPathResult is one (workload, transport) measurement.
+type loadgenPathResult struct {
+	Ops       int     `json:"ops"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50NS     int64   `json:"p50_ns"`
+	P95NS     int64   `json:"p95_ns"`
+	P99NS     int64   `json:"p99_ns"`
+}
+
+// loadgenWorkloadResult compares the two transports on one workload.
+type loadgenWorkloadResult struct {
+	Workload string            `json:"workload"`
+	HTTP     loadgenPathResult `json:"http"`
+	Wire     loadgenPathResult `json:"wire"`
+	// Speedup is wire single-check throughput over HTTP's.
+	Speedup float64 `json:"speedup"`
+}
+
+// loadgenReport is the JSON document written by -json.
+type loadgenReport struct {
+	Events         int                     `json:"events_per_workload"`
+	Concurrency    int                     `json:"client_concurrency"`
+	WireConns      int                     `json:"wire_conns"`
+	Engine         string                  `json:"engine"`
+	Shards         int                     `json:"shards"`
+	Generated      string                  `json:"generated"`
+	Workloads      []loadgenWorkloadResult `json:"workloads"`
+	GeomeanSpeedup float64                 `json:"geomean_speedup"`
+}
+
+// runLoadgen drives the comparison and optionally writes the JSON report.
+func runLoadgen(events, concurrency, wireConns int, seed int64, jsonOut string) error {
+	if events <= 0 {
+		events = 20_000
+	}
+	if concurrency <= 0 {
+		concurrency = 32
+	}
+	if wireConns <= 0 {
+		wireConns = 4
+	}
+	const shards = 8
+
+	srv := server.New(server.Options{Shards: shards, Routing: "syscall"})
+
+	// HTTP front end on a loopback listener.
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(httpLn)
+	defer hs.Close()
+
+	// Wire front end next to it, default coalescing policy.
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ws := srv.NewWireServer(server.WireOptions{})
+	go ws.Serve(wireLn)
+	defer ws.Close()
+
+	// The HTTP client pool must not cap connection reuse below the worker
+	// count, or throughput measures idle-connection churn.
+	transport := &http.Transport{MaxIdleConns: concurrency * 2, MaxIdleConnsPerHost: concurrency * 2}
+	defer transport.CloseIdleConnections()
+	hc := client.New("http://"+httpLn.Addr().String(), &http.Client{Transport: transport})
+	wc, err := client.DialWire(wireLn.Addr().String(), client.WireOptions{Conns: wireConns})
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+
+	ctx := context.Background()
+	genOpts := profilegen.Options{IncludeRuntime: true}
+	report := loadgenReport{
+		Events:      events,
+		Concurrency: concurrency,
+		WireConns:   wireConns,
+		Engine:      server.DefaultEngine,
+		Shards:      shards,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Printf("loadgen: %d events/workload, %d client workers, %d wire conns\n", events, concurrency, wireConns)
+	fmt.Printf("%-16s %14s %14s %9s   %s\n", "workload", "http ops/s", "wire ops/s", "speedup", "wire p50/p95/p99")
+	var speedups []float64
+	for _, w := range workloads.All() {
+		tr := w.Generate(events, seed)
+		p := profilegen.Complete(w.Name, tr, genOpts)
+		var buf []byte
+		{
+			var b jsonBuffer
+			if err := seccomp.WriteJSON(&b, p); err != nil {
+				return err
+			}
+			buf = b
+		}
+		if _, err := wc.PutProfile(ctx, w.Name, "", buf); err != nil {
+			return fmt.Errorf("loadgen: profile %s: %w", w.Name, err)
+		}
+		// Warm the tenant's VAT once via batch frames so both transports
+		// measure steady-state edge cost, not first-touch filter runs.
+		if err := warmTenant(ctx, wc, w.Name, tr); err != nil {
+			return err
+		}
+
+		httpRes, err := driveHTTP(ctx, hc, w.Name, tr, concurrency)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s over http: %w", w.Name, err)
+		}
+		wireRes, err := driveWire(ctx, wc, w.Name, tr, concurrency)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s over wire: %w", w.Name, err)
+		}
+		speedup := wireRes.OpsPerSec / httpRes.OpsPerSec
+		speedups = append(speedups, speedup)
+		report.Workloads = append(report.Workloads, loadgenWorkloadResult{
+			Workload: w.Name, HTTP: httpRes, Wire: wireRes, Speedup: speedup,
+		})
+		fmt.Printf("%-16s %14.0f %14.0f %8.1fx   %v/%v/%v\n",
+			w.Name, httpRes.OpsPerSec, wireRes.OpsPerSec, speedup,
+			time.Duration(wireRes.P50NS), time.Duration(wireRes.P95NS), time.Duration(wireRes.P99NS))
+	}
+	report.GeomeanSpeedup = stats.Geomean(speedups)
+	fmt.Printf("geomean wire/http single-check speedup: %.1fx\n", report.GeomeanSpeedup)
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// jsonBuffer is a minimal io.Writer over a byte slice (avoids importing
+// bytes just for profile serialization).
+type jsonBuffer []byte
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// warmTenant replays the trace once through wire batch frames.
+func warmTenant(ctx context.Context, wc *client.Wire, tenant string, tr trace.Trace) error {
+	const chunk = 512
+	calls := make([]engine.Call, 0, chunk)
+	var ds []engine.Decision
+	for off := 0; off < len(tr); off += chunk {
+		end := off + chunk
+		if end > len(tr) {
+			end = len(tr)
+		}
+		calls = calls[:0]
+		for _, ev := range tr[off:end] {
+			calls = append(calls, engine.Call{SID: ev.SID, Args: ev.Args})
+		}
+		var err error
+		ds, err = wc.CheckBatch(ctx, tenant, calls, ds[:0])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drive fans the trace out over `concurrency` workers, each issuing its
+// slice as sequential single-check requests through checkOne, and folds
+// the per-request latencies into one distribution.
+func drive(tr trace.Trace, concurrency int, checkOne func(ev trace.Event) error) (loadgenPathResult, error) {
+	var wg sync.WaitGroup
+	workerLats := make([][]time.Duration, concurrency)
+	errs := make([]error, concurrency)
+	per := (len(tr) + concurrency - 1) / concurrency
+	start := time.Now()
+	for g := 0; g < concurrency; g++ {
+		lo := g * per
+		hi := lo + per
+		if lo >= len(tr) {
+			break
+		}
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		wg.Add(1)
+		go func(g int, slice trace.Trace) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, len(slice))
+			for _, ev := range slice {
+				reqStart := time.Now()
+				if err := checkOne(ev); err != nil {
+					errs[g] = err
+					return
+				}
+				lats = append(lats, time.Since(reqStart))
+			}
+			workerLats[g] = lats
+		}(g, tr[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return loadgenPathResult{}, err
+		}
+	}
+	var all []time.Duration
+	for _, lats := range workerLats {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return int64(all[i])
+	}
+	return loadgenPathResult{
+		Ops:       len(all),
+		ElapsedNS: int64(elapsed),
+		OpsPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50NS:     pct(0.50),
+		P95NS:     pct(0.95),
+		P99NS:     pct(0.99),
+	}, nil
+}
+
+func driveHTTP(ctx context.Context, hc *client.Client, tenant string, tr trace.Trace, concurrency int) (loadgenPathResult, error) {
+	return drive(tr, concurrency, func(ev trace.Event) error {
+		sid := ev.SID
+		res, err := hc.Check(ctx, server.CheckRequest{Tenant: tenant, Num: &sid, Args: ev.Args[:]})
+		if err != nil {
+			return err
+		}
+		if !res.Allowed {
+			return fmt.Errorf("sid %d denied under the trace's own profile", ev.SID)
+		}
+		return nil
+	})
+}
+
+func driveWire(ctx context.Context, wc *client.Wire, tenant string, tr trace.Trace, concurrency int) (loadgenPathResult, error) {
+	return drive(tr, concurrency, func(ev trace.Event) error {
+		d, err := wc.Check(ctx, tenant, ev.SID, ev.Args)
+		if err != nil {
+			return err
+		}
+		if !d.Allowed {
+			return fmt.Errorf("sid %d denied under the trace's own profile", ev.SID)
+		}
+		return nil
+	})
+}

@@ -20,6 +20,13 @@
 // workload, bare draco-concurrent as baseline):
 //
 //	dracobench -slbsweep -json results/slbsweep_sw.json
+//
+// Service-edge load generator (in-process dracod, single-check traffic
+// from every workload trace over the HTTP JSON API and the binary wire
+// protocol at equal client concurrency):
+//
+//	dracobench -loadgen -json results/wire_loadgen.json
+//	dracobench -loadgen -events 5000 -concurrency 16 -conns 4
 package main
 
 import (
@@ -50,10 +57,21 @@ func main() {
 		workload   = flag.String("workload", "httpd", "workload for -engine mode")
 		shards     = flag.Int("shards", 0, "shard count for -engine draco-concurrent[+slb] (0 = default)")
 		routing    = flag.String("routing", "syscall", "shard routing for -engine draco-concurrent[+slb]: syscall or args")
-		jsonOut    = flag.String("json", "", "write -engine/-slbsweep results as a JSON document to this file")
+		jsonOut    = flag.String("json", "", "write -engine/-slbsweep/-loadgen results as a JSON document to this file")
 		slbsweep   = flag.Bool("slbsweep", false, "software-SLB geometry sweep: replay every workload through draco-concurrent+slb across sets x ways x indexing")
+		loadgen    = flag.Bool("loadgen", false, "service-edge load generator: single-check traffic from every workload over HTTP JSON vs the binary wire protocol")
+		conc       = flag.Int("concurrency", 32, "client worker goroutines for -loadgen")
+		conns      = flag.Int("conns", 4, "wire connection-pool size for -loadgen")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*events, *conc, *conns, *seed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *slbsweep {
 		if err := runSLBSweep(*events, *seed, *repeats, *jsonOut); err != nil {

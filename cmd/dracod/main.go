@@ -5,10 +5,15 @@
 //
 //	dracod serve -addr :8477 -engine draco-concurrent -shards 8 -default-profile docker
 //
+// The service listens on two fronts: the HTTP JSON API (-addr) and the
+// length-prefixed binary wire protocol (-wire, see internal/wire) with
+// pipelined connections and adaptive batch coalescing.
+//
 // Control subcommands (thin client over the JSON API):
 //
 //	dracod check   -server http://127.0.0.1:8477 -tenant web -syscall read -args 3,0,4096
-//	dracod batch   -server ... -tenant web -trace trace.txt -batch-size 64
+//	dracod replay  -server ... -tenant web -trace trace.txt -batch-size 64
+//	dracod replay  -wire 127.0.0.1:8478 -tenant web -trace trace.txt
 //	dracod profile -server ... -tenant web -file profile.json -engine draco-sw
 //	dracod stats   -server ... -tenant web
 //	dracod tenants -server ...
@@ -22,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,8 +59,8 @@ func main() {
 		err = runServe(args)
 	case "check":
 		err = runCheck(args)
-	case "batch":
-		err = runBatch(args)
+	case "replay", "batch": // batch is the pre-wire name; kept as an alias
+		err = runReplay(args)
 	case "profile":
 		err = runProfile(args)
 	case "stats":
@@ -79,9 +86,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dracod <command> [flags]
 
 commands:
-  serve    run the syscall-check service
+  serve    run the syscall-check service (HTTP JSON API + binary wire protocol)
   check    check one system call against a running dracod
-  batch    replay a trace file through the batch endpoint
+  replay   replay a trace file and report throughput + latency percentiles
+           (-wire host:port drives the binary protocol; alias: batch)
   profile  upload a Docker-format JSON profile (hot swap)
   stats    print a tenant's checker statistics
   tenants  list provisioned tenants
@@ -110,7 +118,10 @@ func presetProfile(name string) (*seccomp.Profile, error) {
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", ":8477", "listen address")
+	addr := fs.String("addr", ":8477", "HTTP listen address")
+	wireAddr := fs.String("wire", ":8478", "wire-protocol listen address (empty = disabled)")
+	wireCoalesce := fs.Int("wire-max-coalesce", 0, "max single-check frames coalesced into one engine batch (0 = default)")
+	wireWindow := fs.Duration("wire-flush-window", 0, "coalescer flush-window backstop (0 = default, negative = drain/size flushes only)")
 	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
 	routing := fs.String("routing", "syscall", "shard routing key: syscall (exact sequential semantics) or args (spread hot syscalls)")
 	engName := fs.String("engine", server.DefaultEngine, "default check engine for new tenants: "+strings.Join(engine.Names(), ", "))
@@ -158,6 +169,20 @@ func runServe(args []string) error {
 	extra := ""
 	if *pprofOn {
 		extra = ", pprof on /debug/pprof/"
+	}
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		ws := srv.NewWireServer(server.WireOptions{MaxCoalesce: *wireCoalesce, FlushWindow: *wireWindow})
+		defer ws.Close()
+		go func() {
+			if err := ws.Serve(ln); err != nil {
+				log.Fatalf("wire: %v", err)
+			}
+		}()
+		extra += ", wire on " + ln.Addr().String()
 	}
 	log.Printf("listening on %s (engine=%s shards=%d routing=%s default-profile=%s%s)", *addr, *engName, *shards, *routing, defProfile, extra)
 	return hs.ListenAndServe()
@@ -228,18 +253,29 @@ func runCheck(args []string) error {
 	return printJSON(res)
 }
 
-func runBatch(args []string) error {
-	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+// percentile returns the p-quantile of sorted durations (p in [0,1]).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	srvURL, timeout := ctlFlags(fs)
+	wireAddr := fs.String("wire", "", "replay over the binary wire protocol at this host:port instead of the HTTP JSON API")
+	conns := fs.Int("conns", 2, "wire connection-pool size (with -wire)")
 	tenant := fs.String("tenant", "default", "tenant id")
 	traceFile := fs.String("trace", "", "trace file in the toolkit's text format (required)")
-	batchSize := fs.Int("batch-size", 64, "calls per request")
+	batchSize := fs.Int("batch-size", 64, "calls per request (1 = single-check frames/requests)")
 	fs.Parse(args)
 	if *traceFile == "" {
-		return fmt.Errorf("batch: -trace is required")
+		return fmt.Errorf("replay: -trace is required")
 	}
 	if *batchSize < 1 || *batchSize > server.MaxBatch {
-		return fmt.Errorf("batch: -batch-size %d out of range [1,%d]", *batchSize, server.MaxBatch)
+		return fmt.Errorf("replay: -batch-size %d out of range [1,%d]", *batchSize, server.MaxBatch)
 	}
 	f, err := os.Open(*traceFile)
 	if err != nil {
@@ -251,38 +287,91 @@ func runBatch(args []string) error {
 		return err
 	}
 
-	c, ctx, cancel := dial(*srvURL, *timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	// checkBatch abstracts the transport: one request per call, returning
+	// the decisions appended to dst.
+	var checkBatch func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error)
+	path := "http"
+	if *wireAddr != "" {
+		path = "wire"
+		wc, err := client.DialWire(*wireAddr, client.WireOptions{Conns: *conns})
+		if err != nil {
+			return err
+		}
+		defer wc.Close()
+		checkBatch = func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
+			if len(calls) == 1 {
+				d, err := wc.Check(ctx, *tenant, calls[0].SID, calls[0].Args)
+				if err != nil {
+					return dst, err
+				}
+				return append(dst, d), nil
+			}
+			return wc.CheckBatch(ctx, *tenant, calls, dst)
+		}
+	} else {
+		hc := client.New(*srvURL, nil)
+		bcalls := make([]server.BatchCall, 0, *batchSize)
+		sids := make([]int, *batchSize)
+		checkBatch = func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
+			bcalls = bcalls[:0]
+			for i := range calls {
+				sids[i] = calls[i].SID
+				bcalls = append(bcalls, server.BatchCall{Num: &sids[i], Args: calls[i].Args[:]})
+			}
+			results, err := hc.CheckBatch(ctx, server.BatchRequest{Tenant: *tenant, Calls: bcalls})
+			if err != nil {
+				return dst, err
+			}
+			for _, r := range results {
+				dst = append(dst, engine.Decision{Allowed: r.Allowed, Cached: r.Cached, FilterInstructions: r.FilterInstructions})
+			}
+			return dst, nil
+		}
+	}
+
 	var allowed, denied, cached int
+	calls := make([]engine.Call, 0, *batchSize)
+	var ds []engine.Decision
+	lats := make([]time.Duration, 0, (len(tr)+*batchSize-1) / *batchSize)
 	start := time.Now()
 	for off := 0; off < len(tr); off += *batchSize {
 		end := off + *batchSize
 		if end > len(tr) {
 			end = len(tr)
 		}
-		calls := make([]server.BatchCall, end-off)
-		for i, ev := range tr[off:end] {
-			sid := ev.SID
-			calls[i] = server.BatchCall{Num: &sid, Args: ev.Args[:]}
+		calls = calls[:0]
+		for _, ev := range tr[off:end] {
+			calls = append(calls, engine.Call{SID: ev.SID, Args: ev.Args})
 		}
-		results, err := c.CheckBatch(ctx, server.BatchRequest{Tenant: *tenant, Calls: calls})
+		reqStart := time.Now()
+		ds, err = checkBatch(calls, ds[:0])
 		if err != nil {
 			return err
 		}
-		for _, r := range results {
-			if r.Allowed {
+		lats = append(lats, time.Since(reqStart))
+		for _, d := range ds {
+			if d.Allowed {
 				allowed++
 			} else {
 				denied++
 			}
-			if r.Cached {
+			if d.Cached {
 				cached++
 			}
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("replayed %d calls in %v (%.0f checks/sec): %d allowed, %d denied, %d cached\n",
-		len(tr), elapsed.Round(time.Millisecond), float64(len(tr))/elapsed.Seconds(), allowed, denied, cached)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("replayed %d calls in %v over %s (%.0f checks/sec): %d allowed, %d denied, %d cached\n",
+		len(tr), elapsed.Round(time.Millisecond), path, float64(len(tr))/elapsed.Seconds(), allowed, denied, cached)
+	fmt.Printf("request latency (batch=%d, %d requests): p50=%v p95=%v p99=%v\n",
+		*batchSize, len(lats),
+		percentile(lats, 0.50).Round(time.Microsecond),
+		percentile(lats, 0.95).Round(time.Microsecond),
+		percentile(lats, 0.99).Round(time.Microsecond))
 	return nil
 }
 

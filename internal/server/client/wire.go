@@ -1,0 +1,336 @@
+package client
+
+// Wire-protocol client: persistent pipelined TCP connections speaking the
+// internal/wire framing. Unlike the HTTP client, many requests may be in
+// flight per connection — each carries a request id, responses are matched
+// by id, and a background reader per connection dispatches completions. A
+// small connection pool spreads concurrent callers so one slow response
+// never heads-of-line-blocks the pool.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"draco/internal/engine"
+	"draco/internal/server"
+	"draco/internal/wire"
+)
+
+// WireOptions configures DialWire.
+type WireOptions struct {
+	// Conns is the connection-pool size (0 = 2). Concurrent callers are
+	// spread round-robin; each connection pipelines its callers' requests.
+	Conns int
+	// DialTimeout bounds each connection attempt (0 = 5s).
+	DialTimeout time.Duration
+}
+
+// Wire is a binary-protocol client for one dracod wire listener.
+type Wire struct {
+	addr  string
+	conns []*wireConn
+	next  atomic.Uint64
+}
+
+// ServerError is a request-level failure reported by the server in an
+// error frame (the connection stays usable).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "dracod: " + e.Msg }
+
+// DialWire connects a pooled wire client to addr (host:port).
+func DialWire(addr string, opts WireOptions) (*Wire, error) {
+	n := opts.Conns
+	if n <= 0 {
+		n = 2
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	w := &Wire{addr: addr, conns: make([]*wireConn, 0, n)}
+	for i := 0; i < n; i++ {
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			// The protocol batches its own writes; Nagle only adds latency.
+			tc.SetNoDelay(true)
+		}
+		c := &wireConn{
+			nc:      nc,
+			w:       wire.NewWriter(nc),
+			pending: make(map[uint64]*wireCall),
+		}
+		w.conns = append(w.conns, c)
+		go c.readLoop()
+	}
+	return w, nil
+}
+
+// Close closes every pooled connection; in-flight requests fail.
+func (w *Wire) Close() error {
+	for _, c := range w.conns {
+		if c != nil {
+			c.nc.Close()
+		}
+	}
+	return nil
+}
+
+// pick selects a connection round-robin, preferring live ones.
+func (w *Wire) pick() *wireConn {
+	start := w.next.Add(1)
+	for i := 0; i < len(w.conns); i++ {
+		c := w.conns[(start+uint64(i))%uint64(len(w.conns))]
+		if c.alive() {
+			return c
+		}
+	}
+	return w.conns[start%uint64(len(w.conns))]
+}
+
+// Check validates one system call over the wire.
+func (w *Wire) Check(ctx context.Context, tenant string, sid int, args engine.Args) (engine.Decision, error) {
+	if len(tenant) > wire.MaxTenant {
+		return engine.Decision{}, fmt.Errorf("wire: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	c := w.pick()
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendCheckReq(buf.B[:0], tenant, engine.Call{SID: sid, Args: args})
+	call, err := c.roundTrip(ctx, wire.TypeCheckReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return engine.Decision{}, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeCheckResp); err != nil {
+		return engine.Decision{}, err
+	}
+	return call.decision, nil
+}
+
+// CheckBatch validates a batch in one frame, reusing dst when it has
+// capacity. At most wire.MaxBatch calls per invocation.
+func (w *Wire) CheckBatch(ctx context.Context, tenant string, calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
+	if len(tenant) > wire.MaxTenant {
+		return nil, fmt.Errorf("wire: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	if len(calls) > wire.MaxBatch {
+		return nil, fmt.Errorf("wire: batch of %d exceeds limit %d", len(calls), wire.MaxBatch)
+	}
+	c := w.pick()
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendBatchReq(buf.B[:0], tenant, calls)
+	call, err := c.roundTrip(ctx, wire.TypeBatchReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return nil, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeBatchResp); err != nil {
+		return nil, err
+	}
+	return wire.DecodeBatchResp(call.raw, dst[:0])
+}
+
+// PutProfile uploads a Docker-format JSON profile over the wire,
+// hot-swapping the tenant's policy. engineName selects the check engine
+// ("" keeps the server default / the tenant's current engine).
+func (w *Wire) PutProfile(ctx context.Context, tenant, engineName string, profileJSON []byte) (server.ProfileResponse, error) {
+	var out server.ProfileResponse
+	if len(tenant) > wire.MaxTenant {
+		return out, fmt.Errorf("wire: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	c := w.pick()
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendProfileReq(buf.B[:0], tenant, engineName, profileJSON)
+	call, err := c.roundTrip(ctx, wire.TypeProfileReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return out, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeProfileResp); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(call.raw, &out)
+	return out, err
+}
+
+// Stats fetches a tenant's checker statistics over the wire.
+func (w *Wire) Stats(ctx context.Context, tenant string) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	c := w.pick()
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendStatsReq(buf.B[:0], tenant)
+	call, err := c.roundTrip(ctx, wire.TypeStatsReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return out, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeStatsResp); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(call.raw, &out)
+	return out, err
+}
+
+// --- connection -------------------------------------------------------------
+
+// wireConn is one pooled connection: a shared writer, a reader goroutine,
+// and the in-flight request table.
+type wireConn struct {
+	nc     net.Conn
+	w      *wire.Writer
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*wireCall
+	err     error
+}
+
+// wireCall is one in-flight request's completion slot. Pooled: the raw
+// buffer's capacity survives reuse.
+type wireCall struct {
+	done     chan struct{}
+	typ      wire.Type
+	decision engine.Decision
+	raw      []byte
+	err      error
+}
+
+var wireCallPool = sync.Pool{New: func() any { return &wireCall{done: make(chan struct{}, 1)} }}
+
+func getWireCall() *wireCall {
+	c := wireCallPool.Get().(*wireCall)
+	c.typ, c.decision, c.err = 0, engine.Decision{}, nil
+	c.raw = c.raw[:0]
+	return c
+}
+
+func putWireCall(c *wireCall) { wireCallPool.Put(c) }
+
+// respErr folds error frames and type mismatches into one check.
+func (c *wireCall) respErr(want wire.Type) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.typ == wire.TypeError {
+		return &ServerError{Msg: string(c.raw)}
+	}
+	if c.typ != want {
+		return fmt.Errorf("wire: server answered %v, want %v", c.typ, want)
+	}
+	return nil
+}
+
+func (c *wireConn) alive() bool {
+	c.mu.Lock()
+	ok := c.err == nil
+	c.mu.Unlock()
+	return ok
+}
+
+// roundTrip registers a request, sends its frame, and waits for the
+// response or ctx. The returned wireCall must go back via putWireCall.
+func (c *wireConn) roundTrip(ctx context.Context, t wire.Type, payload []byte) (*wireCall, error) {
+	id := c.nextID.Add(1)
+	call := getWireCall()
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		putWireCall(call)
+		return nil, err
+	}
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	if err := c.w.Send(t, id, payload); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		putWireCall(call)
+		return nil, err
+	}
+
+	select {
+	case <-call.done:
+		return call, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, mine := c.pending[id]
+		if mine {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if !mine {
+			// The reader claimed the call between ctx firing and the
+			// deregister: its completion signal is coming — consume it so
+			// the slot can be pooled.
+			<-call.done
+			return call, nil
+		}
+		putWireCall(call)
+		return nil, ctx.Err()
+	}
+}
+
+// readLoop dispatches responses to their waiting callers until the
+// connection dies, then fails every remaining in-flight request.
+func (c *wireConn) readLoop() {
+	r := wire.NewReader(c.nc)
+	for {
+		h, p, err := r.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[h.ID]
+		delete(c.pending, h.ID)
+		c.mu.Unlock()
+		if call == nil {
+			continue // cancelled while the response was in flight
+		}
+		call.typ = h.Type
+		switch h.Type {
+		case wire.TypeCheckResp:
+			call.decision, call.err = wire.DecodeCheckResp(p)
+		default:
+			// Batch, control-plane, and error payloads are copied out of
+			// the reader's reused buffer and decoded by the caller.
+			call.raw = append(call.raw[:0], p...)
+		}
+		call.done <- struct{}{}
+	}
+}
+
+// fail poisons the connection and completes every in-flight request with
+// the terminal error.
+func (c *wireConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	calls := make([]*wireCall, 0, len(c.pending))
+	for id, call := range c.pending {
+		call.err = c.err
+		calls = append(calls, call)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.done <- struct{}{}
+	}
+	c.nc.Close()
+}

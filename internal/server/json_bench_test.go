@@ -1,0 +1,68 @@
+package server
+
+// Alloc benchmarks for the JSON response path. Three variants:
+//
+//   - Stream: the pre-PR-4 code — json.NewEncoder(w).Encode straight to
+//     the connection. Cheap, but an encode error surfaces only after the
+//     200 header is on the wire, and a socket write failure is
+//     indistinguishable from success (the Encode error was dropped).
+//   - MarshalPerRequest: the obvious error-capturing fix — marshal into a
+//     fresh buffer, then write once. Pays one buffer allocation per
+//     request.
+//   - Pooled: writeJSON — a sync.Pool-recycled buffer with its encoder
+//     pre-bound. Error capture at Stream's allocation count: pooling
+//     removes MarshalPerRequest's per-request buffer.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// discardResponseWriter is a no-op http.ResponseWriter with reusable
+// header state, so the benchmarks measure encoding, not a recorder.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+var benchCheckResult = CheckResult{
+	Allowed:            true,
+	Cached:             true,
+	FilterInstructions: 83,
+	Action:             "SCMP_ACT_ALLOW",
+}
+
+func BenchmarkWriteJSONPooled(b *testing.B) {
+	s := New(Options{})
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.writeJSON(w, http.StatusOK, benchCheckResult)
+	}
+}
+
+func BenchmarkWriteJSONStream(b *testing.B) {
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(benchCheckResult)
+	}
+}
+
+func BenchmarkWriteJSONMarshalPerRequest(b *testing.B) {
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(benchCheckResult)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	}
+}

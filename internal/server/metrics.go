@@ -96,6 +96,85 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return bound >> 1
 }
 
+// sizeBuckets is the coalesced-batch-size bucket ladder: powers of two
+// from 1 to 2048, plus an overflow bucket (MaxBatch is 4096).
+const sizeBuckets = 13
+
+// SizeHistogram is a fixed-bucket histogram of batch sizes, safe for
+// concurrent use. Bucket i covers sizes in [2^(i-1)+1, 2^i] (bucket 0 is
+// exactly size 1), so recording stays a single atomic increment.
+type SizeHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [sizeBuckets]atomic.Uint64
+}
+
+// sizeBucketFor maps a batch size to its bucket index.
+func sizeBucketFor(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	bound := 1
+	for i := 0; i < sizeBuckets-1; i++ {
+		if n <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return sizeBuckets - 1
+}
+
+// Observe records one batch size.
+func (h *SizeHistogram) Observe(n int) {
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+	h.buckets[sizeBucketFor(n)].Add(1)
+}
+
+// Count returns the number of batches observed.
+func (h *SizeHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total calls across observed batches.
+func (h *SizeHistogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the mean batch size (0 when empty).
+func (h *SizeHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile batch size, resolved
+// to bucket granularity. q is clamped to [0,1].
+func (h *SizeHistogram) Quantile(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	bound := uint64(1)
+	for i := 0; i < sizeBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bound
+		}
+		bound <<= 1
+	}
+	return bound >> 1
+}
+
 // Metrics is dracod's live counter set. Endpoint histograms are created up
 // front so the hot path never takes a lock.
 type Metrics struct {
@@ -108,6 +187,36 @@ type Metrics struct {
 	ProfileSwaps atomic.Uint64
 	// HTTPErrors counts requests answered with a 4xx/5xx status.
 	HTTPErrors atomic.Uint64
+	// EncodeErrors counts JSON response documents that failed to encode
+	// (a programming error surfaced instead of a silent empty body).
+	EncodeErrors atomic.Uint64
+	// WriteErrors counts JSON response bodies the client connection
+	// rejected mid-write (peer went away).
+	WriteErrors atomic.Uint64
+
+	// Wire-protocol front-end counters (the binary fast path).
+
+	// WireConnsTotal counts accepted wire connections.
+	WireConnsTotal atomic.Uint64
+	// WireConnsActive tracks currently-open wire connections.
+	WireConnsActive atomic.Int64
+	// WireChecks counts single-check frames served.
+	WireChecks atomic.Uint64
+	// WireBatchCalls counts calls served through batch frames.
+	WireBatchCalls atomic.Uint64
+	// WireFlushes counts coalesced engine.CheckBatch invocations.
+	WireFlushes atomic.Uint64
+	// WireErrors counts error frames sent (request-level failures).
+	WireErrors atomic.Uint64
+	// WireFrameErrors counts framing failures that dropped a connection.
+	WireFrameErrors atomic.Uint64
+	// WireCoalesced histograms the sizes of coalesced check batches.
+	WireCoalesced SizeHistogram
+	// WireCheckLatency tracks submit-to-response-written time for
+	// coalesced single checks.
+	WireCheckLatency Histogram
+	// WireBatchLatency tracks service time for batch frames.
+	WireBatchLatency Histogram
 }
 
 // endpoint labels; one histogram each.
@@ -174,6 +283,37 @@ func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals, obs observedTotals)
 	fmt.Fprintf(w, "dracod_batch_calls_total %d\n", m.BatchCalls.Load())
 	fmt.Fprintf(w, "dracod_profile_swaps_total %d\n", m.ProfileSwaps.Load())
 	fmt.Fprintf(w, "dracod_http_errors_total %d\n", m.HTTPErrors.Load())
+	fmt.Fprintf(w, "dracod_http_encode_errors_total %d\n", m.EncodeErrors.Load())
+	fmt.Fprintf(w, "dracod_http_write_errors_total %d\n", m.WriteErrors.Load())
+
+	// Wire front-end series: the binary protocol's connection, frame, and
+	// coalescing counters.
+	fmt.Fprintf(w, "dracod_wire_conns_active %d\n", m.WireConnsActive.Load())
+	fmt.Fprintf(w, "dracod_wire_conns_total %d\n", m.WireConnsTotal.Load())
+	fmt.Fprintf(w, "dracod_wire_checks_total %d\n", m.WireChecks.Load())
+	fmt.Fprintf(w, "dracod_wire_batch_calls_total %d\n", m.WireBatchCalls.Load())
+	fmt.Fprintf(w, "dracod_wire_coalesced_flushes_total %d\n", m.WireFlushes.Load())
+	fmt.Fprintf(w, "dracod_wire_errors_total %d\n", m.WireErrors.Load())
+	fmt.Fprintf(w, "dracod_wire_frame_errors_total %d\n", m.WireFrameErrors.Load())
+	if m.WireCoalesced.Count() > 0 {
+		fmt.Fprintf(w, "dracod_wire_coalesced_batch_size_count %d\n", m.WireCoalesced.Count())
+		fmt.Fprintf(w, "dracod_wire_coalesced_batch_size_mean %.2f\n", m.WireCoalesced.Mean())
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "dracod_wire_coalesced_batch_size{quantile=\"%g\"} %d\n", q, m.WireCoalesced.Quantile(q))
+		}
+	}
+	for _, wh := range []struct {
+		op string
+		h  *Histogram
+	}{{"check", &m.WireCheckLatency}, {"batch", &m.WireBatchLatency}} {
+		if wh.h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "dracod_wire_latency_mean_ns{op=%q} %d\n", wh.op, wh.h.MeanNanos())
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "dracod_wire_latency_ns{op=%q,quantile=\"%g\"} %d\n", wh.op, q, wh.h.Quantile(q))
+		}
+	}
 
 	// Observation-layer series: fed per check by the engine.Observer hook,
 	// independent of (and cross-checkable against) the engine stats above.

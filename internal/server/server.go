@@ -25,8 +25,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -224,10 +227,50 @@ func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// jsonCodec is a pooled buffer with its encoder pre-bound, so the JSON
+// path reuses both across requests: encode into the buffer, write it in
+// one call, instead of allocating encoder state per request and streaming
+// straight to the socket (where an encode error would already have emitted
+// a 200 header).
+type jsonCodec struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	c := new(jsonCodec)
+	c.enc = json.NewEncoder(&c.buf)
+	return c
+}}
+
+// maxPooledJSONBuf caps what returns to the pool so one oversized response
+// (a huge tenant listing) does not pin memory.
+const maxPooledJSONBuf = 1 << 16
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	c := jsonBufPool.Get().(*jsonCodec)
+	buf := &c.buf
+	buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		// An unencodable response document is a programming error; surface
+		// it instead of silently truncating the body.
+		s.metrics.EncodeErrors.Add(1)
+		log.Printf("dracod: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		jsonBufPool.Put(c)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The peer went away mid-response; count it so operators can tell
+		// socket write failures apart from handler errors.
+		s.metrics.WriteErrors.Add(1)
+		log.Printf("dracod: writing %T response: %v", v, err)
+	}
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(c)
+	}
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -392,23 +435,20 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// putProfile uploads (or hot-swaps) a tenant's profile. It is the shared
+// core of the HTTP handler and the wire front end's profile frames.
+func (s *Server) putProfile(id, requested string, body io.Reader) (ProfileResponse, error) {
 	if id == "" {
-		s.writeError(w, http.StatusBadRequest, "missing tenant id")
-		return
+		return ProfileResponse{}, fmt.Errorf("missing tenant id")
 	}
-	requested := r.URL.Query().Get("engine")
 	if requested != "" {
 		if _, ok := engine.Lookup(requested); !ok {
-			s.writeError(w, http.StatusBadRequest, "unknown engine %q (have %s)", requested, strings.Join(engine.Names(), ", "))
-			return
+			return ProfileResponse{}, fmt.Errorf("unknown engine %q (have %s)", requested, strings.Join(engine.Names(), ", "))
 		}
 	}
-	p, err := seccomp.ReadJSON(r.Body, id)
+	p, err := seccomp.ReadJSON(body, id)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return ProfileResponse{}, err
 	}
 
 	s.mu.Lock()
@@ -418,14 +458,12 @@ func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
 		eng, err := s.resolveEngineName(requested)
 		if err != nil {
 			s.mu.Unlock()
-			s.writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return ProfileResponse{}, err
 		}
 		e, err := s.newEngine(eng, p)
 		if err != nil {
 			s.mu.Unlock()
-			s.writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return ProfileResponse{}, err
 		}
 		t = &tenant{name: id, engName: eng, eng: e}
 		s.tenants[id] = t
@@ -439,8 +477,7 @@ func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
 			// old engine keeps serving in-flight checks until the swap.
 			e, err := s.newEngine(requested, p)
 			if err != nil {
-				s.writeError(w, http.StatusBadRequest, "%v", err)
-				return
+				return ProfileResponse{}, err
 			}
 			t.mu.Lock()
 			old := t.eng
@@ -448,20 +485,28 @@ func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
 			t.mu.Unlock()
 			old.Close()
 		} else if err := t.engine().SetProfile(p); err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return ProfileResponse{}, err
 		}
 	}
 	s.metrics.ProfileSwaps.Add(1)
 	e := t.engine()
-	s.writeJSON(w, http.StatusOK, ProfileResponse{
+	return ProfileResponse{
 		Tenant:     id,
 		Engine:     t.engineName(),
 		Profile:    p.Name,
 		Generation: e.Describe().Generation,
 		Syscalls:   p.NumSyscalls(),
 		Created:    created,
-	})
+	}, nil
+}
+
+func (s *Server) handlePutProfile(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.putProfile(r.PathValue("id"), r.URL.Query().Get("engine"), r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) statsFor(t *tenant) StatsResponse {

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"draco/internal/engine"
+)
+
+// seedFrame assembles a full frame (header + payload) for the fuzz corpus.
+func seedFrame(t Type, id uint64, payload []byte) []byte {
+	b := make([]byte, HeaderSize, HeaderSize+len(payload))
+	PutHeader(b, Header{Type: t, ID: id, Len: uint32(len(payload))})
+	return append(b, payload...)
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams to the frame reader and the
+// per-type payload decoders. The invariants: no panics, no reads beyond the
+// input, truncated/oversized/garbage frames fail cleanly, and every frame
+// that decodes re-encodes to an equivalent value (round-trip identity for
+// the fixed-layout hot-path payloads).
+func FuzzFrameDecode(f *testing.F) {
+	// Valid frames of every type.
+	call := engine.Call{SID: 42, Args: [6]uint64{1, 2, 3, 4, 5, 6}}
+	f.Add(seedFrame(TypeCheckReq, 1, AppendCheckReq(nil, "tenant", call)))
+	f.Add(seedFrame(TypeCheckResp, 2, AppendCheckResp(nil, engine.Decision{Allowed: true, Cached: true, FilterInstructions: 83})))
+	f.Add(seedFrame(TypeBatchReq, 3, AppendBatchReq(nil, "t", []engine.Call{call, call})))
+	f.Add(seedFrame(TypeBatchResp, 4, AppendBatchResp(nil, make([]engine.Decision, 3))))
+	f.Add(seedFrame(TypeProfileReq, 5, AppendProfileReq(nil, "web", "draco-sw", []byte(`{"defaultAction":"SCMP_ACT_ERRNO"}`))))
+	f.Add(seedFrame(TypeStatsReq, 6, AppendStatsReq(nil, "web")))
+	f.Add(seedFrame(TypeError, 7, []byte("bad tenant")))
+
+	// Adversarial seeds: bad magic, bad version, unknown type, oversized
+	// length field, length larger than the data present, truncated header,
+	// batch count lying about the payload size, empty input.
+	badMagic := seedFrame(TypeCheckReq, 8, nil)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+	badVersion := seedFrame(TypeCheckReq, 9, nil)
+	badVersion[2] = 99
+	f.Add(badVersion)
+	badType := seedFrame(TypeCheckReq, 10, nil)
+	badType[3] = byte(typeMax) + 7
+	f.Add(badType)
+	oversized := seedFrame(TypeCheckReq, 11, nil)
+	le.PutUint32(oversized[12:], MaxPayload+1)
+	f.Add(oversized)
+	lying := seedFrame(TypeBatchReq, 12, AppendBatchReq(nil, "t", []engine.Call{call}))
+	le.PutUint32(lying[12:], uint32(len(lying)-HeaderSize)+1000)
+	f.Add(lying)
+	countLie := AppendBatchReq(nil, "t", []engine.Call{call})
+	le.PutUint32(countLie[2:], 2000)
+	f.Add(seedFrame(TypeBatchReq, 13, countLie))
+	f.Add(seedFrame(TypeCheckReq, 14, nil)[:HeaderSize-3])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			h, p, err := r.Next()
+			if err != nil {
+				// Any error is acceptable; it just must be a clean failure.
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				return
+			}
+			if int(h.Len) != len(p) {
+				t.Fatalf("header claims %d payload bytes, reader returned %d", h.Len, len(p))
+			}
+			switch h.Type {
+			case TypeCheckReq:
+				tenant, c, err := DecodeCheckReq(p)
+				if err == nil {
+					rt := AppendCheckReq(nil, string(tenant), c)
+					if !bytes.Equal(rt, p) {
+						t.Fatalf("check req round trip mismatch")
+					}
+				}
+			case TypeCheckResp:
+				d, err := DecodeCheckResp(p)
+				if err == nil {
+					// Action words may carry arbitrary data bits; the
+					// re-encode must still preserve the low 32 bits and
+					// flags, which is what the byte identity checks.
+					rt := AppendCheckResp(nil, d)
+					if len(rt) != len(p) || rt[0] != p[0]&3 || !bytes.Equal(rt[1:], p[1:]) {
+						t.Fatalf("check resp round trip mismatch")
+					}
+				}
+			case TypeBatchReq:
+				tenant, seq, err := DecodeBatchReq(p)
+				if err == nil {
+					calls := make([]engine.Call, seq.Len())
+					for i := range calls {
+						calls[i] = seq.At(i)
+					}
+					rt := AppendBatchReq(nil, string(tenant), calls)
+					if !bytes.Equal(rt, p) {
+						t.Fatalf("batch req round trip mismatch")
+					}
+				}
+			case TypeBatchResp:
+				_, _ = DecodeBatchResp(p, nil)
+			case TypeProfileReq:
+				_, _, _, _ = DecodeProfileReq(p)
+			case TypeStatsReq:
+				_, _ = DecodeStatsReq(p)
+			}
+		}
+	})
+}

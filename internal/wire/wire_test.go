@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"draco/internal/engine"
+	"draco/internal/seccomp"
+)
+
+func sampleCall(i int) engine.Call {
+	c := engine.Call{SID: i * 7}
+	for j := range c.Args {
+		c.Args[j] = uint64(i)*1000 + uint64(j)
+	}
+	return c
+}
+
+func sampleDecision(i int) engine.Decision {
+	return engine.Decision{
+		Allowed:            i%2 == 0,
+		Cached:             i%3 == 0,
+		FilterInstructions: i * 13,
+		Action:             seccomp.Errno(uint16(i % 100)),
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var b [HeaderSize]byte
+	in := Header{Type: TypeBatchReq, ID: 0xDEADBEEFCAFE, Len: 12345}
+	PutHeader(b[:], in)
+	out, err := ParseHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("header round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	valid := func() []byte {
+		var b [HeaderSize]byte
+		PutHeader(b[:], Header{Type: TypeCheckReq, ID: 1, Len: 0})
+		return b[:]
+	}
+
+	b := valid()
+	b[0] ^= 0xFF
+	if _, err := ParseHeader(b); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+
+	b = valid()
+	b[2] = Version + 1
+	if _, err := ParseHeader(b); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v", err)
+	}
+
+	b = valid()
+	b[3] = 0
+	if _, err := ParseHeader(b); !errors.Is(err, ErrBadType) {
+		t.Errorf("type zero: got %v", err)
+	}
+	b[3] = byte(typeMax)
+	if _, err := ParseHeader(b); !errors.Is(err, ErrBadType) {
+		t.Errorf("type too large: got %v", err)
+	}
+
+	b = valid()
+	le.PutUint32(b[12:], MaxPayload+1)
+	if _, err := ParseHeader(b); !errors.Is(err, ErrOversized) {
+		t.Errorf("oversized: got %v", err)
+	}
+
+	if _, err := ParseHeader(valid()[:HeaderSize-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: got %v", err)
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	in := sampleCall(3)
+	p := AppendCheckReq(nil, "tenant-a", in)
+	tenant, out, err := DecodeCheckReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tenant) != "tenant-a" || out != in {
+		t.Fatalf("check req round trip: tenant=%q call=%+v", tenant, out)
+	}
+
+	d := sampleDecision(4)
+	dp := AppendCheckResp(nil, d)
+	got, err := DecodeCheckResp(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("check resp round trip: got %+v want %+v", got, d)
+	}
+
+	// Truncated and padded payloads must be rejected, not mis-decoded.
+	if _, _, err := DecodeCheckReq(p[:len(p)-1]); err == nil {
+		t.Error("truncated check req accepted")
+	}
+	if _, _, err := DecodeCheckReq(append(p, 0)); err == nil {
+		t.Error("padded check req accepted")
+	}
+	if _, err := DecodeCheckResp(dp[:len(dp)-1]); err == nil {
+		t.Error("truncated check resp accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	calls := make([]engine.Call, 17)
+	for i := range calls {
+		calls[i] = sampleCall(i)
+	}
+	p := AppendBatchReq(nil, "t", calls)
+	tenant, seq, err := DecodeBatchReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tenant) != "t" || seq.Len() != len(calls) {
+		t.Fatalf("tenant=%q len=%d", tenant, seq.Len())
+	}
+	for i := range calls {
+		if seq.At(i) != calls[i] {
+			t.Fatalf("call %d: got %+v want %+v", i, seq.At(i), calls[i])
+		}
+	}
+
+	ds := make([]engine.Decision, 17)
+	for i := range ds {
+		ds[i] = sampleDecision(i)
+	}
+	dp := AppendBatchResp(nil, ds)
+	got, err := DecodeBatchResp(dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("decisions: %d want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i] != ds[i] {
+			t.Fatalf("decision %d: got %+v want %+v", i, got[i], ds[i])
+		}
+	}
+
+	// A batch claiming more calls than the payload carries is truncated.
+	if _, _, err := DecodeBatchReq(p[:len(p)-5]); err == nil {
+		t.Error("truncated batch req accepted")
+	}
+	// A count beyond MaxBatch is rejected before any length math.
+	bad := AppendBatchReq(nil, "t", nil)
+	le.PutUint32(bad[2:], MaxBatch+1)
+	if _, _, err := DecodeBatchReq(bad); err == nil {
+		t.Error("oversized batch count accepted")
+	}
+}
+
+func TestProfileAndStatsRoundTrip(t *testing.T) {
+	body := []byte(`{"defaultAction":"SCMP_ACT_ERRNO"}`)
+	p := AppendProfileReq(nil, "web", "draco-sw", body)
+	tenant, engName, got, err := DecodeProfileReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tenant) != "web" || string(engName) != "draco-sw" || !bytes.Equal(got, body) {
+		t.Fatalf("profile req round trip: %q %q %q", tenant, engName, got)
+	}
+
+	sp := AppendStatsReq(nil, "web")
+	tenant, err = DecodeStatsReq(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tenant) != "web" {
+		t.Fatalf("stats tenant %q", tenant)
+	}
+	if _, err := DecodeStatsReq(append(sp, 'x')); err == nil {
+		t.Error("padded stats req accepted")
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{
+		AppendCheckReq(nil, "a", sampleCall(1)),
+		AppendBatchReq(nil, "b", []engine.Call{sampleCall(2), sampleCall(3)}),
+		nil, // empty payload frame
+	}
+	types := []Type{TypeCheckReq, TypeBatchReq, TypeStatsResp}
+	for i := range payloads {
+		if err := w.Send(types[i], uint64(i+100), payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReader(&buf)
+	for i := range payloads {
+		h, p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Type != types[i] || h.ID != uint64(i+100) || !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("frame %d: %+v payload %q", i, h, p)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestReaderMidFrameEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Send(TypeCheckReq, 1, AppendCheckReq(nil, "t", sampleCall(1))); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Cut inside the header and inside the payload: both are unexpected.
+	for _, cut := range []int{HeaderSize / 2, HeaderSize + 3} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, _, err := r.Next(); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: got %v want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	if err := w.Send(TypeCheckReq, 1, make([]byte, writerBufSize+1)); err == nil {
+		t.Fatal("expected write error")
+	}
+	if err := w.Send(TypeCheckReq, 2, nil); err == nil {
+		t.Fatal("expected sticky error")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() should report the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("boom") }
+
+// TestWriterConcurrentSends hammers one Writer from many goroutines and
+// verifies every frame arrives intact (no interleaved headers/payloads).
+func TestWriterConcurrentSends(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lw := lockedWriter{mu: &mu, w: &buf}
+	w := NewWriter(lw)
+
+	const goroutines, frames = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				id := uint64(g*frames + i)
+				p := AppendCheckReq(nil, "t", sampleCall(int(id)))
+				if err := w.Send(TypeCheckReq, id, p); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[uint64]bool)
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for {
+		h, p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c, err := DecodeCheckReq(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != sampleCall(int(h.ID)) {
+			t.Fatalf("frame %d corrupted: %+v", h.ID, c)
+		}
+		if seen[h.ID] {
+			t.Fatalf("frame %d duplicated", h.ID)
+		}
+		seen[h.ID] = true
+	}
+	if len(seen) != goroutines*frames {
+		t.Fatalf("saw %d frames, want %d", len(seen), goroutines*frames)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -1,14 +1,18 @@
 #!/bin/sh
 # CI gate: build everything, vet, then run the full test suite under the
 # race detector (includes the 32-goroutine hot-swap hammer test in
-# internal/concurrent and the SLB epoch flash-invalidation test in
-# internal/engine: a writer hot-swapping profiles under 16 readers checking
-# through SLB-wrapped engines). Mirrors `make check`.
+# internal/concurrent, the SLB epoch flash-invalidation test in
+# internal/engine — a writer hot-swapping profiles under 16 readers
+# checking through SLB-wrapped engines — and TestWireHotSwapHammer in
+# internal/server: 32 goroutines on one wire connection pool while
+# profiles hot-swap across engine rebuilds). Mirrors `make check`.
 set -eux
 
 go build ./...
 go vet ./...
-go test -race ./...
+# -timeout raised over the 10m default: the experiments suite replays full
+# simulations and can exceed it under the race detector on slow runners.
+go test -race -timeout 30m ./...
 
 # The engine zero-allocation guards skip themselves under -race (the
 # detector perturbs alloc accounting), so run them - plus the
@@ -18,3 +22,13 @@ go test -race ./...
 # grouped CheckBatch), and decision-stream identity across filter-only,
 # draco-sw, draco-concurrent, and the +slb wrappers.
 go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
+
+# Wire-protocol guards, run explicitly: the frame-decoder fuzz seed corpus
+# (each seed as a unit test; use `go test -fuzz FuzzFrameDecode
+# ./internal/wire` to explore beyond it), the codec 0-allocs/op pins, and
+# the wire-vs-in-process differential suite (decisions over the wire are
+# identical to calling the engine directly on 100k-event traces of all 15
+# workloads, through batch frames and through the coalescer).
+go test -count=1 -run 'Fuzz' ./internal/wire/
+go test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
+go test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
