@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine test-wire bench bench-server bench-engine bench-batch slbsweep loadgen
+.PHONY: check build vet test test-race test-engine test-wire test-bpf bench bench-server bench-engine bench-batch bench-filter slbsweep loadgen misssweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector (which includes the 32-goroutine wire hot-swap hammer), the
 # engine alloc-guard/differential tests (which skip themselves under
-# -race), and the wire fuzz-seed + differential suite. scripts/check.sh is
-# the same sequence for environments without make.
-check: build vet test-race test-engine test-wire
+# -race), the wire fuzz-seed + differential suite, and the BPF
+# interp-vs-compiled fuzz seed corpus. scripts/check.sh is the same
+# sequence for environments without make.
+check: build vet test-race test-engine test-wire test-bpf
 
 build:
 	$(GO) build ./...
@@ -21,11 +22,13 @@ test:
 test-race:
 	$(GO) test -race -timeout 30m ./...
 
-# test-engine runs the Engine-contract guards without the race detector:
-# the 0-allocs/op assertions (perturbed by -race) and the registry-level
-# decision-stream differential tests.
+# test-engine runs the Engine- and filter-tier-contract guards without the
+# race detector: the 0-allocs/op assertions (perturbed by -race; engine hot
+# paths plus the compiled-exec and bitmap filter fast paths), the
+# registry-level decision-stream differential tests, the interp-vs-compiled
+# and bitmap exec-mode differentials, and the bitmap soundness suite.
 test-engine:
-	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
+	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/
 
 # test-wire runs the wire protocol's guards explicitly: the frame-decoder
 # fuzz seed corpus (every seed as a unit test; `go test -fuzz
@@ -36,6 +39,13 @@ test-wire:
 	$(GO) test -count=1 -run 'Fuzz' ./internal/wire/
 	$(GO) test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
 	$(GO) test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
+
+# test-bpf runs the BPF differential fuzz seed corpus as unit tests:
+# every accepted program through both the interpreter and the compiled
+# executor, requiring matching value, error, and instruction count
+# (`go test -fuzz FuzzValidateAndRun ./internal/bpf` explores further).
+test-bpf:
+	$(GO) test -count=1 -run 'Fuzz' ./internal/bpf/
 
 # bench runs the concurrent checker's parallel throughput benchmarks across
 # 1/4/16-shard configurations (see results/concurrent_baseline.json for a
@@ -57,6 +67,11 @@ bench-engine:
 bench-batch:
 	$(GO) test -run='^$$' -bench 'BenchmarkCheckBatch' -benchmem ./internal/concurrent
 
+# bench-filter compares the filter execution tiers (interp vs compiled vs
+# bitmap) on the docker-default miss path.
+bench-filter:
+	$(GO) test -run='^$$' -bench 'BenchmarkFilterExec' -benchmem ./internal/seccomp
+
 # slbsweep regenerates the software-SLB geometry sweep recorded in
 # results/slbsweep_sw.json (sets x ways x indexing, every workload, bare
 # draco-concurrent baseline).
@@ -69,3 +84,9 @@ slbsweep:
 # concurrency.
 loadgen:
 	$(GO) run ./cmd/dracobench -loadgen -json results/wire_loadgen.json
+
+# misssweep regenerates the filter-execution (miss-path) sweep recorded in
+# results/filterexec.json: every workload's cold-start trace through a bare
+# filter under the interp, compiled, and bitmap tiers.
+misssweep:
+	$(GO) run ./cmd/dracobench -misssweep -repeats 3 -json results/filterexec.json

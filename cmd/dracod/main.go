@@ -125,6 +125,7 @@ func runServe(args []string) error {
 	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
 	routing := fs.String("routing", "syscall", "shard routing key: syscall (exact sequential semantics) or args (spread hot syscalls)")
 	engName := fs.String("engine", server.DefaultEngine, "default check engine for new tenants: "+strings.Join(engine.Names(), ", "))
+	bpfexec := fs.String("bpfexec", "bitmap", "filter execution tier on the miss path: bitmap (compiled + per-syscall constant-action bitmap), compiled, or interp")
 	preset := fs.String("default-profile", "docker", "auto-provision tenants with this preset (docker, docker-masked, gvisor, firecracker, none)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	fs.Parse(args)
@@ -137,11 +138,14 @@ func runServe(args []string) error {
 	if _, ok := engine.Lookup(*engName); !ok {
 		return fmt.Errorf("unknown -engine %q (have %s)", *engName, strings.Join(engine.Names(), ", "))
 	}
+	if _, err := seccomp.ParseExecMode(*bpfexec); err != nil {
+		return fmt.Errorf("-bpfexec: %v", err)
+	}
 	def, err := presetProfile(*preset)
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Options{Shards: *shards, Routing: *routing, DefaultEngine: *engName, DefaultProfile: def})
+	srv := server.New(server.Options{Shards: *shards, Routing: *routing, DefaultEngine: *engName, DefaultProfile: def, BPFExec: *bpfexec})
 	handler := srv.Handler()
 	if *pprofOn {
 		// Mount the profiler next to the API instead of importing
@@ -184,7 +188,7 @@ func runServe(args []string) error {
 		}()
 		extra += ", wire on " + ln.Addr().String()
 	}
-	log.Printf("listening on %s (engine=%s shards=%d routing=%s default-profile=%s%s)", *addr, *engName, *shards, *routing, defProfile, extra)
+	log.Printf("listening on %s (engine=%s shards=%d routing=%s bpfexec=%s default-profile=%s%s)", *addr, *engName, *shards, *routing, *bpfexec, defProfile, extra)
 	return hs.ListenAndServe()
 }
 

@@ -200,6 +200,10 @@ type EngineOptions struct {
 	// SLBIndexing selects the SLB set-index function for the +slb
 	// engines: "sid" (default) or "hash" (spread hot syscalls).
 	SLBIndexing string
+	// BPFExec selects the filter execution tier on the miss path:
+	// "bitmap" (compiled + per-syscall constant-action bitmap, default),
+	// "compiled", or "interp".
+	BPFExec string
 }
 
 // EngineNames lists the registered checking mechanisms: filter-only,
@@ -220,6 +224,7 @@ func NewEngine(name string, p *Profile, opts EngineOptions) (Engine, error) {
 		SLBSets:     opts.SLBSets,
 		SLBWays:     opts.SLBWays,
 		SLBIndexing: opts.SLBIndexing,
+		BPFExec:     opts.BPFExec,
 	})
 }
 

@@ -2,12 +2,15 @@ package bpf
 
 import (
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
 // FuzzValidateAndRun decodes arbitrary bytes as sock_filter instructions
 // and checks that validation and (for accepted programs) execution never
-// panic and always terminate within the static program length.
+// panic and always terminate within the static program length — and that
+// the compiled tier is a perfect stand-in for the interpreter: same value,
+// same error, same Executed count, on every accepted program.
 func FuzzValidateAndRun(f *testing.F) {
 	// Seed with a real program: the Figure 1-style filter prologue.
 	seed := Program{
@@ -21,6 +24,30 @@ func FuzzValidateAndRun(f *testing.F) {
 	}
 	f.Add(encodeProgram(seed), []byte{135, 0, 0, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{})
+	// Fusion-heavy seeds: a jeq ladder long enough to collapse into a
+	// dispatch table (with and without ja trampolines), and an
+	// argument-style reload-compare ladder with a masked condition, so the
+	// fuzzer starts from programs that exercise every compiled-tier pass.
+	f.Add(encodeProgram(ladderProgram([]uint32{0, 1, 3, 9, 42, 57, 231}, false)),
+		seccompData(42, 0xC000003E))
+	f.Add(encodeProgram(ladderProgram([]uint32{0, 1, 3, 9, 42, 57, 231}, true)),
+		seccompData(58, 0xC000003E))
+	argSeed := Program{
+		Stmt(ClassLD|ModeABS|SizeW, 16),
+		Jump(ClassJMP|JmpJEQ|SrcK, 10, 8, 0),
+		Stmt(ClassLD|ModeABS|SizeW, 16),
+		Jump(ClassJMP|JmpJEQ|SrcK, 20, 6, 0),
+		Stmt(ClassLD|ModeABS|SizeW, 16),
+		Jump(ClassJMP|JmpJEQ|SrcK, 30, 4, 0),
+		Stmt(ClassLD|ModeABS|SizeW, 16),
+		Jump(ClassJMP|JmpJEQ|SrcK, 40, 2, 0),
+		Stmt(ClassLD|ModeABS|SizeW, 24),
+		Stmt(ClassALU|ALUAnd|SrcK, 0xff),
+		Jump(ClassJMP|JmpJEQ|SrcK, 3, 0, 1),
+		Stmt(ClassRET, 0x7fff0000),
+		Stmt(ClassRET, 0),
+	}
+	f.Add(encodeProgram(argSeed), seccompData(1, 0xC000003E, 30, 3))
 	f.Fuzz(func(t *testing.T, progBytes, data []byte) {
 		p := decodeProgram(progBytes)
 		if len(p) == 0 {
@@ -36,6 +63,17 @@ func FuzzValidateAndRun(f *testing.F) {
 		r, err := vm.Run(data)
 		if err == nil && r.Executed > len(p) {
 			t.Fatalf("executed %d > len %d", r.Executed, len(p))
+		}
+		ex, cerr := Compile(p)
+		if cerr != nil {
+			t.Fatalf("validated program failed to compile: %v", cerr)
+		}
+		cr, crerr := ex.Run(data)
+		if (crerr == nil) != (err == nil) || (err != nil && !errors.Is(crerr, err)) {
+			t.Fatalf("error mismatch: interp %v, compiled %v", err, crerr)
+		}
+		if cr != r {
+			t.Fatalf("differential mismatch: interp %+v, compiled %+v", r, cr)
 		}
 	})
 }

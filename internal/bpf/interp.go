@@ -25,10 +25,10 @@ type Result struct {
 }
 
 // VM executes classic BPF programs. A VM is stateless between runs and safe
-// to reuse; it is not safe for concurrent use.
+// to reuse, including concurrently: all run state (registers and the
+// scratch memory M[]) lives on Run's stack.
 type VM struct {
-	prog    Program
-	scratch [ScratchSlots]uint32
+	prog Program
 }
 
 // NewVM validates the program (against the extended length limit) and
@@ -46,9 +46,7 @@ func (vm *VM) Len() int { return len(vm.prog) }
 // Run executes the program over data and returns the filter result.
 func (vm *VM) Run(data []byte) (Result, error) {
 	var a, x uint32
-	for i := range vm.scratch {
-		vm.scratch[i] = 0
-	}
+	var scratch [ScratchSlots]uint32
 	executed := 0
 	pc := 0
 	for pc < len(vm.prog) {
@@ -58,21 +56,21 @@ func (vm *VM) Run(data []byte) (Result, error) {
 		cls := ins.Op & 0x07
 		switch cls {
 		case ClassLD:
-			v, err := vm.load(ins, data, x)
+			v, err := load(ins, data, x, &scratch)
 			if err != nil {
 				return Result{Executed: executed}, err
 			}
 			a = v
 		case ClassLDX:
-			v, err := vm.load(ins, data, x)
+			v, err := load(ins, data, x, &scratch)
 			if err != nil {
 				return Result{Executed: executed}, err
 			}
 			x = v
 		case ClassST:
-			vm.scratch[ins.K] = a
+			scratch[ins.K] = a
 		case ClassSTX:
-			vm.scratch[ins.K] = x
+			scratch[ins.K] = x
 		case ClassALU:
 			operand := ins.K
 			if ins.Op&SrcX != 0 {
@@ -150,7 +148,7 @@ func jumpOffset(cond bool, ins Instruction) int {
 	return int(ins.Jf)
 }
 
-func (vm *VM) load(ins Instruction, data []byte, x uint32) (uint32, error) {
+func load(ins Instruction, data []byte, x uint32, scratch *[ScratchSlots]uint32) (uint32, error) {
 	mode := ins.Op & 0xe0
 	switch mode {
 	case ModeIMM:
@@ -158,7 +156,7 @@ func (vm *VM) load(ins Instruction, data []byte, x uint32) (uint32, error) {
 	case ModeLEN:
 		return uint32(len(data)), nil
 	case ModeMEM:
-		return vm.scratch[ins.K], nil
+		return scratch[ins.K], nil
 	case ModeABS, ModeIND:
 		off := int64(ins.K)
 		if mode == ModeIND {

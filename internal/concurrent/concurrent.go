@@ -105,6 +105,7 @@ type state struct {
 	profile *seccomp.Profile
 	gen     uint64
 	routing Routing
+	mode    seccomp.ExecMode
 	// masks maps syscall ID to the SPT Argument Bitmask of its rule (zero
 	// for ID-only and unknown syscalls), precomputed so shard routing does
 	// not consult the profile per check.
@@ -112,11 +113,11 @@ type state struct {
 	shards []*shard
 }
 
-func newState(p *seccomp.Profile, nShards int, routing Routing, gen uint64) (*state, error) {
+func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.ExecMode, gen uint64) (*state, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	st := &state{profile: p, gen: gen, routing: routing, shards: make([]*shard, nShards)}
+	st := &state{profile: p, gen: gen, routing: routing, mode: mode, shards: make([]*shard, nShards)}
 	maxNum := 0
 	for _, r := range p.Rules {
 		if r.Syscall.Num > maxNum {
@@ -129,14 +130,15 @@ func newState(p *seccomp.Profile, nShards int, routing Routing, gen uint64) (*st
 			st.masks[r.Syscall.Num] = core.BitmaskFor(r)
 		}
 	}
+	// Filters are immutable and safe for concurrent use, so one compiled
+	// filter (with its pre-decoded op stream and, under ExecBitmap, its
+	// constant-action bitmap) is shared by every shard's chain: compiling —
+	// and especially computing the bitmap — once per state, not per shard.
+	f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, mode)
+	if err != nil {
+		return nil, err
+	}
 	for i := range st.shards {
-		// Each shard owns its filter chain: the BPF VM carries scratch
-		// state and is not safe for concurrent use, so sharing one chain
-		// across shards would serialize (or corrupt) the miss path.
-		f, err := seccomp.NewFilter(p, seccomp.ShapeLinear)
-		if err != nil {
-			return nil, err
-		}
 		st.shards[i] = &shard{chk: core.NewChecker(p, seccomp.Chain{f})}
 	}
 	return st, nil
@@ -192,8 +194,15 @@ func NewChecker(p *seccomp.Profile, shards int) (*Checker, error) {
 	return NewCheckerRouted(p, shards, RouteBySyscall)
 }
 
-// NewCheckerRouted builds a sharded checker with an explicit routing key.
+// NewCheckerRouted builds a sharded checker with an explicit routing key
+// and the default compiled filter execution.
 func NewCheckerRouted(p *seccomp.Profile, shards int, routing Routing) (*Checker, error) {
+	return NewCheckerExec(p, shards, routing, seccomp.ExecCompiled)
+}
+
+// NewCheckerExec builds a sharded checker with explicit routing and filter
+// execution mode; the mode survives SetProfile/Reset rebuilds.
+func NewCheckerExec(p *seccomp.Profile, shards int, routing Routing, mode seccomp.ExecMode) (*Checker, error) {
 	if shards == 0 {
 		shards = DefaultShards
 	}
@@ -203,7 +212,7 @@ func NewCheckerRouted(p *seccomp.Profile, shards int, routing Routing) (*Checker
 	if routing != RouteBySyscall && routing != RouteByArgs {
 		return nil, fmt.Errorf("concurrent: unknown routing %d", int(routing))
 	}
-	st, err := newState(p, shards, routing, 1)
+	st, err := newState(p, shards, routing, mode, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +333,7 @@ func (c *Checker) SetProfile(p *seccomp.Profile) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := c.state.Load()
-	st, err := newState(p, len(old.shards), old.routing, old.gen+1)
+	st, err := newState(p, len(old.shards), old.routing, old.mode, old.gen+1)
 	if err != nil {
 		return err
 	}
@@ -339,7 +348,7 @@ func (c *Checker) Reset() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := c.state.Load()
-	st, err := newState(old.profile, len(old.shards), old.routing, old.gen+1)
+	st, err := newState(old.profile, len(old.shards), old.routing, old.mode, old.gen+1)
 	if err != nil {
 		return err
 	}
@@ -351,6 +360,11 @@ func (c *Checker) Reset() error {
 // Routing returns the checker's shard-routing mode.
 func (c *Checker) Routing() Routing {
 	return c.state.Load().routing
+}
+
+// ExecMode returns the filter execution mode the checker was built with.
+func (c *Checker) ExecMode() seccomp.ExecMode {
+	return c.state.Load().mode
 }
 
 // Profile returns the currently active profile.

@@ -23,6 +23,10 @@ type Outcome struct {
 	FilterRan bool
 	// FilterExecuted is the number of BPF instructions the chain ran.
 	FilterExecuted int
+	// BitmapHit: the whole chain resolved through per-syscall
+	// constant-action bitmaps (Linux 5.11 style) without executing any
+	// BPF, so FilterExecuted is 0. Only possible under ExecBitmap filters.
+	BitmapHit bool
 	// Inserted: a new VAT entry was recorded.
 	Inserted bool
 	// Hash is the hash value under which the argument set resides in the
@@ -108,6 +112,7 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	r := c.Chain.Check(d)
 	out.FilterRan = true
 	out.FilterExecuted = r.Executed
+	out.BitmapHit = r.BitmapHit
 	out.Action = r.Action
 	c.Stats.FilterRuns++
 	c.Stats.FilterInsns += uint64(r.Executed)

@@ -27,7 +27,11 @@ func newDracoConcurrent(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	chk, err := concurrent.NewCheckerRouted(opts.Profile, opts.Shards, routing)
+	mode, err := opts.execMode()
+	if err != nil {
+		return nil, err
+	}
+	chk, err := concurrent.NewCheckerExec(opts.Profile, opts.Shards, routing, mode)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@ type dracoHW struct {
 	os    *core.Checker
 	hw    *hwdraco.Engine
 	shape seccomp.Shape
+	mode  seccomp.ExecMode
 	costs kernelmodel.CostModel
 	obs   Observer
 	gen   uint64
@@ -39,7 +40,11 @@ type dracoHW struct {
 }
 
 func newDracoHW(opts Options) (Engine, error) {
-	e := &dracoHW{shape: opts.Shape, costs: kernelmodel.Linux53Costs(), obs: opts.observer(), gen: 1}
+	mode, err := opts.execMode()
+	if err != nil {
+		return nil, err
+	}
+	e := &dracoHW{shape: opts.Shape, mode: mode, costs: kernelmodel.Linux53Costs(), obs: opts.observer(), gen: 1}
 	if err := e.build(opts.Profile); err != nil {
 		return nil, err
 	}
@@ -49,7 +54,7 @@ func newDracoHW(opts Options) (Engine, error) {
 // build assembles a fresh OS-side checker, memory hierarchy, and hardware
 // engine for a profile.
 func (e *dracoHW) build(p *seccomp.Profile) error {
-	os, err := buildCoreChecker(p, e.shape)
+	os, err := buildCoreChecker(p, e.shape, e.mode)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ func init() {
 type dracoSW struct {
 	chk   *core.Checker
 	shape seccomp.Shape
+	mode  seccomp.ExecMode
 	obs   Observer
 	gen   uint64
 	// prior accumulates stats from generations retired by SetProfile.
@@ -26,17 +27,21 @@ type dracoSW struct {
 }
 
 func newDracoSW(opts Options) (Engine, error) {
-	chk, err := buildCoreChecker(opts.Profile, opts.Shape)
+	mode, err := opts.execMode()
 	if err != nil {
 		return nil, err
 	}
-	return &dracoSW{chk: chk, shape: opts.Shape, obs: opts.observer(), gen: 1}, nil
+	chk, err := buildCoreChecker(opts.Profile, opts.Shape, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &dracoSW{chk: chk, shape: opts.Shape, mode: mode, obs: opts.observer(), gen: 1}, nil
 }
 
 // buildCoreChecker compiles a profile (compilation validates it) and
 // assembles the sequential checker.
-func buildCoreChecker(p *seccomp.Profile, shape seccomp.Shape) (*core.Checker, error) {
-	f, err := seccomp.NewFilter(p, shape)
+func buildCoreChecker(p *seccomp.Profile, shape seccomp.Shape, mode seccomp.ExecMode) (*core.Checker, error) {
+	f, err := seccomp.NewFilterMode(p, shape, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +71,7 @@ func (e *dracoSW) Stats() Stats {
 }
 
 func (e *dracoSW) SetProfile(p *seccomp.Profile) error {
-	chk, err := buildCoreChecker(p, e.shape)
+	chk, err := buildCoreChecker(p, e.shape, e.mode)
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,11 @@ const (
 	// ClassSLBHit: a per-worker software SLB served the decision without
 	// touching the shared tables (see WithSLB).
 	ClassSLBHit
+	// ClassBitmapHit: the whole filter chain resolved through per-syscall
+	// constant-action bitmaps (Linux 5.11 style) — an SPT/VAT miss that
+	// still executed zero BPF instructions. Only produced by engines built
+	// with BPFExec "bitmap" (the default).
+	ClassBitmapHit
 
 	// NumLatencyClasses sizes per-class counter arrays.
 	NumLatencyClasses
@@ -97,6 +102,8 @@ func (c LatencyClass) String() string {
 		return "denied"
 	case ClassSLBHit:
 		return "slb-hit"
+	case ClassBitmapHit:
+		return "bitmap-hit"
 	default:
 		return "unknown"
 	}
@@ -177,6 +184,10 @@ func classify(out core.Outcome) (LatencyClass, bool) {
 		return ClassVATHit, true
 	case !out.Allowed:
 		return ClassDenied, false
+	case out.BitmapHit:
+		// Miss path, but the constant-action bitmap answered without
+		// executing any BPF; not a table hit, so CacheHit stays false.
+		return ClassBitmapHit, false
 	case out.Inserted:
 		return ClassInsert, false
 	default:

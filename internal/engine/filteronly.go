@@ -14,23 +14,29 @@ func init() {
 }
 
 // filterOnly wraps a compiled Seccomp filter without Draco caching: every
-// check runs the BPF program. Not safe for concurrent use (the BPF VM
-// carries scratch state); wrap with Synchronized to share.
+// check runs the BPF program (or resolves through the per-syscall bitmap
+// under the default BPFExec). Not safe for concurrent use (the stats
+// counters are unguarded); wrap with Synchronized to share.
 type filterOnly struct {
 	f       *seccomp.Filter
 	profile *seccomp.Profile
 	shape   seccomp.Shape
+	mode    seccomp.ExecMode
 	obs     Observer
 	gen     uint64
 	stats   Stats
 }
 
 func newFilterOnly(opts Options) (Engine, error) {
-	f, err := seccomp.NewFilter(opts.Profile, opts.Shape)
+	mode, err := opts.execMode()
 	if err != nil {
 		return nil, err
 	}
-	return &filterOnly{f: f, profile: opts.Profile, shape: opts.Shape, obs: opts.observer(), gen: 1}, nil
+	f, err := seccomp.NewFilterMode(opts.Profile, opts.Shape, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &filterOnly{f: f, profile: opts.Profile, shape: opts.Shape, mode: mode, obs: opts.observer(), gen: 1}, nil
 }
 
 func (e *filterOnly) Name() string { return "filter-only" }
@@ -46,6 +52,8 @@ func (e *filterOnly) Check(sid int, args Args) Decision {
 	if !dec.Allowed {
 		e.stats.Denied++
 		class = ClassDenied
+	} else if r.BitmapHit {
+		class = ClassBitmapHit
 	}
 	e.obs.Observe(Observation{SID: sid, Decision: dec, Class: class})
 	return dec
@@ -62,7 +70,7 @@ func (e *filterOnly) CheckBatch(calls []Call, dst []Decision) []Decision {
 func (e *filterOnly) Stats() Stats { return e.stats }
 
 func (e *filterOnly) SetProfile(p *seccomp.Profile) error {
-	f, err := seccomp.NewFilter(p, e.shape)
+	f, err := seccomp.NewFilterMode(p, e.shape, e.mode)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,11 @@ type Options struct {
 	Observer Observer
 	// Shape selects the compiled filter shape (zero value: linear).
 	Shape seccomp.Shape
+	// BPFExec selects how filters execute on the miss path: "" or "bitmap"
+	// (compiled code plus the per-syscall constant-action bitmap, the
+	// default), "compiled" (direct-threaded code only), or "interp" (the
+	// generic interpreter — the escape hatch and differential baseline).
+	BPFExec string
 	// SLBSets/SLBWays are the per-worker software SLB geometry for +slb
 	// engines (0 selects the slb package defaults: 64 sets × 4 ways).
 	SLBSets, SLBWays int
@@ -38,6 +43,20 @@ func (o Options) observer() Observer {
 		return NopObserver{}
 	}
 	return o.Observer
+}
+
+// execMode parses the BPFExec option. The engine layer defaults to the
+// bitmap tier (seccomp.NewFilter itself defaults to plain compiled, which
+// is Executed-count-identical to the interpreter).
+func (o Options) execMode() (seccomp.ExecMode, error) {
+	if o.BPFExec == "" {
+		return seccomp.ExecBitmap, nil
+	}
+	m, err := seccomp.ParseExecMode(o.BPFExec)
+	if err != nil {
+		return 0, fmt.Errorf("engine: %v", err)
+	}
+	return m, nil
 }
 
 // routing parses the Routing option.

@@ -1,0 +1,208 @@
+package seccomp_test
+
+// External-package tests for the filter execution tiers: the compiled
+// direct-threaded program and the per-syscall constant-action bitmap.
+// They live outside package seccomp so they can build real profiles with
+// profilegen/workloads (which import seccomp) without a cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/workloads"
+)
+
+// allProfiles returns the syscall-complete profile of every workload plus
+// docker-default: the same population the paper's experiments run over.
+func allProfiles(t testing.TB) []*seccomp.Profile {
+	t.Helper()
+	var ps []*seccomp.Profile
+	for _, w := range workloads.All() {
+		tr := w.Generate(5_000, 0xD12AC0)
+		ps = append(ps, profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true}))
+	}
+	return append(ps, seccomp.DockerDefault())
+}
+
+// argSamples returns argument tuples to probe a syscall with: fixed
+// corner values plus seeded random fills, so the differential exercises
+// both sides of every argument comparison a filter might make.
+func argSamples(rng *rand.Rand) [][6]uint64 {
+	out := [][6]uint64{
+		{},
+		{1, 1, 1, 1, 1, 1},
+		{0xffffffff, 0xffffffff00000000, 0x8000, 0x7fffffffffffffff, 1 << 32, 3},
+	}
+	for i := 0; i < 5; i++ {
+		var a [6]uint64
+		for j := range a {
+			a[j] = rng.Uint64()
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestBitmapSoundnessDifferential pins the two properties the bitmap tier
+// must have across every real profile, both filter shapes:
+//
+//  1. Soundness: for every syscall number the bitmap claims to know, the
+//     bitmap action equals what the interpreter returns for ANY argument
+//     tuple (sampled corners + random fills).
+//  2. Precision where it matters: syscalls whose rules check argument
+//     values never resolve through the bitmap — they must run the filter.
+func TestBitmapSoundnessDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB17A))
+	for _, p := range allProfiles(t) {
+		for _, shape := range []seccomp.Shape{seccomp.ShapeLinear, seccomp.ShapeBinaryTree} {
+			base, err := seccomp.NewFilterMode(p, shape, seccomp.ExecInterp)
+			if err != nil {
+				t.Fatalf("%s/%s interp: %v", p.Name, shape, err)
+			}
+			fast, err := seccomp.NewFilterMode(p, shape, seccomp.ExecBitmap)
+			if err != nil {
+				t.Fatalf("%s/%s bitmap: %v", p.Name, shape, err)
+			}
+			bm := fast.Bitmap()
+			if bm == nil || bm.KnownCount() == 0 {
+				t.Fatalf("%s/%s: no bitmap entries (KnownCount=%d)", p.Name, shape, bm.KnownCount())
+			}
+			for _, r := range p.Rules {
+				if r.ChecksArgs() && r.Syscall.Num < seccomp.BitmapMaxNr && bm.Known(int32(r.Syscall.Num)) {
+					t.Errorf("%s/%s: arg-checked %s resolves through the bitmap", p.Name, shape, r.Syscall.Name)
+				}
+			}
+			samples := argSamples(rng)
+			for nr := int32(0); nr < seccomp.BitmapMaxNr; nr++ {
+				for _, args := range samples {
+					d := seccomp.Data{Nr: nr, Arch: seccomp.AuditArchX8664, Args: args}
+					want := base.Check(&d)
+					got := fast.Check(&d)
+					if got.Action != want.Action {
+						t.Fatalf("%s/%s nr=%d args=%v: bitmap tier returned %v, interpreter %v",
+							p.Name, shape, nr, args, got.Action, want.Action)
+					}
+					if bm.Known(nr) != got.BitmapHit {
+						t.Fatalf("%s/%s nr=%d: Known=%v but BitmapHit=%v",
+							p.Name, shape, nr, bm.Known(nr), got.BitmapHit)
+					}
+					if got.BitmapHit && got.Executed != 0 {
+						t.Fatalf("%s/%s nr=%d: bitmap hit executed %d instructions", p.Name, shape, nr, got.Executed)
+					}
+					if !got.BitmapHit && got.Executed != want.Executed {
+						t.Fatalf("%s/%s nr=%d: compiled executed %d, interpreter %d",
+							p.Name, shape, nr, got.Executed, want.Executed)
+					}
+				}
+			}
+			// Wrong-architecture checks must bypass the bitmap entirely.
+			d := seccomp.Data{Nr: 0, Arch: 0}
+			if r := fast.Check(&d); r.BitmapHit {
+				t.Fatalf("%s/%s: foreign-arch check resolved through the x86-64 bitmap", p.Name, shape)
+			}
+		}
+	}
+}
+
+// TestFilterSharedAcrossGoroutines checks exactly one Filter value from
+// many goroutines at once. Before the scratch buffer moved onto the call
+// stack this raced on Filter.buf; the full check.sh suite runs this under
+// -race.
+func TestFilterSharedAcrossGoroutines(t *testing.T) {
+	p := seccomp.DockerDefault()
+	f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, seccomp.ExecBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial baseline over a mixed stream: bitmap hits, filter runs
+	// (arg-checked personality), and denials.
+	mk := func(i int) seccomp.Data {
+		return seccomp.Data{
+			Nr:   int32(i % 420),
+			Arch: seccomp.AuditArchX8664,
+			Args: [6]uint64{uint64(i), uint64(i) << 32, 8, 0, 0, 0},
+		}
+	}
+	const perG = 2_000
+	want := make([]seccomp.CheckResult, perG)
+	for i := range want {
+		d := mk(i)
+		want[i] = f.Check(&d)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d := mk(i)
+				if r := f.Check(&d); r != want[i] {
+					select {
+					case errs <- fmt.Sprintf("nr=%d args=%v", d.Nr, d.Args):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if s, ok := <-errs; ok {
+		t.Fatalf("concurrent check diverged from serial baseline at %s", s)
+	}
+}
+
+// TestFilterCheckZeroAllocs pins zero allocations per check on both fast
+// paths: the bitmap O(1) resolve and the compiled-program run (the miss
+// path the execution-time model charges for).
+func TestFilterCheckZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is perturbed under -race")
+	}
+	p := seccomp.DockerDefault()
+	f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, seccomp.ExecBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getpid := seccomp.Data{Nr: 39, Arch: seccomp.AuditArchX8664}
+	if r := f.Check(&getpid); !r.BitmapHit {
+		t.Fatalf("getpid did not bitmap-resolve: %+v", r)
+	}
+	if n := testing.AllocsPerRun(2000, func() { f.Check(&getpid) }); n != 0 {
+		t.Fatalf("bitmap fast path allocates %.2f allocs/op, want 0", n)
+	}
+	// personality(0) is arg-checked, so it always runs the compiled program.
+	personality := seccomp.Data{Nr: 135, Arch: seccomp.AuditArchX8664}
+	if r := f.Check(&personality); r.BitmapHit || r.Executed == 0 {
+		t.Fatalf("personality did not run the filter: %+v", r)
+	}
+	if n := testing.AllocsPerRun(2000, func() { f.Check(&personality) }); n != 0 {
+		t.Fatalf("compiled exec path allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkFilterExec compares the three execution tiers on docker-default
+// over a deep (late-in-the-ladder) arg-independent syscall, the shape of
+// check the bitmap is built for.
+func BenchmarkFilterExec(b *testing.B) {
+	p := seccomp.DockerDefault()
+	d := seccomp.Data{Nr: 39, Arch: seccomp.AuditArchX8664} // getpid
+	for _, mode := range []seccomp.ExecMode{seccomp.ExecInterp, seccomp.ExecCompiled, seccomp.ExecBitmap} {
+		f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Check(&d)
+			}
+		})
+	}
+}

@@ -66,6 +66,10 @@ type Options struct {
 	// in check requests with this profile. When nil, tenants must upload a
 	// profile before checking.
 	DefaultProfile *seccomp.Profile
+	// BPFExec selects the filter execution tier for every tenant engine:
+	// "" or "bitmap" (compiled + constant-action bitmap, the default),
+	// "compiled", or "interp" (the escape hatch).
+	BPFExec string
 }
 
 // Server is the dracod service state.
@@ -301,6 +305,7 @@ func (s *Server) newEngine(name string, p *seccomp.Profile) (engine.Engine, erro
 		Profile:  p,
 		Shards:   s.opts.Shards,
 		Routing:  s.opts.Routing,
+		BPFExec:  s.opts.BPFExec,
 		Observer: engine.MultiObserver{s.obsAll, s.obsByEngine[name]},
 	})
 	if err != nil {

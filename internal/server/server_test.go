@@ -37,12 +37,15 @@ func TestCheckEndpoint(t *testing.T) {
 	_, c := newTestServer(t, server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()})
 	ctx := context.Background()
 
-	// First check: validated by the filter; second: served from the cache.
+	// First check: a miss (not cached) resolved by the filter chain — under
+	// the default bitmap exec tier an ID-only syscall like read resolves
+	// through the constant-action bitmap, so zero BPF instructions execute
+	// even on the miss. Second: served from the cache.
 	res, err := c.Check(ctx, server.CheckRequest{Tenant: "t1", Syscall: "read", Args: []uint64{3, 0, 4096}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Allowed || res.Cached || res.FilterInstructions == 0 {
+	if !res.Allowed || res.Cached || res.FilterInstructions != 0 {
 		t.Fatalf("first check: %+v", res)
 	}
 	res, err = c.Check(ctx, server.CheckRequest{Tenant: "t1", Syscall: "read", Args: []uint64{3, 0, 4096}})
@@ -79,12 +82,12 @@ func TestCheckRequestValidation(t *testing.T) {
 
 	cases := []server.CheckRequest{
 		{Tenant: "t", Syscall: "no_such_syscall"},
-		{Tenant: "t"},                                      // neither name nor number
-		{Tenant: "t", Num: intp(-1)},                       // negative number
-		{Tenant: "t", Num: intp(syscalls.MaxNum() + 100)},  // out-of-range number
-		{Tenant: "t", Syscall: "read", Num: intp(999)},     // name/number mismatch
+		{Tenant: "t"},                // neither name nor number
+		{Tenant: "t", Num: intp(-1)}, // negative number
+		{Tenant: "t", Num: intp(syscalls.MaxNum() + 100)},       // out-of-range number
+		{Tenant: "t", Syscall: "read", Num: intp(999)},          // name/number mismatch
 		{Tenant: "t", Syscall: "read", Args: make([]uint64, 7)}, // too many args
-		{Syscall: "read"},                                  // missing tenant
+		{Syscall: "read"}, // missing tenant
 	}
 	for i, req := range cases {
 		if _, err := c.Check(ctx, req); err == nil {
@@ -363,6 +366,8 @@ func TestStatsAndMetrics(t *testing.T) {
 		"dracod_observed_checks_total 10",
 		"dracod_observed_cache_hits_total 9",
 		`dracod_check_class_total{class="id-fast"} 9`,
+		// The one miss resolved through the constant-action bitmap.
+		`dracod_check_class_total{class="bitmap-hit"} 1`,
 		`dracod_engine_tenants{engine="draco-concurrent"} 1`,
 		`dracod_engine_checks_total{engine="draco-concurrent"} 10`,
 		`dracod_engine_checks_total{engine="draco-sw"} 0`,

@@ -14,14 +14,17 @@ go vet ./...
 # simulations and can exceed it under the race detector on slow runners.
 go test -race -timeout 30m ./...
 
-# The engine zero-allocation guards skip themselves under -race (the
-# detector perturbs alloc accounting), so run them - plus the
-# registry-level differential suite they share a package with - without it.
-# These pin the Engine contract: 0 allocs/op on the draco-sw,
-# draco-concurrent, and +slb hot paths (including the SLB hit path and the
-# grouped CheckBatch), and decision-stream identity across filter-only,
-# draco-sw, draco-concurrent, and the +slb wrappers.
-go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/
+# The zero-allocation guards skip themselves under -race (the detector
+# perturbs alloc accounting), so run them - plus the differential suites
+# they share packages with - without it. These pin the Engine contract
+# (0 allocs/op on the draco-sw, draco-concurrent, and +slb hot paths,
+# including the SLB hit path and the grouped CheckBatch; decision-stream
+# identity across filter-only, draco-sw, draco-concurrent, and the +slb
+# wrappers) and the filter-tier contract (0 allocs/op on the compiled-exec
+# and bitmap fast paths; interp-vs-compiled Decision+Stats identity and
+# bitmap action identity across every registered engine and workload;
+# bitmap soundness against the interpreter on all 512 syscall numbers).
+go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/
 
 # Wire-protocol guards, run explicitly: the frame-decoder fuzz seed corpus
 # (each seed as a unit test; use `go test -fuzz FuzzFrameDecode
@@ -32,3 +35,10 @@ go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/co
 go test -count=1 -run 'Fuzz' ./internal/wire/
 go test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
 go test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
+
+# BPF differential fuzz seed corpus, run explicitly (each seed as a unit
+# test; use `go test -fuzz FuzzValidateAndRun ./internal/bpf` to explore
+# beyond it): every accepted program runs through both the interpreter and
+# the compiled direct-threaded executor and must agree on value, error,
+# and executed-instruction count.
+go test -count=1 -run 'Fuzz' ./internal/bpf/
