@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine test-wire test-bpf bench bench-server bench-engine bench-batch bench-filter slbsweep loadgen misssweep
+.PHONY: check build vet test test-race test-engine test-wire test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog slbsweep loadgen misssweep progsweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector (which includes the 32-goroutine wire hot-swap hammer), the
 # engine alloc-guard/differential tests (which skip themselves under
-# -race), the wire fuzz-seed + differential suite, and the BPF
-# interp-vs-compiled fuzz seed corpus. scripts/check.sh is the same
-# sequence for environments without make.
-check: build vet test-race test-engine test-wire test-bpf
+# -race), the wire fuzz-seed + differential suite, the BPF
+# interp-vs-compiled fuzz seed corpus, and the programmable-policy guards.
+# scripts/check.sh is the same sequence for environments without make.
+check: build vet test-race test-engine test-wire test-bpf test-ebpf
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ test-race:
 # registry-level decision-stream differential tests, the interp-vs-compiled
 # and bitmap exec-mode differentials, and the bitmap soundness suite.
 test-engine:
-	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/
+	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/ ./internal/ebpf/
 
 # test-wire runs the wire protocol's guards explicitly: the frame-decoder
 # fuzz seed corpus (every seed as a unit test; `go test -fuzz
@@ -46,6 +46,19 @@ test-wire:
 # (`go test -fuzz FuzzValidateAndRun ./internal/bpf` explores further).
 test-bpf:
 	$(GO) test -count=1 -run 'Fuzz' ./internal/bpf/
+
+# test-ebpf runs the programmable-policy guards explicitly: the verifier
+# differential fuzz seed corpus (verifier-accepted programs run through the
+# interpreter and the compiled tier with matching action, instruction
+# count, and map state on adversarial inputs; rejected programs must refuse
+# to instantiate — `go test -fuzz FuzzVerifyAndRun ./internal/ebpf`
+# explores further), the 0-allocs/op pins on the programmable hot paths,
+# the interp-vs-compiled differential, and the 16-goroutine map-state race
+# hammer with a mid-stream profile hot-swap (engine layer, under -race).
+test-ebpf:
+	$(GO) test -count=1 -run 'Fuzz' ./internal/ebpf/
+	$(GO) test -count=1 -run 'ZeroAllocs|Differential' ./internal/ebpf/
+	$(GO) test -race -count=1 -run 'TestProgrammable' ./internal/engine/ ./internal/server/
 
 # bench runs the concurrent checker's parallel throughput benchmarks across
 # 1/4/16-shard configurations (see results/concurrent_baseline.json for a
@@ -72,6 +85,11 @@ bench-batch:
 bench-filter:
 	$(GO) test -run='^$$' -bench 'BenchmarkFilterExec' -benchmem ./internal/seccomp
 
+# bench-prog compares the programmable-policy execution tiers (interp vs
+# compiled vs constant-extracted vs the full stateful Check path).
+bench-prog:
+	$(GO) test -run='^$$' -bench 'BenchmarkProgExec' -benchmem ./internal/ebpf
+
 # slbsweep regenerates the software-SLB geometry sweep recorded in
 # results/slbsweep_sw.json (sets x ways x indexing, every workload, bare
 # draco-concurrent baseline).
@@ -90,3 +108,9 @@ loadgen:
 # filter under the interp, compiled, and bitmap tiers.
 misssweep:
 	$(GO) run ./cmd/dracobench -misssweep -repeats 3 -json results/filterexec.json
+
+# progsweep regenerates the programmable-policy sweep recorded in
+# results/progexec.json: every workload trace through a bare bitmap-tier
+# filter plain vs with constant-extracted and stateful policies attached.
+progsweep:
+	$(GO) run ./cmd/dracobench -progsweep -repeats 3 -json results/progexec.json

@@ -57,9 +57,10 @@ func main() {
 		workload   = flag.String("workload", "httpd", "workload for -engine mode")
 		shards     = flag.Int("shards", 0, "shard count for -engine draco-concurrent[+slb] (0 = default)")
 		routing    = flag.String("routing", "syscall", "shard routing for -engine draco-concurrent[+slb]: syscall or args")
-		jsonOut    = flag.String("json", "", "write -engine/-slbsweep/-misssweep/-loadgen results as a JSON document to this file")
+		jsonOut    = flag.String("json", "", "write -engine/-slbsweep/-misssweep/-progsweep/-loadgen results as a JSON document to this file")
 		slbsweep   = flag.Bool("slbsweep", false, "software-SLB geometry sweep: replay every workload through draco-concurrent+slb across sets x ways x indexing")
 		misssweep  = flag.Bool("misssweep", false, "filter-execution sweep: replay every workload's cold-start trace through a bare filter under the interp, compiled, and bitmap tiers")
+		progsweep  = flag.Bool("progsweep", false, "programmable-policy sweep: replay every workload through a bare filter plain vs with constant-extracted and stateful eBPF policies attached")
 		loadgen    = flag.Bool("loadgen", false, "service-edge load generator: single-check traffic from every workload over HTTP JSON vs the binary wire protocol")
 		conc       = flag.Int("concurrency", 32, "client worker goroutines for -loadgen")
 		conns      = flag.Int("conns", 4, "wire connection-pool size for -loadgen")
@@ -84,6 +85,14 @@ func main() {
 
 	if *misssweep {
 		if err := runMissSweep(*events, *seed, *repeats, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *progsweep {
+		if err := runProgSweep(*events, *seed, *repeats, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
 			os.Exit(1)
 		}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"draco/internal/core"
+	"draco/internal/ebpf"
 	"draco/internal/hashes"
 	"draco/internal/seccomp"
 )
@@ -111,6 +112,16 @@ type state struct {
 	// not consult the profile per check.
 	masks  []uint64
 	shards []*shard
+	// prog is the generation's attached programmable policy (nil without
+	// one). Its map state is shared by every shard — slots are atomic, so
+	// the shard locks need not cover it — and a profile swap builds a fresh
+	// Attached, which starts a blank map epoch exactly like the SLB's
+	// epoch-bump invalidation.
+	prog *ebpf.Attached
+	// serialBatch forces CheckBatch to process calls in submission order:
+	// set when the program has stateful (must-run) syscall numbers, whose
+	// map updates would otherwise be reordered by the shard-grouped drain.
+	serialBatch bool
 }
 
 func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.ExecMode, gen uint64) (*state, error) {
@@ -138,8 +149,18 @@ func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.Exe
 	if err != nil {
 		return nil, err
 	}
+	if src := p.Programmable; src != nil {
+		st.prog = src.Attach(ebpf.AttachOpts{
+			Interp:    mode == seccomp.ExecInterp,
+			NoExtract: mode != seccomp.ExecBitmap,
+		})
+		_, _, mustRun := st.prog.Classification().Counts()
+		st.serialBatch = mustRun > 0
+	}
 	for i := range st.shards {
-		st.shards[i] = &shard{chk: core.NewChecker(p, seccomp.Chain{f})}
+		chk := core.NewChecker(p, seccomp.Chain{f})
+		chk.Prog = st.prog
+		st.shards[i] = &shard{chk: chk}
 	}
 	return st, nil
 }
@@ -251,6 +272,19 @@ func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
 			dst[i] = sh.chk.Check(cl.SID, cl.Args)
 		}
 		sh.mu.Unlock()
+		return dst
+	}
+	if st.serialBatch {
+		// A stateful programmable policy makes batch order semantic: map
+		// updates must interleave exactly as submitted, so the grouped drain
+		// below (which reorders calls by shard) is not an option. Lock per
+		// call, in order.
+		for i, cl := range calls {
+			sh := st.shardFor(cl.SID, cl.Args)
+			sh.mu.Lock()
+			dst[i] = sh.chk.Check(cl.SID, cl.Args)
+			sh.mu.Unlock()
+		}
 		return dst
 	}
 	// Group call indices by shard with a two-pass counting sort, then drain

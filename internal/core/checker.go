@@ -1,6 +1,7 @@
 package core
 
 import (
+	"draco/internal/ebpf"
 	"draco/internal/hashes"
 	"draco/internal/seccomp"
 	"draco/internal/syscalls"
@@ -29,6 +30,13 @@ type Outcome struct {
 	BitmapHit bool
 	// Inserted: a new VAT entry was recorded.
 	Inserted bool
+	// ProgRan: the programmable policy was consulted for this call (either
+	// executed or answered by constant extraction).
+	ProgRan bool
+	// ProgConstHit: the programmable policy resolved through its extracted
+	// constant-action table without executing a single program instruction —
+	// the programmable analog of BitmapHit.
+	ProgConstHit bool
 	// Hash is the hash value under which the argument set resides in the
 	// VAT (valid when ArgsChecked and Allowed); the SLB/STB store it.
 	Hash uint64
@@ -55,7 +63,19 @@ type Checker struct {
 	VAT     *VAT
 	Chain   seccomp.Chain
 	Profile *seccomp.Profile
-	Stats   Stats
+	// Prog is the attached programmable policy (nil without one). Draco's
+	// caches are sound only for stateless decisions, so the classifier's
+	// verdict per syscall number governs the interaction:
+	//
+	//   - must-run numbers (stateful or payload-dependent paths) bypass the
+	//     SPT/VAT entirely and execute the program on every check;
+	//   - stateless numbers stay cacheable, with the argument bytes the
+	//     program reads OR'd into the SPT bitmask so the VAT key
+	//     discriminates them;
+	//   - constant numbers cost nothing: the extracted action combines with
+	//     the whitelist verdict on the miss path only.
+	Prog  *ebpf.Attached
+	Stats Stats
 }
 
 // NewChecker builds the per-process Draco state for a profile already
@@ -74,6 +94,18 @@ func NewChecker(profile *seccomp.Profile, chain seccomp.Chain) *Checker {
 // Check validates one system call through the Draco workflow (Figure 4).
 func (c *Checker) Check(sid int, args hashes.Args) Outcome {
 	c.Stats.Checks++
+	if c.Prog != nil {
+		if c.Prog.MustRun(int32(sid)) {
+			// Stateful/payload-dependent decision: caching it would freeze a
+			// verdict that mutable state is supposed to change.
+			return c.progPath(sid, args)
+		}
+		if act, ok := c.Prog.Classification().ConstAction(int32(sid)); ok && !ebpf.Allows(act) {
+			// Constant deny: the caches may hold an allow from the whitelist,
+			// which the program unconditionally overrides.
+			return c.progPath(sid, args)
+		}
+	}
 	var out Outcome
 	e := c.SPT.Lookup(sid)
 	if e != nil && e.Valid {
@@ -107,6 +139,36 @@ func (c *Checker) Check(sid int, args hashes.Args) Outcome {
 	return c.slowPath(sid, args, out)
 }
 
+// progPath handles syscall numbers whose programmable verdict must be
+// computed fresh on every check: the whitelist chain and the program both
+// run, kernel precedence combines their actions, and nothing is cached.
+func (c *Checker) progPath(sid int, args hashes.Args) Outcome {
+	var out Outcome
+	d := &seccomp.Data{Nr: int32(sid), Arch: seccomp.AuditArchX8664, Args: args}
+	r := c.Chain.Check(d)
+	out.FilterRan = true
+	out.FilterExecuted = r.Executed
+	out.BitmapHit = r.BitmapHit
+	c.Stats.FilterRuns++
+	c.Stats.FilterInsns += uint64(r.Executed)
+	ctx := ebpf.NewCtx(int32(sid), args)
+	pr := c.Prog.Check(&ctx)
+	out.ProgRan = true
+	out.ProgConstHit = pr.ConstHit
+	out.FilterExecuted += pr.Executed
+	if pr.Executed > 0 {
+		out.BitmapHit = false
+	}
+	c.Stats.FilterInsns += uint64(pr.Executed)
+	out.Action = seccomp.Combine(r.Action, seccomp.Action(pr.Action))
+	if !out.Action.Allows() {
+		c.Stats.Denied++
+		return out
+	}
+	out.Allowed = true
+	return out
+}
+
 func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	d := &seccomp.Data{Nr: int32(sid), Arch: seccomp.AuditArchX8664, Args: args}
 	r := c.Chain.Check(d)
@@ -116,7 +178,24 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	out.Action = r.Action
 	c.Stats.FilterRuns++
 	c.Stats.FilterInsns += uint64(r.Executed)
-	if !r.Action.Allows() {
+	var progMask uint64
+	if c.Prog != nil {
+		// Non-must-run number: the program's verdict here is a pure function
+		// of (nr, args) — or a constant — so the combined decision is as
+		// cacheable as the whitelist's own.
+		ctx := ebpf.NewCtx(int32(sid), args)
+		pr := c.Prog.Check(&ctx)
+		out.ProgRan = true
+		out.ProgConstHit = pr.ConstHit
+		out.FilterExecuted += pr.Executed
+		if pr.Executed > 0 {
+			out.BitmapHit = false
+		}
+		c.Stats.FilterInsns += uint64(pr.Executed)
+		out.Action = seccomp.Combine(r.Action, seccomp.Action(pr.Action))
+		progMask = c.Prog.ArgMask(int32(sid))
+	}
+	if !out.Action.Allows() {
 		c.Stats.Denied++
 		return out
 	}
@@ -132,9 +211,18 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	e := c.SPT.Lookup(sid)
 	if e == nil || !e.Valid {
 		entry := SPTEntry{Valid: true, Accessed: true}
-		if rule.ChecksArgs() {
-			entry.ArgBitmask = BitmaskFor(rule)
-			entry.Base = c.VAT.CreateTable(sid, len(rule.AllowedSets), entry.ArgBitmask)
+		if rule.ChecksArgs() || progMask != 0 {
+			// The VAT key must discriminate every argument byte the decision
+			// depends on — the rule's checked bytes plus the bytes a
+			// stateless program reads. An ID-only rule under an
+			// argument-reading program therefore still gets a VAT table:
+			// the ID-fast path alone would skip the program's condition.
+			entry.ArgBitmask = BitmaskFor(rule) | progMask
+			sets := len(rule.AllowedSets)
+			if progMask != 0 {
+				sets += 32 // headroom for distinct arg tuples the program passes
+			}
+			entry.Base = c.VAT.CreateTable(sid, sets, entry.ArgBitmask)
 		}
 		c.SPT.Set(sid, entry)
 		e = c.SPT.Lookup(sid)

@@ -1,0 +1,365 @@
+package ebpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements the assembly front-end profiles carry: programmable
+// policies live in profile JSON as lines of assembly text (json.go in
+// internal/seccomp), which keeps them human-auditable — a security policy
+// you cannot read is a policy you cannot review.
+//
+// Syntax (one instruction or label per line; ';' and '#' start comments):
+//
+//	start:                     label
+//	mov   r1, 42               r1 = 42            (or: mov r1, r2)
+//	add   r1, 8                r1 += 8            (sub/mul/div/mod/and/or/
+//	                                               xor/lsh/rsh likewise)
+//	ldctx r1, nr               load a ctx field: nr, arch, plen,
+//	                           arg0..arg5, pay0..pay7
+//	jmp   done                 unconditional forward jump
+//	jeq   r1, 2, open          if r1 == 2 goto open (jne/jgt/jge/jlt/jle/
+//	                                                 jset likewise)
+//	mld   r2, counts[r1]       r2 = map load
+//	mst   flags[r1], r2        map store
+//	madd  r2, counts[r1], r3   r2 = atomic add-and-fetch
+//	loop  r1, 8, start         bounded back edge (static bound 8)
+//	ret   allow                also: kill, kill_thread, trap, log,
+//	                           errno(N), a register, or a raw word
+
+// asmAlu maps mnemonics to ALU sub-ops.
+var asmAlu = map[string]uint8{
+	"add": AluAdd, "sub": AluSub, "mul": AluMul, "div": AluDiv, "mod": AluMod,
+	"and": AluAnd, "or": AluOr, "xor": AluXor, "lsh": AluLsh, "rsh": AluRsh,
+}
+
+// asmJmp maps mnemonics to jump conditions.
+var asmJmp = map[string]uint8{
+	"jeq": JEq, "jne": JNe, "jgt": JGt, "jge": JGe, "jlt": JLt, "jle": JLe, "jset": JSet,
+}
+
+// parseReg parses "rN".
+func parseReg(tok string) (uint8, bool) {
+	if len(tok) < 2 || tok[0] != 'r' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(tok[1:], 10, 8)
+	if err != nil || n >= NumRegs {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// parseImm parses a numeric immediate (decimal or 0x-hex).
+func parseImm(tok string) (uint64, bool) {
+	v, err := strconv.ParseUint(tok, 0, 64)
+	return v, err == nil
+}
+
+// parseField parses an OpLdCtx field name.
+func parseField(tok string) (uint64, bool) {
+	switch tok {
+	case "nr":
+		return FieldNr, true
+	case "arch":
+		return FieldArch, true
+	case "plen":
+		return FieldPayloadLen, true
+	}
+	if strings.HasPrefix(tok, "arg") {
+		if n, err := strconv.Atoi(tok[3:]); err == nil && n >= 0 && n < NumArgs {
+			return FieldArg0 + uint64(n), true
+		}
+	}
+	if strings.HasPrefix(tok, "pay") {
+		if n, err := strconv.Atoi(tok[3:]); err == nil && n >= 0 && n < NumPayload {
+			return FieldPayload0 + uint64(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseMapRef parses "NAME[rK]" against the declared maps.
+func parseMapRef(tok string, maps []MapSpec) (mi uint64, key uint8, err error) {
+	open := strings.IndexByte(tok, '[')
+	if open <= 0 || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("want NAME[rK], got %q", tok)
+	}
+	name := tok[:open]
+	reg, ok := parseReg(tok[open+1 : len(tok)-1])
+	if !ok {
+		return 0, 0, fmt.Errorf("bad key register in %q", tok)
+	}
+	for i, s := range maps {
+		if s.Name == name {
+			return uint64(i), reg, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("map %q not declared", name)
+}
+
+// parseRet parses a ret operand into an action word or a register.
+func parseRet(tok string) (imm uint64, reg uint8, isReg bool, err error) {
+	if r, ok := parseReg(tok); ok {
+		return 0, r, true, nil
+	}
+	switch tok {
+	case "allow":
+		return uint64(RetAllow), 0, false, nil
+	case "kill", "kill_process":
+		return uint64(RetKillProcess), 0, false, nil
+	case "kill_thread":
+		return uint64(RetKillThread), 0, false, nil
+	case "trap":
+		return uint64(RetTrap), 0, false, nil
+	case "log":
+		return uint64(RetLog), 0, false, nil
+	}
+	if strings.HasPrefix(tok, "errno(") && strings.HasSuffix(tok, ")") {
+		n, perr := strconv.ParseUint(tok[6:len(tok)-1], 0, 16)
+		if perr != nil {
+			return 0, 0, false, fmt.Errorf("bad errno in %q", tok)
+		}
+		return uint64(RetErrno(uint16(n))), 0, false, nil
+	}
+	if v, ok := parseImm(tok); ok {
+		return v, 0, false, nil
+	}
+	return 0, 0, false, fmt.Errorf("bad ret operand %q", tok)
+}
+
+// Assemble translates assembly lines into a program. It resolves labels
+// and map names but performs no verification: callers hand the result to
+// Verify (NewSource does both).
+func Assemble(lines []string, maps []MapSpec) (Program, error) {
+	type pending struct {
+		pc    int
+		line  int
+		label string
+	}
+	var prog Program
+	labels := map[string]int{}
+	var fixups []pending
+
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(line[:len(line)-1])
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("ebpf: line %d: bad label %q", ln+1, raw)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("ebpf: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(prog)
+			continue
+		}
+		toks := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		op, args := toks[0], toks[1:]
+		aluSub, isAlu := asmAlu[op]
+		jmpSub, isJmp := asmJmp[op]
+		bad := func(form string) error {
+			return fmt.Errorf("ebpf: line %d: %q — want %q", ln+1, raw, form)
+		}
+		narg := func(n int) bool { return len(args) == n }
+		switch {
+		case op == "mov":
+			if !narg(2) {
+				return nil, bad("mov rD, imm|rS")
+			}
+			d, ok := parseReg(args[0])
+			if !ok {
+				return nil, bad("mov rD, imm|rS")
+			}
+			if s, ok := parseReg(args[1]); ok {
+				prog = append(prog, Instruction{Op: OpMovReg, Dst: d, Src: s})
+			} else if v, ok := parseImm(args[1]); ok {
+				prog = append(prog, Instruction{Op: OpMovImm, Dst: d, Imm: v})
+			} else {
+				return nil, bad("mov rD, imm|rS")
+			}
+		case isAlu:
+			if !narg(2) {
+				return nil, bad(op + " rD, imm|rS")
+			}
+			d, ok := parseReg(args[0])
+			if !ok {
+				return nil, bad(op + " rD, imm|rS")
+			}
+			sub := aluSub
+			if s, ok := parseReg(args[1]); ok {
+				prog = append(prog, Instruction{Op: OpAluReg, Sub: sub, Dst: d, Src: s})
+			} else if v, ok := parseImm(args[1]); ok {
+				prog = append(prog, Instruction{Op: OpAluImm, Sub: sub, Dst: d, Imm: v})
+			} else {
+				return nil, bad(op + " rD, imm|rS")
+			}
+		case op == "ldctx":
+			if !narg(2) {
+				return nil, bad("ldctx rD, field")
+			}
+			d, ok := parseReg(args[0])
+			f, ok2 := parseField(args[1])
+			if !ok || !ok2 {
+				return nil, bad("ldctx rD, nr|arch|plen|argN|payN")
+			}
+			prog = append(prog, Instruction{Op: OpLdCtx, Dst: d, Imm: f})
+		case op == "jmp":
+			if !narg(1) {
+				return nil, bad("jmp label")
+			}
+			fixups = append(fixups, pending{pc: len(prog), line: ln + 1, label: args[0]})
+			prog = append(prog, Instruction{Op: OpJmp})
+		case isJmp:
+			if !narg(3) {
+				return nil, bad(op + " rD, imm|rS, label")
+			}
+			d, ok := parseReg(args[0])
+			if !ok {
+				return nil, bad(op + " rD, imm|rS, label")
+			}
+			sub := jmpSub
+			ins := Instruction{Op: OpJImm, Sub: sub, Dst: d}
+			if s, ok := parseReg(args[1]); ok {
+				ins.Op, ins.Src = OpJReg, s
+			} else if v, ok := parseImm(args[1]); ok {
+				ins.Imm = v
+			} else {
+				return nil, bad(op + " rD, imm|rS, label")
+			}
+			fixups = append(fixups, pending{pc: len(prog), line: ln + 1, label: args[2]})
+			prog = append(prog, ins)
+		case op == "mld":
+			if !narg(2) {
+				return nil, bad("mld rD, MAP[rK]")
+			}
+			d, ok := parseReg(args[0])
+			if !ok {
+				return nil, bad("mld rD, MAP[rK]")
+			}
+			mi, key, err := parseMapRef(args[1], maps)
+			if err != nil {
+				return nil, fmt.Errorf("ebpf: line %d: %v", ln+1, err)
+			}
+			prog = append(prog, Instruction{Op: OpMapLd, Dst: d, Src: key, Imm: mi})
+		case op == "mst":
+			if !narg(2) {
+				return nil, bad("mst MAP[rK], rV")
+			}
+			mi, key, err := parseMapRef(args[0], maps)
+			if err != nil {
+				return nil, fmt.Errorf("ebpf: line %d: %v", ln+1, err)
+			}
+			v, ok := parseReg(args[1])
+			if !ok {
+				return nil, bad("mst MAP[rK], rV")
+			}
+			prog = append(prog, Instruction{Op: OpMapSt, Src: key, Sub: v, Imm: mi})
+		case op == "madd":
+			if !narg(3) {
+				return nil, bad("madd rD, MAP[rK], rV")
+			}
+			d, ok := parseReg(args[0])
+			if !ok {
+				return nil, bad("madd rD, MAP[rK], rV")
+			}
+			mi, key, err := parseMapRef(args[1], maps)
+			if err != nil {
+				return nil, fmt.Errorf("ebpf: line %d: %v", ln+1, err)
+			}
+			v, ok := parseReg(args[2])
+			if !ok {
+				return nil, bad("madd rD, MAP[rK], rV")
+			}
+			prog = append(prog, Instruction{Op: OpMapAdd, Dst: d, Src: key, Sub: v, Imm: mi})
+		case op == "loop":
+			if !narg(3) {
+				return nil, bad("loop rD, bound, label")
+			}
+			d, ok := parseReg(args[0])
+			bound, ok2 := parseImm(args[1])
+			if !ok || !ok2 {
+				return nil, bad("loop rD, bound, label")
+			}
+			fixups = append(fixups, pending{pc: len(prog), line: ln + 1, label: args[2]})
+			prog = append(prog, Instruction{Op: OpLoop, Dst: d, Imm: bound})
+		case op == "ret":
+			if !narg(1) {
+				return nil, bad("ret action|rD")
+			}
+			imm, reg, isReg, err := parseRet(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("ebpf: line %d: %v", ln+1, err)
+			}
+			if isReg {
+				prog = append(prog, Instruction{Op: OpRet, Sub: RetReg, Dst: reg})
+			} else {
+				prog = append(prog, Instruction{Op: OpRet, Sub: RetImm, Imm: imm})
+			}
+		default:
+			return nil, fmt.Errorf("ebpf: line %d: unknown mnemonic %q", ln+1, op)
+		}
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: line %d: undefined label %q", f.line, f.label)
+		}
+		off := target - (f.pc + 1)
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("ebpf: line %d: jump to %q spans %d instructions", f.line, f.label, off)
+		}
+		prog[f.pc].Off = int16(off)
+	}
+	return prog, nil
+}
+
+// Source is a programmable policy as profiles carry it: named, with map
+// declarations and assembly text. NewSource assembles and verifies, so a
+// Source in hand is always a runnable (and only a runnable) program; the
+// original text is retained for JSON round-trips.
+type Source struct {
+	// Name labels the policy in diagnostics and JSON.
+	Name string
+	// Maps are the per-tenant map declarations.
+	Maps []MapSpec
+	// Text is the original assembly, one line per element.
+	Text []string
+
+	verified *Verified
+	clsOnce  sync.Once
+	cls      *Classification
+}
+
+// NewSource assembles and verifies a programmable policy.
+func NewSource(name string, maps []MapSpec, text []string) (*Source, error) {
+	prog, err := Assemble(text, maps)
+	if err != nil {
+		return nil, err
+	}
+	v, err := Verify(prog, maps)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{Name: name, Maps: maps, Text: text, verified: v}, nil
+}
+
+// Verified returns the verified program.
+func (s *Source) Verified() *Verified { return s.verified }
+
+// Classify returns the per-nr tier table, computed once per Source.
+func (s *Source) Classify() *Classification {
+	s.clsOnce.Do(func() { s.cls = Classify(s.verified) })
+	return s.cls
+}

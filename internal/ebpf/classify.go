@@ -1,0 +1,317 @@
+package ebpf
+
+// This file extends seccomp.ComputeBitmap's idea — abstract interpretation
+// over a known/unknown constant lattice — to programmable policies. For
+// each syscall number the analysis runs the program abstractly with the
+// number pinned and everything else unknown, and sorts the call into one
+// of three tiers:
+//
+//   - Constant: every reachable return is one known action and no map is
+//     touched. The action is extracted at attach time and served with
+//     Executed==0 — the programmable analog of the per-syscall
+//     constant-action bitmap, so map-independent paths keep the fast path.
+//   - Stateless: no map is touched but the action depends on argument
+//     registers. The decision is a pure function of (nr, args), so the VAT
+//     may cache it — provided the args the program reads join the SPT
+//     argument bitmask (ArgMask), which the checker integration does.
+//   - MustRun: the path touches a map (reads depend on mutable state;
+//     writes mutate state other calls read) or reads payload words (not
+//     part of the VAT key). Every such call must execute the program, and
+//     nothing about it may be cached.
+//
+// Soundness mirrors bitmap.go: the abstract step over-approximates the
+// concrete one (meets only discard knowledge), so a Constant verdict means
+// every concrete execution returns that action, and only map-free paths
+// can be Constant or Stateless.
+
+// Class is one syscall number's tier.
+type Class uint8
+
+const (
+	// ClassConstant: fixed action, extracted without execution.
+	ClassConstant Class = iota
+	// ClassStateless: pure function of (nr, args); VAT-cacheable.
+	ClassStateless
+	// ClassMustRun: stateful or payload-dependent; never cached.
+	ClassMustRun
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassConstant:
+		return "constant"
+	case ClassStateless:
+		return "stateless"
+	default:
+		return "must-run"
+	}
+}
+
+type nrInfo struct {
+	class   Class
+	action  uint32
+	argmask uint64
+}
+
+// Classification is the per-nr tier table for one verified program.
+type Classification struct {
+	nr                                 [MaxNr]nrInfo
+	numConst, numStateless, numMustRun int
+}
+
+// MustRun reports whether calls with this number must execute the program
+// on every check. Numbers outside [0, MaxNr) are conservatively must-run,
+// like syscalls beyond the kernel bitmap's range.
+func (c *Classification) MustRun(nr int32) bool {
+	if c == nil {
+		return false
+	}
+	if nr < 0 || nr >= MaxNr {
+		return true
+	}
+	return c.nr[nr].class == ClassMustRun
+}
+
+// ConstAction returns the extracted action for a constant-tier number.
+func (c *Classification) ConstAction(nr int32) (uint32, bool) {
+	if c == nil || nr < 0 || nr >= MaxNr || c.nr[nr].class != ClassConstant {
+		return 0, false
+	}
+	return c.nr[nr].action, true
+}
+
+// ArgMask returns the per-byte mask (bit i·8+b = byte b of argument i,
+// core.BitmaskFor's convention) of the argument registers the decision may
+// depend on; zero for constant and must-run numbers.
+func (c *Classification) ArgMask(nr int32) uint64 {
+	if c == nil || nr < 0 || nr >= MaxNr || c.nr[nr].class != ClassStateless {
+		return 0
+	}
+	return c.nr[nr].argmask
+}
+
+// Class returns the tier for a number (MustRun outside the table).
+func (c *Classification) Class(nr int32) Class {
+	if nr < 0 || nr >= MaxNr {
+		return ClassMustRun
+	}
+	return c.nr[nr].class
+}
+
+// Counts reports how many numbers landed in each tier.
+func (c *Classification) Counts() (constant, stateless, mustRun int) {
+	return c.numConst, c.numStateless, c.numMustRun
+}
+
+// absv is a known/unknown abstract value, as in seccomp's bitmap analysis.
+type absv struct {
+	known bool
+	v     uint64
+}
+
+type absRegs [NumRegs]absv
+
+// meetInto merges src into dst, reporting change; meets only discard
+// knowledge, which bounds the fixpoint.
+func meetInto(dst, src *absRegs) bool {
+	changed := false
+	for i := range dst {
+		if dst[i].known && (!src[i].known || src[i].v != dst[i].v) {
+			dst[i] = absv{}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// clsComputer carries the reusable per-nr analysis state; generation
+// stamps avoid reallocating across the 512 numbers.
+type clsComputer struct {
+	prog   Program
+	states []absRegs
+	gen    []uint32
+	cur    uint32
+	stack  []int
+}
+
+// nrResult accumulates one number's analysis facts.
+type nrResult struct {
+	stateful bool
+	payload  bool
+	argmask  uint64
+	retSet   bool
+	retVal   uint32
+	retMixed bool
+	retUnk   bool
+}
+
+// Classify computes the per-nr tier table for a verified program.
+func Classify(v *Verified) *Classification {
+	cc := &clsComputer{
+		prog:   v.prog,
+		states: make([]absRegs, len(v.prog)),
+		gen:    make([]uint32, len(v.prog)),
+	}
+	cls := &Classification{}
+	for nr := 0; nr < MaxNr; nr++ {
+		r := cc.analyze(uint32(nr))
+		info := nrInfo{}
+		switch {
+		case r.stateful || r.payload || (!r.retSet && !r.retUnk):
+			info.class = ClassMustRun
+			cls.numMustRun++
+		case r.retMixed || r.retUnk:
+			info.class = ClassStateless
+			info.argmask = r.argmask
+			cls.numStateless++
+		default:
+			info.class = ClassConstant
+			info.action = r.retVal
+			cls.numConst++
+		}
+		cls.nr[nr] = info
+	}
+	return cls
+}
+
+// merge joins regs into the state at target, scheduling it when changed.
+func (cc *clsComputer) merge(target int, regs *absRegs) {
+	if cc.gen[target] != cc.cur {
+		cc.gen[target] = cc.cur
+		cc.states[target] = *regs
+		cc.stack = append(cc.stack, target)
+		return
+	}
+	if meetInto(&cc.states[target], regs) {
+		cc.stack = append(cc.stack, target)
+	}
+}
+
+// record notes a reached return value.
+func (r *nrResult) record(v absv) {
+	if !v.known {
+		r.retUnk = true
+		return
+	}
+	act := CanonAction(v.v)
+	if !r.retSet {
+		r.retSet, r.retVal = true, act
+	} else if r.retVal != act {
+		r.retMixed = true
+	}
+}
+
+// analyze runs the program abstractly with the syscall number pinned.
+func (cc *clsComputer) analyze(nr uint32) nrResult {
+	cc.cur++
+	cc.stack = cc.stack[:0]
+	var entry absRegs
+	for i := range entry {
+		entry[i] = absv{known: true, v: 0} // registers start at zero
+	}
+	cc.gen[0] = cc.cur
+	cc.states[0] = entry
+	cc.stack = append(cc.stack, 0)
+	var res nrResult
+	for len(cc.stack) > 0 && !res.stateful {
+		pc := cc.stack[len(cc.stack)-1]
+		cc.stack = cc.stack[:len(cc.stack)-1]
+		st := cc.states[pc]
+		ins := cc.prog[pc]
+		switch ins.Op {
+		case OpMovImm:
+			st[ins.Dst] = absv{known: true, v: ins.Imm}
+			cc.merge(pc+1, &st)
+		case OpMovReg:
+			st[ins.Dst] = st[ins.Src]
+			cc.merge(pc+1, &st)
+		case OpAluImm:
+			if d := st[ins.Dst]; d.known {
+				st[ins.Dst] = absv{known: true, v: alu(ins.Sub, d.v, ins.Imm)}
+			} else {
+				st[ins.Dst] = absv{}
+			}
+			cc.merge(pc+1, &st)
+		case OpAluReg:
+			d, s := st[ins.Dst], st[ins.Src]
+			if d.known && s.known {
+				st[ins.Dst] = absv{known: true, v: alu(ins.Sub, d.v, s.v)}
+			} else {
+				st[ins.Dst] = absv{}
+			}
+			cc.merge(pc+1, &st)
+		case OpLdCtx:
+			switch {
+			case ins.Imm == FieldNr:
+				st[ins.Dst] = absv{known: true, v: uint64(nr)}
+			case ins.Imm == FieldArch:
+				st[ins.Dst] = absv{known: true, v: AuditArchX8664}
+			case ins.Imm >= FieldArg0 && ins.Imm < FieldArg0+NumArgs:
+				res.argmask |= uint64(0xff) << (uint(ins.Imm-FieldArg0) * 8)
+				st[ins.Dst] = absv{}
+			default: // payload words or payload length
+				res.payload = true
+				st[ins.Dst] = absv{}
+			}
+			cc.merge(pc+1, &st)
+		case OpJmp:
+			cc.merge(pc+1+int(ins.Off), &st)
+		case OpJImm:
+			d := st[ins.Dst]
+			if d.known {
+				if jcond(ins.Sub, d.v, ins.Imm) {
+					cc.merge(pc+1+int(ins.Off), &st)
+				} else {
+					cc.merge(pc+1, &st)
+				}
+				break
+			}
+			// Unknown: both edges, with equality refinement where the
+			// constant domain can express it.
+			taken := st
+			if ins.Sub == JEq {
+				taken[ins.Dst] = absv{known: true, v: ins.Imm}
+			}
+			cc.merge(pc+1+int(ins.Off), &taken)
+			fall := st
+			if ins.Sub == JNe {
+				fall[ins.Dst] = absv{known: true, v: ins.Imm}
+			}
+			cc.merge(pc+1, &fall)
+		case OpJReg:
+			d, s := st[ins.Dst], st[ins.Src]
+			if d.known && s.known {
+				if jcond(ins.Sub, d.v, s.v) {
+					cc.merge(pc+1+int(ins.Off), &st)
+				} else {
+					cc.merge(pc+1, &st)
+				}
+				break
+			}
+			cc.merge(pc+1+int(ins.Off), &st)
+			cc.merge(pc+1, &st)
+		case OpMapLd, OpMapSt, OpMapAdd:
+			res.stateful = true
+		case OpLoop:
+			d := st[ins.Dst]
+			if !d.known || d.v > 0 {
+				taken := st
+				if d.known {
+					taken[ins.Dst] = absv{known: true, v: d.v - 1}
+				}
+				cc.merge(pc+1+int(ins.Off), &taken)
+			}
+			// Fallthrough: r[Dst] was zero or the trip budget ran out; the
+			// in-state at this pc already covers every value that can fall
+			// through (joins across iterations land here first).
+			cc.merge(pc+1, &st)
+		case OpRet:
+			if ins.Sub == RetReg {
+				res.record(st[ins.Dst])
+			} else {
+				res.record(absv{known: true, v: ins.Imm})
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,577 @@
+package ebpf
+
+import "sort"
+
+// This file lowers verified programs to a direct-threaded execution tier,
+// mirroring internal/bpf/compile.go: a Compile pass pre-decodes the program
+// once into a dense typed op stream with resolved absolute jump targets,
+// specialized ALU/branch opcodes, fused common pairs, and table dispatch
+// for equality ladders:
+//
+//   - ldctx+jeq pairs (field compares) fuse into one op.
+//   - jeq ladders on one register — the per-syscall dispatch every policy
+//     front-end emits — collapse into a table dispatch (dense table when
+//     the key span is small, binary search otherwise).
+//   - Unconditional-jump trampolines are threaded away, with the traversed
+//     instructions charged to the branch's cost.
+//
+// Every transformation preserves the interpreter's observable behaviour
+// bit for bit — action word, map side effects, and the Executed count the
+// cost models charge — which the differential fuzz suite pins.
+
+// Dense opcodes. The ALU and branch blocks are laid out so that
+// xAddImm+AluSub selects the specialized op directly, like the opAddK
+// block in internal/bpf.
+const (
+	xRetImm uint8 = iota
+	xRetReg
+
+	xMovImm
+	xMovReg
+	xLdCtx
+
+	xAddImm
+	xSubImm
+	xMulImm
+	xDivImm
+	xModImm
+	xAndImm
+	xOrImm
+	xXorImm
+	xLshImm
+	xRshImm
+
+	xAddReg
+	xSubReg
+	xMulReg
+	xDivReg
+	xModReg
+	xAndReg
+	xOrReg
+	xXorReg
+	xLshReg
+	xRshReg
+
+	xJmp
+	xJEqImm
+	xJNeImm
+	xJGtImm
+	xJGeImm
+	xJLtImm
+	xJLeImm
+	xJSetImm
+
+	xJEqReg
+	xJNeReg
+	xJGtReg
+	xJGeReg
+	xJLtReg
+	xJLeReg
+	xJSetReg
+
+	xMapLd
+	xMapSt
+	xMapAdd
+	xLoop
+
+	// Fused ops (see the file comment).
+	xLdJEq    // ldctx dst, sel; jeq dst, imm
+	xSwitch   // table dispatch on r[dst] over a jeq ladder
+	xLdSwitch // ldctx dst, sel; table dispatch
+)
+
+// xop is one pre-decoded op. Field use varies by opcode:
+//
+//	plain ops: imm = immediate/field/map index, dst/src/sub = registers
+//	branches:  jt/jf = absolute targets, costT/costF = instructions
+//	           charged on the taken/fallthrough edge (>1 after threading)
+//	xLoop:     imm = trip bound, site = trip-counter index, jt = back target
+//	xLdJEq:    sel = ctx field, imm = compare value
+//	xSwitch:   imm = table index, aux = entry position in the ladder,
+//	           jt = cumulative ladder cost at the entry, costT = lead
+//	           instructions charged before the ladder (the fused load)
+type xop struct {
+	code  uint8
+	sub   uint8
+	dst   uint8
+	src   uint8
+	costT uint16
+	costF uint16
+	site  int16
+	aux   uint32
+	jt    int32
+	jf    int32
+	imm   uint64
+	sel   uint64
+}
+
+// tableEnt is one ladder key: its position in the chain, its absolute
+// match target, and the total instructions the interpreter executes from
+// the chain head through the matching compare.
+type tableEnt struct {
+	pos  int32
+	tgt  int32
+	cost int32
+}
+
+// jumpTable is one collapsed jeq ladder.
+type jumpTable struct {
+	// dense maps (key - min) to entry index + 1 when the key span is
+	// small; nil selects binary search over keys.
+	dense []int32
+	min   uint64
+	keys  []uint64 // sorted
+	ent   []tableEnt
+	// cumN is the total fallthrough cost of the whole ladder; def is where
+	// a full miss exits.
+	cumN int32
+	def  int32
+}
+
+type tableSorter struct {
+	keys []uint64
+	ents []tableEnt
+}
+
+func (s *tableSorter) Len() int           { return len(s.keys) }
+func (s *tableSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tableSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.ents[i], s.ents[j] = s.ents[j], s.ents[i]
+}
+
+// find returns the entry index for v, or -1.
+func (t *jumpTable) find(v uint64) int32 {
+	if t.dense != nil {
+		d := v - t.min
+		if d < uint64(len(t.dense)) {
+			return t.dense[d] - 1
+		}
+		return -1
+	}
+	lo, hi := 0, len(t.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.keys[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.keys) && t.keys[lo] == v {
+		return int32(lo)
+	}
+	return -1
+}
+
+// Exec is a compiled program: immutable after Compile and safe for
+// concurrent use (all run state lives on Run's stack; map state lives in
+// the MapSet the caller passes).
+type Exec struct {
+	ops      []xop
+	tables   []jumpTable
+	n        int
+	cost     int
+	usesMaps bool
+}
+
+// Len returns the original program length in instructions.
+func (e *Exec) Len() int { return e.n }
+
+// Tables returns how many ladder-dispatch tables the compiler built
+// (diagnostic; tests assert fusion actually happened).
+func (e *Exec) Tables() int { return len(e.tables) }
+
+// Compile lowers a verified program to the direct-threaded tier. Taking
+// *Verified is what makes rejected programs uncompilable by construction.
+func (v *Verified) Compile() *Exec {
+	p := v.prog
+	e := &Exec{ops: make([]xop, len(p)), n: len(p), cost: v.cost, usesMaps: v.usesMaps}
+	for i, ins := range p {
+		e.ops[i] = decode(ins, int32(i), v.site[i])
+	}
+	e.threadJumps()
+	e.buildLadders(xJEqImm)
+	e.fuseLoads()
+	e.buildLadders(xLdJEq)
+	return e
+}
+
+// decode lowers one instruction to its dense op with absolute targets.
+func decode(ins Instruction, pc int32, site int16) xop {
+	op := xop{costT: 1, costF: 1, jt: pc + 1, jf: pc + 1, site: site}
+	switch ins.Op {
+	case OpMovImm:
+		op.code, op.dst, op.imm = xMovImm, ins.Dst, ins.Imm
+	case OpMovReg:
+		op.code, op.dst, op.src = xMovReg, ins.Dst, ins.Src
+	case OpAluImm:
+		op.code, op.dst, op.imm = xAddImm+ins.Sub, ins.Dst, ins.Imm
+	case OpAluReg:
+		op.code, op.dst, op.src = xAddReg+ins.Sub, ins.Dst, ins.Src
+	case OpLdCtx:
+		op.code, op.dst, op.imm = xLdCtx, ins.Dst, ins.Imm
+	case OpJmp:
+		op.code = xJmp
+		op.jt = pc + 1 + int32(ins.Off)
+	case OpJImm:
+		op.code, op.dst, op.imm = xJEqImm+ins.Sub, ins.Dst, ins.Imm
+		op.jt = pc + 1 + int32(ins.Off)
+	case OpJReg:
+		op.code, op.dst, op.src = xJEqReg+ins.Sub, ins.Dst, ins.Src
+		op.jt = pc + 1 + int32(ins.Off)
+	case OpMapLd:
+		op.code, op.dst, op.src, op.imm = xMapLd, ins.Dst, ins.Src, ins.Imm
+	case OpMapSt:
+		op.code, op.src, op.sub, op.imm = xMapSt, ins.Src, ins.Sub, ins.Imm
+	case OpMapAdd:
+		op.code, op.dst, op.src, op.sub, op.imm = xMapAdd, ins.Dst, ins.Src, ins.Sub, ins.Imm
+	case OpLoop:
+		op.code, op.dst, op.imm = xLoop, ins.Dst, ins.Imm
+		op.jt = pc + 1 + int32(ins.Off)
+	case OpRet:
+		if ins.Sub == RetReg {
+			op.code, op.dst = xRetReg, ins.Dst
+		} else {
+			op.code, op.imm = xRetImm, ins.Imm
+		}
+	}
+	return op
+}
+
+// threadJumps redirects branch targets past chains of unconditional
+// jumps, charging each threaded jmp to the branch edge's cost.
+func (e *Exec) threadJumps() {
+	follow := func(t int32, cost uint16) (int32, uint16) {
+		for hops := 0; hops < 32 && e.ops[t].code == xJmp; hops++ {
+			cost++
+			t = e.ops[t].jt
+		}
+		return t, cost
+	}
+	for i := range e.ops {
+		op := &e.ops[i]
+		switch {
+		case op.code == xJmp:
+			op.jt, op.costT = follow(op.jt, op.costT)
+		case op.code >= xJEqImm && op.code <= xJSetReg:
+			op.jt, op.costT = follow(op.jt, op.costT)
+			op.jf, op.costF = follow(op.jf, op.costF)
+		}
+	}
+}
+
+// ladderMinLen is the shortest chain worth a dispatch table; shorter
+// ladders stay as (possibly load-fused) compare ops.
+const ladderMinLen = 4
+
+// denseMaxSpan bounds the key span a dense O(1) table may cover; wider
+// ladders use binary search.
+const denseMaxSpan = 4096
+
+// buildLadders collapses chains of constant-equality compares on one
+// register linked by their fallthrough edges into shared table dispatches.
+// Every chain member becomes an xSwitch (or xLdSwitch for reloading
+// chains) with its own entry position, so jumps into the middle of the
+// ladder dispatch over exactly the compares the interpreter would still
+// execute.
+func (e *Exec) buildLadders(code uint8) {
+	for s := range e.ops {
+		if e.ops[s].code != code {
+			continue
+		}
+		head := e.ops[s]
+		chain, _ := e.collectChain(int32(s), code, head.dst, head.sel)
+		if len(chain) < ladderMinLen {
+			continue
+		}
+		ti := e.makeTable(chain)
+		out, outSel := xSwitch, uint64(0)
+		if code == xLdJEq {
+			// Each rung's cost already covers its reload, so the table
+			// accounting charges the per-rung loads the interpreter would
+			// re-execute; the dispatch performs just one real load.
+			out, outSel = xLdSwitch, head.sel
+		}
+		cum := int32(0)
+		for p, r := range chain {
+			missCost := int32(e.ops[r].costF)
+			e.ops[r] = xop{code: out, dst: head.dst, sel: outSel, imm: uint64(ti), aux: uint32(p), jt: cum}
+			cum += missCost
+		}
+	}
+}
+
+// collectChain walks fallthrough links from head while each member is a
+// `code` op on register dst (and, for load ladders, reloads the same
+// field sel), stopping at duplicate keys so table keys stay unique.
+func (e *Exec) collectChain(head int32, code uint8, dst uint8, sel uint64) ([]int32, map[uint64]bool) {
+	var chain []int32
+	keys := map[uint64]bool{}
+	for cur := head; ; cur = e.ops[cur].jf {
+		op := &e.ops[cur]
+		if op.code != code || op.dst != dst || (code == xLdJEq && op.sel != sel) || keys[op.imm] {
+			break
+		}
+		keys[op.imm] = true
+		chain = append(chain, cur)
+	}
+	return chain, keys
+}
+
+// makeTable builds one jumpTable for a chain of compare rungs.
+func (e *Exec) makeTable(chain []int32) int {
+	n := len(chain)
+	ents := make([]tableEnt, 0, n)
+	keys := make([]uint64, 0, n)
+	cum := int32(0)
+	var minK, maxK uint64
+	for p, r := range chain {
+		op := &e.ops[r]
+		ents = append(ents, tableEnt{pos: int32(p), tgt: op.jt, cost: cum + int32(op.costT)})
+		keys = append(keys, op.imm)
+		cum += int32(op.costF)
+		if p == 0 || op.imm < minK {
+			minK = op.imm
+		}
+		if p == 0 || op.imm > maxK {
+			maxK = op.imm
+		}
+	}
+	last := &e.ops[chain[n-1]]
+	t := jumpTable{cumN: cum, def: last.jf}
+	sort.Sort(&tableSorter{keys: keys, ents: ents})
+	t.keys, t.ent = keys, ents
+	if span := maxK - minK + 1; span <= denseMaxSpan {
+		t.min = minK
+		t.dense = make([]int32, span)
+		for i, k := range keys {
+			t.dense[k-minK] = int32(i) + 1
+		}
+	}
+	e.tables = append(e.tables, t)
+	return len(e.tables) - 1
+}
+
+// fuseLoads merges a ctx load with the equality compare that consumes it.
+// The consumed slots keep their original ops, so jumps that land there
+// still behave.
+func (e *Exec) fuseLoads() {
+	for s := 0; s+1 < len(e.ops); s++ {
+		ld := &e.ops[s]
+		if ld.code != xLdCtx {
+			continue
+		}
+		next := &e.ops[s+1]
+		switch {
+		case next.code == xSwitch && next.dst == ld.dst:
+			e.ops[s] = xop{
+				code: xLdSwitch, dst: ld.dst, sel: ld.imm,
+				imm: next.imm, aux: next.aux, jt: next.jt, costT: 1,
+			}
+		case next.code == xJEqImm && next.dst == ld.dst:
+			e.ops[s] = xop{
+				code: xLdJEq, dst: ld.dst, sel: ld.imm, imm: next.imm,
+				costT: 1 + next.costT, costF: 1 + next.costF, jt: next.jt, jf: next.jf,
+			}
+		}
+	}
+}
+
+// Run executes the compiled program. Action word, map side effects, error
+// behaviour, and the Executed count are identical to VM.Run on the same
+// verified program — the differential fuzz suite pins this. Safe for
+// concurrent use: all mutable state is local or in the atomic MapSet.
+func (e *Exec) Run(ctx *Ctx, ms *MapSet) (Result, error) {
+	if e.usesMaps && ms == nil {
+		return Result{}, errNoMaps
+	}
+	var r [NumRegs]uint64
+	var trips [MaxLoops]uint32
+	ops := e.ops
+	executed := 0
+	pc := int32(0)
+	for {
+		if executed >= e.cost {
+			// Unreachable for verified programs (Run's budget backstop).
+			return Result{}, errBudget(e.cost)
+		}
+		op := &ops[pc]
+		switch op.code {
+		case xRetImm:
+			return Result{Action: CanonAction(op.imm), Executed: executed + 1}, nil
+		case xRetReg:
+			return Result{Action: CanonAction(r[op.dst]), Executed: executed + 1}, nil
+
+		case xMovImm:
+			r[op.dst] = op.imm
+		case xMovReg:
+			r[op.dst] = r[op.src]
+		case xLdCtx:
+			r[op.dst] = ctx.Field(op.imm)
+
+		case xAddImm:
+			r[op.dst] += op.imm
+		case xSubImm:
+			r[op.dst] -= op.imm
+		case xMulImm:
+			r[op.dst] *= op.imm
+		case xDivImm:
+			if op.imm == 0 {
+				r[op.dst] = 0
+			} else {
+				r[op.dst] /= op.imm
+			}
+		case xModImm:
+			if op.imm == 0 {
+				r[op.dst] = 0
+			} else {
+				r[op.dst] %= op.imm
+			}
+		case xAndImm:
+			r[op.dst] &= op.imm
+		case xOrImm:
+			r[op.dst] |= op.imm
+		case xXorImm:
+			r[op.dst] ^= op.imm
+		case xLshImm:
+			r[op.dst] <<= op.imm & 63
+		case xRshImm:
+			r[op.dst] >>= op.imm & 63
+
+		case xAddReg:
+			r[op.dst] += r[op.src]
+		case xSubReg:
+			r[op.dst] -= r[op.src]
+		case xMulReg:
+			r[op.dst] *= r[op.src]
+		case xDivReg:
+			if v := r[op.src]; v == 0 {
+				r[op.dst] = 0
+			} else {
+				r[op.dst] /= v
+			}
+		case xModReg:
+			if v := r[op.src]; v == 0 {
+				r[op.dst] = 0
+			} else {
+				r[op.dst] %= v
+			}
+		case xAndReg:
+			r[op.dst] &= r[op.src]
+		case xOrReg:
+			r[op.dst] |= r[op.src]
+		case xXorReg:
+			r[op.dst] ^= r[op.src]
+		case xLshReg:
+			r[op.dst] <<= r[op.src] & 63
+		case xRshReg:
+			r[op.dst] >>= r[op.src] & 63
+
+		case xJmp:
+			executed += int(op.costT)
+			pc = op.jt
+			continue
+		case xJEqImm:
+			pc = e.branch(op, r[op.dst] == op.imm, &executed)
+			continue
+		case xJNeImm:
+			pc = e.branch(op, r[op.dst] != op.imm, &executed)
+			continue
+		case xJGtImm:
+			pc = e.branch(op, r[op.dst] > op.imm, &executed)
+			continue
+		case xJGeImm:
+			pc = e.branch(op, r[op.dst] >= op.imm, &executed)
+			continue
+		case xJLtImm:
+			pc = e.branch(op, r[op.dst] < op.imm, &executed)
+			continue
+		case xJLeImm:
+			pc = e.branch(op, r[op.dst] <= op.imm, &executed)
+			continue
+		case xJSetImm:
+			pc = e.branch(op, r[op.dst]&op.imm != 0, &executed)
+			continue
+		case xJEqReg:
+			pc = e.branch(op, r[op.dst] == r[op.src], &executed)
+			continue
+		case xJNeReg:
+			pc = e.branch(op, r[op.dst] != r[op.src], &executed)
+			continue
+		case xJGtReg:
+			pc = e.branch(op, r[op.dst] > r[op.src], &executed)
+			continue
+		case xJGeReg:
+			pc = e.branch(op, r[op.dst] >= r[op.src], &executed)
+			continue
+		case xJLtReg:
+			pc = e.branch(op, r[op.dst] < r[op.src], &executed)
+			continue
+		case xJLeReg:
+			pc = e.branch(op, r[op.dst] <= r[op.src], &executed)
+			continue
+		case xJSetReg:
+			pc = e.branch(op, r[op.dst]&r[op.src] != 0, &executed)
+			continue
+
+		case xMapLd:
+			r[op.dst] = ms.Load(int(op.imm), r[op.src])
+		case xMapSt:
+			ms.Store(int(op.imm), r[op.src], r[op.sub])
+		case xMapAdd:
+			r[op.dst] = ms.AddFetch(int(op.imm), r[op.src], r[op.sub])
+
+		case xLoop:
+			if trips[op.site] < uint32(op.imm) && r[op.dst] > 0 {
+				trips[op.site]++
+				r[op.dst]--
+				executed += int(op.costT)
+				pc = op.jt
+			} else {
+				executed += int(op.costF)
+				pc = op.jf
+			}
+			continue
+
+		case xLdJEq:
+			r[op.dst] = ctx.Field(op.sel)
+			pc = e.branch(op, r[op.dst] == op.imm, &executed)
+			continue
+		case xSwitch:
+			pc = e.dispatch(op, r[op.dst], &executed)
+			continue
+		case xLdSwitch:
+			r[op.dst] = ctx.Field(op.sel)
+			pc = e.dispatch(op, r[op.dst], &executed)
+			continue
+		}
+		executed++
+		pc++
+	}
+}
+
+// branch charges the chosen edge's cost and returns its target.
+func (e *Exec) branch(op *xop, cond bool, executed *int) int32 {
+	if cond {
+		*executed += int(op.costT)
+		return op.jt
+	}
+	*executed += int(op.costF)
+	return op.jf
+}
+
+// dispatch resolves a ladder lookup: the matched key (if reachable from
+// this entry position) wins with the exact cost of the compares the
+// interpreter would have run; otherwise the whole remaining ladder is
+// charged and control exits at the fall-out target.
+func (e *Exec) dispatch(op *xop, v uint64, executed *int) int32 {
+	t := &e.tables[op.imm]
+	base := op.jt // cumulative ladder cost at this entry
+	if ei := t.find(v); ei >= 0 && t.ent[ei].pos >= int32(op.aux) {
+		*executed += int(op.costT) + int(t.ent[ei].cost-base)
+		return t.ent[ei].tgt
+	}
+	*executed += int(op.costT) + int(t.cumN-base)
+	return t.def
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"draco/internal/core"
 	"draco/internal/hwdraco"
 	"draco/internal/kernelmodel"
@@ -54,6 +56,9 @@ func newDracoHW(opts Options) (Engine, error) {
 // build assembles a fresh OS-side checker, memory hierarchy, and hardware
 // engine for a profile.
 func (e *dracoHW) build(p *seccomp.Profile) error {
+	if p.Programmable != nil {
+		return fmt.Errorf("engine: draco-hw does not support programmable policies: the SLB/STB hardware fast path caches stateless decisions only (use the software engines)")
+	}
 	os, err := buildCoreChecker(p, e.shape, e.mode)
 	if err != nil {
 		return err

@@ -45,7 +45,12 @@ func buildCoreChecker(p *seccomp.Profile, shape seccomp.Shape, mode seccomp.Exec
 	if err != nil {
 		return nil, err
 	}
-	return core.NewChecker(p, seccomp.Chain{f}), nil
+	chk := core.NewChecker(p, seccomp.Chain{f})
+	// A profile-carried programmable policy attaches fresh here: a rebuild
+	// (construction or SetProfile) starts a blank map-state epoch, the same
+	// generation semantics the SLB applies to cached decisions.
+	chk.Prog = attachProgram(p, mode)
+	return chk, nil
 }
 
 func (e *dracoSW) Name() string { return "draco-sw" }

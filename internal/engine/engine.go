@@ -83,6 +83,13 @@ const (
 	// still executed zero BPF instructions. Only produced by engines built
 	// with BPFExec "bitmap" (the default).
 	ClassBitmapHit
+	// ClassProgHit: the programmable policy was consulted and resolved
+	// through its extracted constant-action table — zero program
+	// instructions executed (the programmable analog of ClassBitmapHit).
+	ClassProgHit
+	// ClassProgMiss: the programmable policy actually executed its program
+	// (a stateful/payload-dependent number, or extraction disabled).
+	ClassProgMiss
 
 	// NumLatencyClasses sizes per-class counter arrays.
 	NumLatencyClasses
@@ -104,6 +111,10 @@ func (c LatencyClass) String() string {
 		return "slb-hit"
 	case ClassBitmapHit:
 		return "bitmap-hit"
+	case ClassProgHit:
+		return "prog-hit"
+	case ClassProgMiss:
+		return "prog-miss"
 	default:
 		return "unknown"
 	}
@@ -184,12 +195,20 @@ func classify(out core.Outcome) (LatencyClass, bool) {
 		return ClassVATHit, true
 	case !out.Allowed:
 		return ClassDenied, false
+	case out.ProgRan && !out.ProgConstHit:
+		// The programmable policy executed for real: the dominant cost on
+		// this path, regardless of how the whitelist chain resolved.
+		return ClassProgMiss, false
+	case out.Inserted:
+		return ClassInsert, false
+	case out.ProgConstHit:
+		// The program resolved through constant extraction — zero program
+		// instructions; under bitmap BPF exec the whole check ran nothing.
+		return ClassProgHit, false
 	case out.BitmapHit:
 		// Miss path, but the constant-action bitmap answered without
 		// executing any BPF; not a table hit, so CacheHit stays false.
 		return ClassBitmapHit, false
-	case out.Inserted:
-		return ClassInsert, false
 	default:
 		return ClassFilter, false
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"draco/internal/ebpf"
 	"draco/internal/seccomp"
 )
 
@@ -20,11 +21,15 @@ func init() {
 type filterOnly struct {
 	f       *seccomp.Filter
 	profile *seccomp.Profile
-	shape   seccomp.Shape
-	mode    seccomp.ExecMode
-	obs     Observer
-	gen     uint64
-	stats   Stats
+	// prog is the profile's programmable policy (nil without one): even the
+	// no-caching baseline enforces it, so every engine produces the same
+	// decision stream for a programmable profile.
+	prog  *ebpf.Attached
+	shape seccomp.Shape
+	mode  seccomp.ExecMode
+	obs   Observer
+	gen   uint64
+	stats Stats
 }
 
 func newFilterOnly(opts Options) (Engine, error) {
@@ -36,7 +41,15 @@ func newFilterOnly(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &filterOnly{f: f, profile: opts.Profile, shape: opts.Shape, mode: mode, obs: opts.observer(), gen: 1}, nil
+	return &filterOnly{
+		f:       f,
+		profile: opts.Profile,
+		prog:    attachProgram(opts.Profile, mode),
+		shape:   opts.Shape,
+		mode:    mode,
+		obs:     opts.observer(),
+		gen:     1,
+	}, nil
 }
 
 func (e *filterOnly) Name() string { return "filter-only" }
@@ -48,11 +61,26 @@ func (e *filterOnly) Check(sid int, args Args) Decision {
 	e.stats.Checks++
 	e.stats.FilterRuns++
 	e.stats.FilterInsns += uint64(r.Executed)
+	progConst, progRan := false, false
+	if e.prog != nil {
+		ctx := ebpf.NewCtx(int32(sid), args)
+		pr := e.prog.Check(&ctx)
+		dec.FilterInstructions += pr.Executed
+		dec.Action = seccomp.Combine(r.Action, seccomp.Action(pr.Action))
+		dec.Allowed = dec.Action.Allows()
+		e.stats.FilterInsns += uint64(pr.Executed)
+		progConst, progRan = pr.ConstHit, true
+	}
 	class := ClassFilter
-	if !dec.Allowed {
+	switch {
+	case !dec.Allowed:
 		e.stats.Denied++
 		class = ClassDenied
-	} else if r.BitmapHit {
+	case progRan && !progConst:
+		class = ClassProgMiss
+	case progConst:
+		class = ClassProgHit
+	case r.BitmapHit:
 		class = ClassBitmapHit
 	}
 	e.obs.Observe(Observation{SID: sid, Decision: dec, Class: class})
@@ -76,6 +104,7 @@ func (e *filterOnly) SetProfile(p *seccomp.Profile) error {
 	}
 	e.f = f
 	e.profile = p
+	e.prog = attachProgram(p, e.mode)
 	e.gen++
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"draco/internal/concurrent"
+	"draco/internal/ebpf"
 	"draco/internal/seccomp"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	// SLBIndexing selects the SLB set-index function for +slb engines:
 	// "" or "sid" (per-syscall sets), or "hash" (spread hot syscalls).
 	SLBIndexing string
+	// Program optionally attaches a programmable policy (internal/ebpf) on
+	// top of the profile's whitelist, overriding any program the profile
+	// itself carries. Profiles swapped in later via SetProfile use their own
+	// Programmable field.
+	Program *ebpf.Source
 }
 
 // observer returns the effective observer, defaulting to the no-op.
@@ -147,5 +153,28 @@ func New(name string, opts Options) (Engine, error) {
 	if opts.Profile == nil {
 		return nil, fmt.Errorf("engine: %s: nil profile", name)
 	}
+	if opts.Program != nil {
+		// Apply the override by shallow-copying the profile, so every
+		// constructor — and every layer that consults Profile.Programmable —
+		// sees one consistent policy without its own override plumbing.
+		p := *opts.Profile
+		p.Programmable = opts.Program
+		opts.Profile = &p
+	}
 	return info.New(opts)
+}
+
+// attachProgram builds the live programmable policy for a profile under the
+// selected BPF execution mode — the programmable tiers track the -bpfexec
+// tiers: "interp" runs the program interpreter, "compiled" the
+// direct-threaded tier, and "bitmap" adds constant-action extraction. Nil
+// when the profile has no program.
+func attachProgram(p *seccomp.Profile, mode seccomp.ExecMode) *ebpf.Attached {
+	if p.Programmable == nil {
+		return nil
+	}
+	return p.Programmable.Attach(ebpf.AttachOpts{
+		Interp:    mode == seccomp.ExecInterp,
+		NoExtract: mode != seccomp.ExecBitmap,
+	})
 }

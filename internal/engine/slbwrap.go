@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"draco/internal/core"
+	"draco/internal/ebpf"
 	"draco/internal/hashes"
 	"draco/internal/seccomp"
 	"draco/internal/slb"
@@ -113,9 +114,15 @@ type slbWorker struct {
 
 // maskTable maps syscall ID to its SPT Argument Bitmask (zero for ID-only
 // and unknown syscalls), precomputed per profile generation so the hit
-// path never consults the profile.
+// path never consults the profile. For programmable profiles it also
+// carries the program's per-syscall classification: stateless numbers get
+// the argument bytes the program reads OR'd into their mask (so SLB keys
+// discriminate them), and must-run numbers bypass the SLB entirely (a
+// cached allow would freeze a decision mutable state is supposed to
+// change).
 type maskTable struct {
 	masks []uint64
+	cls   *ebpf.Classification
 }
 
 func (t *maskTable) mask(sid int) uint64 {
@@ -123,6 +130,11 @@ func (t *maskTable) mask(sid int) uint64 {
 		return t.masks[sid]
 	}
 	return 0
+}
+
+// bypass reports whether the SLB must stay out of this syscall's way.
+func (t *maskTable) bypass(sid int) bool {
+	return t.cls != nil && t.cls.MustRun(int32(sid))
 }
 
 func buildMaskTable(p *seccomp.Profile) *maskTable {
@@ -136,6 +148,12 @@ func buildMaskTable(p *seccomp.Profile) *maskTable {
 	for _, r := range p.Rules {
 		if r.ChecksArgs() {
 			t.masks[r.Syscall.Num] = core.BitmaskFor(r)
+		}
+	}
+	if src := p.Programmable; src != nil {
+		t.cls = src.Classify()
+		for sid := range t.masks {
+			t.masks[sid] |= t.cls.ArgMask(int32(sid))
 		}
 	}
 	return t
@@ -243,7 +261,12 @@ func cacheable(d Decision) bool {
 
 func (e *slbEngine) Check(sid int, args Args) Decision {
 	epoch := e.epoch.Load()
-	m := e.masks.Load().mask(sid)
+	mt := e.masks.Load()
+	if mt.bypass(sid) {
+		// Must-run programmable number: neither serve nor fill the SLB.
+		return e.inner.Check(sid, args)
+	}
+	m := mt.mask(sid)
 	pair := hashes.ArgSet(args, m)
 	w := e.pool.Get().(*slbWorker)
 	if w.cache.Lookup(sid, pair, epoch) {
@@ -293,6 +316,11 @@ func (e *slbEngine) CheckBatch(calls []Call, dst []Decision) []Decision {
 		m := mt.mask(cl.SID)
 		pair := hashes.ArgSet(cl.Args, m)
 		pairs = append(pairs, pair)
+		if mt.bypass(cl.SID) {
+			// Must-run programmable number: always forward, never fill.
+			miss = append(miss, int32(i))
+			continue
+		}
 		if w.cache.Lookup(cl.SID, pair, epoch) {
 			if m == 0 {
 				hitsID++
@@ -322,7 +350,7 @@ func (e *slbEngine) CheckBatch(calls []Call, dst []Decision) []Decision {
 		for k, dec := range e.inner.CheckBatch(mcalls, nil) {
 			i := miss[k]
 			dst[i] = dec
-			if cacheable(dec) {
+			if cacheable(dec) && !mt.bypass(calls[i].SID) {
 				w.cache.Insert(calls[i].SID, pairs[i], epoch)
 				fills++
 			}

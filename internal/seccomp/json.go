@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"draco/internal/ebpf"
 	"draco/internal/syscalls"
 )
 
@@ -20,6 +21,22 @@ type jsonProfile struct {
 	DefaultAction string        `json:"defaultAction"`
 	Architectures []string      `json:"architectures,omitempty"`
 	Syscalls      []jsonSyscall `json:"syscalls"`
+	// Programmable is a Draco extension to the Docker format: an optional
+	// stateful policy program in the internal/ebpf assembly dialect, stacked
+	// on top of the whitelist. Docker-format documents without the field
+	// parse unchanged.
+	Programmable *jsonProgrammable `json:"programmable,omitempty"`
+}
+
+type jsonProgrammable struct {
+	Name    string        `json:"name"`
+	Maps    []jsonMapSpec `json:"maps,omitempty"`
+	Program []string      `json:"program"`
+}
+
+type jsonMapSpec struct {
+	Name string `json:"name"`
+	Size uint32 `json:"size"`
 }
 
 type jsonSyscall struct {
@@ -121,6 +138,13 @@ func WriteJSON(w io.Writer, p *Profile) error {
 		sort.Strings(plain)
 		doc.Syscalls = append([]jsonSyscall{{Names: plain, Action: jsonActAllow}}, doc.Syscalls...)
 	}
+	if src := p.Programmable; src != nil {
+		jp := &jsonProgrammable{Name: src.Name, Program: src.Text}
+		for _, m := range src.Maps {
+			jp.Maps = append(jp.Maps, jsonMapSpec{Name: m.Name, Size: m.Size})
+		}
+		doc.Programmable = jp
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
@@ -212,6 +236,21 @@ func ReadJSON(r io.Reader, name string) (*Profile, error) {
 	}
 
 	p := &Profile{Name: name, DefaultAction: def}
+	if jp := doc.Programmable; jp != nil {
+		var maps []ebpf.MapSpec
+		for _, m := range jp.Maps {
+			maps = append(maps, ebpf.MapSpec{Name: m.Name, Size: m.Size})
+		}
+		progName := jp.Name
+		if progName == "" {
+			progName = name
+		}
+		src, err := ebpf.NewSource(progName, maps, jp.Program)
+		if err != nil {
+			return nil, fmt.Errorf("seccomp: programmable policy: %w", err)
+		}
+		p.Programmable = src
+	}
 	for _, a := range rules {
 		r := Rule{Syscall: a.info}
 		// An ID-only entry for a syscall that also has argument entries

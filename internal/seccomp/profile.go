@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"draco/internal/ebpf"
 	"draco/internal/hashes"
 	"draco/internal/syscalls"
 )
@@ -88,6 +89,12 @@ type Profile struct {
 	Name          string
 	DefaultAction Action
 	Rules         []Rule
+	// Programmable is an optional stateful policy program (internal/ebpf)
+	// stacked on top of the whitelist: both must allow a call for it to run,
+	// with kernel action precedence combining the two verdicts. It is
+	// verified at profile-load time, so an attached profile never carries an
+	// unverifiable program.
+	Programmable *ebpf.Source
 }
 
 // Validate checks internal consistency of the profile.

@@ -24,7 +24,7 @@ go test -race -timeout 30m ./...
 # and bitmap fast paths; interp-vs-compiled Decision+Stats identity and
 # bitmap action identity across every registered engine and workload;
 # bitmap soundness against the interpreter on all 512 syscall numbers).
-go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/
+go test -count=1 -run 'ZeroAllocs|Differential' ./internal/engine/ ./internal/concurrent/ ./internal/slb/ ./internal/seccomp/ ./internal/bpf/ ./internal/ebpf/
 
 # Wire-protocol guards, run explicitly: the frame-decoder fuzz seed corpus
 # (each seed as a unit test; use `go test -fuzz FuzzFrameDecode
@@ -42,3 +42,18 @@ go test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
 # the compiled direct-threaded executor and must agree on value, error,
 # and executed-instruction count.
 go test -count=1 -run 'Fuzz' ./internal/bpf/
+
+# Programmable-policy (eBPF tier) guards, run explicitly. The verifier
+# fuzz seed corpus (use `go test -fuzz FuzzVerifyAndRun ./internal/ebpf`
+# to explore beyond it): verifier-accepted programs must run to completion
+# on adversarial inputs through both the interpreter and the compiled tier
+# with matching action, instruction count, and map state; rejected
+# programs must refuse to instantiate a VM.
+go test -count=1 -run 'Fuzz' ./internal/ebpf/
+
+# The programmable race hammer, run explicitly under -race: 16 goroutines
+# hammer per-tenant map state (mixed single checks and batches) through the
+# SLB-wrapped sharded engine while profiles hot-swap mid-stream, then a
+# final swap asserts the fresh-epoch contract; plus the cross-engine
+# stateful decision differential and the end-to-end dracod policy tests.
+go test -race -count=1 -run 'TestProgrammable' ./internal/engine/ ./internal/server/
