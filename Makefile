@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine test-wire test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog slbsweep loadgen misssweep progsweep
+.PHONY: check build vet test test-race test-engine test-wire test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog bench-all bench-all-smoke bench-compare slbsweep loadgen misssweep progsweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector (which includes the 32-goroutine wire hot-swap hammer), the
@@ -90,27 +90,51 @@ bench-filter:
 bench-prog:
 	$(GO) test -run='^$$' -bench 'BenchmarkProgExec' -benchmem ./internal/ebpf
 
-# slbsweep regenerates the software-SLB geometry sweep recorded in
-# results/slbsweep_sw.json (sets x ways x indexing, every workload, bare
-# draco-concurrent baseline).
+# bench-all runs every dracobench mode back to back at full depth and
+# writes one trajectory file (BENCH_<date>.json at the repo root) on the
+# common result schema — the file worth committing as a trajectory point.
+bench-all:
+	$(GO) run ./cmd/dracobench -bench-all
+
+# bench-all-smoke is the CI depth: small traces, fewer reps, reduced
+# grids. A few minutes on one core; catches step-function regressions.
+bench-all-smoke:
+	$(GO) run ./cmd/dracobench -bench-all -smoke -json BENCH_smoke.json
+
+# bench-compare diffs two run files metric-by-metric inside the noise
+# band (see internal/bench/README.md) and exits nonzero on hard
+# regressions:  make bench-compare OLD=BENCH_baseline.json NEW=BENCH_smoke.json
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_smoke.json
+bench-compare:
+	$(GO) run ./cmd/dracobench -compare $(OLD) $(NEW)
+
+# The single-mode sweeps below now emit the common result schema; the
+# results/*.json files they used to regenerate are frozen legacy-schema
+# records (and the converter's test fixtures) — lift one onto the common
+# schema with `dracobench -convert results/<file>.json`, and record new
+# trajectory points with `make bench-all` instead.
+
+# slbsweep: software-SLB geometry sweep (sets x ways x indexing, every
+# workload, bare draco-concurrent baseline); legacy record in
+# results/slbsweep_sw.json.
 slbsweep:
-	$(GO) run ./cmd/dracobench -slbsweep -json results/slbsweep_sw.json
+	$(GO) run ./cmd/dracobench -slbsweep
 
-# loadgen regenerates the service-edge comparison recorded in
-# results/wire_loadgen.json: single-check traffic from every workload over
-# the HTTP JSON API vs the binary wire protocol at equal client
-# concurrency.
+# loadgen: service-edge comparison — single-check traffic from every
+# workload over the HTTP JSON API vs the binary wire protocol at equal
+# client concurrency; legacy record in results/wire_loadgen.json.
 loadgen:
-	$(GO) run ./cmd/dracobench -loadgen -json results/wire_loadgen.json
+	$(GO) run ./cmd/dracobench -loadgen
 
-# misssweep regenerates the filter-execution (miss-path) sweep recorded in
-# results/filterexec.json: every workload's cold-start trace through a bare
-# filter under the interp, compiled, and bitmap tiers.
+# misssweep: filter-execution (miss-path) sweep — every workload's
+# cold-start trace through a bare filter under the interp, compiled, and
+# bitmap tiers; legacy record in results/filterexec.json.
 misssweep:
-	$(GO) run ./cmd/dracobench -misssweep -repeats 3 -json results/filterexec.json
+	$(GO) run ./cmd/dracobench -misssweep -reps 3
 
-# progsweep regenerates the programmable-policy sweep recorded in
-# results/progexec.json: every workload trace through a bare bitmap-tier
-# filter plain vs with constant-extracted and stateful policies attached.
+# progsweep: programmable-policy sweep — every workload trace through a
+# bare bitmap-tier filter plain vs with constant-extracted and stateful
+# policies attached; legacy record in results/progexec.json.
 progsweep:
-	$(GO) run ./cmd/dracobench -progsweep -repeats 3 -json results/progexec.json
+	$(GO) run ./cmd/dracobench -progsweep -reps 3

@@ -1,28 +1,24 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
-	"sync/atomic"
 	"testing"
-	"time"
 
+	"draco/internal/bench"
 	"draco/internal/engine"
 	"draco/internal/profilegen"
-	"draco/internal/workloads"
+	"draco/internal/trace"
 )
 
-// Engine-bench mode: instead of regenerating paper figures, replay a
-// workload trace through registered check engines by name and report
-// steady-state throughput. This is the registry-level rerun of the PR-1
-// shard benchmarks; results/engine_baseline.json records a run of
+// Engine-bench mode: replay workload traces through registered check
+// engines by name and report steady-state throughput. This is the
+// registry-level rerun of the PR-1 shard benchmarks, now emitting the
+// common schema via the bench.Runner measurement policy (warm tables,
+// median of timed full-trace replays).
 //
-//	dracobench -engine all -json results/engine_baseline.json
-//
-// The draco-concurrent engine is swept across the PR-1 shard/routing grid;
-// the other engines run their single configuration.
+//	dracobench -engine all -json out.json
+//	dracobench -engine draco-concurrent -shards 8
 
 // engineBenchConfig is one (engine, shards, routing) cell.
 type engineBenchConfig struct {
@@ -31,33 +27,10 @@ type engineBenchConfig struct {
 	Routing string
 }
 
-// engineBenchResult is one measured cell.
-type engineBenchResult struct {
-	Engine          string  `json:"engine"`
-	Shards          int     `json:"shards,omitempty"`
-	Routing         string  `json:"routing,omitempty"`
-	NsPerCheck      float64 `json:"ns_per_check"`
-	ChecksPerSec    float64 `json:"checks_per_sec"`
-	AllocsPerCheck  int64   `json:"allocs_per_check"`
-	ParallelNsPerOp float64 `json:"parallel_ns_per_check,omitempty"`
-	ParallelPerSec  float64 `json:"parallel_checks_per_sec,omitempty"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
-	VATBytes        int     `json:"vat_bytes"`
-}
-
-// engineBenchDoc is the JSON document -json writes.
-type engineBenchDoc struct {
-	Description string              `json:"description"`
-	Recorded    string              `json:"recorded"`
-	Machine     map[string]any      `json:"machine"`
-	Workload    string              `json:"workload"`
-	Events      int                 `json:"events"`
-	Results     []engineBenchResult `json:"results"`
-}
-
-// engineBenchConfigs expands an engine selector ("all" or a registry name)
-// into the benchmark grid.
-func engineBenchConfigs(selector string, shards int, routing string) ([]engineBenchConfig, error) {
+// engineBenchConfigs expands an engine selector ("all" or a registry
+// name) into the benchmark grid. fullGrid additionally sweeps
+// draco-concurrent across the PR-1 shard/routing grid.
+func engineBenchConfigs(selector string, shards int, routing string, fullGrid bool) ([]engineBenchConfig, error) {
 	names := []string{selector}
 	if selector == "all" {
 		names = engine.Names()
@@ -66,7 +39,7 @@ func engineBenchConfigs(selector string, shards int, routing string) ([]engineBe
 	}
 	var cfgs []engineBenchConfig
 	for _, name := range names {
-		if name == "draco-concurrent" && selector == "all" {
+		if name == "draco-concurrent" && selector == "all" && fullGrid {
 			for _, rt := range []string{"syscall", "args"} {
 				for _, sh := range []int{1, 4, 16} {
 					cfgs = append(cfgs, engineBenchConfig{Engine: name, Shards: sh, Routing: rt})
@@ -83,110 +56,113 @@ func engineBenchConfigs(selector string, shards int, routing string) ([]engineBe
 	return cfgs, nil
 }
 
-// runEngineBench measures every config and optionally writes the JSON doc.
-func runEngineBench(selector, workload string, events, shards int, routing string, seed int64, jsonPath string) error {
-	w, ok := workloads.ByName(workload)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", workload)
+// replayPass replays the whole trace through the engine once.
+func replayPass(e engine.Engine, tr trace.Trace) {
+	for _, ev := range tr {
+		e.Check(ev.SID, ev.Args)
 	}
-	if events <= 0 {
-		events = 50_000
-	}
-	tr := w.Generate(events, seed)
-	p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
-	cfgs, err := engineBenchConfigs(selector, shards, routing)
+}
+
+// engineBenchMode measures every config cell on every selected workload
+// and returns the mode's common-schema result.
+func engineBenchMode(cc commonConfig, selector string, shards int, routing string) (bench.ModeResult, error) {
+	events := cc.eventsOr(50_000)
+	runner := cc.runner(3)
+	cfgs, err := engineBenchConfigs(selector, shards, routing, !cc.smoke)
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 
-	var results []engineBenchResult
-	for _, cfg := range cfgs {
-		e, err := engine.New(cfg.Engine, engine.Options{Profile: p, Shards: cfg.Shards, Routing: cfg.Routing})
-		if err != nil {
-			return err
-		}
-		// Warm the tables so the measured path is the serving steady state.
-		for _, ev := range tr {
-			e.Check(ev.SID, ev.Args)
-		}
-		warm := e.Stats()
-
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			i := 0
-			for n := 0; n < b.N; n++ {
-				ev := tr[i%len(tr)]
-				e.Check(ev.SID, ev.Args)
-				i++
-			}
-		})
-
-		r := engineBenchResult{
-			Engine:         cfg.Engine,
-			Shards:         e.Describe().Shards,
-			Routing:        e.Describe().Routing,
-			NsPerCheck:     float64(res.NsPerOp()),
-			AllocsPerCheck: res.AllocsPerOp(),
-			VATBytes:       e.VATBytes(),
-		}
-		if r.NsPerCheck > 0 {
-			r.ChecksPerSec = 1e9 / r.NsPerCheck
-		}
-		if warm.Checks > 0 {
-			r.CacheHitRate = float64(warm.SPTHits+warm.VATHits) / float64(warm.Checks)
-		}
-
-		// Concurrency-safe engines also get the parallel sweep the PR-1
-		// shard benchmarks ran: every P walks the trace from its own offset.
-		if info, _ := engine.Lookup(cfg.Engine); info.Concurrent {
-			pres := testing.Benchmark(func(b *testing.B) {
-				var cursor atomic.Uint64
-				b.RunParallel(func(pb *testing.PB) {
-					i := cursor.Add(1) * 7919
-					for pb.Next() {
-						ev := tr[i%uint64(len(tr))]
-						e.Check(ev.SID, ev.Args)
-						i++
-					}
-				})
-			})
-			r.ParallelNsPerOp = float64(pres.NsPerOp())
-			if r.ParallelNsPerOp > 0 {
-				r.ParallelPerSec = 1e9 / r.ParallelNsPerOp
-			}
-		}
-		e.Close()
-		results = append(results, r)
-
-		line := fmt.Sprintf("%-17s", r.Engine)
-		if r.Routing != "" {
-			line += fmt.Sprintf(" shards=%-2d routing=%-7s", r.Shards, r.Routing)
-		}
-		line += fmt.Sprintf(" %8.1f ns/check (%.2fM checks/sec, %d allocs)", r.NsPerCheck, r.ChecksPerSec/1e6, r.AllocsPerCheck)
-		if r.ParallelNsPerOp > 0 {
-			line += fmt.Sprintf(", parallel %8.1f ns/check", r.ParallelNsPerOp)
-		}
-		fmt.Println(line)
-	}
-
-	if jsonPath == "" {
-		return nil
-	}
-	doc := engineBenchDoc{
-		Description: "Steady-state single-call throughput of every registered check engine (internal/engine registry), warm tables; draco-concurrent swept across the shard/routing grid of results/concurrent_baseline.json. Recorded from `dracobench -engine all -json ...`.",
-		Recorded:    time.Now().Format("2006-01-02"),
-		Machine: map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cores":  runtime.NumCPU(),
+	mode := bench.ModeResult{
+		Mode: "enginebench",
+		Config: bench.Config{
+			Events: events, Reps: runner.Reps, Warmup: runner.Warmup,
+			Seed: cc.seed, Workloads: cc.workloadNames(),
+			Extra: map[string]string{"selector": selector},
 		},
-		Workload: w.Name + " trace, app-complete profile, warm tables",
-		Events:   events,
-		Results:  results,
 	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
+
+	for _, w := range cc.workloads {
+		tr := w.Generate(events, cc.seed)
+		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
+
+		for _, cfg := range cfgs {
+			e, err := engine.New(cfg.Engine, engine.Options{Profile: p, Shards: cfg.Shards, Routing: cfg.Routing})
+			if err != nil {
+				return bench.ModeResult{}, err
+			}
+			// Warm the tables so the measured path is the serving
+			// steady state, then read the warm-trace hit rate.
+			replayPass(e, tr)
+			warm := e.Stats()
+
+			cell := bench.CellName(cfg.Engine, e.Describe().Shards, e.Describe().Routing)
+			samples := runner.MeasureNsScaled(len(tr), func() { replayPass(e, tr) })
+			m := bench.LowerIsBetter(w.Name, cell+"/ns_per_check", "ns/op", len(tr), samples)
+			mode.Metrics = append(mode.Metrics, m)
+
+			// Allocation count on the steady-state path (one full replay).
+			allocs := testing.AllocsPerRun(1, func() { replayPass(e, tr) }) / float64(len(tr))
+			mode.Metrics = append(mode.Metrics,
+				bench.Info(w.Name, cell+"/allocs_per_check", "allocs/op", []float64{allocs}))
+			if warm.Checks > 0 {
+				hit := float64(warm.SPTHits+warm.VATHits) / float64(warm.Checks)
+				mode.Metrics = append(mode.Metrics,
+					bench.Info(w.Name, cell+"/cache_hit_rate", "ratio", []float64{hit}))
+			}
+
+			// Concurrency-safe engines also get the parallel replay the
+			// PR-1 shard benchmarks ran: every worker walks the trace
+			// from its own offset.
+			var parallelNs float64
+			if info, _ := engine.Lookup(cfg.Engine); info.Concurrent {
+				psamples := runner.MeasureNs(len(tr), func() { parallelReplay(e, tr) })
+				pm := bench.LowerIsBetter(w.Name, cell+"/parallel_ns_per_check", "ns/op", len(tr), psamples)
+				mode.Metrics = append(mode.Metrics, pm)
+				parallelNs = pm.Summary.Median
+			}
+			e.Close()
+
+			line := fmt.Sprintf("%-14s %-34s %8.1f ns/check (%d allocs)", w.Name, cell, m.Summary.Median, int(allocs+0.5))
+			if parallelNs > 0 {
+				line += fmt.Sprintf(", parallel %8.1f ns/check", parallelNs)
+			}
+			fmt.Println(line)
+		}
 	}
-	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+	return mode, nil
+}
+
+// parallelReplay fans one full trace replay out over GOMAXPROCS
+// workers, each walking from its own offset; total work equals one
+// serial replay so the same per-op normalization applies.
+func parallelReplay(e engine.Engine, tr trace.Trace) {
+	workers := maxParallelWorkers()
+	per := (len(tr) + workers - 1) / workers
+	done := make(chan struct{}, workers)
+	for g := 0; g < workers; g++ {
+		lo := g * per
+		hi := lo + per
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		go func(lo, hi, offset int) {
+			n := hi - lo
+			for i := 0; i < n; i++ {
+				ev := tr[(offset+i*7919)%len(tr)]
+				e.Check(ev.SID, ev.Args)
+			}
+			done <- struct{}{}
+		}(lo, hi, g*7919)
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+}
+
+func maxParallelWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return p
+	}
+	return 2 // still exercise the concurrent path on single-core hosts
 }

@@ -10,15 +10,15 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"draco/internal/bench"
 	"draco/internal/engine"
 	"draco/internal/profilegen"
 	"draco/internal/seccomp"
@@ -26,45 +26,21 @@ import (
 	"draco/internal/server/client"
 	"draco/internal/stats"
 	"draco/internal/trace"
-	"draco/internal/workloads"
 )
 
-// loadgenPathResult is one (workload, transport) measurement.
+// loadgenPathResult is one (workload, transport) drive repetition.
 type loadgenPathResult struct {
-	Ops       int     `json:"ops"`
-	ElapsedNS int64   `json:"elapsed_ns"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50NS     int64   `json:"p50_ns"`
-	P95NS     int64   `json:"p95_ns"`
-	P99NS     int64   `json:"p99_ns"`
+	Ops       int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	P50NS     int64
+	P95NS     int64
+	P99NS     int64
 }
 
-// loadgenWorkloadResult compares the two transports on one workload.
-type loadgenWorkloadResult struct {
-	Workload string            `json:"workload"`
-	HTTP     loadgenPathResult `json:"http"`
-	Wire     loadgenPathResult `json:"wire"`
-	// Speedup is wire single-check throughput over HTTP's.
-	Speedup float64 `json:"speedup"`
-}
-
-// loadgenReport is the JSON document written by -json.
-type loadgenReport struct {
-	Events         int                     `json:"events_per_workload"`
-	Concurrency    int                     `json:"client_concurrency"`
-	WireConns      int                     `json:"wire_conns"`
-	Engine         string                  `json:"engine"`
-	Shards         int                     `json:"shards"`
-	Generated      string                  `json:"generated"`
-	Workloads      []loadgenWorkloadResult `json:"workloads"`
-	GeomeanSpeedup float64                 `json:"geomean_speedup"`
-}
-
-// runLoadgen drives the comparison and optionally writes the JSON report.
-func runLoadgen(events, concurrency, wireConns int, seed int64, jsonOut string) error {
-	if events <= 0 {
-		events = 20_000
-	}
+// loadgenMode drives the comparison and returns the common-schema result.
+func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult, error) {
+	events := cc.eventsOr(20_000)
 	if concurrency <= 0 {
 		concurrency = 32
 	}
@@ -72,13 +48,19 @@ func runLoadgen(events, concurrency, wireConns int, seed int64, jsonOut string) 
 		wireConns = 4
 	}
 	const shards = 8
+	runner := cc.runner(2)
+	if cc.warmup < 0 {
+		// warmTenant already warms the serving tables; a full untimed
+		// drive per transport would only stretch the run.
+		runner.Warmup = 0
+	}
 
 	srv := server.New(server.Options{Shards: shards, Routing: "syscall"})
 
 	// HTTP front end on a loopback listener.
 	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(httpLn)
@@ -87,7 +69,7 @@ func runLoadgen(events, concurrency, wireConns int, seed int64, jsonOut string) 
 	// Wire front end next to it, default coalescing policy.
 	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 	ws := srv.NewWireServer(server.WireOptions{})
 	go ws.Serve(wireLn)
@@ -100,75 +82,104 @@ func runLoadgen(events, concurrency, wireConns int, seed int64, jsonOut string) 
 	hc := client.New("http://"+httpLn.Addr().String(), &http.Client{Transport: transport})
 	wc, err := client.DialWire(wireLn.Addr().String(), client.WireOptions{Conns: wireConns})
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 	defer wc.Close()
 
 	ctx := context.Background()
-	genOpts := profilegen.Options{IncludeRuntime: true}
-	report := loadgenReport{
-		Events:      events,
-		Concurrency: concurrency,
-		WireConns:   wireConns,
-		Engine:      server.DefaultEngine,
-		Shards:      shards,
-		Generated:   time.Now().UTC().Format(time.RFC3339),
+	mode := bench.ModeResult{
+		Mode: "loadgen",
+		Config: bench.Config{
+			Events: events, Reps: runner.Reps, Warmup: runner.Warmup,
+			Seed: cc.seed, Workloads: cc.workloadNames(),
+			Extra: map[string]string{
+				"concurrency": fmt.Sprint(concurrency),
+				"wire_conns":  fmt.Sprint(wireConns),
+				"engine":      server.DefaultEngine,
+				"shards":      fmt.Sprint(shards),
+			},
+		},
 	}
 
 	fmt.Printf("loadgen: %d events/workload, %d client workers, %d wire conns\n", events, concurrency, wireConns)
 	fmt.Printf("%-16s %14s %14s %9s   %s\n", "workload", "http ops/s", "wire ops/s", "speedup", "wire p50/p95/p99")
-	var speedups []float64
-	for _, w := range workloads.All() {
-		tr := w.Generate(events, seed)
-		p := profilegen.Complete(w.Name, tr, genOpts)
+	var logSpeedup float64
+	for _, w := range cc.workloads {
+		tr := w.Generate(events, cc.seed)
+		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
 		var buf []byte
 		{
 			var b jsonBuffer
 			if err := seccomp.WriteJSON(&b, p); err != nil {
-				return err
+				return bench.ModeResult{}, err
 			}
 			buf = b
 		}
 		if _, err := wc.PutProfile(ctx, w.Name, "", buf); err != nil {
-			return fmt.Errorf("loadgen: profile %s: %w", w.Name, err)
+			return bench.ModeResult{}, fmt.Errorf("loadgen: profile %s: %w", w.Name, err)
 		}
 		// Warm the tenant's VAT once via batch frames so both transports
 		// measure steady-state edge cost, not first-touch filter runs.
 		if err := warmTenant(ctx, wc, w.Name, tr); err != nil {
-			return err
+			return bench.ModeResult{}, err
 		}
 
-		httpRes, err := driveHTTP(ctx, hc, w.Name, tr, concurrency)
-		if err != nil {
-			return fmt.Errorf("loadgen: %s over http: %w", w.Name, err)
+		type series struct{ ops, p50, p95, p99, speedup []float64 }
+		var httpSer, wireSer series
+		var lastWire loadgenPathResult
+		record := func(s *series, r loadgenPathResult) {
+			s.ops = append(s.ops, r.OpsPerSec)
+			s.p50 = append(s.p50, float64(r.P50NS))
+			s.p95 = append(s.p95, float64(r.P95NS))
+			s.p99 = append(s.p99, float64(r.P99NS))
 		}
-		wireRes, err := driveWire(ctx, wc, w.Name, tr, concurrency)
-		if err != nil {
-			return fmt.Errorf("loadgen: %s over wire: %w", w.Name, err)
-		}
-		speedup := wireRes.OpsPerSec / httpRes.OpsPerSec
-		speedups = append(speedups, speedup)
-		report.Workloads = append(report.Workloads, loadgenWorkloadResult{
-			Workload: w.Name, HTTP: httpRes, Wire: wireRes, Speedup: speedup,
+		err := runner.Repeat(func(recorded bool) error {
+			httpRes, err := driveHTTP(ctx, hc, w.Name, tr, concurrency)
+			if err != nil {
+				return fmt.Errorf("loadgen: %s over http: %w", w.Name, err)
+			}
+			wireRes, err := driveWire(ctx, wc, w.Name, tr, concurrency)
+			if err != nil {
+				return fmt.Errorf("loadgen: %s over wire: %w", w.Name, err)
+			}
+			if recorded {
+				record(&httpSer, httpRes)
+				record(&wireSer, wireRes)
+				httpSer.speedup = append(httpSer.speedup, wireRes.OpsPerSec/httpRes.OpsPerSec)
+				lastWire = wireRes
+			}
+			return nil
 		})
-		fmt.Printf("%-16s %14.0f %14.0f %8.1fx   %v/%v/%v\n",
-			w.Name, httpRes.OpsPerSec, wireRes.OpsPerSec, speedup,
-			time.Duration(wireRes.P50NS), time.Duration(wireRes.P95NS), time.Duration(wireRes.P99NS))
-	}
-	report.GeomeanSpeedup = stats.Geomean(speedups)
-	fmt.Printf("geomean wire/http single-check speedup: %.1fx\n", report.GeomeanSpeedup)
-
-	if jsonOut != "" {
-		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
-			return err
+			return bench.ModeResult{}, err
 		}
-		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
+
+		emit := func(prefix string, s series) float64 {
+			ops := bench.HigherIsBetter(w.Name, prefix+"/ops_per_sec", "ops/s", events, s.ops)
+			mode.Metrics = append(mode.Metrics, ops,
+				bench.LowerIsBetter(w.Name, prefix+"/p50_ns", "ns", events, s.p50),
+				bench.LowerIsBetter(w.Name, prefix+"/p95_ns", "ns", events, s.p95),
+				bench.LowerIsBetter(w.Name, prefix+"/p99_ns", "ns", events, s.p99))
+			return ops.Summary.Median
 		}
-		fmt.Printf("wrote %s\n", jsonOut)
+		httpOps := emit("http", httpSer)
+		wireOps := emit("wire", wireSer)
+		mode.Metrics = append(mode.Metrics,
+			bench.Info(w.Name, "wire_vs_http_speedup", "x", httpSer.speedup))
+
+		speedup := 0.0
+		if httpOps > 0 {
+			speedup = wireOps / httpOps
+			logSpeedup += math.Log(speedup)
+		}
+		fmt.Printf("%-16s %14.0f %14.0f %8.1fx   %v/%v/%v\n",
+			w.Name, httpOps, wireOps, speedup,
+			time.Duration(lastWire.P50NS), time.Duration(lastWire.P95NS), time.Duration(lastWire.P99NS))
 	}
-	return nil
+	geomean := math.Exp(logSpeedup / float64(len(cc.workloads)))
+	mode.Notes = fmt.Sprintf("geomean wire/http single-check speedup: %.1fx", geomean)
+	fmt.Printf("%s\n", mode.Notes)
+	return mode, nil
 }
 
 // jsonBuffer is a minimal io.Writer over a byte slice (avoids importing
@@ -248,20 +259,13 @@ func drive(tr trace.Trace, concurrency int, checkOne func(ev trace.Event) error)
 		all = append(all, lats...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) int64 {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(all)-1))
-		return int64(all[i])
-	}
 	return loadgenPathResult{
 		Ops:       len(all),
-		ElapsedNS: int64(elapsed),
+		Elapsed:   elapsed,
 		OpsPerSec: float64(len(all)) / elapsed.Seconds(),
-		P50NS:     pct(0.50),
-		P95NS:     pct(0.95),
-		P99NS:     pct(0.99),
+		P50NS:     int64(stats.QuantileSorted(all, 0.50)),
+		P95NS:     int64(stats.QuantileSorted(all, 0.95)),
+		P99NS:     int64(stats.QuantileSorted(all, 0.99)),
 	}, nil
 }
 

@@ -1,107 +1,45 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
-	"runtime"
-	"time"
 
+	"draco/internal/bench"
 	"draco/internal/profilegen"
 	"draco/internal/seccomp"
-	"draco/internal/workloads"
 )
 
-// Filter-execution (miss-path) sweep: every cache miss and every cold-start
-// check runs the attached BPF filter, so its execution speed bounds how bad
-// a miss can hurt. This mode replays every workload's cold-start trace
-// straight through a seccomp.Filter — no caches in front — under the three
-// execution tiers: the classic decode-and-dispatch interpreter, the
-// pre-decoded direct-threaded compiled program, and compiled + the
-// per-syscall constant-action bitmap. results/filterexec.json records a run
-// of
+// Filter-execution (miss-path) sweep: every cache miss and every
+// cold-start check runs the attached BPF filter, so its execution speed
+// bounds how bad a miss can hurt. This mode replays every selected
+// workload's cold-start trace straight through a seccomp.Filter — no
+// caches in front — under the three execution tiers (interp, compiled,
+// bitmap) with the shared bench.Runner policy; decisions are
+// cross-validated across tiers before any timing.
 //
-//	dracobench -misssweep -json results/filterexec.json
+//	dracobench -misssweep -json out.json
 
-// missSweepRow is one measured (workload, tier) cell.
-type missSweepRow struct {
-	Workload   string  `json:"workload"`
-	Mode       string  `json:"mode"`
-	NsPerCheck float64 `json:"ns_per_check"`
-	// Speedup is interp's ns/check over this cell's (>1: the tier wins).
-	// Zero on interp rows.
-	Speedup float64 `json:"speedup_vs_interp,omitempty"`
-	// BitmapHitRate is the fraction of checks resolved through the bitmap
-	// (bitmap rows only): the provably arg-independent share of the trace.
-	BitmapHitRate float64 `json:"bitmap_hit_rate,omitempty"`
-	// BitmapNsPerHit is the ns/check over only the bitmap-resolved subset
-	// (bitmap rows only): the tier's speed on the checks it accelerates.
-	BitmapNsPerHit float64 `json:"bitmap_ns_per_hit,omitempty"`
-}
-
-// missSweepDoc is the JSON document -misssweep -json writes.
-type missSweepDoc struct {
-	Description string         `json:"description"`
-	Recorded    string         `json:"recorded"`
-	Machine     map[string]any `json:"machine"`
-	Events      int            `json:"events"`
-	Workloads   int            `json:"workloads"`
-	// Geomean speedups across workloads: full-trace compiled vs interp, and
-	// bitmap vs interp restricted to the bitmap-resolved (arg-independent)
-	// subset of each trace.
-	GeomeanCompiledSpeedup   float64        `json:"geomean_compiled_speedup"`
-	GeomeanBitmapHitSpeedup  float64        `json:"geomean_bitmap_hit_speedup"`
-	GeomeanBitmapFullSpeedup float64        `json:"geomean_bitmap_full_speedup"`
-	Results                  []missSweepRow `json:"results"`
-}
-
-// filterNs replays the trace through one filter repeats times and returns
-// the best wall-clock ns per check. Small inputs (the bitmap-hit subset of
-// a trace can be a few dozen events) loop inside the timed region until at
-// least minChecks checks ran, keeping the measurement above timer
-// granularity.
-func filterNs(f *seccomp.Filter, data []seccomp.Data, repeats int) float64 {
-	if len(data) == 0 {
-		return 0
-	}
-	const minChecks = 1 << 16
-	passes := 1
-	if len(data) < minChecks {
-		passes = (minChecks + len(data) - 1) / len(data)
-	}
-	best := math.MaxFloat64
-	for r := 0; r < repeats; r++ {
-		start := time.Now()
-		for p := 0; p < passes; p++ {
-			for i := range data {
-				f.Check(&data[i])
-			}
-		}
-		if ns := float64(time.Since(start).Nanoseconds()) / float64(passes*len(data)); ns < best {
-			best = ns
-		}
-	}
-	return best
-}
-
-// runMissSweep measures every workload and optionally writes the JSON doc.
-func runMissSweep(events int, seed int64, repeats int, jsonPath string) error {
-	if events <= 0 {
-		events = 50_000
-	}
-	if repeats <= 0 {
-		repeats = 5
-	}
+// missSweepMode measures every workload and returns the common-schema
+// result.
+func missSweepMode(cc commonConfig) (bench.ModeResult, error) {
+	events := cc.eventsOr(50_000)
+	runner := cc.runner(5)
 	const nLibs = 6 // library count of the cold-start prologue
 
-	all := workloads.All()
-	var rows []missSweepRow
+	mode := bench.ModeResult{
+		Mode: "misssweep",
+		Config: bench.Config{
+			Events: events, Reps: runner.Reps, Warmup: runner.Warmup,
+			Seed: cc.seed, Workloads: cc.workloadNames(),
+			Extra: map[string]string{"cold_start_libs": fmt.Sprint(nLibs)},
+		},
+	}
+
 	// Geomean accumulators (log-space sums).
 	var logCompiled, logBitmapHit, logBitmapFull float64
 	nHit := 0
-	for _, w := range all {
-		tr := w.GenerateWithColdStart(events, nLibs, seed)
+	for _, w := range cc.workloads {
+		tr := w.GenerateWithColdStart(events, nLibs, cc.seed)
 		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
 
 		var filters [3]*seccomp.Filter
@@ -109,7 +47,7 @@ func runMissSweep(events int, seed int64, repeats int, jsonPath string) error {
 		for i, m := range modes {
 			f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, m)
 			if err != nil {
-				return fmt.Errorf("%s/%s: %w", w.Name, m, err)
+				return bench.ModeResult{}, fmt.Errorf("%s/%s: %w", w.Name, m, err)
 			}
 			filters[i] = f
 		}
@@ -118,83 +56,77 @@ func runMissSweep(events int, seed int64, repeats int, jsonPath string) error {
 		for i, ev := range tr {
 			data[i] = seccomp.Data{Nr: int32(ev.SID), Arch: seccomp.AuditArchX8664, Args: ev.Args}
 		}
-		// Cross-validate the tiers before timing them: every event must get
-		// the same action from all three, and interp/compiled must agree on
-		// executed instructions exactly.
+		// Cross-validate the tiers before timing them: every event must
+		// get the same action from all three, and interp/compiled must
+		// agree on executed instructions exactly.
 		var hits []seccomp.Data
 		for i := range data {
 			ri := filters[0].Check(&data[i])
 			rc := filters[1].Check(&data[i])
 			rb := filters[2].Check(&data[i])
 			if rc != ri {
-				return fmt.Errorf("%s event %d: interp %+v, compiled %+v", w.Name, i, ri, rc)
+				return bench.ModeResult{}, fmt.Errorf("%s event %d: interp %+v, compiled %+v", w.Name, i, ri, rc)
 			}
 			if rb.Action != ri.Action {
-				return fmt.Errorf("%s event %d: interp action %v, bitmap %v", w.Name, i, ri.Action, rb.Action)
+				return bench.ModeResult{}, fmt.Errorf("%s event %d: interp action %v, bitmap %v", w.Name, i, ri.Action, rb.Action)
 			}
 			if rb.BitmapHit {
 				hits = append(hits, data[i])
 			}
 		}
 
-		interpNs := filterNs(filters[0], data, repeats)
-		compiledNs := filterNs(filters[1], data, repeats)
-		bitmapNs := filterNs(filters[2], data, repeats)
-		hitRate := float64(len(hits)) / float64(len(data))
-		// Time the bitmap tier over only the checks it resolves, against the
-		// interpreter on the same subset: the per-syscall claim.
-		hitNs := filterNs(filters[2], hits, repeats)
-		interpHitNs := filterNs(filters[0], hits, repeats)
+		filterPass := func(f *seccomp.Filter, ds []seccomp.Data) func() {
+			return func() {
+				for i := range ds {
+					f.Check(&ds[i])
+				}
+			}
+		}
+		measure := func(f *seccomp.Filter, ds []seccomp.Data, name string) bench.Metric {
+			samples := runner.MeasureNsScaled(len(ds), filterPass(f, ds))
+			return bench.LowerIsBetter(w.Name, name, "ns/op", len(ds), samples)
+		}
 
-		rows = append(rows,
-			missSweepRow{Workload: w.Name, Mode: "interp", NsPerCheck: interpNs},
-			missSweepRow{Workload: w.Name, Mode: "compiled", NsPerCheck: compiledNs,
-				Speedup: interpNs / compiledNs},
-			missSweepRow{Workload: w.Name, Mode: "bitmap", NsPerCheck: bitmapNs,
-				Speedup: interpNs / bitmapNs, BitmapHitRate: hitRate, BitmapNsPerHit: hitNs},
-		)
+		interp := measure(filters[0], data, "interp/ns_per_check")
+		compiled := measure(filters[1], data, "compiled/ns_per_check")
+		bitmap := measure(filters[2], data, "bitmap/ns_per_check")
+		mode.Metrics = append(mode.Metrics, interp, compiled, bitmap)
+
+		hitRate := float64(len(hits)) / float64(len(data))
+		mode.Metrics = append(mode.Metrics,
+			bench.Info(w.Name, "bitmap/hit_rate", "ratio", []float64{hitRate}))
+
+		// Time the bitmap tier over only the checks it resolves, against
+		// the interpreter on the same subset: the per-syscall claim.
+		hitNs, interpHitNs := 0.0, 0.0
+		if len(hits) > 0 {
+			hitM := measure(filters[2], hits, "bitmap/ns_per_hit")
+			mode.Metrics = append(mode.Metrics, hitM)
+			hitNs = hitM.Summary.Median
+			interpHitNs = bench.LowerIsBetter(w.Name, "", "ns/op", len(hits),
+				runner.MeasureNsScaled(len(hits), filterPass(filters[0], hits))).Summary.Median
+			if hitNs > 0 && interpHitNs > 0 {
+				logBitmapHit += math.Log(interpHitNs / hitNs)
+				nHit++
+			}
+		}
+
+		interpNs, compiledNs, bitmapNs := interp.Summary.Median, compiled.Summary.Median, bitmap.Summary.Median
 		logCompiled += math.Log(interpNs / compiledNs)
 		logBitmapFull += math.Log(interpNs / bitmapNs)
-		if len(hits) > 0 {
-			logBitmapHit += math.Log(interpHitNs / hitNs)
-			nHit++
-		}
-		fmt.Printf("%-14s interp %7.1f  compiled %6.1f (%5.2fx)  bitmap %6.1f (%5.2fx)  hit-rate %5.1f%%  ns/hit %5.2f (%6.2fx)\n",
-			w.Name, interpNs, compiledNs, interpNs/compiledNs, bitmapNs, interpNs/bitmapNs,
-			hitRate*100, hitNs, interpHitNs/hitNs)
+		fmt.Printf("%-14s interp %7.1f  compiled %6.1f (%5.2fx)  bitmap %6.1f (%5.2fx)  hit-rate %5.1f%%  ns/hit %5.2f\n",
+			w.Name, interpNs, compiledNs, interpNs/compiledNs, bitmapNs, interpNs/bitmapNs, hitRate*100, hitNs)
 	}
 
-	n := float64(len(all))
+	n := float64(len(cc.workloads))
 	gCompiled := math.Exp(logCompiled / n)
 	gBitmapFull := math.Exp(logBitmapFull / n)
 	gBitmapHit := 0.0
 	if nHit > 0 {
 		gBitmapHit = math.Exp(logBitmapHit / float64(nHit))
 	}
-	fmt.Printf("\ngeomean speedup vs interp: compiled %.2fx, bitmap (full trace) %.2fx, bitmap (arg-independent subset) %.2fx\n",
+	mode.Notes = fmt.Sprintf("geomean speedup vs interp: compiled %.2fx, bitmap (full trace) %.2fx, bitmap (arg-independent subset) %.2fx",
 		gCompiled, gBitmapFull, gBitmapHit)
-
-	if jsonPath == "" {
-		return nil
-	}
-	doc := missSweepDoc{
-		Description: "Filter-execution (miss-path) sweep: wall-clock ns/check of a bare seccomp.Filter replaying each workload's cold-start trace under the interp, compiled, and bitmap execution tiers; best of N full-trace replays, decisions cross-validated before timing. Recorded from `dracobench -misssweep -json ...`.",
-		Recorded:    time.Now().Format("2006-01-02"),
-		Machine: map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cores":  runtime.NumCPU(),
-		},
-		Events:                   events,
-		Workloads:                len(all),
-		GeomeanCompiledSpeedup:   gCompiled,
-		GeomeanBitmapHitSpeedup:  gBitmapHit,
-		GeomeanBitmapFullSpeedup: gBitmapFull,
-		Results:                  rows,
-	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+	fmt.Printf("\n%s\n", mode.Notes)
+	return mode, nil
 }

@@ -1,17 +1,13 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
-	"runtime"
-	"time"
 
+	"draco/internal/bench"
 	"draco/internal/ebpf"
 	"draco/internal/profilegen"
 	"draco/internal/seccomp"
-	"draco/internal/workloads"
 )
 
 // Programmable-policy sweep: what does stacking a stateful eBPF-flavored
@@ -28,9 +24,7 @@ import (
 //	               write on every call) on the direct-threaded tier
 //	prog-interp    the same stateful program on the interpreter tier
 //
-// results/progexec.json records a run of
-//
-//	dracobench -progsweep -json results/progexec.json
+//	dracobench -progsweep -json out.json
 
 // constProgSource is a program with no map reads on any reachable path:
 // every syscall number classifies as a constant action (nr 511 is unused by
@@ -60,43 +54,10 @@ func countProgSource() (*ebpf.Source, error) {
 		})
 }
 
-// progSweepRow is one measured (workload, mode) cell.
-type progSweepRow struct {
-	Workload   string  `json:"workload"`
-	Mode       string  `json:"mode"`
-	NsPerCheck float64 `json:"ns_per_check"`
-	// OverheadNs is this cell's ns/check minus the workload's plain-filter
-	// ns/check (absent on plain rows).
-	OverheadNs float64 `json:"overhead_ns_vs_plain,omitempty"`
-	// Slowdown is this cell's ns/check over plain's (>1: the policy costs;
-	// absent on plain rows).
-	Slowdown float64 `json:"slowdown_vs_plain,omitempty"`
-}
-
-// progSweepDoc is the JSON document -progsweep -json writes; it mirrors
-// results/filterexec.json's shape.
-type progSweepDoc struct {
-	Description string         `json:"description"`
-	Recorded    string         `json:"recorded"`
-	Machine     map[string]any `json:"machine"`
-	Events      int            `json:"events"`
-	Workloads   int            `json:"workloads"`
-	// Geomean slowdowns vs the plain filter across workloads.
-	GeomeanConstSlowdown    float64        `json:"geomean_const_slowdown"`
-	GeomeanCompiledSlowdown float64        `json:"geomean_compiled_slowdown"`
-	GeomeanInterpSlowdown   float64        `json:"geomean_interp_slowdown"`
-	Results                 []progSweepRow `json:"results"`
-}
-
-// progNs replays the trace through the filter plus an optional attached
-// program repeats times and returns the best wall-clock ns per check.
-func progNs(f *seccomp.Filter, prog *ebpf.Attached, data []seccomp.Data, repeats int) float64 {
-	if len(data) == 0 {
-		return 0
-	}
-	best := math.MaxFloat64
-	for r := 0; r < repeats; r++ {
-		start := time.Now()
+// progPass replays the trace through the filter plus an optional attached
+// program once.
+func progPass(f *seccomp.Filter, prog *ebpf.Attached, data []seccomp.Data) func() {
+	return func() {
 		for i := range data {
 			f.Check(&data[i])
 			if prog != nil {
@@ -104,39 +65,39 @@ func progNs(f *seccomp.Filter, prog *ebpf.Attached, data []seccomp.Data, repeats
 				prog.Check(&ctx)
 			}
 		}
-		if ns := float64(time.Since(start).Nanoseconds()) / float64(len(data)); ns < best {
-			best = ns
-		}
 	}
-	return best
 }
 
-// runProgSweep measures every workload and optionally writes the JSON doc.
-func runProgSweep(events int, seed int64, repeats int, jsonPath string) error {
-	if events <= 0 {
-		events = 50_000
-	}
-	if repeats <= 0 {
-		repeats = 5
-	}
+// progSweepMode measures every workload and returns the common-schema
+// result.
+func progSweepMode(cc commonConfig) (bench.ModeResult, error) {
+	events := cc.eventsOr(50_000)
+	runner := cc.runner(5)
+
 	constSrc, err := constProgSource()
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 	countSrc, err := countProgSource()
 	if err != nil {
-		return err
+		return bench.ModeResult{}, err
 	}
 
-	all := workloads.All()
-	var rows []progSweepRow
+	mode := bench.ModeResult{
+		Mode: "progsweep",
+		Config: bench.Config{
+			Events: events, Reps: runner.Reps, Warmup: runner.Warmup,
+			Seed: cc.seed, Workloads: cc.workloadNames(),
+		},
+	}
+
 	var logConst, logCompiled, logInterp float64
-	for _, w := range all {
-		tr := w.Generate(events, seed)
+	for _, w := range cc.workloads {
+		tr := w.Generate(events, cc.seed)
 		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
 		f, err := seccomp.NewFilterMode(p, seccomp.ShapeLinear, seccomp.ExecBitmap)
 		if err != nil {
-			return fmt.Errorf("%s: %w", w.Name, err)
+			return bench.ModeResult{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
 
 		constProg := constSrc.Attach(ebpf.AttachOpts{})
@@ -155,34 +116,32 @@ func runProgSweep(events int, seed int64, repeats int, jsonPath string) error {
 			ctx := ebpf.NewCtx(data[i].Nr, data[i].Args)
 			rc := constProg.Check(&ctx)
 			if !ebpf.Allows(rc.Action) || rc.Executed != 0 {
-				return fmt.Errorf("%s event %d: const program %+v", w.Name, i, rc)
+				return bench.ModeResult{}, fmt.Errorf("%s event %d: const program %+v", w.Name, i, rc)
 			}
 			ctx = ebpf.NewCtx(data[i].Nr, data[i].Args)
 			ra := compiledProg.Check(&ctx)
 			ctx = ebpf.NewCtx(data[i].Nr, data[i].Args)
 			rb := interpProg.Check(&ctx)
 			if ra.Action != rb.Action || ra.Executed != rb.Executed {
-				return fmt.Errorf("%s event %d: compiled %+v, interp %+v", w.Name, i, ra, rb)
+				return bench.ModeResult{}, fmt.Errorf("%s event %d: compiled %+v, interp %+v", w.Name, i, ra, rb)
 			}
 			if !ebpf.Allows(ra.Action) {
-				return fmt.Errorf("%s event %d: counting program denied %+v", w.Name, i, ra)
+				return bench.ModeResult{}, fmt.Errorf("%s event %d: counting program denied %+v", w.Name, i, ra)
 			}
 		}
 
-		plainNs := progNs(f, nil, data, repeats)
-		constNs := progNs(f, constProg, data, repeats)
-		compiledNs := progNs(f, compiledProg, data, repeats)
-		interpNs := progNs(f, interpProg, data, repeats)
+		measure := func(prog *ebpf.Attached, name string) bench.Metric {
+			samples := runner.MeasureNsScaled(len(data), progPass(f, prog, data))
+			return bench.LowerIsBetter(w.Name, name, "ns/op", len(data), samples)
+		}
+		plain := measure(nil, "plain/ns_per_check")
+		constM := measure(constProg, "prog-const/ns_per_check")
+		compiledM := measure(compiledProg, "prog-compiled/ns_per_check")
+		interpM := measure(interpProg, "prog-interp/ns_per_check")
+		mode.Metrics = append(mode.Metrics, plain, constM, compiledM, interpM)
 
-		rows = append(rows,
-			progSweepRow{Workload: w.Name, Mode: "plain", NsPerCheck: plainNs},
-			progSweepRow{Workload: w.Name, Mode: "prog-const", NsPerCheck: constNs,
-				OverheadNs: constNs - plainNs, Slowdown: constNs / plainNs},
-			progSweepRow{Workload: w.Name, Mode: "prog-compiled", NsPerCheck: compiledNs,
-				OverheadNs: compiledNs - plainNs, Slowdown: compiledNs / plainNs},
-			progSweepRow{Workload: w.Name, Mode: "prog-interp", NsPerCheck: interpNs,
-				OverheadNs: interpNs - plainNs, Slowdown: interpNs / plainNs},
-		)
+		plainNs, constNs := plain.Summary.Median, constM.Summary.Median
+		compiledNs, interpNs := compiledM.Summary.Median, interpM.Summary.Median
 		logConst += math.Log(constNs / plainNs)
 		logCompiled += math.Log(compiledNs / plainNs)
 		logInterp += math.Log(interpNs / plainNs)
@@ -190,34 +149,9 @@ func runProgSweep(events int, seed int64, repeats int, jsonPath string) error {
 			w.Name, plainNs, constNs, constNs-plainNs, compiledNs, compiledNs-plainNs, interpNs, interpNs-plainNs)
 	}
 
-	n := float64(len(all))
-	gConst := math.Exp(logConst / n)
-	gCompiled := math.Exp(logCompiled / n)
-	gInterp := math.Exp(logInterp / n)
-	fmt.Printf("\ngeomean slowdown vs plain filter: const-extracted %.3fx, stateful compiled %.3fx, stateful interp %.3fx\n",
-		gConst, gCompiled, gInterp)
-
-	if jsonPath == "" {
-		return nil
-	}
-	doc := progSweepDoc{
-		Description: "Programmable-policy sweep: wall-clock ns/check of a bare bitmap-tier seccomp.Filter replaying each workload's trace plain, with a constant-extracted program, and with a stateful per-call counting program on the compiled and interp tiers; best of N full-trace replays, decisions cross-validated before timing. Recorded from `dracobench -progsweep -json ...`.",
-		Recorded:    time.Now().Format("2006-01-02"),
-		Machine: map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cores":  runtime.NumCPU(),
-		},
-		Events:                  events,
-		Workloads:               len(all),
-		GeomeanConstSlowdown:    gConst,
-		GeomeanCompiledSlowdown: gCompiled,
-		GeomeanInterpSlowdown:   gInterp,
-		Results:                 rows,
-	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+	n := float64(len(cc.workloads))
+	mode.Notes = fmt.Sprintf("geomean slowdown vs plain filter: const-extracted %.3fx, stateful compiled %.3fx, stateful interp %.3fx",
+		math.Exp(logConst/n), math.Exp(logCompiled/n), math.Exp(logInterp/n))
+	fmt.Printf("\n%s\n", mode.Notes)
+	return mode, nil
 }

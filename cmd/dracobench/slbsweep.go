@@ -1,176 +1,110 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
-	"os"
-	"runtime"
-	"time"
 
+	"draco/internal/bench"
 	"draco/internal/engine"
 	"draco/internal/profilegen"
-	"draco/internal/trace"
-	"draco/internal/workloads"
 )
 
-// SLB geometry sweep: replay every workload trace through the
+// SLB geometry sweep: replay every selected workload trace through the
 // draco-concurrent+slb engine across a grid of software-SLB geometries
-// (sets × ways × set-index routing), with the bare draco-concurrent engine
-// as the per-workload baseline. Timing is wall-clock ns per check over full
-// warm-trace replays (best of N), so the numbers answer the question the
-// wrapper exists for: does the lookaside actually beat the shard route +
-// lock + cuckoo probe on real traces? results/slbsweep_sw.json records a
-// run of
+// (sets × ways × set-index routing), with the bare draco-concurrent
+// engine as the per-workload baseline. Timing is the shared
+// bench.Runner policy — warm pass, repeated full-trace replays, median
+// — so the numbers answer the question the wrapper exists for: does the
+// lookaside actually beat the shard route + lock + cuckoo probe on real
+// traces? At smoke depth only the default geometry (64×4 sid) runs.
 //
-//	dracobench -slbsweep -json results/slbsweep_sw.json
+//	dracobench -slbsweep -json out.json
 
-// slbSweepRow is one measured (workload, engine, geometry) cell.
-type slbSweepRow struct {
-	Workload string `json:"workload"`
-	Engine   string `json:"engine"`
-	Sets     int    `json:"sets,omitempty"`
-	Ways     int    `json:"ways,omitempty"`
-	Indexing string `json:"indexing,omitempty"`
-	// Default marks the default geometry (64 sets × 4 ways, sid indexing).
-	Default    bool    `json:"default_geometry,omitempty"`
-	NsPerCheck float64 `json:"ns_per_check"`
-	// SLBHitRate is SLB hits over checks during the measured replays.
-	SLBHitRate float64 `json:"slb_hit_rate,omitempty"`
-	// Speedup is the bare engine's ns/check over this cell's (>1: the SLB
-	// wins). Zero on baseline rows.
-	Speedup float64 `json:"speedup_vs_bare,omitempty"`
+// slbGeometry is one grid cell.
+type slbGeometry struct {
+	sets, ways int
+	indexing   string
 }
 
-// slbSweepDoc is the JSON document -slbsweep -json writes.
-type slbSweepDoc struct {
-	Description string         `json:"description"`
-	Recorded    string         `json:"recorded"`
-	Machine     map[string]any `json:"machine"`
-	Events      int            `json:"events"`
-	Shards      int            `json:"shards"`
-	// DefaultWins counts workloads where the default geometry beats the
-	// bare engine (out of len(workloads.All())).
-	DefaultWins int           `json:"default_geometry_wins"`
-	Workloads   int           `json:"workloads"`
-	Results     []slbSweepRow `json:"results"`
-}
+func (g slbGeometry) isDefault() bool { return g.sets == 64 && g.ways == 4 && g.indexing == "sid" }
 
-// replayNs replays the trace through the engine repeats times after one
-// warming pass and returns the best wall-clock ns per check. Full-trace
-// replays keep the measurement honest for a lookaside cache: every replay
-// covers the workload's whole footprint, hits and misses in trace
-// proportion, rather than hammering one hot call.
-func replayNs(e engine.Engine, tr trace.Trace, repeats int) float64 {
-	for _, ev := range tr {
-		e.Check(ev.SID, ev.Args)
-	}
-	best := math.MaxFloat64
-	for r := 0; r < repeats; r++ {
-		start := time.Now()
-		for _, ev := range tr {
-			e.Check(ev.SID, ev.Args)
-		}
-		if ns := float64(time.Since(start).Nanoseconds()) / float64(len(tr)); ns < best {
-			best = ns
-		}
-	}
-	return best
-}
+// slbSweepMode measures the grid and returns the common-schema result.
+func slbSweepMode(cc commonConfig, fullGrid bool) (bench.ModeResult, error) {
+	events := cc.eventsOr(30_000)
+	runner := cc.runner(3)
 
-// runSLBSweep measures the grid and optionally writes the JSON doc.
-func runSLBSweep(events int, seed int64, repeats int, jsonPath string) error {
-	if events <= 0 {
-		events = 30_000
-	}
-	if repeats <= 0 {
-		repeats = 3
-	}
-	type geometry struct {
-		sets, ways int
-		indexing   string
-	}
-	var grid []geometry
-	for _, sets := range []int{16, 64, 256} {
-		for _, ways := range []int{2, 4, 8} {
-			for _, ix := range []string{"sid", "hash"} {
-				grid = append(grid, geometry{sets, ways, ix})
+	grid := []slbGeometry{{64, 4, "sid"}}
+	if fullGrid {
+		grid = grid[:0]
+		for _, sets := range []int{16, 64, 256} {
+			for _, ways := range []int{2, 4, 8} {
+				for _, ix := range []string{"sid", "hash"} {
+					grid = append(grid, slbGeometry{sets, ways, ix})
+				}
 			}
 		}
 	}
-	isDefault := func(g geometry) bool { return g.sets == 64 && g.ways == 4 && g.indexing == "sid" }
 
-	all := workloads.All()
-	var rows []slbSweepRow
-	defaultWins, shardsUsed := 0, 0
-	for _, w := range all {
-		tr := w.Generate(events, seed)
+	mode := bench.ModeResult{
+		Mode: "slbsweep",
+		Config: bench.Config{
+			Events: events, Reps: runner.Reps, Warmup: runner.Warmup,
+			Seed: cc.seed, Workloads: cc.workloadNames(),
+			Extra: map[string]string{"grid": fmt.Sprintf("%d geometries", len(grid))},
+		},
+	}
+
+	defaultWins := 0
+	for _, w := range cc.workloads {
+		tr := w.Generate(events, cc.seed)
 		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
 
 		bare, err := engine.New("draco-concurrent", engine.Options{Profile: p})
 		if err != nil {
-			return err
+			return bench.ModeResult{}, err
 		}
-		shardsUsed = bare.Describe().Shards
-		baseNs := replayNs(bare, tr, repeats)
+		baseSamples := runner.MeasureNsScaled(len(tr), func() { replayPass(bare, tr) })
 		bare.Close()
-		rows = append(rows, slbSweepRow{Workload: w.Name, Engine: "draco-concurrent", NsPerCheck: baseNs})
-		fmt.Printf("%-14s %-24s %31s %7.1f ns/check\n", w.Name, "draco-concurrent", "(baseline)", baseNs)
+		base := bench.LowerIsBetter(w.Name, "draco-concurrent/ns_per_check", "ns/op", len(tr), baseSamples)
+		mode.Metrics = append(mode.Metrics, base)
+		baseNs := base.Summary.Median
+		fmt.Printf("%-14s %-36s %31s %7.1f ns/check\n", w.Name, "draco-concurrent", "(baseline)", baseNs)
 
 		for _, g := range grid {
 			e, err := engine.New("draco-concurrent+slb", engine.Options{
 				Profile: p, SLBSets: g.sets, SLBWays: g.ways, SLBIndexing: g.indexing,
 			})
 			if err != nil {
-				return err
+				return bench.ModeResult{}, err
 			}
-			ns := replayNs(e, tr, repeats)
-			row := slbSweepRow{
-				Workload: w.Name, Engine: "draco-concurrent+slb",
-				Sets: g.sets, Ways: g.ways, Indexing: g.indexing,
-				Default: isDefault(g), NsPerCheck: ns,
-			}
+			samples := runner.MeasureNsScaled(len(tr), func() { replayPass(e, tr) })
+			cell := bench.GeometryName(g.sets, g.ways, g.indexing)
+			m := bench.LowerIsBetter(w.Name, cell+"/ns_per_check", "ns/op", len(tr), samples)
+			mode.Metrics = append(mode.Metrics, m)
+
+			hitRate := 0.0
 			if sl, ok := engine.SLBStatsOf(e); ok && sl.Hits+sl.Misses > 0 {
-				row.SLBHitRate = float64(sl.Hits) / float64(sl.Hits+sl.Misses)
-			}
-			if ns > 0 {
-				row.Speedup = baseNs / ns
+				hitRate = float64(sl.Hits) / float64(sl.Hits+sl.Misses)
+				mode.Metrics = append(mode.Metrics,
+					bench.Info(w.Name, cell+"/slb_hit_rate", "ratio", []float64{hitRate}))
 			}
 			e.Close()
-			rows = append(rows, row)
+
+			speedup := 0.0
+			if m.Summary.Median > 0 {
+				speedup = baseNs / m.Summary.Median
+			}
 			mark := ""
-			if row.Default {
+			if g.isDefault() {
 				mark = " *default"
-				if row.Speedup > 1 {
+				if speedup > 1 {
 					defaultWins++
 				}
 			}
-			fmt.Printf("%-14s %-24s sets=%-3d ways=%-2d idx=%-4s hit=%4.1f%% %7.1f ns/check (%.2fx)%s\n",
-				w.Name, row.Engine, g.sets, g.ways, g.indexing, row.SLBHitRate*100, ns, row.Speedup, mark)
+			fmt.Printf("%-14s slb sets=%-3d ways=%-2d idx=%-4s hit=%4.1f%% %7.1f ns/check (%.2fx)%s\n",
+				w.Name, g.sets, g.ways, g.indexing, hitRate*100, m.Summary.Median, speedup, mark)
 		}
 	}
-	fmt.Printf("\ndefault geometry (64x4 sid) beats bare draco-concurrent on %d/%d workloads\n", defaultWins, len(all))
-
-	if jsonPath == "" {
-		return nil
-	}
-	doc := slbSweepDoc{
-		Description: "Software-SLB geometry sweep: wall-clock ns/check of draco-concurrent+slb across sets x ways x set-index routing on every workload trace, warm tables, best of full-trace replays; bare draco-concurrent (default shards) is the per-workload baseline. Recorded from `dracobench -slbsweep -json ...`.",
-		Recorded:    time.Now().Format("2006-01-02"),
-		Machine: map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cores":  runtime.NumCPU(),
-		},
-		Events:      events,
-		Shards:      shardsUsed,
-		DefaultWins: defaultWins,
-		Workloads:   len(all),
-		Results:     rows,
-	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+	mode.Notes = fmt.Sprintf("default geometry (64x4 sid) beats bare draco-concurrent on %d/%d workloads", defaultWins, len(cc.workloads))
+	fmt.Printf("\n%s\n", mode.Notes)
+	return mode, nil
 }

@@ -41,6 +41,7 @@ import (
 	"draco/internal/seccomp"
 	"draco/internal/server"
 	"draco/internal/server/client"
+	"draco/internal/stats"
 	"draco/internal/syscalls"
 	"draco/internal/trace"
 )
@@ -257,15 +258,6 @@ func runCheck(args []string) error {
 	return printJSON(res)
 }
 
-// percentile returns the p-quantile of sorted durations (p in [0,1]).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
-}
-
 func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	srvURL, timeout := ctlFlags(fs)
@@ -373,9 +365,9 @@ func runReplay(args []string) error {
 		len(tr), elapsed.Round(time.Millisecond), path, float64(len(tr))/elapsed.Seconds(), allowed, denied, cached)
 	fmt.Printf("request latency (batch=%d, %d requests): p50=%v p95=%v p99=%v\n",
 		*batchSize, len(lats),
-		percentile(lats, 0.50).Round(time.Microsecond),
-		percentile(lats, 0.95).Round(time.Microsecond),
-		percentile(lats, 0.99).Round(time.Microsecond))
+		stats.QuantileSorted(lats, 0.50).Round(time.Microsecond),
+		stats.QuantileSorted(lats, 0.95).Round(time.Microsecond),
+		stats.QuantileSorted(lats, 0.99).Round(time.Microsecond))
 	return nil
 }
 

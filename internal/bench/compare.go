@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CompareOptions tunes the regression classification.
+type CompareOptions struct {
+	// Noise is the relative band within which a delta is measurement
+	// noise (0.15 = ±15% around the old median).
+	Noise float64
+	// Hard is the relative threshold beyond which a worsening is a hard
+	// regression: the comparator's caller should exit nonzero. Must be
+	// >= Noise to be meaningful.
+	Hard float64
+}
+
+// DefaultCompareOptions: single-core CI containers are noisy, so the
+// band is generous — ±15% is noise, and only a ≥40% worsening of a
+// metric's median is a hard regression.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{Noise: 0.15, Hard: 0.40}
+}
+
+// Delta classification labels, ordered by severity.
+const (
+	ClassImprovement    = "improvement"
+	ClassInBand         = "in-band"
+	ClassRegression     = "regression"
+	ClassHardRegression = "hard-regression"
+	ClassMissingNew     = "missing-in-new"
+	ClassMissingOld     = "new-metric"
+	ClassInfo           = "info"
+)
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	Mode     string  `json:"mode"`
+	Workload string  `json:"workload,omitempty"`
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit,omitempty"`
+	Old      float64 `json:"old,omitempty"`
+	New      float64 `json:"new,omitempty"`
+	// Change is the signed relative worsening: positive means the new
+	// run is worse in the metric's Better direction, negative better.
+	Change float64 `json:"change"`
+	Class  string  `json:"class"`
+}
+
+// Comparison is the full metric-by-metric diff of two runs.
+type Comparison struct {
+	OldRunID string  `json:"old_run_id"`
+	NewRunID string  `json:"new_run_id"`
+	Deltas   []Delta `json:"deltas"`
+
+	Improvements    int `json:"improvements"`
+	InBand          int `json:"in_band"`
+	Regressions     int `json:"regressions"`
+	HardRegressions int `json:"hard_regressions"`
+	Missing         int `json:"missing"`
+	Informational   int `json:"informational"`
+}
+
+// HardRegressed reports whether the diff found any hard regression —
+// the condition under which dracobench -compare exits nonzero.
+func (c *Comparison) HardRegressed() bool { return c.HardRegressions > 0 }
+
+// Compare diffs two runs metric-by-metric (identity: mode + workload +
+// metric name; value: the summary median) and classifies every delta
+// against the noise band. Schema-version mismatches never get here —
+// Decode refuses them — but Compare still guards so in-process callers
+// can't produce a bogus diff either.
+func Compare(old, new *Run, opts CompareOptions) (*Comparison, error) {
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("schema version mismatch: old run %q is v%d, new run %q is v%d",
+			old.RunID, old.SchemaVersion, new.RunID, new.SchemaVersion)
+	}
+	if opts.Noise <= 0 {
+		opts.Noise = DefaultCompareOptions().Noise
+	}
+	if opts.Hard < opts.Noise {
+		opts.Hard = DefaultCompareOptions().Hard
+		if opts.Hard < opts.Noise {
+			opts.Hard = opts.Noise
+		}
+	}
+
+	c := &Comparison{OldRunID: old.RunID, NewRunID: new.RunID}
+	seen := map[string]bool{}
+	for _, om := range old.Modes {
+		nm, ok := new.Mode(om.Mode)
+		for _, ometric := range om.Metrics {
+			key := om.Mode + "\x00" + ometric.Workload + "\x00" + ometric.Name
+			seen[key] = true
+			d := Delta{
+				Mode: om.Mode, Workload: ometric.Workload, Name: ometric.Name,
+				Unit: ometric.Unit, Old: ometric.Summary.Median,
+			}
+			var nmetric *Metric
+			if ok {
+				nmetric, _ = nm.Find(ometric.Workload, ometric.Name)
+			}
+			if nmetric == nil {
+				d.Class = ClassMissingNew
+				c.Missing++
+				c.Deltas = append(c.Deltas, d)
+				continue
+			}
+			d.New = nmetric.Summary.Median
+			if ometric.Better == "" || d.Old == 0 {
+				d.Class = ClassInfo
+				c.Informational++
+				c.Deltas = append(c.Deltas, d)
+				continue
+			}
+			// Signed relative worsening in the metric's Better direction.
+			worse := (d.New - d.Old) / d.Old
+			if ometric.Better == BetterHigher {
+				worse = -worse
+			}
+			d.Change = worse
+			switch {
+			case worse > opts.Hard:
+				d.Class = ClassHardRegression
+				c.HardRegressions++
+			case worse > opts.Noise:
+				d.Class = ClassRegression
+				c.Regressions++
+			case worse < -opts.Noise:
+				d.Class = ClassImprovement
+				c.Improvements++
+			default:
+				d.Class = ClassInBand
+				c.InBand++
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	// Metrics only the new run has: informational, never gating.
+	for _, nm := range new.Modes {
+		for _, nmetric := range nm.Metrics {
+			key := nm.Mode + "\x00" + nmetric.Workload + "\x00" + nmetric.Name
+			if seen[key] {
+				continue
+			}
+			c.Deltas = append(c.Deltas, Delta{
+				Mode: nm.Mode, Workload: nmetric.Workload, Name: nmetric.Name,
+				Unit: nmetric.Unit, New: nmetric.Summary.Median, Class: ClassMissingOld,
+			})
+			c.Missing++
+		}
+	}
+	// Severity-first rendering order, stable within a class.
+	rank := map[string]int{
+		ClassHardRegression: 0, ClassRegression: 1, ClassMissingNew: 2,
+		ClassMissingOld: 3, ClassImprovement: 4, ClassInBand: 5, ClassInfo: 6,
+	}
+	sort.SliceStable(c.Deltas, func(i, j int) bool {
+		return rank[c.Deltas[i].Class] < rank[c.Deltas[j].Class]
+	})
+	return c, nil
+}
+
+// Render writes the comparison as fixed-width text. When verbose is
+// false, in-band deltas are summarized in one line rather than listed.
+func (c *Comparison) Render(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "comparing %s -> %s\n", c.OldRunID, c.NewRunID)
+	for _, d := range c.Deltas {
+		if !verbose && (d.Class == ClassInBand || d.Class == ClassImprovement || d.Class == ClassInfo) {
+			continue
+		}
+		label := d.Name
+		if d.Workload != "" {
+			label = d.Workload + "/" + d.Name
+		}
+		switch d.Class {
+		case ClassMissingNew:
+			fmt.Fprintf(w, "  %-15s %-12s %-52s old=%.4g (metric absent from new run)\n", d.Class, d.Mode, label, d.Old)
+		case ClassMissingOld:
+			fmt.Fprintf(w, "  %-15s %-12s %-52s new=%.4g (no baseline)\n", d.Class, d.Mode, label, d.New)
+		default:
+			fmt.Fprintf(w, "  %-15s %-12s %-52s %.4g -> %.4g %s (%+.1f%%)\n",
+				d.Class, d.Mode, label, d.Old, d.New, d.Unit, d.Change*100)
+		}
+	}
+	fmt.Fprintf(w, "summary: %d improvement(s), %d in-band, %d regression(s), %d hard regression(s), %d missing, %d informational\n",
+		c.Improvements, c.InBand, c.Regressions, c.HardRegressions, c.Missing, c.Informational)
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from current output")
+
+func loadRun(t *testing.T, name string) *Run {
+	t.Helper()
+	r, err := ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return r
+}
+
+// The golden comparison covers every classification at once:
+// improvement (interp), in-band (compiled, http ops), regression (wire
+// ops), hard regression (bitmap), missing-in-new (redis interp),
+// new-metric (redis wire ops), informational (bitmap hit rate).
+func TestCompareGolden(t *testing.T) {
+	old := loadRun(t, "old.json")
+	new := loadRun(t, "new.json")
+	c, err := Compare(old, new, DefaultCompareOptions())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+
+	want := map[string]int{
+		ClassImprovement: 1, ClassInBand: 2, ClassRegression: 1,
+		ClassHardRegression: 1, ClassMissingNew: 1, ClassMissingOld: 1,
+		ClassInfo: 1,
+	}
+	got := map[string]int{}
+	for _, d := range c.Deltas {
+		got[d.Class]++
+	}
+	if c.Informational != 1 {
+		t.Errorf("Informational = %d, want 1", c.Informational)
+	}
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("class %s: %d deltas, want %d (all: %+v)", class, got[class], n, got)
+		}
+	}
+	if !c.HardRegressed() {
+		t.Error("HardRegressed() = false, want true (bitmap went 10 -> 16)")
+	}
+	if c.Improvements != 1 || c.Regressions != 1 || c.HardRegressions != 1 || c.Missing != 2 {
+		t.Errorf("counters: %+v", c)
+	}
+
+	// Golden rendering: the verbose text output is pinned so the CI
+	// gate's report stays stable and reviewable.
+	var b strings.Builder
+	c.Render(&b, true)
+	goldenPath := filepath.Join("testdata", "compare_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if b.String() != string(golden) {
+		t.Errorf("render drifted from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+func TestCompareIdenticalRunsAllInBand(t *testing.T) {
+	old := loadRun(t, "old.json")
+	same := loadRun(t, "old.json")
+	c, err := Compare(old, same, DefaultCompareOptions())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.HardRegressed() || c.Regressions != 0 || c.Missing != 0 || c.Improvements != 0 {
+		t.Errorf("self-compare not clean: %+v", c)
+	}
+}
+
+func TestCompareSchemaVersionMismatch(t *testing.T) {
+	// Decode refuses the file outright.
+	_, err := ReadFile(filepath.Join("testdata", "v2.json"))
+	if err == nil || !strings.Contains(err.Error(), "schema version 2") {
+		t.Errorf("ReadFile(v2.json) err = %v, want schema-version refusal", err)
+	}
+
+	// And Compare guards in-process callers too.
+	old := loadRun(t, "old.json")
+	future := &Run{SchemaVersion: SchemaVersion + 1, RunID: "future"}
+	if _, err := Compare(old, future, DefaultCompareOptions()); err == nil {
+		t.Error("Compare across schema versions did not error")
+	}
+}
+
+func TestDecodeLegacyDocPointsAtConverter(t *testing.T) {
+	_, err := Decode([]byte(`{"description": "old shape", "results": []}`), "results/old.json")
+	if err == nil || !strings.Contains(err.Error(), "convert") {
+		t.Errorf("Decode(legacy) err = %v, want converter hint", err)
+	}
+}
+
+func TestCompareMissingMetricNotFatal(t *testing.T) {
+	old := loadRun(t, "old.json")
+	new := loadRun(t, "new.json")
+	c, err := Compare(old, new, DefaultCompareOptions())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	foundMissing := false
+	for _, d := range c.Deltas {
+		if d.Class == ClassMissingNew {
+			foundMissing = true
+			if d.Workload != "redis" || d.Name != "interp/ns_per_check" {
+				t.Errorf("unexpected missing metric: %+v", d)
+			}
+		}
+	}
+	if !foundMissing {
+		t.Error("redis interp metric should report missing-in-new")
+	}
+}
+
+func TestCompareOptionsDefaultsApplied(t *testing.T) {
+	old := loadRun(t, "old.json")
+	new := loadRun(t, "new.json")
+	// Zero options fall back to the defaults rather than treating every
+	// delta as a regression.
+	c, err := Compare(old, new, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, errD := Compare(old, new, DefaultCompareOptions())
+	if errD != nil {
+		t.Fatal(errD)
+	}
+	if c.HardRegressions != d.HardRegressions || c.Regressions != d.Regressions {
+		t.Errorf("zero options %+v != defaults %+v", c, d)
+	}
+}

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Converter for the legacy results/*.json shapes the first five PRs
+// wrote (engine_baseline, slbsweep_sw, filterexec, progexec,
+// wire_loadgen). Each converts to a single-mode Run on the current
+// schema with one-sample metrics, named exactly as the live mode
+// adapters name them, so a converted legacy file diffs cleanly against
+// a fresh run of the same mode.
+
+// CellName renders an engine-bench grid cell's metric prefix: the
+// engine name, plus shards/routing when the engine is sharded.
+func CellName(engine string, shards int, routing string) string {
+	if shards > 0 && routing != "" {
+		return fmt.Sprintf("%s[shards=%d,%s]", engine, shards, routing)
+	}
+	return engine
+}
+
+// GeometryName renders an SLB sweep geometry's metric prefix.
+func GeometryName(sets, ways int, indexing string) string {
+	return fmt.Sprintf("slb[sets=%d,ways=%d,idx=%s]", sets, ways, indexing)
+}
+
+// ConvertLegacyFile reads a legacy results/*.json document and converts
+// it to the current schema.
+func ConvertLegacyFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ConvertLegacy(data, filepath.Base(path))
+}
+
+// ConvertLegacy sniffs which legacy shape the document is and converts
+// it. name is used for the run id and error messages.
+func ConvertLegacy(data []byte, name string) (*Run, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON document: %w", name, err)
+	}
+	if v, ok := probe["schema_version"]; ok && string(v) != "0" {
+		return nil, fmt.Errorf("%s: already on the common schema (schema_version %s), nothing to convert", name, v)
+	}
+
+	run := &Run{
+		SchemaVersion: SchemaVersion,
+		RunID:         "legacy-" + strings.TrimSuffix(name, ".json"),
+		Depth:         "legacy",
+	}
+	// Legacy docs recorded partial host info; carry what exists.
+	var meta struct {
+		Recorded  string `json:"recorded"`
+		Generated string `json:"generated"`
+		Machine   struct {
+			GOOS   string `json:"goos"`
+			GOARCH string `json:"goarch"`
+			CPU    string `json:"cpu"`
+			Cores  int    `json:"cores"`
+		} `json:"machine"`
+	}
+	json.Unmarshal(data, &meta)
+	run.TimestampUTC = meta.Recorded
+	if meta.Generated != "" {
+		run.TimestampUTC = meta.Generated
+	}
+	run.Host = Host{OS: meta.Machine.GOOS, Arch: meta.Machine.GOARCH, CPUModel: meta.Machine.CPU, NumCPU: meta.Machine.Cores}
+
+	var mode ModeResult
+	var err error
+	switch {
+	case probe["events_per_workload"] != nil:
+		mode, err = convertLoadgen(data, name)
+	case probe["default_geometry_wins"] != nil:
+		mode, err = convertSLBSweep(data, name)
+	case probe["geomean_compiled_speedup"] != nil:
+		mode, err = convertMissSweep(data, name)
+	case probe["geomean_const_slowdown"] != nil:
+		mode, err = convertProgSweep(data, name)
+	case probe["results"] != nil && probe["workload"] != nil:
+		mode, err = convertEngineBench(data, name)
+	default:
+		return nil, fmt.Errorf("%s: unrecognized legacy shape (known: engine-bench, slbsweep, misssweep, progsweep, loadgen docs)", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	run.Modes = []ModeResult{mode}
+	return run, nil
+}
+
+func one(v float64) []float64 { return []float64{v} }
+
+func convertEngineBench(data []byte, name string) (ModeResult, error) {
+	var doc struct {
+		Workload string `json:"workload"`
+		Events   int    `json:"events"`
+		Results  []struct {
+			Engine          string  `json:"engine"`
+			Shards          int     `json:"shards"`
+			Routing         string  `json:"routing"`
+			NsPerCheck      float64 `json:"ns_per_check"`
+			AllocsPerCheck  float64 `json:"allocs_per_check"`
+			ParallelNsPerOp float64 `json:"parallel_ns_per_check"`
+			CacheHitRate    float64 `json:"cache_hit_rate"`
+			VATBytes        float64 `json:"vat_bytes"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ModeResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	// Legacy docs recorded a prose workload description; keep the first
+	// token as the workload key ("httpd trace, ..." -> "httpd").
+	wl := strings.Fields(doc.Workload)[0]
+	m := ModeResult{Mode: "enginebench", Config: Config{Events: doc.Events, Reps: 1, Workloads: []string{wl}}}
+	for _, r := range doc.Results {
+		cell := CellName(r.Engine, r.Shards, r.Routing)
+		m.Metrics = append(m.Metrics, LowerIsBetter(wl, cell+"/ns_per_check", "ns/op", doc.Events, one(r.NsPerCheck)))
+		if r.ParallelNsPerOp > 0 {
+			m.Metrics = append(m.Metrics, LowerIsBetter(wl, cell+"/parallel_ns_per_check", "ns/op", doc.Events, one(r.ParallelNsPerOp)))
+		}
+		m.Metrics = append(m.Metrics,
+			Info(wl, cell+"/allocs_per_check", "allocs/op", one(r.AllocsPerCheck)),
+			Info(wl, cell+"/cache_hit_rate", "ratio", one(r.CacheHitRate)),
+		)
+	}
+	return m, nil
+}
+
+func convertSLBSweep(data []byte, name string) (ModeResult, error) {
+	var doc struct {
+		Events  int `json:"events"`
+		Results []struct {
+			Workload   string  `json:"workload"`
+			Engine     string  `json:"engine"`
+			Sets       int     `json:"sets"`
+			Ways       int     `json:"ways"`
+			Indexing   string  `json:"indexing"`
+			NsPerCheck float64 `json:"ns_per_check"`
+			SLBHitRate float64 `json:"slb_hit_rate"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ModeResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	m := ModeResult{Mode: "slbsweep", Config: Config{Events: doc.Events, Reps: 1}}
+	for _, r := range doc.Results {
+		if r.Sets == 0 {
+			m.Metrics = append(m.Metrics, LowerIsBetter(r.Workload, r.Engine+"/ns_per_check", "ns/op", doc.Events, one(r.NsPerCheck)))
+			continue
+		}
+		cell := GeometryName(r.Sets, r.Ways, r.Indexing)
+		m.Metrics = append(m.Metrics,
+			LowerIsBetter(r.Workload, cell+"/ns_per_check", "ns/op", doc.Events, one(r.NsPerCheck)),
+			Info(r.Workload, cell+"/slb_hit_rate", "ratio", one(r.SLBHitRate)),
+		)
+	}
+	return m, nil
+}
+
+func convertMissSweep(data []byte, name string) (ModeResult, error) {
+	var doc struct {
+		Events  int `json:"events"`
+		Results []struct {
+			Workload       string  `json:"workload"`
+			Mode           string  `json:"mode"`
+			NsPerCheck     float64 `json:"ns_per_check"`
+			BitmapHitRate  float64 `json:"bitmap_hit_rate"`
+			BitmapNsPerHit float64 `json:"bitmap_ns_per_hit"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ModeResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	m := ModeResult{Mode: "misssweep", Config: Config{Events: doc.Events, Reps: 1}}
+	for _, r := range doc.Results {
+		m.Metrics = append(m.Metrics, LowerIsBetter(r.Workload, r.Mode+"/ns_per_check", "ns/op", doc.Events, one(r.NsPerCheck)))
+		if r.Mode == "bitmap" {
+			m.Metrics = append(m.Metrics,
+				Info(r.Workload, "bitmap/hit_rate", "ratio", one(r.BitmapHitRate)),
+				LowerIsBetter(r.Workload, "bitmap/ns_per_hit", "ns/op", 0, one(r.BitmapNsPerHit)),
+			)
+		}
+	}
+	return m, nil
+}
+
+func convertProgSweep(data []byte, name string) (ModeResult, error) {
+	var doc struct {
+		Events  int `json:"events"`
+		Results []struct {
+			Workload   string  `json:"workload"`
+			Mode       string  `json:"mode"`
+			NsPerCheck float64 `json:"ns_per_check"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ModeResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	m := ModeResult{Mode: "progsweep", Config: Config{Events: doc.Events, Reps: 1}}
+	for _, r := range doc.Results {
+		m.Metrics = append(m.Metrics, LowerIsBetter(r.Workload, r.Mode+"/ns_per_check", "ns/op", doc.Events, one(r.NsPerCheck)))
+	}
+	return m, nil
+}
+
+func convertLoadgen(data []byte, name string) (ModeResult, error) {
+	type path struct {
+		Ops       int     `json:"ops"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+		P50NS     int64   `json:"p50_ns"`
+		P95NS     int64   `json:"p95_ns"`
+		P99NS     int64   `json:"p99_ns"`
+	}
+	var doc struct {
+		Events      int `json:"events_per_workload"`
+		Concurrency int `json:"client_concurrency"`
+		WireConns   int `json:"wire_conns"`
+		Workloads   []struct {
+			Workload string  `json:"workload"`
+			HTTP     path    `json:"http"`
+			Wire     path    `json:"wire"`
+			Speedup  float64 `json:"speedup"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ModeResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	m := ModeResult{Mode: "loadgen", Config: Config{
+		Events: doc.Events, Reps: 1,
+		Extra: map[string]string{
+			"concurrency": fmt.Sprint(doc.Concurrency),
+			"wire_conns":  fmt.Sprint(doc.WireConns),
+		},
+	}}
+	for _, w := range doc.Workloads {
+		for _, tp := range []struct {
+			name string
+			p    path
+		}{{"http", w.HTTP}, {"wire", w.Wire}} {
+			m.Metrics = append(m.Metrics,
+				HigherIsBetter(w.Workload, tp.name+"/ops_per_sec", "ops/s", tp.p.Ops, one(tp.p.OpsPerSec)),
+				LowerIsBetter(w.Workload, tp.name+"/p50_ns", "ns", tp.p.Ops, one(float64(tp.p.P50NS))),
+				LowerIsBetter(w.Workload, tp.name+"/p95_ns", "ns", tp.p.Ops, one(float64(tp.p.P95NS))),
+				LowerIsBetter(w.Workload, tp.name+"/p99_ns", "ns", tp.p.Ops, one(float64(tp.p.P99NS))),
+			)
+		}
+		m.Metrics = append(m.Metrics, Info(w.Workload, "wire_vs_http_speedup", "ratio", one(w.Speedup)))
+	}
+	return m, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The committed legacy results/*.json files are the converter's real
+// fixtures: each must convert into a valid current-schema Run whose
+// metrics carry the values the legacy shape recorded.
+func TestConvertCommittedLegacyResults(t *testing.T) {
+	cases := []struct {
+		file, mode string
+		// spot checks: one metric identity that must exist.
+		workload, metric string
+	}{
+		{"engine_baseline.json", "enginebench", "httpd", "filter-only/ns_per_check"},
+		{"slbsweep_sw.json", "slbsweep", "httpd", "draco-concurrent/ns_per_check"},
+		{"filterexec.json", "misssweep", "httpd", "compiled/ns_per_check"},
+		{"progexec.json", "progsweep", "httpd", "prog-const/ns_per_check"},
+		{"wire_loadgen.json", "loadgen", "httpd", "wire/ops_per_sec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			run, err := ConvertLegacyFile(filepath.Join("..", "..", "results", tc.file))
+			if err != nil {
+				t.Fatalf("convert: %v", err)
+			}
+			if run.SchemaVersion != SchemaVersion {
+				t.Errorf("schema version %d, want %d", run.SchemaVersion, SchemaVersion)
+			}
+			if !strings.HasPrefix(run.RunID, "legacy-") {
+				t.Errorf("run id %q lacks legacy- prefix", run.RunID)
+			}
+			mode, ok := run.Mode(tc.mode)
+			if !ok {
+				t.Fatalf("converted run has no %q mode (modes: %v)", tc.mode, run.Modes)
+			}
+			if len(mode.Metrics) == 0 {
+				t.Fatal("no metrics converted")
+			}
+			m, ok := mode.Find(tc.workload, tc.metric)
+			if !ok {
+				t.Fatalf("metric %s/%s missing", tc.workload, tc.metric)
+			}
+			if m.Summary.N != 1 || m.Summary.Median <= 0 {
+				t.Errorf("metric %s/%s summary %+v, want one positive sample", tc.workload, tc.metric, m.Summary)
+			}
+			// A converted run must be comparable with itself under the
+			// normal comparator path with zero findings.
+			c, err := Compare(run, run, DefaultCompareOptions())
+			if err != nil {
+				t.Fatalf("self-compare: %v", err)
+			}
+			if c.HardRegressed() || c.Regressions != 0 || c.Missing != 0 {
+				t.Errorf("self-compare of converted run not clean: %+v", c)
+			}
+		})
+	}
+}
+
+func TestConvertRejectsUnknownAndCurrentShapes(t *testing.T) {
+	if _, err := ConvertLegacy([]byte(`{"hello": 1}`), "x.json"); err == nil {
+		t.Error("unknown shape converted without error")
+	}
+	if _, err := ConvertLegacy([]byte(`{"schema_version": 1}`), "x.json"); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Errorf("current-schema doc: err = %v, want 'already on the common schema'", err)
+	}
+	if _, err := ConvertLegacy([]byte(`not json`), "x.json"); err == nil {
+		t.Error("non-JSON converted without error")
+	}
+}

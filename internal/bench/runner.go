@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"time"
+)
+
+// Runner is the shared measurement policy every dracobench mode plugs
+// into: a fixed number of untimed warmup passes, then Reps timed
+// repetitions whose per-rep values become the metric's samples. The
+// headline value is the outlier-aware median (stats.Summarize — the
+// median absorbs stragglers, and the Tukey-fence outlier count is
+// recorded alongside), replacing the best-of-N and single-shot timings
+// the modes used to hand-roll.
+type Runner struct {
+	// Warmup is the number of untimed passes before measurement.
+	Warmup int
+	// Reps is the number of timed repetitions (samples per metric).
+	Reps int
+}
+
+// DefaultRunner is the full-depth policy: one warmup pass, three timed
+// repetitions.
+func DefaultRunner() Runner { return Runner{Warmup: 1, Reps: 3} }
+
+// normalized applies the historical flag defaults (0 or negative means
+// "use the default", matching the old per-mode flag handling).
+func (r Runner) normalized() Runner {
+	if r.Warmup < 0 {
+		r.Warmup = 0
+	}
+	if r.Reps <= 0 {
+		r.Reps = 3
+	}
+	return r
+}
+
+// MeasureNs times fn — one full pass over iters operations — Reps times
+// after Warmup untimed passes and returns per-rep ns-per-op samples.
+func (r Runner) MeasureNs(iters int, fn func()) []float64 {
+	r = r.normalized()
+	for w := 0; w < r.Warmup; w++ {
+		fn()
+	}
+	samples := make([]float64, 0, r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		start := time.Now()
+		fn()
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return samples
+}
+
+// minTimedOps keeps tiny inputs measurable: a timed region always covers
+// at least this many operations (the misssweep convention — a trace's
+// bitmap-hit subset can be a few dozen events, well under timer
+// granularity for a single pass).
+const minTimedOps = 1 << 16
+
+// MeasureNsScaled is MeasureNs for workloads of n operations per pass:
+// the pass function is looped inside the timed region until at least
+// minTimedOps operations ran, and samples are normalized per operation.
+// Returns nil for n <= 0.
+func (r Runner) MeasureNsScaled(n int, pass func()) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	passes := 1
+	if n < minTimedOps {
+		passes = (minTimedOps + n - 1) / n
+	}
+	return r.MeasureNs(passes*n, func() {
+		for p := 0; p < passes; p++ {
+			pass()
+		}
+	})
+}
+
+// Repeat runs fn Warmup times with recorded=false, then Reps times with
+// recorded=true, stopping on the first error. For drive-style modes
+// that time themselves and collect several series per repetition.
+func (r Runner) Repeat(fn func(recorded bool) error) error {
+	r = r.normalized()
+	for w := 0; w < r.Warmup; w++ {
+		if err := fn(false); err != nil {
+			return err
+		}
+	}
+	for rep := 0; rep < r.Reps; rep++ {
+		if err := fn(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureRate runs fn Reps times after Warmup untimed passes; fn
+// reports (ops, elapsed) for one repetition and the samples are ops/s.
+// Use for drive-style modes (loadgen) that already time themselves.
+func (r Runner) MeasureRate(fn func() (ops int, elapsed time.Duration, err error)) ([]float64, error) {
+	r = r.normalized()
+	for w := 0; w < r.Warmup; w++ {
+		if _, _, err := fn(); err != nil {
+			return nil, err
+		}
+	}
+	samples := make([]float64, 0, r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		ops, elapsed, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		if elapsed > 0 {
+			samples = append(samples, float64(ops)/elapsed.Seconds())
+		}
+	}
+	return samples, nil
+}

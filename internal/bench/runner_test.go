@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunnerMeasureNs(t *testing.T) {
+	r := Runner{Warmup: 2, Reps: 4}
+	calls := 0
+	samples := r.MeasureNs(10, func() { calls++ })
+	if calls != 6 {
+		t.Errorf("fn ran %d times, want warmup 2 + reps 4 = 6", calls)
+	}
+	if len(samples) != 4 {
+		t.Errorf("got %d samples, want 4", len(samples))
+	}
+	for _, s := range samples {
+		if s < 0 {
+			t.Errorf("negative sample %v", s)
+		}
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	// Zero reps falls back to the default rather than measuring nothing.
+	r := Runner{}
+	samples := r.MeasureNs(1, func() {})
+	if len(samples) != 3 {
+		t.Errorf("zero-valued Runner produced %d samples, want 3", len(samples))
+	}
+}
+
+func TestRunnerMeasureNsScaled(t *testing.T) {
+	r := Runner{Warmup: 0, Reps: 2}
+	passes := 0
+	n := 100 // far below minTimedOps: must loop inside the timed region
+	samples := r.MeasureNsScaled(n, func() {
+		passes++
+		time.Sleep(time.Microsecond)
+	})
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	wantPasses := 2 * ((minTimedOps + n - 1) / n)
+	if passes != wantPasses {
+		t.Errorf("pass ran %d times, want %d", passes, wantPasses)
+	}
+	if got := r.MeasureNsScaled(0, func() {}); got != nil {
+		t.Errorf("MeasureNsScaled(0) = %v, want nil", got)
+	}
+}
+
+func TestRunnerMeasureRate(t *testing.T) {
+	r := Runner{Warmup: 1, Reps: 3}
+	calls := 0
+	samples, err := r.MeasureRate(func() (int, time.Duration, error) {
+		calls++
+		return 1000, time.Millisecond, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Errorf("fn ran %d times, want 4", calls)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	for _, s := range samples {
+		if s < 999_999 || s > 1_000_001 {
+			t.Errorf("sample %v, want ~1e6 ops/s", s)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package bench is the unified benchmark harness behind cmd/dracobench:
+// one versioned result schema shared by every mode, a Runner abstraction
+// (warmup, repetition, outlier-aware medians via internal/stats), a
+// comparator that diffs two runs metric-by-metric against a noise band,
+// and a converter for the legacy results/*.json shapes the first five
+// PRs wrote.
+//
+// The schema follows the cleanroom benchmarking discipline: every run
+// is stamped with a run id, a UTC timestamp, the git SHA it measured,
+// and host/environment capture (CPU model, core count, GOMAXPROCS, Go
+// version), so any two BENCH_*.json files are comparable — or refuse to
+// compare, loudly, when their schema versions differ.
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"draco/internal/stats"
+)
+
+// SchemaVersion is bumped whenever Run's JSON layout changes
+// incompatibly. The comparator refuses to diff runs across versions.
+const SchemaVersion = 1
+
+// Run is the top-level benchmark document: one invocation of the
+// harness (a single mode, or every mode under bench-all).
+type Run struct {
+	SchemaVersion int    `json:"schema_version"`
+	RunID         string `json:"run_id"`
+	// TimestampUTC is the run's start time in RFC 3339 UTC.
+	TimestampUTC string `json:"timestamp_utc"`
+	// GitSHA is the commit the working tree was on (best-effort; empty
+	// when git is unavailable). Suffix "-dirty" marks uncommitted edits.
+	GitSHA string `json:"git_sha,omitempty"`
+	// Depth records the requested depth: "smoke", "full", or "custom".
+	Depth string       `json:"depth,omitempty"`
+	Host  Host         `json:"host"`
+	Modes []ModeResult `json:"modes"`
+}
+
+// Host captures the environment a run measured on.
+type Host struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// ModeResult is one benchmark mode's output: its fixed configuration
+// and the metrics it measured.
+type ModeResult struct {
+	// Mode names the dracobench mode: "enginebench", "slbsweep",
+	// "misssweep", "progsweep", "loadgen" — or a legacy shape's name
+	// when produced by the converter.
+	Mode    string   `json:"mode"`
+	Config  Config   `json:"config"`
+	Metrics []Metric `json:"metrics"`
+	// Notes carries mode-level headline values (geomeans etc.) for
+	// human readers; the comparator ignores it.
+	Notes string `json:"notes,omitempty"`
+}
+
+// Config is the fixed per-mode configuration, recorded so a comparison
+// can verify it is diffing like against like.
+type Config struct {
+	Events    int               `json:"events,omitempty"`
+	Reps      int               `json:"reps,omitempty"`
+	Warmup    int               `json:"warmup,omitempty"`
+	Seed      int64             `json:"seed,omitempty"`
+	Workloads []string          `json:"workloads,omitempty"`
+	Extra     map[string]string `json:"extra,omitempty"`
+}
+
+// Metric is one measured series: per-rep samples plus the shared
+// stats.Summary digest. Identity for comparison purposes is
+// (mode, workload, name).
+type Metric struct {
+	// Workload the metric was measured on ("" for cross-workload
+	// aggregates).
+	Workload string `json:"workload,omitempty"`
+	// Name identifies the measurement within the mode, e.g.
+	// "draco-sw/ns_per_check" or "wire/ops_per_sec".
+	Name string `json:"name"`
+	// Unit is a human label: "ns/op", "ops/s", "ratio".
+	Unit string `json:"unit"`
+	// Better is "lower" or "higher": which direction is an improvement.
+	// Metrics with Better == "" are informational and never gate.
+	Better string `json:"better,omitempty"`
+	// Iterations is the number of operations behind each sample (e.g.
+	// checks per timed replay).
+	Iterations int `json:"iterations,omitempty"`
+	// Samples holds one value per repetition.
+	Samples []float64 `json:"samples,omitempty"`
+	// Summary digests the samples; Summary.Median is the value the
+	// comparator diffs.
+	Summary stats.Summary `json:"summary"`
+}
+
+// BetterLower / BetterHigher are the Metric.Better values.
+const (
+	BetterLower  = "lower"
+	BetterHigher = "higher"
+)
+
+// LowerIsBetter builds a Metric whose improvement direction is down
+// (latencies, ns/op).
+func LowerIsBetter(workload, name, unit string, iterations int, samples []float64) Metric {
+	return Metric{
+		Workload: workload, Name: name, Unit: unit, Better: BetterLower,
+		Iterations: iterations, Samples: samples, Summary: stats.Summarize(samples),
+	}
+}
+
+// HigherIsBetter builds a Metric whose improvement direction is up
+// (throughput, hit rates).
+func HigherIsBetter(workload, name, unit string, iterations int, samples []float64) Metric {
+	return Metric{
+		Workload: workload, Name: name, Unit: unit, Better: BetterHigher,
+		Iterations: iterations, Samples: samples, Summary: stats.Summarize(samples),
+	}
+}
+
+// Info builds a non-gating informational metric (configuration echoes,
+// rates that describe the workload rather than the implementation).
+func Info(workload, name, unit string, samples []float64) Metric {
+	return Metric{
+		Workload: workload, Name: name, Unit: unit,
+		Samples: samples, Summary: stats.Summarize(samples),
+	}
+}
+
+// NewRun stamps a fresh Run with id, UTC timestamp, git SHA, and host
+// capture.
+func NewRun(depth string) *Run {
+	now := time.Now().UTC()
+	var suffix [4]byte
+	rand.Read(suffix[:])
+	return &Run{
+		SchemaVersion: SchemaVersion,
+		RunID:         now.Format("20060102T150405Z") + "-" + hex.EncodeToString(suffix[:]),
+		TimestampUTC:  now.Format(time.RFC3339),
+		GitSHA:        gitSHA(),
+		Depth:         depth,
+		Host:          CaptureHost(),
+	}
+}
+
+// CaptureHost snapshots the current environment.
+func CaptureHost() Host {
+	return Host{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// cpuModel reads the CPU model string (best-effort, Linux /proc).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
+// gitSHA returns the short HEAD commit (best-effort; "" without git).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// WriteFile marshals the run as indented JSON to path.
+func (r *Run) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a Run, rejecting unknown schema versions with a clear
+// error (a legacy document that predates the schema reports as version
+// 0 and points at the converter).
+func ReadFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data, path)
+}
+
+// Decode parses a Run document from raw JSON. name is used in errors.
+func Decode(data []byte, name string) (*Run, error) {
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: not a benchmark run document: %w", name, err)
+	}
+	if r.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: missing schema_version — a legacy results/*.json shape? convert it first (dracobench -convert %s)", name, name)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema version %d, this harness speaks %d — refusing to produce a bogus diff", name, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Find returns the metric with the given identity, if present.
+func (m *ModeResult) Find(workload, name string) (*Metric, bool) {
+	for i := range m.Metrics {
+		if m.Metrics[i].Workload == workload && m.Metrics[i].Name == name {
+			return &m.Metrics[i], true
+		}
+	}
+	return nil, false
+}
+
+// Mode returns the named mode's result, if present.
+func (r *Run) Mode(name string) (*ModeResult, bool) {
+	for i := range r.Modes {
+		if r.Modes[i].Mode == name {
+			return &r.Modes[i], true
+		}
+	}
+	return nil, false
+}

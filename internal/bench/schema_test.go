@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewRunCapturesEnvironment(t *testing.T) {
+	r := NewRun("smoke")
+	if r.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.RunID == "" || r.TimestampUTC == "" {
+		t.Errorf("missing run id/timestamp: %+v", r)
+	}
+	if !strings.HasSuffix(r.TimestampUTC, "Z") {
+		t.Errorf("timestamp %q not UTC RFC3339", r.TimestampUTC)
+	}
+	if r.Depth != "smoke" {
+		t.Errorf("depth %q", r.Depth)
+	}
+	h := r.Host
+	if h.OS == "" || h.Arch == "" || h.NumCPU < 1 || h.GOMAXPROCS < 1 || !strings.HasPrefix(h.GoVersion, "go") {
+		t.Errorf("host capture incomplete: %+v", h)
+	}
+	// Two runs never share an id.
+	if NewRun("smoke").RunID == r.RunID {
+		t.Error("duplicate run ids")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	r := NewRun("full")
+	r.Modes = []ModeResult{{
+		Mode:   "misssweep",
+		Config: Config{Events: 100, Reps: 2, Seed: 1, Workloads: []string{"httpd"}},
+		Metrics: []Metric{
+			LowerIsBetter("httpd", "interp/ns_per_check", "ns/op", 100, []float64{10, 12}),
+			HigherIsBetter("httpd", "wire/ops_per_sec", "ops/s", 100, []float64{5, 6}),
+			Info("httpd", "bitmap/hit_rate", "ratio", []float64{0.5}),
+		},
+		Notes: "test",
+	}}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != r.RunID || got.GitSHA != r.GitSHA || len(got.Modes) != 1 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	m, ok := got.Modes[0].Find("httpd", "interp/ns_per_check")
+	// Nearest-rank median of [10,12] is 10.
+	if !ok || m.Summary.Median != 10 || m.Better != BetterLower {
+		t.Errorf("metric round trip: %+v", m)
+	}
+	if inf, ok := got.Modes[0].Find("httpd", "bitmap/hit_rate"); !ok || inf.Better != "" {
+		t.Errorf("info metric round trip: %+v", inf)
+	}
+}
+
+func TestMetricConstructors(t *testing.T) {
+	m := LowerIsBetter("w", "n", "ns/op", 10, []float64{3, 1, 2})
+	if m.Summary.Median != 2 || m.Summary.Min != 1 || m.Summary.Max != 3 {
+		t.Errorf("summary %+v", m.Summary)
+	}
+	if m.Better != BetterLower {
+		t.Errorf("better %q", m.Better)
+	}
+	if h := HigherIsBetter("w", "n", "ops/s", 10, []float64{1}); h.Better != BetterHigher {
+		t.Errorf("better %q", h.Better)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"draco/internal/engine"
+	"draco/internal/stats"
 )
 
 // histBuckets is the fixed latency bucket ladder: powers of two from 256ns
@@ -68,32 +69,22 @@ func (h *Histogram) MeanNanos() uint64 {
 }
 
 // Quantile returns an upper bound on the q-quantile latency in nanoseconds,
-// resolved to bucket granularity. q is clamped to [0,1].
+// resolved to bucket granularity (the bucket's lower bound is reported).
+// q is clamped to [0,1]. The rank walk is the shared
+// stats.BucketQuantileIndex, pinned against the original inline
+// implementation by a differential test.
 func (h *Histogram) Quantile(q float64) uint64 {
-	if q < 0 {
-		q = 0
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
 	}
-	if q > 1 {
-		q = 1
-	}
-	total := h.count.Load()
-	if total == 0 {
+	idx := stats.BucketQuantileIndex(counts[:], q)
+	if idx < 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	bound := uint64(histBaseNanos)
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			return bound >> 1 // report the bucket's lower bound
-		}
-		bound <<= 1
-	}
-	return bound >> 1
+	// Bucket i covers [2^(i-1)*histBaseNanos, 2^i*histBaseNanos); its
+	// lower bound is histBaseNanos/2 << i.
+	return uint64(histBaseNanos) >> 1 << idx
 }
 
 // sizeBuckets is the coalesced-batch-size bucket ladder: powers of two
@@ -147,32 +138,20 @@ func (h *SizeHistogram) Mean() float64 {
 }
 
 // Quantile returns an upper bound on the q-quantile batch size, resolved
-// to bucket granularity. q is clamped to [0,1].
+// to bucket granularity. q is clamped to [0,1]. Shares the
+// stats.BucketQuantileIndex rank walk with Histogram.Quantile.
 func (h *SizeHistogram) Quantile(q float64) uint64 {
-	if q < 0 {
-		q = 0
+	var counts [sizeBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
 	}
-	if q > 1 {
-		q = 1
-	}
-	total := h.count.Load()
-	if total == 0 {
+	idx := stats.BucketQuantileIndex(counts[:], q)
+	if idx < 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	bound := uint64(1)
-	for i := 0; i < sizeBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			return bound
-		}
-		bound <<= 1
-	}
-	return bound >> 1
+	// Bucket i covers sizes (2^(i-1), 2^i]; its upper bound 2^i is the
+	// reported value.
+	return uint64(1) << idx
 }
 
 // Metrics is dracod's live counter set. Endpoint histograms are created up

@@ -1,11 +1,20 @@
 // Package stats provides the small numeric and rendering helpers the
-// experiment harness uses: means, geometric means, and fixed-width text
-// tables that mirror the paper's figures as rows/series.
+// experiment and benchmark harnesses use: means, geometric means,
+// quantiles (both exact-over-samples and bucket-resolved), robust
+// summaries, and fixed-width text tables that mirror the paper's
+// figures as rows/series.
+//
+// This package is the single home for quantile math. The loadgen and
+// dracod-replay latency percentiles and the server's fixed-bucket
+// histogram quantiles all resolve through here; differential tests pin
+// the helpers against the original inline implementations on shared
+// fixtures.
 package stats
 
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -35,6 +44,124 @@ func Geomean(xs []float64) float64 {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// Real is the numeric constraint for quantile helpers: the sample types
+// the harnesses actually use (ns counts, durations, float ratios).
+type Real interface {
+	~int | ~int32 | ~int64 | ~float64
+}
+
+// QuantileSorted returns the nearest-rank q-quantile of already-sorted
+// xs using the convention every harness in this repo used inline before
+// it was deduplicated here: xs[int(q*(len(xs)-1))]. q is clamped to
+// [0,1]; the zero value is returned for empty input.
+func QuantileSorted[T Real](xs []T, q float64) T {
+	var zero T
+	if len(xs) == 0 {
+		return zero
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return xs[int(q*float64(len(xs)-1))]
+}
+
+// Quantile sorts a copy of xs and returns its nearest-rank q-quantile.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// Median returns the nearest-rank median (0 for empty input).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BucketQuantileIndex returns the index of the bucket holding the
+// q-quantile sample, given per-bucket counts, or -1 when all counts are
+// zero. The rank convention (rank = int(q*total), clamped to total-1;
+// the answer is the first bucket where the cumulative count exceeds the
+// rank) matches the server histograms' original inline walk, which a
+// differential test pins. q is clamped to [0,1].
+func BucketQuantileIndex(counts []uint64, q float64) int {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return -1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return i
+		}
+	}
+	return len(counts) - 1
+}
+
+// Summary is the robust per-metric digest the benchmark schema records:
+// nearest-rank median/p50/p95/p99 plus mean and range over the samples.
+// Outliers counts samples outside the Tukey fences (1.5×IQR beyond the
+// quartiles) — they stay in the summary (the median absorbs them) but
+// the count makes noisy runs visible in the JSON.
+type Summary struct {
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	Median   float64 `json:"median"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Outliers int     `json:"outliers,omitempty"`
+}
+
+// Summarize computes a Summary over xs (zero Summary for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	med := QuantileSorted(s, 0.5)
+	q1, q3 := QuantileSorted(s, 0.25), QuantileSorted(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	outliers := 0
+	for _, x := range s {
+		if x < lo || x > hi {
+			outliers++
+		}
+	}
+	return Summary{
+		N:        len(s),
+		Mean:     Mean(s),
+		Median:   med,
+		P50:      med,
+		P95:      QuantileSorted(s, 0.95),
+		P99:      QuantileSorted(s, 0.99),
+		Min:      s[0],
+		Max:      s[len(s)-1],
+		Outliers: outliers,
+	}
 }
 
 // Table is a labeled grid of cells rendered in fixed-width text.

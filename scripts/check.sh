@@ -57,3 +57,14 @@ go test -count=1 -run 'Fuzz' ./internal/ebpf/
 # final swap asserts the fresh-epoch contract; plus the cross-engine
 # stateful decision differential and the end-to-end dracod policy tests.
 go test -race -count=1 -run 'TestProgrammable' ./internal/engine/ ./internal/server/
+
+# Benchmark-harness round trip: every mode at smoke depth onto one common-
+# schema run file, then the comparator over the run against itself — this
+# exercises the full measure/serialize/decode/diff path and must find
+# nothing (a self-compare has zero regressions by construction). Regression
+# gating against a real baseline happens in CI (soft) and by hand via
+# `make bench-compare`; timings here are single-run smoke numbers, not
+# trajectory points.
+go run ./cmd/dracobench -bench-all -smoke -json /tmp/bench_smoke.$$.json
+go run ./cmd/dracobench -compare /tmp/bench_smoke.$$.json /tmp/bench_smoke.$$.json
+rm -f /tmp/bench_smoke.$$.json
