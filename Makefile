@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine test-wire test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog bench-all bench-all-smoke bench-compare slbsweep loadgen misssweep progsweep
+.PHONY: check build vet test test-race test-engine test-wire test-shm test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog bench-all bench-all-smoke bench-compare slbsweep loadgen loadgen-shm misssweep progsweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector (which includes the 32-goroutine wire hot-swap hammer), the
@@ -8,7 +8,7 @@ GO ?= go
 # -race), the wire fuzz-seed + differential suite, the BPF
 # interp-vs-compiled fuzz seed corpus, and the programmable-policy guards.
 # scripts/check.sh is the same sequence for environments without make.
-check: build vet test-race test-engine test-wire test-bpf test-ebpf
+check: build vet test-race test-engine test-wire test-shm test-bpf test-ebpf
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,23 @@ test-wire:
 	$(GO) test -count=1 -run 'Fuzz' ./internal/wire/
 	$(GO) test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
 	$(GO) test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
+
+# test-shm runs the shared-memory transport's guards explicitly: the slot
+# parser fuzz seed corpus (adversarial seq/len/lap encodings; `go test
+# -fuzz FuzzParseSlot ./internal/shm` explores further), the ring and
+# Batcher-fold 0-allocs/op pins, the shm-vs-in-process differential suite
+# (100k-event traces, all 15 workloads, batch frames + single checks + the
+# client-side Batcher fold), and the race hammers: the SPSC producer/
+# consumer pair and the 16-goroutine check storm over one ring pair with
+# mid-stream profile hot-swaps, both under -race. Every piece skips (not
+# fails) on platforms without mmap support.
+test-shm:
+	$(GO) test -count=1 -run 'Fuzz' ./internal/shm/
+	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/shm/ ./internal/server/client/
+	$(GO) test -count=1 -run 'TestBatcher' ./internal/server/client/
+	$(GO) test -count=1 -run 'TestShmDifferentialAllWorkloads' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestRingSPSCConcurrent' ./internal/shm/
+	$(GO) test -race -count=1 -run 'TestShmHotSwapHammer' ./internal/server/
 
 # test-bpf runs the BPF differential fuzz seed corpus as unit tests:
 # every accepted program through both the interpreter and the compiled
@@ -126,6 +143,15 @@ slbsweep:
 # client concurrency; legacy record in results/wire_loadgen.json.
 loadgen:
 	$(GO) run ./cmd/dracobench -loadgen
+
+# loadgen-shm: the shm-focused quick loop — two workloads at reduced
+# depth, for iterating on the ring/Batcher hot path without the full
+# sweep. loadgen itself already includes the shm and shm_fold edges at
+# full depth whenever the platform supports mmap (it reports them as
+# skipped otherwise); the committed acceptance numbers come from the
+# full run.
+loadgen-shm:
+	$(GO) run ./cmd/dracobench -loadgen -workloads httpd,redis -events 20000
 
 # misssweep: filter-execution (miss-path) sweep — every workload's
 # cold-start trace through a bare filter under the interp, compiled, and

@@ -1,12 +1,16 @@
 package main
 
 // Loadgen mode: the service-edge benchmark. Starts an in-process dracod
-// with both front ends — the HTTP JSON API and the binary wire protocol —
-// and drives single-check traffic from every workload trace through each
-// at equal client concurrency, reporting throughput and p50/p95/p99
-// request latency. This is the measurement behind PR 4's claim: with the
-// in-process check path already allocation-free, the remaining hot-path
-// cost is request framing, and the wire protocol removes most of it.
+// with every front end — the HTTP JSON API, the binary wire protocol, and
+// the shared-memory rings — and drives single-check traffic from every
+// workload trace through each at equal client concurrency, reporting
+// throughput and p50/p95/p99 request latency. One driver loop serves all
+// of them: each edge is just a client.Transport. This is the measurement
+// behind the transport story: with the in-process check path already
+// allocation-free, the remaining hot-path cost is request framing and
+// kernel crossings — the wire protocol removes most of the former, the
+// rings remove the latter, and the client-side Batcher (the shm_fold
+// edge) amortizes what is left per call.
 
 import (
 	"context"
@@ -14,6 +18,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -24,6 +29,7 @@ import (
 	"draco/internal/seccomp"
 	"draco/internal/server"
 	"draco/internal/server/client"
+	"draco/internal/shm"
 	"draco/internal/stats"
 	"draco/internal/trace"
 )
@@ -36,6 +42,12 @@ type loadgenPathResult struct {
 	P50NS     int64
 	P95NS     int64
 	P99NS     int64
+}
+
+// loadgenEdge is one way of reaching the server under test.
+type loadgenEdge struct {
+	name string
+	tc   client.Transport
 }
 
 // loadgenMode drives the comparison and returns the common-schema result.
@@ -56,6 +68,9 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 	}
 
 	srv := server.New(server.Options{Shards: shards, Routing: "syscall"})
+	// One session hub behind every front end: frame dispatch and the
+	// adaptive coalescer are shared, the edges differ only in framing.
+	hub := srv.NewSessionHub(server.SessionOptions{})
 
 	// HTTP front end on a loopback listener.
 	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -71,7 +86,7 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 	if err != nil {
 		return bench.ModeResult{}, err
 	}
-	ws := srv.NewWireServer(server.WireOptions{})
+	ws := hub.NewWireServer()
 	go ws.Serve(wireLn)
 	defer ws.Close()
 
@@ -86,6 +101,40 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 	}
 	defer wc.Close()
 
+	edges := []loadgenEdge{
+		{"http", &client.HTTPTransport{C: hc}},
+		{"wire", wc},
+	}
+
+	// Shm front end: skip (not fail) where mmap is unavailable, so the
+	// mode still runs on exotic platforms.
+	shmState := "on"
+	if shm.Supported() {
+		dir, err := os.MkdirTemp("", "dracobench-shm-*")
+		if err != nil {
+			return bench.ModeResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		ss, err := hub.NewShmServer(dir)
+		if err != nil {
+			return bench.ModeResult{}, err
+		}
+		go ss.Serve()
+		defer ss.Close()
+		sc, err := client.DialShm(dir, client.ShmOptions{})
+		if err != nil {
+			return bench.ModeResult{}, err
+		}
+		defer sc.Close()
+		edges = append(edges,
+			loadgenEdge{"shm", sc},
+			// The fold edge layers client-side aggregation on the same
+			// connection: concurrent callers share ring frames.
+			loadgenEdge{"shm_fold", client.NewBatcher(sc, client.BatcherOptions{})})
+	} else {
+		shmState = "skipped (unsupported platform)"
+	}
+
 	ctx := context.Background()
 	mode := bench.ModeResult{
 		Mode: "loadgen",
@@ -97,13 +146,22 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 				"wire_conns":  fmt.Sprint(wireConns),
 				"engine":      server.DefaultEngine,
 				"shards":      fmt.Sprint(shards),
+				"shm":         shmState,
 			},
 		},
 	}
 
-	fmt.Printf("loadgen: %d events/workload, %d client workers, %d wire conns\n", events, concurrency, wireConns)
-	fmt.Printf("%-16s %14s %14s %9s   %s\n", "workload", "http ops/s", "wire ops/s", "speedup", "wire p50/p95/p99")
-	var logSpeedup float64
+	fmt.Printf("loadgen: %d events/workload, %d client workers, %d wire conns, shm %s\n",
+		events, concurrency, wireConns, shmState)
+	header := fmt.Sprintf("%-16s", "workload")
+	for _, e := range edges {
+		header += fmt.Sprintf(" %12s", e.name+" ops/s")
+	}
+	fmt.Printf("%s %9s %9s\n", header, "wire/http", "shm/wire")
+
+	type series struct{ ops, p50, p95, p99 []float64 }
+	var logWireHTTP, logShmWire float64
+	shmWorkloads := 0
 	for _, w := range cc.workloads {
 		tr := w.Generate(events, cc.seed)
 		p := profilegen.Complete(w.Name, tr, profilegen.Options{IncludeRuntime: true})
@@ -118,35 +176,26 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 		if _, err := wc.PutProfile(ctx, w.Name, "", buf); err != nil {
 			return bench.ModeResult{}, fmt.Errorf("loadgen: profile %s: %w", w.Name, err)
 		}
-		// Warm the tenant's VAT once via batch frames so both transports
-		// measure steady-state edge cost, not first-touch filter runs.
+		// Warm the tenant's VAT once via batch frames so every transport
+		// measures steady-state edge cost, not first-touch filter runs.
 		if err := warmTenant(ctx, wc, w.Name, tr); err != nil {
 			return bench.ModeResult{}, err
 		}
 
-		type series struct{ ops, p50, p95, p99, speedup []float64 }
-		var httpSer, wireSer series
-		var lastWire loadgenPathResult
-		record := func(s *series, r loadgenPathResult) {
-			s.ops = append(s.ops, r.OpsPerSec)
-			s.p50 = append(s.p50, float64(r.P50NS))
-			s.p95 = append(s.p95, float64(r.P95NS))
-			s.p99 = append(s.p99, float64(r.P99NS))
-		}
+		sers := make([]series, len(edges))
 		err := runner.Repeat(func(recorded bool) error {
-			httpRes, err := driveHTTP(ctx, hc, w.Name, tr, concurrency)
-			if err != nil {
-				return fmt.Errorf("loadgen: %s over http: %w", w.Name, err)
-			}
-			wireRes, err := driveWire(ctx, wc, w.Name, tr, concurrency)
-			if err != nil {
-				return fmt.Errorf("loadgen: %s over wire: %w", w.Name, err)
-			}
-			if recorded {
-				record(&httpSer, httpRes)
-				record(&wireSer, wireRes)
-				httpSer.speedup = append(httpSer.speedup, wireRes.OpsPerSec/httpRes.OpsPerSec)
-				lastWire = wireRes
+			for i, e := range edges {
+				res, err := driveEdge(ctx, e.tc, w.Name, tr, concurrency)
+				if err != nil {
+					return fmt.Errorf("loadgen: %s over %s: %w", w.Name, e.name, err)
+				}
+				if recorded {
+					s := &sers[i]
+					s.ops = append(s.ops, res.OpsPerSec)
+					s.p50 = append(s.p50, float64(res.P50NS))
+					s.p95 = append(s.p95, float64(res.P95NS))
+					s.p99 = append(s.p99, float64(res.P99NS))
+				}
 			}
 			return nil
 		})
@@ -154,30 +203,51 @@ func loadgenMode(cc commonConfig, concurrency, wireConns int) (bench.ModeResult,
 			return bench.ModeResult{}, err
 		}
 
-		emit := func(prefix string, s series) float64 {
-			ops := bench.HigherIsBetter(w.Name, prefix+"/ops_per_sec", "ops/s", events, s.ops)
+		medians := make(map[string]float64, len(edges))
+		row := fmt.Sprintf("%-16s", w.Name)
+		for i, e := range edges {
+			s := sers[i]
+			ops := bench.HigherIsBetter(w.Name, e.name+"/ops_per_sec", "ops/s", events, s.ops)
 			mode.Metrics = append(mode.Metrics, ops,
-				bench.LowerIsBetter(w.Name, prefix+"/p50_ns", "ns", events, s.p50),
-				bench.LowerIsBetter(w.Name, prefix+"/p95_ns", "ns", events, s.p95),
-				bench.LowerIsBetter(w.Name, prefix+"/p99_ns", "ns", events, s.p99))
-			return ops.Summary.Median
+				bench.LowerIsBetter(w.Name, e.name+"/p50_ns", "ns", events, s.p50),
+				bench.LowerIsBetter(w.Name, e.name+"/p95_ns", "ns", events, s.p95),
+				bench.LowerIsBetter(w.Name, e.name+"/p99_ns", "ns", events, s.p99))
+			medians[e.name] = ops.Summary.Median
+			row += fmt.Sprintf(" %12.0f", ops.Summary.Median)
 		}
-		httpOps := emit("http", httpSer)
-		wireOps := emit("wire", wireSer)
-		mode.Metrics = append(mode.Metrics,
-			bench.Info(w.Name, "wire_vs_http_speedup", "x", httpSer.speedup))
-
-		speedup := 0.0
-		if httpOps > 0 {
-			speedup = wireOps / httpOps
-			logSpeedup += math.Log(speedup)
+		ratioSeries := func(num, den series) []float64 {
+			out := make([]float64, 0, len(num.ops))
+			for i := range num.ops {
+				if i < len(den.ops) && den.ops[i] > 0 {
+					out = append(out, num.ops[i]/den.ops[i])
+				}
+			}
+			return out
 		}
-		fmt.Printf("%-16s %14.0f %14.0f %8.1fx   %v/%v/%v\n",
-			w.Name, httpOps, wireOps, speedup,
-			time.Duration(lastWire.P50NS), time.Duration(lastWire.P95NS), time.Duration(lastWire.P99NS))
+		wireHTTP := 0.0
+		if medians["http"] > 0 {
+			wireHTTP = medians["wire"] / medians["http"]
+			logWireHTTP += math.Log(wireHTTP)
+			mode.Metrics = append(mode.Metrics,
+				bench.Info(w.Name, "wire_vs_http_speedup", "x", ratioSeries(sers[1], sers[0])))
+		}
+		shmWire := 0.0
+		if m, ok := medians["shm"]; ok && medians["wire"] > 0 {
+			shmWire = m / medians["wire"]
+			logShmWire += math.Log(shmWire)
+			shmWorkloads++
+			mode.Metrics = append(mode.Metrics,
+				bench.Info(w.Name, "shm_vs_wire_speedup", "x", ratioSeries(sers[2], sers[1])))
+		}
+		fmt.Printf("%s %8.1fx %8.1fx\n", row, wireHTTP, shmWire)
 	}
-	geomean := math.Exp(logSpeedup / float64(len(cc.workloads)))
-	mode.Notes = fmt.Sprintf("geomean wire/http single-check speedup: %.1fx", geomean)
+	notes := fmt.Sprintf("geomean wire/http single-check speedup: %.1fx",
+		math.Exp(logWireHTTP/float64(len(cc.workloads))))
+	if shmWorkloads > 0 {
+		notes += fmt.Sprintf("; geomean shm/wire single-check speedup: %.1fx",
+			math.Exp(logShmWire/float64(shmWorkloads)))
+	}
+	mode.Notes = notes
 	fmt.Printf("%s\n", mode.Notes)
 	return mode, nil
 }
@@ -269,23 +339,12 @@ func drive(tr trace.Trace, concurrency int, checkOne func(ev trace.Event) error)
 	}, nil
 }
 
-func driveHTTP(ctx context.Context, hc *client.Client, tenant string, tr trace.Trace, concurrency int) (loadgenPathResult, error) {
+// driveEdge runs the common driver loop over any transport — the
+// per-transport drive functions this replaces differed only in the type
+// of the client they called.
+func driveEdge(ctx context.Context, tc client.Transport, tenant string, tr trace.Trace, concurrency int) (loadgenPathResult, error) {
 	return drive(tr, concurrency, func(ev trace.Event) error {
-		sid := ev.SID
-		res, err := hc.Check(ctx, server.CheckRequest{Tenant: tenant, Num: &sid, Args: ev.Args[:]})
-		if err != nil {
-			return err
-		}
-		if !res.Allowed {
-			return fmt.Errorf("sid %d denied under the trace's own profile", ev.SID)
-		}
-		return nil
-	})
-}
-
-func driveWire(ctx context.Context, wc *client.Wire, tenant string, tr trace.Trace, concurrency int) (loadgenPathResult, error) {
-	return drive(tr, concurrency, func(ev trace.Event) error {
-		d, err := wc.Check(ctx, tenant, ev.SID, ev.Args)
+		d, err := tc.Check(ctx, tenant, ev.SID, ev.Args)
 		if err != nil {
 			return err
 		}

@@ -5,15 +5,18 @@
 //
 //	dracod serve -addr :8477 -engine draco-concurrent -shards 8 -default-profile docker
 //
-// The service listens on two fronts: the HTTP JSON API (-addr) and the
-// length-prefixed binary wire protocol (-wire, see internal/wire) with
-// pipelined connections and adaptive batch coalescing.
+// The service listens on up to three fronts sharing one session layer:
+// the HTTP JSON API (-addr), the length-prefixed binary wire protocol
+// (-wire, see internal/wire) with pipelined connections and adaptive
+// batch coalescing, and shared-memory submission/completion rings for
+// co-located clients (-shm <dir>, see internal/shm).
 //
 // Control subcommands (thin client over the JSON API):
 //
 //	dracod check   -server http://127.0.0.1:8477 -tenant web -syscall read -args 3,0,4096
 //	dracod replay  -server ... -tenant web -trace trace.txt -batch-size 64
 //	dracod replay  -wire 127.0.0.1:8478 -tenant web -trace trace.txt
+//	dracod replay  -shm /run/dracod -tenant web -trace trace.txt
 //	dracod profile -server ... -tenant web -file profile.json -engine draco-sw
 //	dracod stats   -server ... -tenant web
 //	dracod tenants -server ...
@@ -87,10 +90,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dracod <command> [flags]
 
 commands:
-  serve    run the syscall-check service (HTTP JSON API + binary wire protocol)
+  serve    run the syscall-check service (HTTP JSON API + wire protocol + shm rings)
   check    check one system call against a running dracod
   replay   replay a trace file and report throughput + latency percentiles
-           (-wire host:port drives the binary protocol; alias: batch)
+           (-wire host:port drives the binary protocol, -shm dir the
+           shared-memory rings; alias: batch)
   profile  upload a Docker-format JSON profile (hot swap)
   stats    print a tenant's checker statistics
   tenants  list provisioned tenants
@@ -121,6 +125,7 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8477", "HTTP listen address")
 	wireAddr := fs.String("wire", ":8478", "wire-protocol listen address (empty = disabled)")
+	shmDir := fs.String("shm", "", "serve the shared-memory transport from this directory (empty = disabled)")
 	wireCoalesce := fs.Int("wire-max-coalesce", 0, "max single-check frames coalesced into one engine batch (0 = default)")
 	wireWindow := fs.Duration("wire-flush-window", 0, "coalescer flush-window backstop (0 = default, negative = drain/size flushes only)")
 	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
@@ -175,12 +180,16 @@ func runServe(args []string) error {
 	if *pprofOn {
 		extra = ", pprof on /debug/pprof/"
 	}
+	// One session hub — frame dispatch, the adaptive coalescer, tenant
+	// lookup — serves every front end; wire and shm differ only in how
+	// bytes reach it.
+	hub := srv.NewSessionHub(server.SessionOptions{MaxCoalesce: *wireCoalesce, FlushWindow: *wireWindow})
 	if *wireAddr != "" {
 		ln, err := net.Listen("tcp", *wireAddr)
 		if err != nil {
 			return err
 		}
-		ws := srv.NewWireServer(server.WireOptions{MaxCoalesce: *wireCoalesce, FlushWindow: *wireWindow})
+		ws := hub.NewWireServer()
 		defer ws.Close()
 		go func() {
 			if err := ws.Serve(ln); err != nil {
@@ -188,6 +197,19 @@ func runServe(args []string) error {
 			}
 		}()
 		extra += ", wire on " + ln.Addr().String()
+	}
+	if *shmDir != "" {
+		ss, err := hub.NewShmServer(*shmDir)
+		if err != nil {
+			return fmt.Errorf("shm: %v", err)
+		}
+		defer ss.Close()
+		go func() {
+			if err := ss.Serve(); err != nil {
+				log.Fatalf("shm: %v", err)
+			}
+		}()
+		extra += ", shm in " + *shmDir
 	}
 	log.Printf("listening on %s (engine=%s shards=%d routing=%s bpfexec=%s default-profile=%s%s)", *addr, *engName, *shards, *routing, *bpfexec, defProfile, extra)
 	return hs.ListenAndServe()
@@ -262,6 +284,7 @@ func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	srvURL, timeout := ctlFlags(fs)
 	wireAddr := fs.String("wire", "", "replay over the binary wire protocol at this host:port instead of the HTTP JSON API")
+	shmDir := fs.String("shm", "", "replay over the shared-memory transport in this directory")
 	conns := fs.Int("conns", 2, "wire connection-pool size (with -wire)")
 	tenant := fs.String("tenant", "default", "tenant id")
 	traceFile := fs.String("trace", "", "trace file in the toolkit's text format (required)")
@@ -286,46 +309,44 @@ func runReplay(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	// checkBatch abstracts the transport: one request per call, returning
-	// the decisions appended to dst.
-	var checkBatch func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error)
+	// The Transport interface abstracts the wire: one implementation per
+	// way of reaching the server, one replay loop over all of them.
+	var tc client.Transport
 	path := "http"
-	if *wireAddr != "" {
+	switch {
+	case *shmDir != "" && *wireAddr != "":
+		return fmt.Errorf("replay: -wire and -shm are mutually exclusive")
+	case *shmDir != "":
+		path = "shm"
+		sc, err := client.DialShm(*shmDir, client.ShmOptions{})
+		if err != nil {
+			return err
+		}
+		if max := sc.MaxBatchCalls(*tenant); *batchSize > max {
+			sc.Close()
+			return fmt.Errorf("replay: -batch-size %d exceeds the shm slot capacity of %d calls", *batchSize, max)
+		}
+		tc = sc
+	case *wireAddr != "":
 		path = "wire"
 		wc, err := client.DialWire(*wireAddr, client.WireOptions{Conns: *conns})
 		if err != nil {
 			return err
 		}
-		defer wc.Close()
-		checkBatch = func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
-			if len(calls) == 1 {
-				d, err := wc.Check(ctx, *tenant, calls[0].SID, calls[0].Args)
-				if err != nil {
-					return dst, err
-				}
-				return append(dst, d), nil
-			}
-			return wc.CheckBatch(ctx, *tenant, calls, dst)
-		}
-	} else {
-		hc := client.New(*srvURL, nil)
-		bcalls := make([]server.BatchCall, 0, *batchSize)
-		sids := make([]int, *batchSize)
-		checkBatch = func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
-			bcalls = bcalls[:0]
-			for i := range calls {
-				sids[i] = calls[i].SID
-				bcalls = append(bcalls, server.BatchCall{Num: &sids[i], Args: calls[i].Args[:]})
-			}
-			results, err := hc.CheckBatch(ctx, server.BatchRequest{Tenant: *tenant, Calls: bcalls})
+		tc = wc
+	default:
+		tc = &client.HTTPTransport{C: client.New(*srvURL, nil)}
+	}
+	defer tc.Close()
+	checkBatch := func(calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
+		if len(calls) == 1 {
+			d, err := tc.Check(ctx, *tenant, calls[0].SID, calls[0].Args)
 			if err != nil {
 				return dst, err
 			}
-			for _, r := range results {
-				dst = append(dst, engine.Decision{Allowed: r.Allowed, Cached: r.Cached, FilterInstructions: r.FilterInstructions})
-			}
-			return dst, nil
+			return append(dst, d), nil
 		}
+		return tc.CheckBatch(ctx, *tenant, calls, dst)
 	}
 
 	var allowed, denied, cached int

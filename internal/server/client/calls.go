@@ -1,0 +1,164 @@
+package client
+
+// The in-flight call table: the id-matched completion machinery shared by
+// every pipelined transport (the TCP wire client and the shared-memory
+// client). A transport registers a call to get its id, sends the request
+// however it likes — wire frame or ring slot — and awaits completion; a
+// background receiver (read loop or ring reaper) completes calls by id.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"draco/internal/engine"
+	"draco/internal/wire"
+)
+
+// wireCall is one in-flight request's completion slot. Pooled: the raw
+// buffer's capacity survives reuse.
+type wireCall struct {
+	done     chan struct{}
+	typ      wire.Type
+	decision engine.Decision
+	raw      []byte
+	err      error
+}
+
+var wireCallPool = sync.Pool{New: func() any { return &wireCall{done: make(chan struct{}, 1)} }}
+
+func getWireCall() *wireCall {
+	c := wireCallPool.Get().(*wireCall)
+	c.typ, c.decision, c.err = 0, engine.Decision{}, nil
+	c.raw = c.raw[:0]
+	return c
+}
+
+func putWireCall(c *wireCall) { wireCallPool.Put(c) }
+
+// respErr folds error frames and type mismatches into one check.
+func (c *wireCall) respErr(want wire.Type) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.typ == wire.TypeError {
+		return &ServerError{Msg: string(c.raw)}
+	}
+	if c.typ != want {
+		return fmt.Errorf("wire: server answered %v, want %v", c.typ, want)
+	}
+	return nil
+}
+
+// callTable tracks one connection's in-flight requests by id.
+type callTable struct {
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*wireCall
+	err     error
+}
+
+func newCallTable() *callTable {
+	return &callTable{pending: make(map[uint64]*wireCall)}
+}
+
+// alive reports whether the table's connection is still usable.
+func (t *callTable) alive() bool {
+	t.mu.Lock()
+	ok := t.err == nil
+	t.mu.Unlock()
+	return ok
+}
+
+// register allocates an id and a pooled completion slot for one request.
+// On a poisoned table it returns the terminal error instead.
+func (t *callTable) register() (uint64, *wireCall, error) {
+	id := t.nextID.Add(1)
+	call := getWireCall()
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.mu.Unlock()
+		putWireCall(call)
+		return 0, nil, err
+	}
+	t.pending[id] = call
+	t.mu.Unlock()
+	return id, call, nil
+}
+
+// drop deregisters a call whose request never made it out (send failure)
+// and pools its slot.
+func (t *callTable) drop(id uint64, call *wireCall) {
+	t.mu.Lock()
+	delete(t.pending, id)
+	t.mu.Unlock()
+	putWireCall(call)
+}
+
+// await blocks until the call completes or ctx fires. The returned
+// wireCall (nil on ctx error) must go back via putWireCall.
+func (t *callTable) await(ctx context.Context, id uint64, call *wireCall) (*wireCall, error) {
+	select {
+	case <-call.done:
+		return call, nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		_, mine := t.pending[id]
+		if mine {
+			delete(t.pending, id)
+		}
+		t.mu.Unlock()
+		if !mine {
+			// The receiver claimed the call between ctx firing and the
+			// deregister: its completion signal is coming — consume it so
+			// the slot can be pooled.
+			<-call.done
+			return call, nil
+		}
+		putWireCall(call)
+		return nil, ctx.Err()
+	}
+}
+
+// complete routes one response to its waiting caller. Payloads other than
+// single-check decisions are copied out of p (receivers recycle their
+// buffers). Unmatched ids are dropped: the caller cancelled.
+func (t *callTable) complete(typ wire.Type, id uint64, p []byte) {
+	t.mu.Lock()
+	call := t.pending[id]
+	delete(t.pending, id)
+	t.mu.Unlock()
+	if call == nil {
+		return
+	}
+	call.typ = typ
+	switch typ {
+	case wire.TypeCheckResp:
+		call.decision, call.err = wire.DecodeCheckResp(p)
+	default:
+		call.raw = append(call.raw[:0], p...)
+	}
+	call.done <- struct{}{}
+}
+
+// fail poisons the table and completes every in-flight request with the
+// terminal error.
+func (t *callTable) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	calls := make([]*wireCall, 0, len(t.pending))
+	for id, call := range t.pending {
+		call.err = t.err
+		calls = append(calls, call)
+		delete(t.pending, id)
+	}
+	t.mu.Unlock()
+	for _, call := range calls {
+		call.done <- struct{}{}
+	}
+}

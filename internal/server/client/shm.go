@@ -1,0 +1,365 @@
+package client
+
+// Shared-memory client: the co-located fast path. One connection = one
+// control socket (unix stream in the server's shm directory) plus one
+// mapped ring pair. Requests are encoded with the same zero-allocation
+// wire payload codecs as the TCP client, but straight into submission-ring
+// slot memory: a steady-state check is two ring operations and no kernel
+// crossing on either side. The control plane (profile swaps, stats) and
+// the doorbells stay on the socket.
+//
+// Concurrency: the submission ring is single-producer, so a mutex makes
+// the pool of calling goroutines look like one logical producer; the
+// completion ring's single consumer is the reaper goroutine, which routes
+// decisions back through the same callTable as the TCP client. For
+// call-level aggregation that amortizes even the per-call ring traffic,
+// wrap the connection in a Batcher (batcher.go).
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"draco/internal/engine"
+	"draco/internal/server"
+	"draco/internal/shm"
+	"draco/internal/wire"
+)
+
+// reapSpinBudget mirrors the server's parkSpinBudget: empty polls (each
+// yielding the scheduler) before the reaper parks on the doorbell.
+const reapSpinBudget = 256
+
+// ShmOptions configures DialShm.
+type ShmOptions struct {
+	// DialTimeout bounds the socket connect (0 = 5s).
+	DialTimeout time.Duration
+	// SlotSize / SubmitSlots / CompleteSlots request a ring geometry
+	// (each 0 = server default).
+	SlotSize      int
+	SubmitSlots   int
+	CompleteSlots int
+}
+
+// Shm is a shared-memory client for one dracod shm directory.
+type Shm struct {
+	nc  net.Conn
+	w   *wire.Writer
+	reg *shm.Region
+	tab *callTable
+
+	// submitMu serializes producers on the submission ring.
+	submitMu sync.Mutex
+
+	wake      chan struct{}
+	reapDone  chan struct{}
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// DialShm connects to the shm front end serving dir: it dials the control
+// socket, requests a ring pair, and maps the region file the server
+// answers with.
+func DialShm(dir string, opts ShmOptions) (*Shm, error) {
+	if !shm.Supported() {
+		return nil, shm.ErrUnsupported
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	sock := filepath.Join(dir, server.ShmSocketName)
+	nc, err := net.DialTimeout("unix", sock, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("shm: dialing %s: %w", sock, err)
+	}
+	s := &Shm{
+		nc:       nc,
+		w:        wire.NewWriter(nc),
+		tab:      newCallTable(),
+		wake:     make(chan struct{}, 1),
+		reapDone: make(chan struct{}),
+	}
+	// Handshake runs synchronously before the read loops start: one
+	// TypeRingReq out, one TypeRingResp (or error) back.
+	var req [12]byte
+	binary.LittleEndian.PutUint32(req[0:], uint32(opts.SlotSize))
+	binary.LittleEndian.PutUint32(req[4:], uint32(opts.SubmitSlots))
+	binary.LittleEndian.PutUint32(req[8:], uint32(opts.CompleteSlots))
+	id, call, _ := s.tab.register()
+	if err := s.w.Send(wire.TypeRingReq, id, req[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := wire.NewReader(nc)
+	h, p, err := r.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shm: handshake: %w", err)
+	}
+	s.tab.drop(id, call)
+	if h.Type == wire.TypeError {
+		nc.Close()
+		return nil, &ServerError{Msg: string(p)}
+	}
+	if h.Type != wire.TypeRingResp {
+		nc.Close()
+		return nil, fmt.Errorf("shm: handshake answered %v, want %v", h.Type, wire.TypeRingResp)
+	}
+	reg, err := shm.OpenFile(string(p))
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shm: mapping %s: %w", p, err)
+	}
+	s.reg = reg
+	go s.readSocket(r)
+	go s.reap()
+	return s, nil
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (s *Shm) Close() error {
+	s.fail(errors.New("shm: client closed"))
+	return nil
+}
+
+// fail poisons the table, closes the socket, and invalidates the rings,
+// unparking the reaper so it can exit. The mapping itself is released only
+// after the reaper is out and producers are excluded — unmapping under a
+// live ring loop is a fault. Idempotent; safe to call from the reaper.
+func (s *Shm) fail(err error) {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.tab.fail(err)
+		s.nc.Close()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+		if s.reg != nil {
+			s.reg.Invalidate()
+			go func() {
+				<-s.reapDone
+				s.submitMu.Lock()
+				s.reg.Close()
+				s.submitMu.Unlock()
+			}()
+		}
+	})
+}
+
+// readSocket handles control-plane responses and doorbells.
+func (s *Shm) readSocket(r *wire.Reader) {
+	for {
+		h, p, err := r.Next()
+		if err != nil {
+			s.fail(fmt.Errorf("shm: connection lost: %w", err))
+			return
+		}
+		if h.Type == wire.TypeWake {
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		s.tab.complete(h.Type, h.ID, p)
+	}
+}
+
+// reap is the completion-ring consumer: decisions come back here and
+// complete their calls by id. The park protocol mirrors the server's.
+func (s *Shm) reap() {
+	defer close(s.reapDone)
+	comp := s.reg.Complete
+	var f shm.Frame
+	spins := 0
+	for {
+		ok, err := comp.Consume(&f)
+		if err != nil {
+			s.fail(fmt.Errorf("shm: completion ring: %w", err))
+			return
+		}
+		if !ok {
+			if s.closed.Load() || comp.Closed() {
+				return
+			}
+			spins++
+			if spins < reapSpinBudget {
+				runtime.Gosched()
+				continue
+			}
+			comp.SetParked(true)
+			if !comp.Empty() {
+				comp.SetParked(false)
+				spins = 0
+				continue
+			}
+			<-s.wake
+			comp.SetParked(false)
+			if s.closed.Load() {
+				return
+			}
+			spins = 0
+			continue
+		}
+		spins = 0
+		s.tab.complete(wire.Type(f.Type), f.ID, f.Payload)
+		comp.Release()
+	}
+}
+
+// submit claims a submission slot, fills it via enc (appending to the
+// slot's own buffer — zero copy), publishes, and rings the server's
+// doorbell if its consumer has parked.
+func (s *Shm) submit(t wire.Type, id uint64, enc func([]byte) []byte) error {
+	sub := s.reg.Submit
+	s.submitMu.Lock()
+	// The closed check shares submitMu with the deferred unmap in fail, so
+	// a producer never touches the mapping after it is gone.
+	if sub.Closed() {
+		s.submitMu.Unlock()
+		return shm.ErrRingClosed
+	}
+	buf := sub.Claim()
+	if buf == nil {
+		s.submitMu.Unlock()
+		return shm.ErrRingClosed
+	}
+	err := sub.Publish(uint8(t), id, enc(buf))
+	parked := err == nil && sub.ConsumerParked()
+	s.submitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if parked {
+		return s.w.Send(wire.TypeWake, 0, nil)
+	}
+	return nil
+}
+
+// roundTripRing registers a request, publishes it to the submission ring,
+// and waits for the completion-ring response or ctx.
+func (s *Shm) roundTripRing(ctx context.Context, t wire.Type, enc func([]byte) []byte) (*wireCall, error) {
+	id, call, err := s.tab.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.submit(t, id, enc); err != nil {
+		s.tab.drop(id, call)
+		return nil, err
+	}
+	return s.tab.await(ctx, id, call)
+}
+
+// roundTripSocket runs a control-plane request over the socket.
+func (s *Shm) roundTripSocket(ctx context.Context, t wire.Type, payload []byte) (*wireCall, error) {
+	id, call, err := s.tab.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.w.Send(t, id, payload); err != nil {
+		s.tab.drop(id, call)
+		return nil, err
+	}
+	return s.tab.await(ctx, id, call)
+}
+
+// MaxBatchCalls reports how many calls fit in one submission-ring batch
+// frame for this tenant (the Batcher's size bound).
+func (s *Shm) MaxBatchCalls(tenant string) int {
+	n := (s.reg.Submit.PayloadCap() - 1 - len(tenant) - 4) / wire.CallBytes
+	if n > wire.MaxBatch {
+		n = wire.MaxBatch
+	}
+	return n
+}
+
+// Check validates one system call through the rings.
+func (s *Shm) Check(ctx context.Context, tenant string, sid int, args engine.Args) (engine.Decision, error) {
+	if len(tenant) > wire.MaxTenant {
+		return engine.Decision{}, fmt.Errorf("shm: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	call, err := s.roundTripRing(ctx, wire.TypeCheckReq, func(buf []byte) []byte {
+		return wire.AppendCheckReq(buf, tenant, engine.Call{SID: sid, Args: args})
+	})
+	if err != nil {
+		return engine.Decision{}, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeCheckResp); err != nil {
+		return engine.Decision{}, err
+	}
+	return call.decision, nil
+}
+
+// CheckBatch validates a batch in one ring frame, reusing dst when it has
+// capacity. The batch must fit a submission slot — at most
+// MaxBatchCalls(tenant) calls.
+func (s *Shm) CheckBatch(ctx context.Context, tenant string, calls []engine.Call, dst []engine.Decision) ([]engine.Decision, error) {
+	if len(tenant) > wire.MaxTenant {
+		return nil, fmt.Errorf("shm: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	if max := s.MaxBatchCalls(tenant); len(calls) > max {
+		return nil, fmt.Errorf("shm: batch of %d exceeds the slot capacity of %d calls", len(calls), max)
+	}
+	call, err := s.roundTripRing(ctx, wire.TypeBatchReq, func(buf []byte) []byte {
+		return wire.AppendBatchReq(buf, tenant, calls)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeBatchResp); err != nil {
+		return nil, err
+	}
+	return wire.DecodeBatchResp(call.raw, dst[:0])
+}
+
+// PutProfile uploads a profile over the control socket (JSON bodies do not
+// fit fixed-size slots, and swaps are off the hot path).
+func (s *Shm) PutProfile(ctx context.Context, tenant, engineName string, profileJSON []byte) (server.ProfileResponse, error) {
+	var out server.ProfileResponse
+	if len(tenant) > wire.MaxTenant {
+		return out, fmt.Errorf("shm: tenant name exceeds %d bytes", wire.MaxTenant)
+	}
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendProfileReq(buf.B[:0], tenant, engineName, profileJSON)
+	call, err := s.roundTripSocket(ctx, wire.TypeProfileReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return out, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeProfileResp); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(call.raw, &out)
+	return out, err
+}
+
+// Stats fetches a tenant's checker statistics over the control socket.
+func (s *Shm) Stats(ctx context.Context, tenant string) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendStatsReq(buf.B[:0], tenant)
+	call, err := s.roundTripSocket(ctx, wire.TypeStatsReq, buf.B)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return out, err
+	}
+	defer putWireCall(call)
+	if err := call.respErr(wire.TypeStatsResp); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(call.raw, &out)
+	return out, err
+}

@@ -3,16 +3,16 @@ package client
 // Wire-protocol client: persistent pipelined TCP connections speaking the
 // internal/wire framing. Unlike the HTTP client, many requests may be in
 // flight per connection — each carries a request id, responses are matched
-// by id, and a background reader per connection dispatches completions. A
-// small connection pool spreads concurrent callers so one slow response
-// never heads-of-line-blocks the pool.
+// by id (through the shared callTable in calls.go), and a background
+// reader per connection dispatches completions. A small connection pool
+// spreads concurrent callers so one slow response never
+// heads-of-line-blocks the pool.
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,9 +65,9 @@ func DialWire(addr string, opts WireOptions) (*Wire, error) {
 			tc.SetNoDelay(true)
 		}
 		c := &wireConn{
-			nc:      nc,
-			w:       wire.NewWriter(nc),
-			pending: make(map[uint64]*wireCall),
+			nc:  nc,
+			w:   wire.NewWriter(nc),
+			tab: newCallTable(),
 		}
 		w.conns = append(w.conns, c)
 		go c.readLoop()
@@ -90,7 +90,7 @@ func (w *Wire) pick() *wireConn {
 	start := w.next.Add(1)
 	for i := 0; i < len(w.conns); i++ {
 		c := w.conns[(start+uint64(i))%uint64(len(w.conns))]
-		if c.alive() {
+		if c.tab.alive() {
 			return c
 		}
 	}
@@ -187,102 +187,25 @@ func (w *Wire) Stats(ctx context.Context, tenant string) (server.StatsResponse, 
 // --- connection -------------------------------------------------------------
 
 // wireConn is one pooled connection: a shared writer, a reader goroutine,
-// and the in-flight request table.
+// and the in-flight call table.
 type wireConn struct {
-	nc     net.Conn
-	w      *wire.Writer
-	nextID atomic.Uint64
-
-	mu      sync.Mutex
-	pending map[uint64]*wireCall
-	err     error
-}
-
-// wireCall is one in-flight request's completion slot. Pooled: the raw
-// buffer's capacity survives reuse.
-type wireCall struct {
-	done     chan struct{}
-	typ      wire.Type
-	decision engine.Decision
-	raw      []byte
-	err      error
-}
-
-var wireCallPool = sync.Pool{New: func() any { return &wireCall{done: make(chan struct{}, 1)} }}
-
-func getWireCall() *wireCall {
-	c := wireCallPool.Get().(*wireCall)
-	c.typ, c.decision, c.err = 0, engine.Decision{}, nil
-	c.raw = c.raw[:0]
-	return c
-}
-
-func putWireCall(c *wireCall) { wireCallPool.Put(c) }
-
-// respErr folds error frames and type mismatches into one check.
-func (c *wireCall) respErr(want wire.Type) error {
-	if c.err != nil {
-		return c.err
-	}
-	if c.typ == wire.TypeError {
-		return &ServerError{Msg: string(c.raw)}
-	}
-	if c.typ != want {
-		return fmt.Errorf("wire: server answered %v, want %v", c.typ, want)
-	}
-	return nil
-}
-
-func (c *wireConn) alive() bool {
-	c.mu.Lock()
-	ok := c.err == nil
-	c.mu.Unlock()
-	return ok
+	nc  net.Conn
+	w   *wire.Writer
+	tab *callTable
 }
 
 // roundTrip registers a request, sends its frame, and waits for the
 // response or ctx. The returned wireCall must go back via putWireCall.
 func (c *wireConn) roundTrip(ctx context.Context, t wire.Type, payload []byte) (*wireCall, error) {
-	id := c.nextID.Add(1)
-	call := getWireCall()
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		putWireCall(call)
+	id, call, err := c.tab.register()
+	if err != nil {
 		return nil, err
 	}
-	c.pending[id] = call
-	c.mu.Unlock()
-
 	if err := c.w.Send(t, id, payload); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		putWireCall(call)
+		c.tab.drop(id, call)
 		return nil, err
 	}
-
-	select {
-	case <-call.done:
-		return call, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		_, mine := c.pending[id]
-		if mine {
-			delete(c.pending, id)
-		}
-		c.mu.Unlock()
-		if !mine {
-			// The reader claimed the call between ctx firing and the
-			// deregister: its completion signal is coming — consume it so
-			// the slot can be pooled.
-			<-call.done
-			return call, nil
-		}
-		putWireCall(call)
-		return nil, ctx.Err()
-	}
+	return c.tab.await(ctx, id, call)
 }
 
 // readLoop dispatches responses to their waiting callers until the
@@ -292,45 +215,10 @@ func (c *wireConn) readLoop() {
 	for {
 		h, p, err := r.Next()
 		if err != nil {
-			c.fail(fmt.Errorf("wire: connection lost: %w", err))
+			c.tab.fail(fmt.Errorf("wire: connection lost: %w", err))
+			c.nc.Close()
 			return
 		}
-		c.mu.Lock()
-		call := c.pending[h.ID]
-		delete(c.pending, h.ID)
-		c.mu.Unlock()
-		if call == nil {
-			continue // cancelled while the response was in flight
-		}
-		call.typ = h.Type
-		switch h.Type {
-		case wire.TypeCheckResp:
-			call.decision, call.err = wire.DecodeCheckResp(p)
-		default:
-			// Batch, control-plane, and error payloads are copied out of
-			// the reader's reused buffer and decoded by the caller.
-			call.raw = append(call.raw[:0], p...)
-		}
-		call.done <- struct{}{}
+		c.tab.complete(h.Type, h.ID, p)
 	}
-}
-
-// fail poisons the connection and completes every in-flight request with
-// the terminal error.
-func (c *wireConn) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-	}
-	calls := make([]*wireCall, 0, len(c.pending))
-	for id, call := range c.pending {
-		call.err = c.err
-		calls = append(calls, call)
-		delete(c.pending, id)
-	}
-	c.mu.Unlock()
-	for _, call := range calls {
-		call.done <- struct{}{}
-	}
-	c.nc.Close()
 }

@@ -196,6 +196,25 @@ type Metrics struct {
 	WireCheckLatency Histogram
 	// WireBatchLatency tracks service time for batch frames.
 	WireBatchLatency Histogram
+
+	// Shared-memory front-end counters. Checks and batches moving over the
+	// rings are counted by the session-layer (Wire*) series above, which
+	// span every transport; these cover what is shm-specific.
+
+	// ShmConnsTotal counts accepted shm control connections.
+	ShmConnsTotal atomic.Uint64
+	// ShmConnsActive tracks currently-open shm connections.
+	ShmConnsActive atomic.Int64
+	// ShmRings counts ring pairs established (one per handshake).
+	ShmRings atomic.Uint64
+	// ShmFrames counts frames consumed from submission rings.
+	ShmFrames atomic.Uint64
+	// ShmFrameErrors counts torn or corrupt slots that killed a session.
+	ShmFrameErrors atomic.Uint64
+	// ShmWakes counts doorbell frames sent to parked client reapers.
+	ShmWakes atomic.Uint64
+	// ShmParks counts times the server's ring consumer parked.
+	ShmParks atomic.Uint64
 }
 
 // endpoint labels; one histogram each.
@@ -293,6 +312,15 @@ func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals, obs observedTotals)
 			fmt.Fprintf(w, "dracod_wire_latency_ns{op=%q,quantile=\"%g\"} %d\n", wh.op, q, wh.h.Quantile(q))
 		}
 	}
+
+	// Shared-memory front-end series.
+	fmt.Fprintf(w, "dracod_shm_conns_active %d\n", m.ShmConnsActive.Load())
+	fmt.Fprintf(w, "dracod_shm_conns_total %d\n", m.ShmConnsTotal.Load())
+	fmt.Fprintf(w, "dracod_shm_rings_total %d\n", m.ShmRings.Load())
+	fmt.Fprintf(w, "dracod_shm_frames_total %d\n", m.ShmFrames.Load())
+	fmt.Fprintf(w, "dracod_shm_frame_errors_total %d\n", m.ShmFrameErrors.Load())
+	fmt.Fprintf(w, "dracod_shm_wakes_total %d\n", m.ShmWakes.Load())
+	fmt.Fprintf(w, "dracod_shm_parks_total %d\n", m.ShmParks.Load())
 
 	// Observation-layer series: fed per check by the engine.Observer hook,
 	// independent of (and cross-checkable against) the engine stats above.

@@ -1,0 +1,426 @@
+package server
+
+// The shared-memory front end: submission/completion rings over an mmap'd
+// file (see internal/shm) for co-located clients, the tier below the TCP
+// wire protocol. Steady-state checks move through shared memory without
+// entering the kernel; the kernel is involved only for the handshake, the
+// control plane, and doorbells when a side has parked.
+//
+// Each connection starts life as a unix-socket stream in dir/dracod.sock
+// speaking ordinary wire frames. A TypeRingReq frame upgrades it: the
+// server creates a region file, answers TypeRingResp with its path, and
+// from then on the hot path (check and batch frames) flows through the
+// rings while the socket stays up for three jobs:
+//
+//   - control plane: profile swaps and stats keep using wire frames over
+//     the socket — their JSON payloads do not fit fixed-size slots, and
+//     they are off the hot path by construction;
+//   - doorbells: a TypeWake frame in either direction is the portable
+//     eventfd stand-in that unparks a blocked ring consumer;
+//   - liveness: when the socket drops, both sides tear the rings down.
+//
+// Frames consumed from the submission ring feed the same session layer as
+// TCP and HTTP (session.go): tenant resolution, the adaptive coalescer,
+// and response routing are shared; only the responder differs — it
+// publishes into the completion ring and rings the doorbell when the
+// client's reaper has parked.
+//
+// Ordering: the socket and the rings are independent streams, so control
+// frames are ordered only against other socket frames. A client that wants
+// a profile swap to settle its in-flight ring checks should quiesce them
+// first (the client in internal/server/client does not need to: decisions
+// carry ids, and the coalescer flushes on the swap anyway).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"draco/internal/engine"
+	"draco/internal/shm"
+	"draco/internal/wire"
+)
+
+// ShmSocketName is the control-socket filename inside the shm directory.
+const ShmSocketName = "dracod.sock"
+
+// parkSpinBudget is how many empty polls a ring consumer takes — yielding
+// the scheduler on each — before parking on the doorbell. Small enough
+// that an idle connection stops burning CPU almost immediately, large
+// enough that a streaming peer never pays a wake syscall.
+const parkSpinBudget = 256
+
+// ShmServer serves the shared-memory transport for a Server, one region
+// (ring pair) per connection.
+type ShmServer struct {
+	hub *SessionHub
+	dir string
+	ln  net.Listener
+
+	ringSeq atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[*shmConn]struct{}
+	closed bool
+}
+
+// NewShmServer builds the shm front end over the hub's session layer,
+// listening on dir/dracod.sock and placing region files in dir. The
+// directory is created (mode 0700) if missing; a stale socket from a dead
+// server is replaced.
+func (h *SessionHub) NewShmServer(dir string) (*ShmServer, error) {
+	if !shm.Supported() {
+		return nil, shm.ErrUnsupported
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	sock := filepath.Join(dir, ShmSocketName)
+	if err := os.Remove(sock); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	return &ShmServer{
+		hub:   h,
+		dir:   dir,
+		ln:    ln,
+		conns: make(map[*shmConn]struct{}),
+	}, nil
+}
+
+// Addr returns the control socket path.
+func (ss *ShmServer) Addr() string { return filepath.Join(ss.dir, ShmSocketName) }
+
+// Dir returns the shm directory clients dial.
+func (ss *ShmServer) Dir() string { return ss.dir }
+
+// Serve accepts shm connections until the listener fails or the server is
+// closed. It blocks; run it in a goroutine next to the other front ends.
+func (ss *ShmServer) Serve() error {
+	for {
+		nc, err := ss.ln.Accept()
+		if err != nil {
+			ss.mu.Lock()
+			closed := ss.closed
+			ss.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &shmConn{
+			srv:  ss,
+			nc:   nc,
+			w:    wire.NewWriter(nc),
+			wake: make(chan struct{}, 1),
+			dead: make(chan struct{}),
+		}
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		ss.conns[c] = struct{}{}
+		ss.mu.Unlock()
+		ss.hub.s.metrics.ShmConnsTotal.Add(1)
+		ss.hub.s.metrics.ShmConnsActive.Add(1)
+		go c.readSocket()
+	}
+}
+
+// Close shuts the front end: the listener, every connection, and the
+// control socket go away; region files are unlinked as their connections
+// tear down.
+func (ss *ShmServer) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	conns := make([]*shmConn, 0, len(ss.conns))
+	for c := range ss.conns {
+		conns = append(conns, c)
+	}
+	ss.mu.Unlock()
+	ss.ln.Close()
+	for _, c := range conns {
+		c.teardown()
+	}
+	return nil
+}
+
+// shmConn is one shm connection: the control socket plus, after the
+// handshake, a mapped region and its consumer goroutine.
+type shmConn struct {
+	srv  *ShmServer
+	nc   net.Conn
+	w    *wire.Writer
+	wake chan struct{} // doorbell for the parked ring consumer
+	dead chan struct{} // closed once on teardown
+
+	// Ring state, written under srv.mu by the handshake (teardown may run
+	// from another goroutine while the handshake is in flight).
+	reg      *shm.Region
+	path     string
+	resp     *shmResponder
+	ringDone chan struct{} // closed when consumeRing exits
+
+	closeOnce sync.Once
+}
+
+// teardown closes everything exactly once: the socket (stopping the read
+// loop) and the rings (unblocking ring spins). The mapping and the region
+// file are released only after the ring consumer has exited and responder
+// flushes are excluded — unmapping under a live ring loop is a fault.
+func (c *shmConn) teardown() {
+	c.closeOnce.Do(func() {
+		close(c.dead)
+		c.nc.Close()
+		ss := c.srv
+		ss.mu.Lock()
+		delete(ss.conns, c)
+		reg, path, resp, ringDone := c.reg, c.path, c.resp, c.ringDone
+		ss.mu.Unlock()
+		if reg != nil {
+			reg.Invalidate()
+			go func() {
+				<-ringDone
+				resp.mu.Lock()
+				reg.Close()
+				resp.mu.Unlock()
+				os.Remove(path)
+			}()
+		}
+		ss.hub.s.metrics.ShmConnsActive.Add(-1)
+	})
+}
+
+// sendError answers a socket request with an error frame.
+func (c *shmConn) sendError(id uint64, err error) {
+	c.srv.hub.s.metrics.WireErrors.Add(1)
+	c.w.Send(wire.TypeError, id, []byte(err.Error()))
+}
+
+// readSocket runs the control-plane read loop: handshake, doorbells, and
+// profile/stats frames, each a plain wire frame on the unix socket.
+func (c *shmConn) readSocket() {
+	defer c.teardown()
+	r := wire.NewReader(c.nc)
+	ctrl := c.srv.hub.newSession(wireResponder{w: c.w})
+	for {
+		h, p, err := r.Next()
+		if err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, net.ErrClosed) {
+				c.srv.hub.s.metrics.WireFrameErrors.Add(1)
+				log.Printf("dracod: shm control socket: %v", err)
+			}
+			ctrl.drain()
+			return
+		}
+		switch h.Type {
+		case wire.TypeRingReq:
+			if err := c.handleRingReq(h.ID, p); err != nil {
+				c.sendError(h.ID, err)
+			}
+		case wire.TypeWake:
+			// Client produced into an empty submission ring while our
+			// consumer was parked: unpark it. Non-blocking — coalescing
+			// redundant wakes is exactly what we want.
+			select {
+			case c.wake <- struct{}{}:
+			default:
+			}
+		default:
+			ctrl.handleFrame(h.Type, h.ID, p)
+			if r.Buffered() == 0 {
+				ctrl.drain()
+			}
+		}
+	}
+}
+
+// handleRingReq establishes this connection's ring pair: create the region
+// file, answer with its path, start the submission consumer.
+func (c *shmConn) handleRingReq(id uint64, p []byte) error {
+	if c.reg != nil {
+		return errors.New("shm: connection already has a ring pair")
+	}
+	l, err := parseRingReq(p)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(c.srv.dir, fmt.Sprintf("ring-%d.shm", c.srv.ringSeq.Add(1)))
+	reg, err := shm.CreateFile(path, l)
+	if err != nil {
+		return err
+	}
+	c.srv.mu.Lock()
+	c.reg, c.path = reg, path
+	c.resp = &shmResponder{conn: c, ring: reg.Complete}
+	c.ringDone = make(chan struct{})
+	c.srv.mu.Unlock()
+	c.srv.hub.s.metrics.ShmRings.Add(1)
+	go c.consumeRing()
+	return c.w.Send(wire.TypeRingResp, id, []byte(path))
+}
+
+// parseRingReq decodes the requested geometry: three uint32 words, each 0
+// for the server default. An empty payload takes the default wholesale.
+func parseRingReq(p []byte) (shm.Layout, error) {
+	l := shm.DefaultLayout()
+	if len(p) == 0 {
+		return l, nil
+	}
+	if len(p) != 12 {
+		return l, errors.New("shm: ring request payload must be 0 or 12 bytes")
+	}
+	get := func(off int, def int) int {
+		if v := binary.LittleEndian.Uint32(p[off:]); v != 0 {
+			return int(v)
+		}
+		return def
+	}
+	l.SlotSize = get(0, l.SlotSize)
+	l.SubmitSlots = get(4, l.SubmitSlots)
+	l.CompleteSlots = get(8, l.CompleteSlots)
+	return l, l.Validate()
+}
+
+// consumeRing is the submission-ring consumer: the shm analog of the wire
+// read loop. Frames dispatch into a session whose responder publishes to
+// the completion ring; an empty ring after a burst is the drain signal.
+func (c *shmConn) consumeRing() {
+	defer close(c.ringDone)
+	sub := c.reg.Submit
+	m := c.srv.hub.s.metrics
+	sess := c.srv.hub.newSession(c.resp)
+	var f shm.Frame
+	spins := 0
+	for {
+		ok, err := sub.Consume(&f)
+		if err != nil {
+			// Torn or corrupt slot state: the peer cannot be resynchronized.
+			m.ShmFrameErrors.Add(1)
+			log.Printf("dracod: shm ring: %v", err)
+			c.teardown()
+			return
+		}
+		if !ok {
+			if sub.Closed() {
+				return
+			}
+			spins++
+			if spins < parkSpinBudget {
+				// Yield every empty poll: on small machines an unyielding
+				// spin starves the producer we are waiting for.
+				runtime.Gosched()
+				continue
+			}
+			// Park: publish the flag, re-check for a frame that slipped in
+			// between the empty poll and the flag store (the producer
+			// checks the flag only after publishing — one of the two sides
+			// always sees the other), then block on the doorbell.
+			sub.SetParked(true)
+			if !sub.Empty() {
+				sub.SetParked(false)
+				spins = 0
+				continue
+			}
+			m.ShmParks.Add(1)
+			select {
+			case <-c.wake:
+			case <-c.dead:
+				sub.SetParked(false)
+				return
+			}
+			sub.SetParked(false)
+			spins = 0
+			continue
+		}
+		spins = 0
+		m.ShmFrames.Add(1)
+		sess.handleFrame(wire.Type(f.Type), f.ID, f.Payload)
+		sub.Release()
+		// Drain signal: the submission burst is fully consumed, so nothing
+		// more is joining the batch from this ring — flush what it
+		// contributed to.
+		if sub.Empty() {
+			sess.drain()
+		}
+	}
+}
+
+// shmResponder publishes responses into the connection's completion ring.
+// The mutex serializes the ring's producer side: coalescer flushes run on
+// arbitrary goroutines. A full ring makes Claim spin — the transport's
+// backpressure, same as a wire responder blocked on TCP flow control.
+type shmResponder struct {
+	conn *shmConn
+	mu   sync.Mutex
+	ring *shm.Ring
+}
+
+// publish claims a slot, encodes via fill (which appends to the slot's own
+// buffer — zero copy), and publishes it.
+func (r *shmResponder) publish(t wire.Type, id uint64, fill func([]byte) []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The closed check shares the mutex with teardown's deferred unmap, so
+	// a flush never touches the mapping after it is gone.
+	if r.ring.Closed() {
+		return
+	}
+	buf := r.ring.Claim()
+	if buf == nil {
+		return // ring closed mid-response; the connection is tearing down
+	}
+	if err := r.ring.Publish(uint8(t), id, fill(buf)); err != nil {
+		// Only ErrFrameTooBig reaches here: replace the response with an
+		// error frame (which always fits) so the id still completes.
+		msg := err.Error()
+		if buf2 := r.ring.Claim(); buf2 != nil {
+			r.ring.Publish(uint8(wire.TypeError), id, append(buf2, msg...))
+		}
+	}
+}
+
+func (r *shmResponder) sendCheck(id uint64, d engine.Decision) {
+	r.publish(wire.TypeCheckResp, id, func(buf []byte) []byte {
+		return wire.AppendCheckResp(buf, d)
+	})
+}
+
+func (r *shmResponder) send(t wire.Type, id uint64, p []byte) {
+	r.publish(t, id, func(buf []byte) []byte {
+		return append(buf, p...)
+	})
+	r.doorbell()
+}
+
+// flush rings the client's doorbell if its reaper has parked. Publication
+// itself needs no flushing — slots are visible at Publish — so this is the
+// whole "push buffered responses" obligation for shm.
+func (r *shmResponder) flush() { r.doorbell() }
+
+func (r *shmResponder) doorbell() {
+	r.mu.Lock()
+	parked := !r.ring.Closed() && r.ring.ConsumerParked()
+	r.mu.Unlock()
+	if parked {
+		r.conn.srv.hub.s.metrics.ShmWakes.Add(1)
+		r.conn.w.Send(wire.TypeWake, 0, nil)
+	}
+}

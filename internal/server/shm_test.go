@@ -1,0 +1,390 @@
+package server_test
+
+// Shared-memory front-end tests: end-to-end over a real mmap'd region and
+// unix control socket, the shm-vs-in-process differential suite (the rings
+// must be a transparent transport, Batcher fold included), and the
+// 16-goroutine producer/consumer hammer over one ring pair that
+// scripts/check.sh runs under -race. Everything skips cleanly where mmap
+// is unavailable.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"draco/internal/engine"
+	"draco/internal/profilegen"
+	"draco/internal/seccomp"
+	"draco/internal/server"
+	"draco/internal/server/client"
+	"draco/internal/shm"
+	"draco/internal/workloads"
+)
+
+// newShmServer starts a Server with an shm front end in a test-owned
+// directory and returns it with a connected shm client. Skips the test on
+// platforms without mmap support.
+func newShmServer(t testing.TB, opts server.Options, sopts server.SessionOptions, copts client.ShmOptions) (*server.Server, *client.Shm) {
+	t.Helper()
+	if !shm.Supported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	srv := server.New(opts)
+	ss, err := srv.NewSessionHub(sopts).NewShmServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve()
+	t.Cleanup(func() { ss.Close() })
+	sc, err := client.DialShm(ss.Dir(), copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return srv, sc
+}
+
+func TestShmCheckAndBatch(t *testing.T) {
+	srv, sc := newShmServer(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{}, client.ShmOptions{})
+	ctx := context.Background()
+
+	read := sidOf(t, "read")
+	d, err := sc.Check(ctx, "t1", read, engine.Args{3, 0, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || d.Cached || d.FilterInstructions != 0 {
+		t.Fatalf("first check: %+v", d)
+	}
+	d, err = sc.Check(ctx, "t1", read, engine.Args{3, 0, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || !d.Cached {
+		t.Fatalf("second check: %+v", d)
+	}
+	d, err = sc.Check(ctx, "t1", sidOf(t, "init_module"), engine.Args{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatalf("init_module allowed: %+v", d)
+	}
+
+	calls := []engine.Call{
+		{SID: read, Args: engine.Args{3, 0, 4096}},
+		{SID: sidOf(t, "write"), Args: engine.Args{1, 0, 12}},
+		{SID: sidOf(t, "init_module")},
+	}
+	ds, err := sc.CheckBatch(ctx, "t1", calls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || !ds[0].Allowed || !ds[1].Allowed || ds[2].Allowed {
+		t.Fatalf("batch decisions: %+v", ds)
+	}
+
+	// The session layer counts checks transport-independently; the shm
+	// series count the transport itself.
+	m := srv.Metrics()
+	if got := m.WireChecks.Load(); got != 3 {
+		t.Fatalf("WireChecks = %d, want 3", got)
+	}
+	if got := m.WireBatchCalls.Load(); got != 3 {
+		t.Fatalf("WireBatchCalls = %d, want 3", got)
+	}
+	if m.ShmConnsTotal.Load() != 1 || m.ShmRings.Load() != 1 {
+		t.Fatalf("conns=%d rings=%d", m.ShmConnsTotal.Load(), m.ShmRings.Load())
+	}
+	// 3 singles + 1 batch moved through the submission ring.
+	if got := m.ShmFrames.Load(); got != 4 {
+		t.Fatalf("ShmFrames = %d, want 4", got)
+	}
+}
+
+func TestShmProfileSwapAndStats(t *testing.T) {
+	_, sc := newShmServer(t, server.Options{Shards: 4},
+		server.SessionOptions{}, client.ShmOptions{})
+	ctx := context.Background()
+
+	// Unknown tenant: the error frame comes back over the completion ring
+	// and the connection stays usable.
+	if _, err := sc.Check(ctx, "ghost", sidOf(t, "read"), engine.Args{}); err == nil {
+		t.Fatal("check on unknown tenant succeeded")
+	} else if _, ok := err.(*client.ServerError); !ok {
+		t.Fatalf("want *client.ServerError, got %T: %v", err, err)
+	}
+
+	resp, err := sc.PutProfile(ctx, "web", "draco-sw", profileJSON(t, seccomp.DockerDefault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tenant != "web" || resp.Engine != "draco-sw" || !resp.Created {
+		t.Fatalf("profile response: %+v", resp)
+	}
+
+	read := sidOf(t, "read")
+	for i := 0; i < 3; i++ {
+		if _, err := sc.Check(ctx, "web", read, engine.Args{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := sc.Stats(ctx, "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "web" || st.Engine != "draco-sw" || st.Checks != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	resp, err = sc.PutProfile(ctx, "web", "draco-concurrent", profileJSON(t, seccomp.GVisorDefault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Engine != "draco-concurrent" || resp.Created {
+		t.Fatalf("swap response: %+v", resp)
+	}
+	if _, err := sc.Check(ctx, "web", read, engine.Args{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShmCustomGeometryAndLimits exercises a non-default ring layout and
+// the batch size guard against the smaller slots.
+func TestShmCustomGeometryAndLimits(t *testing.T) {
+	_, sc := newShmServer(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{},
+		client.ShmOptions{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8})
+	ctx := context.Background()
+
+	max := sc.MaxBatchCalls("t")
+	if max <= 0 || max >= 512/8 {
+		t.Fatalf("MaxBatchCalls = %d for 512-byte slots", max)
+	}
+	calls := make([]engine.Call, max)
+	read := sidOf(t, "read")
+	for i := range calls {
+		calls[i] = engine.Call{SID: read, Args: engine.Args{uint64(i)}}
+	}
+	ds, err := sc.CheckBatch(ctx, "t", calls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != max {
+		t.Fatalf("got %d decisions, want %d", len(ds), max)
+	}
+	// One call past the slot capacity must be rejected client-side.
+	if _, err := sc.CheckBatch(ctx, "t", append(calls, engine.Call{SID: read}), nil); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// More frames than ring slots: wrap-around works.
+	for i := 0; i < 64; i++ {
+		if _, err := sc.Check(ctx, "t", read, engine.Args{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShmMetricsPage proves the shm series render on /metrics.
+func TestShmMetricsPage(t *testing.T) {
+	srv, sc := newShmServer(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{}, client.ShmOptions{})
+	if _, err := sc.Check(context.Background(), "t", sidOf(t, "read"), engine.Args{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	text, err := client.New(ts.URL, ts.Client()).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"dracod_shm_conns_active 1",
+		"dracod_shm_conns_total 1",
+		"dracod_shm_rings_total 1",
+		"dracod_shm_frames_total 1",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("metrics page missing %q:\n%s", series, text)
+		}
+	}
+}
+
+// TestShmDifferentialAllWorkloads is the transport-transparency proof for
+// the rings: on 100k-event traces of every workload, decisions served over
+// shared memory — batch frames, pipelined singles through the coalescer,
+// and singles folded by the client-side Batcher — are identical, cached
+// flag included, to an in-process engine with the same configuration.
+func TestShmDifferentialAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite replays 1.5M events through the rings")
+	}
+	const events = 100_000
+	const singles = 10_000
+	const shards = 4
+	genOpts := profilegen.Options{IncludeRuntime: true}
+
+	_, sc := newShmServer(t, server.Options{Shards: shards, Routing: "syscall"},
+		server.SessionOptions{}, client.ShmOptions{})
+	fold := client.NewBatcher(sc, client.BatcherOptions{})
+
+	newRef := func(t *testing.T, p *seccomp.Profile) engine.Engine {
+		t.Helper()
+		ref, err := engine.New("draco-concurrent", engine.Options{Profile: p, Shards: shards, Routing: "syscall"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ref.Close() })
+		return ref
+	}
+
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			tr := w.Generate(events, 0xD12AC0)
+			p := profilegen.Complete(w.Name, tr, genOpts)
+			pj := profileJSON(t, p)
+
+			// Batch-frame replay vs a fresh in-process reference engine.
+			if _, err := sc.PutProfile(ctx, w.Name, "", pj); err != nil {
+				t.Fatal(err)
+			}
+			ref := newRef(t, p)
+			chunk := sc.MaxBatchCalls(w.Name)
+			calls := make([]engine.Call, 0, chunk)
+			var ds []engine.Decision
+			for off := 0; off < len(tr); off += chunk {
+				end := off + chunk
+				if end > len(tr) {
+					end = len(tr)
+				}
+				calls = calls[:0]
+				for _, ev := range tr[off:end] {
+					calls = append(calls, engine.Call{SID: ev.SID, Args: ev.Args})
+				}
+				var err error
+				ds, err = sc.CheckBatch(ctx, w.Name, calls, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, c := range calls {
+					want := ref.Check(c.SID, c.Args)
+					if ds[i] != want {
+						t.Fatalf("batch event %d (sid=%d): shm %+v, in-process %+v", off+i, c.SID, ds[i], want)
+					}
+				}
+			}
+
+			// Single-check frames through the server-side coalescer,
+			// sequentially, so the decision stream (cached flag included)
+			// stays ordered.
+			single := w.Name + "-single"
+			if _, err := sc.PutProfile(ctx, single, "", pj); err != nil {
+				t.Fatal(err)
+			}
+			ref2 := newRef(t, p)
+			for i, ev := range tr[:singles] {
+				got, err := sc.Check(ctx, single, ev.SID, ev.Args)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := ref2.Check(ev.SID, ev.Args); got != want {
+					t.Fatalf("single event %d (sid=%d): shm %+v, in-process %+v", i, ev.SID, got, want)
+				}
+			}
+
+			// The same prefix through the client-side Batcher: a sequential
+			// caller is always the lone flusher (batches of one), so
+			// decisions — cached flag included — must still match exactly.
+			folded := w.Name + "-fold"
+			if _, err := sc.PutProfile(ctx, folded, "", pj); err != nil {
+				t.Fatal(err)
+			}
+			ref3 := newRef(t, p)
+			for i, ev := range tr[:singles] {
+				got, err := fold.Check(ctx, folded, ev.SID, ev.Args)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := ref3.Check(ev.SID, ev.Args); got != want {
+					t.Fatalf("folded event %d (sid=%d): shm %+v, in-process %+v", i, ev.SID, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShmHotSwapHammer is the -race workout for the ring pair: 16
+// goroutines hammer one shm connection — checks through the Batcher fold
+// and direct batches, all funneling into the single submission ring —
+// while a writer hot-swaps the tenant's profile over the control socket
+// (alternating engines, so whole-engine rebuilds race with ring traffic
+// and coalesced flushes). Every request must complete without a
+// transport- or request-level error.
+func TestShmHotSwapHammer(t *testing.T) {
+	_, sc := newShmServer(t, server.Options{Shards: 4},
+		server.SessionOptions{}, client.ShmOptions{})
+	fold := client.NewBatcher(sc, client.BatcherOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	docker := profileJSON(t, seccomp.DockerDefault())
+	gvisor := profileJSON(t, seccomp.GVisorDefault())
+	if _, err := sc.PutProfile(ctx, "hammer", "draco-concurrent", docker); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, perG = 16, 200
+	read := sidOf(t, "read")
+	batch := []engine.Call{{SID: read, Args: engine.Args{3}}, {SID: sidOf(t, "close"), Args: engine.Args{3}}}
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ds []engine.Decision
+			for i := 0; i < perG; i++ {
+				if i%8 == 7 {
+					var err error
+					ds, err = sc.CheckBatch(ctx, "hammer", batch, ds)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				if _, err := fold.Check(ctx, "hammer", read, engine.Args{uint64(g), uint64(i)}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		engines := []string{"draco-sw", "draco-concurrent"}
+		bodies := [][]byte{docker, gvisor}
+		for i := 0; i < 40; i++ {
+			if _, err := sc.PutProfile(ctx, "hammer", engines[i%2], bodies[i%2]); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -25,33 +25,26 @@ package server
 //
 // Responses carry the request id, so out-of-order completion across the
 // coalescer is fine; within one connection the client matches by id.
+//
+// Since the session-layer refactor the coalescer, frame dispatch, and
+// tenant resolution live in session.go, shared with the shm and HTTP front
+// ends; this file keeps only what is TCP-specific — listeners, connection
+// lifecycle, and the read loop with its buffered-bytes drain signal.
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"draco/internal/engine"
 	"draco/internal/wire"
 )
 
-// DefaultMaxCoalesce bounds how many single-check requests fold into one
-// engine.CheckBatch call. It matches the PR-3 grouped-batch stack-buffer
-// bound, so coalesced batches stay on the 0-alloc grouping path.
-const DefaultMaxCoalesce = 512
-
-// DefaultFlushWindow is the microsecond-scale timer backstop: the longest
-// a submitted check waits for companions before flushing anyway.
-const DefaultFlushWindow = 50 * time.Microsecond
-
-// WireOptions configures the wire front end.
+// WireOptions configures the wire front end (it mirrors SessionOptions for
+// the servers that build their hub implicitly through NewWireServer).
 type WireOptions struct {
 	// MaxCoalesce bounds a coalesced batch (0 = DefaultMaxCoalesce; capped
 	// at wire.MaxBatch).
@@ -62,41 +55,34 @@ type WireOptions struct {
 }
 
 // WireServer serves the binary protocol for a Server. One WireServer may
-// serve many listeners; all share the tenant set, metrics, and coalescers.
+// serve many listeners; all share the tenant set, metrics, and (through
+// the hub) the coalescers.
 type WireServer struct {
-	s           *Server
-	maxCoalesce int
-	flushWindow time.Duration
+	hub *SessionHub
 
 	mu        sync.Mutex
-	coalesce  map[string]*coalescer
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
 	closed    bool
 }
 
-// NewWireServer builds the wire front end over s.
+// NewWireServer builds the wire front end over s with its own session hub.
+// To share one hub across front ends, use NewSessionHub + hub.NewWireServer.
 func (s *Server) NewWireServer(opts WireOptions) *WireServer {
-	maxCo := opts.MaxCoalesce
-	if maxCo <= 0 {
-		maxCo = DefaultMaxCoalesce
-	}
-	if maxCo > wire.MaxBatch {
-		maxCo = wire.MaxBatch
-	}
-	window := opts.FlushWindow
-	if window == 0 {
-		window = DefaultFlushWindow
-	}
+	return s.NewSessionHub(SessionOptions(opts)).NewWireServer()
+}
+
+// NewWireServer builds a wire front end over the hub's session layer.
+func (h *SessionHub) NewWireServer() *WireServer {
 	return &WireServer{
-		s:           s,
-		maxCoalesce: maxCo,
-		flushWindow: window,
-		coalesce:    make(map[string]*coalescer),
-		conns:       make(map[net.Conn]struct{}),
-		listeners:   make(map[net.Listener]struct{}),
+		hub:       h,
+		conns:     make(map[net.Conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
 	}
 }
+
+// Hub returns the session hub this front end serves through.
+func (ws *WireServer) Hub() *SessionHub { return ws.hub }
 
 // Serve accepts wire connections on ln until the listener fails or the
 // server is closed. It blocks; run it in a goroutine next to the HTTP
@@ -129,8 +115,8 @@ func (ws *WireServer) Serve(ln net.Listener) error {
 		}
 		ws.conns[nc] = struct{}{}
 		ws.mu.Unlock()
-		ws.s.metrics.WireConnsTotal.Add(1)
-		ws.s.metrics.WireConnsActive.Add(1)
+		ws.hub.s.metrics.WireConnsTotal.Add(1)
+		ws.hub.s.metrics.WireConnsActive.Add(1)
 		go ws.serveConn(nc)
 	}
 }
@@ -150,6 +136,14 @@ func (ws *WireServer) Close() error {
 	return nil
 }
 
+// wireResponder answers through a wire.Writer (which is concurrency-safe
+// and group-commits flushes).
+type wireResponder struct{ w *wire.Writer }
+
+func (r wireResponder) sendCheck(id uint64, d engine.Decision) { r.w.SendCheckResp(id, d) }
+func (r wireResponder) send(t wire.Type, id uint64, p []byte)  { r.w.Send(t, id, p) }
+func (r wireResponder) flush()                                 { r.w.Flush() }
+
 // serveConn runs one connection's read loop.
 func (ws *WireServer) serveConn(nc net.Conn) {
 	defer func() {
@@ -157,338 +151,29 @@ func (ws *WireServer) serveConn(nc net.Conn) {
 		delete(ws.conns, nc)
 		ws.mu.Unlock()
 		nc.Close()
-		ws.s.metrics.WireConnsActive.Add(-1)
+		ws.hub.s.metrics.WireConnsActive.Add(-1)
 	}()
-	c := &wireConn{
-		ws: ws,
-		nc: nc,
-		r:  wire.NewReader(nc),
-		w:  wire.NewWriter(nc),
-	}
+	r := wire.NewReader(nc)
+	sess := ws.hub.newSession(wireResponder{w: wire.NewWriter(nc)})
 	for {
-		h, p, err := c.r.Next()
+		h, p, err := r.Next()
 		if err != nil {
 			if err != io.EOF {
 				// Framing is unrecoverable: the stream position is lost.
-				ws.s.metrics.WireFrameErrors.Add(1)
+				ws.hub.s.metrics.WireFrameErrors.Add(1)
 				if err != io.ErrUnexpectedEOF && !errors.Is(err, net.ErrClosed) {
 					log.Printf("dracod: wire %s: %v", nc.RemoteAddr(), err)
 				}
 			}
-			c.drain()
+			sess.drain()
 			return
 		}
-		switch h.Type {
-		case wire.TypeCheckReq:
-			c.handleCheck(h.ID, p)
-		case wire.TypeBatchReq:
-			c.handleBatch(h.ID, p)
-		case wire.TypeProfileReq:
-			c.handleProfile(h.ID, p)
-		case wire.TypeStatsReq:
-			c.handleStats(h.ID, p)
-		default:
-			c.sendError(h.ID, fmt.Errorf("unexpected %v frame", h.Type))
-		}
+		sess.handleFrame(h.Type, h.ID, p)
 		// Drain signal: the client's pipelined burst is fully consumed, so
 		// nothing more is joining the batch from this connection — flush
 		// what it contributed to.
-		if c.r.Buffered() == 0 {
-			c.drain()
+		if r.Buffered() == 0 {
+			sess.drain()
 		}
 	}
-}
-
-// wireConn is one connection's state. Everything here is owned by the read
-// loop goroutine except w, which coalescer flushes write to concurrently.
-type wireConn struct {
-	ws *WireServer
-	nc net.Conn
-	r  *wire.Reader
-	w  *wire.Writer
-
-	// respSeq dedupes response-flush targets inside one coalescer flush
-	// (see coalescer.flush).
-	respSeq atomic.Uint64
-
-	// Tenant cache: single-tenant connections (the common case) resolve
-	// the tenant and its coalescer without a map lookup or allocation.
-	lastName []byte
-	lastTen  *tenant
-	lastCo   *coalescer
-
-	// dirty lists coalescers this connection submitted to since its last
-	// drain; almost always length 0 or 1.
-	dirty []*coalescer
-
-	// Batch-frame scratch, reused across frames (the read loop is the only
-	// writer).
-	calls   []engine.Call
-	outs    []engine.Decision
-	respBuf []byte
-}
-
-// sendError answers a request with an error frame.
-func (c *wireConn) sendError(id uint64, err error) {
-	c.ws.s.metrics.WireErrors.Add(1)
-	buf := wire.GetBuffer()
-	buf.B = append(buf.B[:0], err.Error()...)
-	c.w.Send(wire.TypeError, id, buf.B)
-	wire.PutBuffer(buf)
-}
-
-// resolve maps a tenant name (aliasing the frame payload) to its tenant
-// and coalescer, through the connection-local cache on repeats.
-func (c *wireConn) resolve(name []byte) (*tenant, *coalescer, error) {
-	if c.lastTen != nil && bytes.Equal(name, c.lastName) {
-		return c.lastTen, c.lastCo, nil
-	}
-	s := c.ws.s
-	s.mu.RLock()
-	t := s.tenants[string(name)] // no-copy map lookup
-	s.mu.RUnlock()
-	if t == nil {
-		// Slow path: auto-provision (when configured) exactly like HTTP.
-		var err error
-		t, err = s.lookupTenant(string(name), "")
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	co := c.ws.coalescerFor(t)
-	c.lastName = append(c.lastName[:0], name...)
-	c.lastTen, c.lastCo = t, co
-	return t, co, nil
-}
-
-// coalescerFor returns the tenant's coalescer, creating it on first use.
-// Coalescers are keyed by tenant name so engine rebuilds (profile uploads
-// that switch mechanisms) keep their pending queue.
-func (ws *WireServer) coalescerFor(t *tenant) *coalescer {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	co := ws.coalesce[t.name]
-	if co == nil {
-		co = &coalescer{ws: ws, t: t}
-		ws.coalesce[t.name] = co
-	}
-	return co
-}
-
-// markDirty remembers a coalescer for this connection's next drain.
-func (c *wireConn) markDirty(co *coalescer) {
-	for _, d := range c.dirty {
-		if d == co {
-			return
-		}
-	}
-	c.dirty = append(c.dirty, co)
-}
-
-// drain flushes every coalescer this connection fed, then pushes out any
-// response bytes still buffered on the connection.
-func (c *wireConn) drain() {
-	for i, co := range c.dirty {
-		co.flushPending()
-		c.dirty[i] = nil
-	}
-	c.dirty = c.dirty[:0]
-	c.w.Flush()
-}
-
-func (c *wireConn) handleCheck(id uint64, p []byte) {
-	name, call, err := wire.DecodeCheckReq(p)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	_, co, err := c.resolve(name)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	co.submit(c, id, call)
-	c.markDirty(co)
-}
-
-func (c *wireConn) handleBatch(id uint64, p []byte) {
-	start := time.Now()
-	name, seq, err := wire.DecodeBatchReq(p)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	t, _, err := c.resolve(name)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	c.calls = c.calls[:0]
-	for i := 0; i < seq.Len(); i++ {
-		c.calls = append(c.calls, seq.At(i))
-	}
-	c.outs = t.engine().CheckBatch(c.calls, c.outs[:0])
-	c.respBuf = wire.AppendBatchResp(c.respBuf[:0], c.outs)
-	c.w.Send(wire.TypeBatchResp, id, c.respBuf)
-	m := c.ws.s.metrics
-	m.WireBatchCalls.Add(uint64(seq.Len()))
-	m.WireBatchLatency.Observe(time.Since(start))
-}
-
-func (c *wireConn) handleProfile(id uint64, p []byte) {
-	name, engName, profileJSON, err := wire.DecodeProfileReq(p)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	// Control-plane frames settle the data plane first: pending coalesced
-	// checks flush before the swap, so a client interleaving check and
-	// profile frames on one connection sees its own program order.
-	c.drain()
-	resp, err := c.ws.s.putProfile(string(name), string(engName), bytes.NewReader(profileJSON))
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	c.sendJSON(wire.TypeProfileResp, id, resp)
-}
-
-func (c *wireConn) handleStats(id uint64, p []byte) {
-	name, err := wire.DecodeStatsReq(p)
-	if err != nil {
-		c.sendError(id, err)
-		return
-	}
-	c.drain()
-	s := c.ws.s
-	s.mu.RLock()
-	t := s.tenants[string(name)]
-	s.mu.RUnlock()
-	if t == nil {
-		c.sendError(id, fmt.Errorf("unknown tenant %q", name))
-		return
-	}
-	c.sendJSON(wire.TypeStatsResp, id, s.statsFor(t))
-}
-
-// sendJSON frames a control-plane response as a JSON payload.
-func (c *wireConn) sendJSON(t wire.Type, id uint64, v any) {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		c.ws.s.metrics.EncodeErrors.Add(1)
-		log.Printf("dracod: wire encoding %T response: %v", v, err)
-		c.sendError(id, errors.New("response encoding failed"))
-		return
-	}
-	c.w.Send(t, id, payload)
-}
-
-// --- the adaptive coalescer -------------------------------------------------
-
-// coalescer folds a tenant's concurrent single-check requests into shared
-// engine.CheckBatch calls.
-type coalescer struct {
-	ws *WireServer
-	t  *tenant
-
-	mu    sync.Mutex
-	cur   *flushBatch
-	timer *time.Timer
-}
-
-// pendingCheck is one queued single-check request's response routing.
-type pendingCheck struct {
-	conn  *wireConn
-	id    uint64
-	start time.Time
-}
-
-// flushBatch is the pooled per-flush working set: the queued requests,
-// their decoded calls (parallel slices), the decision output buffer, and
-// the distinct-connection scratch for response flushing.
-type flushBatch struct {
-	pend  []pendingCheck
-	calls []engine.Call
-	outs  []engine.Decision
-	conns []*wireConn
-}
-
-var flushBatchPool = sync.Pool{New: func() any { return new(flushBatch) }}
-
-// flushSeq stamps coalescer flushes so connection dedup in flush() is one
-// atomic load per pending entry instead of a per-flush set.
-var flushSeq atomic.Uint64
-
-// submit queues one check. The batch flushes inline when it reaches the
-// size bound (which is also the backpressure path); otherwise the first
-// submission arms the flush-window timer as a latency backstop.
-func (c *coalescer) submit(conn *wireConn, id uint64, call engine.Call) {
-	start := time.Now()
-	c.mu.Lock()
-	b := c.cur
-	if b == nil {
-		b = flushBatchPool.Get().(*flushBatch)
-		c.cur = b
-	}
-	b.pend = append(b.pend, pendingCheck{conn: conn, id: id, start: start})
-	b.calls = append(b.calls, call)
-	if len(b.pend) >= c.ws.maxCoalesce {
-		c.cur = nil
-		c.mu.Unlock()
-		c.flush(b)
-		return
-	}
-	if len(b.pend) == 1 && c.ws.flushWindow > 0 {
-		if c.timer == nil {
-			c.timer = time.AfterFunc(c.ws.flushWindow, c.flushPending)
-		} else {
-			c.timer.Reset(c.ws.flushWindow)
-		}
-	}
-	c.mu.Unlock()
-}
-
-// flushPending detaches whatever is queued and flushes it. Called from the
-// drain signal, the timer, and profile-swap settling.
-func (c *coalescer) flushPending() {
-	c.mu.Lock()
-	b := c.cur
-	c.cur = nil
-	c.mu.Unlock()
-	if b != nil {
-		c.flush(b)
-	}
-}
-
-// flush runs one coalesced engine.CheckBatch and routes each decision back
-// to its connection. The engine is fetched per flush, so profile uploads
-// that rebuild the tenant on a new mechanism take effect batch-to-batch.
-func (c *coalescer) flush(b *flushBatch) {
-	b.outs = c.t.engine().CheckBatch(b.calls, b.outs[:0])
-	m := c.ws.s.metrics
-	m.WireFlushes.Add(1)
-	m.WireChecks.Add(uint64(len(b.pend)))
-	m.WireCoalesced.Observe(len(b.pend))
-
-	seq := flushSeq.Add(1)
-	b.conns = b.conns[:0]
-	for i := range b.pend {
-		pc := &b.pend[i]
-		pc.conn.w.SendCheckResp(pc.id, b.outs[i])
-		if pc.conn.respSeq.Load() != seq {
-			pc.conn.respSeq.Store(seq)
-			b.conns = append(b.conns, pc.conn)
-		}
-	}
-	for i, wc := range b.conns {
-		wc.w.Flush()
-		b.conns[i] = nil
-	}
-	for i := range b.pend {
-		m.WireCheckLatency.Observe(time.Since(b.pend[i].start))
-		b.pend[i] = pendingCheck{}
-	}
-	b.pend, b.calls, b.outs = b.pend[:0], b.calls[:0], b.outs[:0]
-	b.conns = b.conns[:0]
-	flushBatchPool.Put(b)
 }

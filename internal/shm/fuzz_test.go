@@ -1,0 +1,80 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedSlot builds a full published slot image for the corpus.
+func seedSlot(typ uint8, id, pos uint64, payload []byte, slotSize int) []byte {
+	b := AppendSlot(nil, typ, id, pos, payload)
+	for len(b) < slotSize {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// FuzzParseSlot feeds arbitrary slot images to the consumer-side decoder.
+// The invariants: no panics, payloads never escape the slot's bounds,
+// torn sequence numbers and oversized lengths fail cleanly, stale epochs
+// (a previous lap's frame) read as empty rather than as data, and every
+// slot that decodes re-encodes to an equivalent image.
+func FuzzParseSlot(f *testing.F) {
+	const slotSize = 256
+	// Valid published slots at a few ring positions, including later laps.
+	f.Add(uint64(0), uint64(8), seedSlot(1, 42, 0, []byte("check"), slotSize))
+	f.Add(uint64(7), uint64(8), seedSlot(3, 7, 7, nil, slotSize))
+	f.Add(uint64(24), uint64(8), seedSlot(2, 99, 24, bytes.Repeat([]byte{0xAA}, 100), slotSize))
+
+	// Adversarial seeds.
+	torn := seedSlot(1, 1, 4, []byte("x"), slotSize)
+	le.PutUint64(torn[slotSeqOff:], 3) // neither pos+1, zero, nor stale-lap
+	f.Add(uint64(4), uint64(8), torn)
+
+	stale := seedSlot(1, 5, 4, []byte("old"), slotSize) // published a lap ago
+	f.Add(uint64(12), uint64(8), stale)
+
+	oversized := seedSlot(1, 2, 0, []byte("y"), slotSize)
+	le.PutUint32(oversized[slotLenOff:], slotSize) // > cap
+	f.Add(uint64(0), uint64(8), oversized)
+
+	lying := seedSlot(1, 3, 0, []byte("z"), slotSize)
+	le.PutUint32(lying[slotLenOff:], uint32(slotSize-SlotHdrSize)) // cap exactly, data short
+	f.Add(uint64(0), uint64(8), lying)
+
+	f.Add(uint64(0), uint64(8), []byte{})                            // truncated below the header
+	f.Add(uint64(0), uint64(8), seedSlot(1, 4, 0, nil, slotSize)[:SlotHdrSize-3])
+	f.Add(uint64(0), uint64(0), seedSlot(1, 4, 0, nil, slotSize))    // degenerate ring size
+	f.Add(uint64(0), uint64(6), seedSlot(1, 4, 0, nil, slotSize))    // non-power-of-two ring
+	f.Add(uint64(1<<63), uint64(8), seedSlot(1, 4, 1<<63, nil, slotSize))
+
+	f.Fuzz(func(t *testing.T, pos, n uint64, slot []byte) {
+		fr, ok, err := ParseSlot(slot, pos, n)
+		if !ok {
+			if err == nil && len(slot) >= SlotHdrSize && n != 0 && n&(n-1) == 0 {
+				// Cleanly empty (unpublished or stale) — fine.
+				return
+			}
+			return // any clean failure is acceptable
+		}
+		if err != nil {
+			t.Fatalf("ok with err: %v", err)
+		}
+		if len(fr.Payload) > len(slot)-SlotHdrSize {
+			t.Fatalf("payload of %d escapes a %d-byte slot", len(fr.Payload), len(slot))
+		}
+		// Round trip: a decodable slot re-encodes to the same header+payload
+		// prefix (trailing slot padding is not part of the frame).
+		rt := AppendSlot(nil, fr.Type, fr.ID, pos, fr.Payload)
+		// AppendSlot zeroes the reserved bytes; mask them out of the
+		// comparison since ParseSlot ignores them.
+		mask := func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[slotTypeOff+1], c[slotTypeOff+2], c[slotTypeOff+3] = 0, 0, 0
+			return c
+		}
+		if !bytes.Equal(rt, mask(slot[:len(rt)])) {
+			t.Fatalf("slot round trip mismatch:\n got %x\nwant %x", rt, slot[:len(rt)])
+		}
+	})
+}

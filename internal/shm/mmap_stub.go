@@ -1,0 +1,13 @@
+//go:build !unix
+
+package shm
+
+// Supported reports whether this platform can map region files.
+func Supported() bool { return false }
+
+// CreateFile is unsupported without mmap; callers gate on Supported and
+// skip the shm transport rather than fail.
+func CreateFile(path string, l Layout) (*Region, error) { return nil, ErrUnsupported }
+
+// OpenFile is unsupported without mmap.
+func OpenFile(path string) (*Region, error) { return nil, ErrUnsupported }

@@ -1,0 +1,390 @@
+package shm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestRegion(t testing.TB, l Layout) *Region {
+	t.Helper()
+	r, err := NewRegion(NewBuffer(l), l, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := DefaultLayout().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{SlotSize: 100, SubmitSlots: 8, CompleteSlots: 8},    // not a power of two
+		{SlotSize: 128, SubmitSlots: 8, CompleteSlots: 8},    // below MinSlotSize
+		{SlotSize: 2 << 20, SubmitSlots: 8, CompleteSlots: 8},// above MaxSlotSize
+		{SlotSize: 4096, SubmitSlots: 0, CompleteSlots: 8},
+		{SlotSize: 4096, SubmitSlots: 8, CompleteSlots: 3},
+		{SlotSize: 4096, SubmitSlots: MaxSlots * 2, CompleteSlots: 8},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Fatalf("bad layout %d validated: %+v", i, l)
+		}
+	}
+}
+
+// TestRingRoundTrip pushes frames through one ring across several laps and
+// checks payload, id, and type fidelity plus empty/full transitions.
+func TestRingRoundTrip(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+
+	var f Frame
+	if ok, err := r.Consume(&f); ok || err != nil {
+		t.Fatalf("fresh ring not empty: ok=%v err=%v", ok, err)
+	}
+	for i := 0; i < 64; i++ { // 16 laps of a 4-slot ring
+		buf := r.Claim()
+		if buf == nil {
+			t.Fatal("Claim returned nil on open ring")
+		}
+		payload := fmt.Appendf(buf, "frame-%d", i)
+		if err := r.Publish(uint8(i%7)+1, uint64(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := r.Consume(&f)
+		if err != nil || !ok {
+			t.Fatalf("frame %d: ok=%v err=%v", i, ok, err)
+		}
+		if f.ID != uint64(i) || f.Type != uint8(i%7)+1 || string(f.Payload) != fmt.Sprintf("frame-%d", i) {
+			t.Fatalf("frame %d decoded %d/%d/%q", i, f.ID, f.Type, f.Payload)
+		}
+		r.Release()
+	}
+}
+
+// TestRingBackpressure fills the ring, checks the producer observes it as
+// full, and that consuming frees slots for further production.
+func TestRingBackpressure(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 2, CompleteSlots: 2}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+
+	for i := 0; i < 2; i++ {
+		if err := r.Publish(1, uint64(i), r.Claim()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ring is full: a Claim would spin. Drain one frame from a second
+	// goroutine after a delay and require Claim to complete.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := r.Claim()
+		if buf == nil {
+			t.Error("Claim returned nil")
+			return
+		}
+		if err := r.Publish(1, 2, buf); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Claim returned while the ring was full")
+	default:
+	}
+	var f Frame
+	if ok, err := r.Consume(&f); !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	r.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Claim did not observe the freed slot")
+	}
+}
+
+// TestRingTornSeq corrupts a slot's sequence word and requires the
+// consumer to fail terminally instead of decoding garbage.
+func TestRingTornSeq(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	if err := r.Publish(1, 7, r.Claim()); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble the seq word with a value that is neither published, empty,
+	// nor a stale lap.
+	copy(r.slot(0)[slotSeqOff:], []byte{0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE})
+	var f Frame
+	if _, err := r.Consume(&f); err == nil {
+		t.Fatal("torn seq consumed cleanly")
+	}
+}
+
+// TestRingOversizedLen corrupts a published slot's length field beyond the
+// payload capacity; the consumer must refuse it.
+func TestRingOversizedLen(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	if err := r.Publish(1, 7, r.Claim()); err != nil {
+		t.Fatal(err)
+	}
+	le.PutUint32(r.slot(0)[slotLenOff:], uint32(l.SlotSize)) // > PayloadCap
+	var f Frame
+	if _, err := r.Consume(&f); err == nil {
+		t.Fatal("oversized len consumed cleanly")
+	}
+}
+
+// TestRingSPSCConcurrent streams frames through a ring with the producer
+// and consumer on separate goroutines, checking content and order.
+func TestRingSPSCConcurrent(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 8, CompleteSlots: 8}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	const frames = 50_000
+
+	var consumerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var f Frame
+		for i := 0; i < frames; {
+			ok, err := r.Consume(&f)
+			if err != nil {
+				consumerErr = err
+				return
+			}
+			if !ok {
+				// Yield on empty: on a single-core box an unyielding spin
+				// starves the producer until async preemption kicks in.
+				runtime.Gosched()
+				continue
+			}
+			if f.ID != uint64(i) || len(f.Payload) != int(f.ID%64) {
+				consumerErr = fmt.Errorf("frame %d: id=%d len=%d", i, f.ID, len(f.Payload))
+				return
+			}
+			for _, b := range f.Payload {
+				if b != byte(i) {
+					consumerErr = fmt.Errorf("frame %d: payload byte %d", i, b)
+					return
+				}
+			}
+			r.Release()
+			i++
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		buf := r.Claim()
+		for j := 0; j < i%64; j++ {
+			buf = append(buf, byte(i))
+		}
+		if err := r.Publish(3, uint64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if consumerErr != nil {
+		t.Fatal(consumerErr)
+	}
+}
+
+// TestParkProtocol exercises the parked-flag handshake: a consumer that
+// parks is observable by the producer, and the re-check closes the race
+// where a frame publishes between the empty check and the park.
+func TestParkProtocol(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+
+	if r.ConsumerParked() {
+		t.Fatal("fresh ring parked")
+	}
+	r.SetParked(true)
+	if !r.ConsumerParked() {
+		t.Fatal("park flag not visible")
+	}
+	if !r.Empty() {
+		t.Fatal("empty ring reports frames")
+	}
+	if err := r.Publish(1, 1, r.Claim()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Empty() {
+		t.Fatal("published frame invisible to Empty")
+	}
+	r.SetParked(false)
+	if r.ConsumerParked() {
+		t.Fatal("unpark flag not visible")
+	}
+}
+
+// TestRegionFileRoundTrip maps one file from two Regions (creator and
+// opener, as the two processes would) and moves frames both ways.
+func TestRegionFileRoundTrip(t *testing.T) {
+	if !Supported() {
+		t.Skip("no mmap support on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "ring.shm")
+	l := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8}
+	srv, err := CreateFile(path, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Layout() != l {
+		t.Fatalf("opener layout %+v, want %+v", cli.Layout(), l)
+	}
+
+	// Client produces a request; server consumes it and produces a
+	// response; client reaps it — through the two distinct mappings.
+	req := []byte("check openat")
+	if err := cli.Submit.Publish(1, 42, append(cli.Submit.Claim(), req...)); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok, err := srv.Submit.Consume(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never saw the submission")
+		}
+	}
+	if f.ID != 42 || !bytes.Equal(f.Payload, req) {
+		t.Fatalf("server decoded %d/%q", f.ID, f.Payload)
+	}
+	srv.Submit.Release()
+	if err := srv.Complete.Publish(2, 42, append(srv.Complete.Claim(), []byte("allow")...)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ok, err := cli.Complete.Consume(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the completion")
+		}
+	}
+	if f.ID != 42 || string(f.Payload) != "allow" {
+		t.Fatalf("client decoded %d/%q", f.ID, f.Payload)
+	}
+	cli.Complete.Release()
+}
+
+// TestOpenFileRejectsGarbage ensures header validation runs before any
+// geometry is trusted.
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	if !Supported() {
+		t.Skip("no mmap support on this platform")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "garbage.shm")
+	if err := os.WriteFile(bad, bytes.Repeat([]byte{0xAB}, 4096), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("garbage region opened")
+	}
+	// A truncated file with a valid header must be rejected too.
+	l := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8}
+	buf := NewBuffer(l)
+	if _, err := NewRegion(buf, l, true); err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.shm")
+	if err := os.WriteFile(short, buf[:1024], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(short); err == nil {
+		t.Fatal("short region opened")
+	}
+}
+
+// TestZeroAllocsRing pins the enqueue/dequeue hot path at zero heap
+// allocations per frame (skipped under -race: the detector perturbs alloc
+// accounting).
+func TestZeroAllocsRing(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("alloc accounting is perturbed under -race")
+	}
+	l := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	payload := bytes.Repeat([]byte{0x5A}, 64)
+	var f Frame
+	var id uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf := append(r.Claim(), payload...)
+		if err := r.Publish(1, id, buf); err != nil {
+			t.Fatal(err)
+		}
+		id++
+		ok, err := r.Consume(&f)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+		r.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("ring enqueue/dequeue allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestClaimUnblocksOnClose proves a producer spinning on a full ring bails
+// out when the region closes instead of spinning forever.
+func TestClaimUnblocksOnClose(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 2, CompleteSlots: 2}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	for i := 0; i < 2; i++ {
+		if err := r.Publish(1, uint64(i), r.Claim()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got.Store(r.Claim() == nil)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	reg.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Claim still spinning after Close")
+	}
+	if !got.Load() {
+		t.Fatal("Claim returned a buffer from a closed ring")
+	}
+}

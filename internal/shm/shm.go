@@ -1,0 +1,513 @@
+// Package shm implements dracod's shared-memory transport: io_uring-style
+// submission/completion rings over an mmap'd file, the tier below the TCP
+// wire protocol for co-located clients. Where the wire path pays two kernel
+// crossings per pipelined burst (a write and a read on each side), the shm
+// path moves frames through a file-backed mapping both processes share:
+// steady-state submission and reaping never enter the kernel.
+//
+// One Region holds two single-producer/single-consumer rings:
+//
+//   - the submission ring: client produces request frames, server consumes;
+//   - the completion ring: server produces response frames, client consumes.
+//
+// Each ring is a power-of-two array of fixed-size slots plus a header of
+// cache-line-padded cursors. A slot carries one frame — the same payload
+// encodings as internal/wire (check/batch/error bodies), so the existing
+// zero-allocation codecs encode straight into slot memory:
+//
+//	offset  size  field
+//	0       8     seq   (atomic; published when seq == position+1)
+//	8       8     id    (request id, echoed in the response frame)
+//	16      4     len   (payload length; bounded by the slot's capacity)
+//	20      1     type  (frame type byte; opaque to this package)
+//	21      3     reserved
+//	24      ...   payload
+//
+// Publication is a per-slot sequence number, LMAX-disruptor style: the
+// producer fills the slot body, then store-releases seq = position+1. The
+// consumer load-acquires seq; the value tells it apart from an empty slot
+// (zero), a slot still holding the previous lap's frame (position+1-size,
+// the "stale epoch"), and torn or corrupted state (anything else — a
+// protocol violation that kills the session, since a shared-memory peer
+// that scribbles sequence numbers cannot be resynchronized). The consumer
+// never writes to slots at all; it publishes progress by store-releasing
+// the ring-header head cursor, which is what the producer checks for space.
+//
+// Idle peers cost nothing: a consumer busy-polls briefly, then sets the
+// ring header's parked flag and blocks on a doorbell the producer rings
+// only when the flag is up (dracod uses a byte on the session's unix
+// socket — the portable stand-in for an eventfd/futex wake; see
+// internal/server and internal/server/client for the two ends).
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Layout geometry and slot-header constants.
+const (
+	// Magic marks byte 0 of a region file.
+	Magic uint32 = 0xD7AC0517
+	// Version is the region-layout version this package speaks.
+	Version uint16 = 1
+
+	// regionHdrSize is the file-global header: magic, version, geometry.
+	regionHdrSize = 64
+	// ringHdrSize is each ring's cursor block: one cache line for the
+	// consumer's head + parked flag, one for the producer's tail.
+	ringHdrSize = 128
+
+	// SlotHdrSize is the per-slot frame header (seq, id, len, type).
+	SlotHdrSize = 24
+
+	// MinSlotSize / MaxSlotSize bound a slot; both powers of two.
+	MinSlotSize = 256
+	MaxSlotSize = 1 << 20
+	// MaxSlots bounds a ring's slot count.
+	MaxSlots = 1 << 16
+
+	// DefaultSlotSize fits a coalesced batch of ~78 wire-encoded calls
+	// (52 bytes each) behind the 24-byte slot header.
+	DefaultSlotSize = 4096
+	// DefaultSlots is the per-ring slot count: 256 slots × 4KiB ≈ 1MiB per
+	// direction, enough in-flight frames to keep both sides streaming.
+	DefaultSlots = 256
+)
+
+// Slot field offsets within a slot.
+const (
+	slotSeqOff  = 0
+	slotIDOff   = 8
+	slotLenOff  = 16
+	slotTypeOff = 20
+)
+
+// Region-header field offsets.
+const (
+	hdrMagicOff     = 0
+	hdrVersionOff   = 4
+	hdrSlotSizeOff  = 8
+	hdrSubSlotsOff  = 12
+	hdrCompSlotsOff = 16
+)
+
+// Ring-header field offsets (relative to the ring header).
+const (
+	ringHeadOff   = 0  // consumer cursor (atomic uint64)
+	ringParkedOff = 8  // consumer parked flag (atomic uint32)
+	ringTailOff   = 64 // producer cursor (atomic uint64), own cache line
+)
+
+// Errors.
+var (
+	ErrBadMagic     = errors.New("shm: bad region magic")
+	ErrBadVersion   = errors.New("shm: unsupported region version")
+	ErrBadGeometry  = errors.New("shm: invalid region geometry")
+	ErrTornSeq      = errors.New("shm: torn slot sequence number")
+	ErrOversized    = errors.New("shm: slot payload length exceeds capacity")
+	ErrFrameTooBig  = errors.New("shm: frame payload exceeds slot capacity")
+	ErrRingClosed   = errors.New("shm: ring closed")
+	ErrUnsupported  = errors.New("shm: shared-memory transport unsupported on this platform")
+	errShortMapping = errors.New("shm: mapping shorter than its declared geometry")
+)
+
+var le = binary.LittleEndian
+
+// Layout describes a region's geometry.
+type Layout struct {
+	// SlotSize is the per-slot byte size (power of two, header included).
+	SlotSize int
+	// SubmitSlots / CompleteSlots are the per-ring slot counts (powers of
+	// two).
+	SubmitSlots   int
+	CompleteSlots int
+}
+
+// DefaultLayout returns the default region geometry.
+func DefaultLayout() Layout {
+	return Layout{SlotSize: DefaultSlotSize, SubmitSlots: DefaultSlots, CompleteSlots: DefaultSlots}
+}
+
+// Validate checks the geometry bounds.
+func (l Layout) Validate() error {
+	if l.SlotSize < MinSlotSize || l.SlotSize > MaxSlotSize || l.SlotSize&(l.SlotSize-1) != 0 {
+		return fmt.Errorf("%w: slot size %d", ErrBadGeometry, l.SlotSize)
+	}
+	for _, n := range []int{l.SubmitSlots, l.CompleteSlots} {
+		if n < 1 || n > MaxSlots || n&(n-1) != 0 {
+			return fmt.Errorf("%w: slot count %d", ErrBadGeometry, n)
+		}
+	}
+	return nil
+}
+
+// PayloadCap is the per-frame payload capacity under this layout.
+func (l Layout) PayloadCap() int { return l.SlotSize - SlotHdrSize }
+
+// FileSize is the region file size this geometry needs.
+func (l Layout) FileSize() int {
+	return regionHdrSize + 2*ringHdrSize + (l.SubmitSlots+l.CompleteSlots)*l.SlotSize
+}
+
+// Region is a mapped (or in-memory) ring pair. Submit carries client →
+// server request frames; Complete carries server → client responses.
+type Region struct {
+	Submit   *Ring
+	Complete *Ring
+
+	layout Layout
+	b      []byte
+	unmap  func() error
+}
+
+// Layout returns the region's geometry.
+func (r *Region) Layout() Layout { return r.layout }
+
+// Invalidate closes both rings without releasing the mapping: blocked
+// producers and consumers bail out, but the memory stays valid. Callers
+// that run ring loops on other goroutines invalidate first, wait for the
+// loops to exit, and only then Close — unmapping under a live consumer is
+// a fault, not an error return.
+func (r *Region) Invalidate() {
+	r.Submit.close()
+	r.Complete.close()
+}
+
+// Close invalidates the rings and unmaps the region when file-backed. No
+// goroutine may touch the rings concurrently with or after Close; see
+// Invalidate for the two-phase teardown.
+func (r *Region) Close() error {
+	r.Invalidate()
+	if r.unmap != nil {
+		u := r.unmap
+		r.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// NewRegion lays a region over b, which must be at least l.FileSize()
+// bytes. When init is true the header and cursors are (re)initialized —
+// the creator's side; openers validate the existing header instead.
+func NewRegion(b []byte, l Layout, init bool) (*Region, error) {
+	if init {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		if len(b) < l.FileSize() {
+			return nil, errShortMapping
+		}
+		for i := range b[:l.FileSize()] {
+			b[i] = 0
+		}
+		le.PutUint32(b[hdrMagicOff:], Magic)
+		le.PutUint16(b[hdrVersionOff:], Version)
+		le.PutUint16(b[hdrVersionOff+2:], 0)
+		le.PutUint32(b[hdrSlotSizeOff:], uint32(l.SlotSize))
+		le.PutUint32(b[hdrSubSlotsOff:], uint32(l.SubmitSlots))
+		le.PutUint32(b[hdrCompSlotsOff:], uint32(l.CompleteSlots))
+	} else {
+		got, err := ParseLayout(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < got.FileSize() {
+			return nil, errShortMapping
+		}
+		l = got
+	}
+	r := &Region{layout: l, b: b}
+	subOff := regionHdrSize
+	compOff := subOff + ringHdrSize + l.SubmitSlots*l.SlotSize
+	r.Submit = newRing(b[subOff:compOff], l.SlotSize, l.SubmitSlots)
+	r.Complete = newRing(b[compOff:compOff+ringHdrSize+l.CompleteSlots*l.SlotSize], l.SlotSize, l.CompleteSlots)
+	return r, nil
+}
+
+// NewBuffer allocates an in-memory backing buffer for a region with
+// guaranteed 8-byte alignment (the cursor words are accessed atomically).
+// Mapped files are page-aligned; this is the equivalent for heap-backed
+// regions, used by tests and as the portable in-process fallback.
+func NewBuffer(l Layout) []byte {
+	words := make([]uint64, (l.FileSize()+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), l.FileSize())
+}
+
+// ParseLayout reads and validates a region header.
+func ParseLayout(b []byte) (Layout, error) {
+	if len(b) < regionHdrSize {
+		return Layout{}, errShortMapping
+	}
+	if le.Uint32(b[hdrMagicOff:]) != Magic {
+		return Layout{}, ErrBadMagic
+	}
+	if le.Uint16(b[hdrVersionOff:]) != Version {
+		return Layout{}, ErrBadVersion
+	}
+	l := Layout{
+		SlotSize:      int(le.Uint32(b[hdrSlotSizeOff:])),
+		SubmitSlots:   int(le.Uint32(b[hdrSubSlotsOff:])),
+		CompleteSlots: int(le.Uint32(b[hdrCompSlotsOff:])),
+	}
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
+	return l, nil
+}
+
+// Frame is one consumed frame. Payload aliases slot memory and is valid
+// only until the consumer calls Release.
+type Frame struct {
+	Type    uint8
+	ID      uint64
+	Payload []byte
+}
+
+// Ring is one direction's SPSC slot ring. The producer side and the
+// consumer side each run in exactly one goroutine (or behind one lock);
+// the two sides may be in different processes sharing the mapping.
+type Ring struct {
+	head   *atomic.Uint64 // consumer cursor (shared)
+	tail   *atomic.Uint64 // producer cursor (shared)
+	parked *atomic.Uint32 // consumer parked flag (shared)
+	slots  []byte
+	size   int    // slot size in bytes
+	mask   uint64 // slot-count mask
+	n      uint64 // slot count
+
+	// Producer-local state (never shared).
+	pTail     uint64 // producer's own cursor mirror
+	headCache uint64 // last observed head, refreshed on full
+
+	// Consumer-local state.
+	cHead    uint64 // consumer's own cursor mirror
+	consumed bool   // a frame is held between Consume and Release
+
+	closed atomic.Bool
+}
+
+func newRing(b []byte, slotSize, slots int) *Ring {
+	r := &Ring{
+		head:   (*atomic.Uint64)(unsafe.Pointer(&b[ringHeadOff])),
+		parked: (*atomic.Uint32)(unsafe.Pointer(&b[ringParkedOff])),
+		tail:   (*atomic.Uint64)(unsafe.Pointer(&b[ringTailOff])),
+		slots:  b[ringHdrSize:],
+		size:   slotSize,
+		mask:   uint64(slots - 1),
+		n:      uint64(slots),
+	}
+	// Re-attach local mirrors to shared cursors (openers join a ring whose
+	// peer may already have produced frames).
+	r.pTail = r.tail.Load()
+	r.headCache = r.head.Load()
+	r.cHead = r.head.Load()
+	return r
+}
+
+func (r *Ring) slot(pos uint64) []byte {
+	off := int(pos&r.mask) * r.size
+	return r.slots[off : off+r.size]
+}
+
+// PayloadCap is the largest payload one frame can carry.
+func (r *Ring) PayloadCap() int { return r.size - SlotHdrSize }
+
+// Slots returns the ring's slot count.
+func (r *Ring) Slots() int { return int(r.n) }
+
+// close marks the ring closed; blocked producers and consumers bail out.
+func (r *Ring) close() { r.closed.Store(true) }
+
+// Closed reports whether close was called on this side's Region.
+func (r *Ring) Closed() bool { return r.closed.Load() }
+
+// --- producer side ----------------------------------------------------------
+
+// Claim returns the next slot's payload buffer (len 0, cap PayloadCap),
+// spinning — with escalating yields — while the ring is full. Claiming
+// does not advance the ring: the slot publishes only on Publish. Returns
+// nil when the ring is closed.
+//
+// The full path is the transport's backpressure: a producer outrunning the
+// consumer ends up spinning here, exactly like a wire client blocked on
+// TCP flow control.
+func (r *Ring) Claim() []byte {
+	spins := 0
+	for r.pTail-r.headCache >= r.n {
+		r.headCache = r.head.Load()
+		if r.pTail-r.headCache < r.n {
+			break
+		}
+		if r.closed.Load() {
+			return nil
+		}
+		spins++
+		switch {
+		case spins < 64:
+			// tight spin
+		case spins < 1024:
+			runtime.Gosched()
+		default:
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	s := r.slot(r.pTail)
+	return s[SlotHdrSize:SlotHdrSize:r.size]
+}
+
+// Publish seals the claimed slot with a frame and advances the producer
+// cursor. payload is normally the buffer Claim returned, appended in
+// place — then no copy happens; any other buffer that fits is copied in.
+// Publish must follow the Claim whose slot it seals (one claim, one
+// publish, in producer order).
+func (r *Ring) Publish(typ uint8, id uint64, payload []byte) error {
+	if len(payload) > r.PayloadCap() {
+		return ErrFrameTooBig
+	}
+	if r.closed.Load() {
+		return ErrRingClosed
+	}
+	pos := r.pTail
+	s := r.slot(pos)
+	if len(payload) > 0 && &s[SlotHdrSize] != &payload[0] {
+		copy(s[SlotHdrSize:], payload)
+	}
+	le.PutUint64(s[slotIDOff:], id)
+	le.PutUint32(s[slotLenOff:], uint32(len(payload)))
+	s[slotTypeOff] = typ
+	s[slotTypeOff+1], s[slotTypeOff+2], s[slotTypeOff+3] = 0, 0, 0
+	// The release-store of seq is the publication point: every slot write
+	// above happens-before a consumer that load-acquires seq == pos+1.
+	(*atomic.Uint64)(unsafe.Pointer(&s[slotSeqOff])).Store(pos + 1)
+	r.pTail = pos + 1
+	r.tail.Store(r.pTail)
+	return nil
+}
+
+// ConsumerParked reports whether the consumer has parked and needs a
+// doorbell. The producer checks this after Publish; a false reading
+// concurrent with the consumer parking is recovered by the consumer's
+// re-check-after-park.
+func (r *Ring) ConsumerParked() bool { return r.parked.Load() != 0 }
+
+// --- consumer side ----------------------------------------------------------
+
+// Consume decodes the next published frame into f. It returns (false,nil)
+// when the ring is empty, and a terminal error on torn or corrupt slot
+// state. After a true return the frame's payload aliases slot memory:
+// the caller must finish with it and call Release before the next Consume.
+func (r *Ring) Consume(f *Frame) (bool, error) {
+	if r.consumed {
+		return false, errors.New("shm: Consume without Release")
+	}
+	pos := r.cHead
+	s := r.slot(pos)
+	seq := (*atomic.Uint64)(unsafe.Pointer(&s[slotSeqOff])).Load()
+	ready, err := seqState(seq, pos, r.n)
+	if err != nil || !ready {
+		return false, err
+	}
+	n := le.Uint32(s[slotLenOff:])
+	if int(n) > r.PayloadCap() {
+		return false, ErrOversized
+	}
+	f.Type = s[slotTypeOff]
+	f.ID = le.Uint64(s[slotIDOff:])
+	f.Payload = s[SlotHdrSize : SlotHdrSize+int(n)]
+	r.consumed = true
+	return true, nil
+}
+
+// Release frees the slot Consume returned, publishing consumer progress
+// so the producer can reuse it.
+func (r *Ring) Release() {
+	if !r.consumed {
+		return
+	}
+	r.consumed = false
+	r.cHead++
+	r.head.Store(r.cHead)
+}
+
+// Empty reports whether no published frame is waiting (a best-effort
+// peek, used for the park re-check).
+func (r *Ring) Empty() bool {
+	s := r.slot(r.cHead)
+	seq := (*atomic.Uint64)(unsafe.Pointer(&s[slotSeqOff])).Load()
+	return seq != r.cHead+1
+}
+
+// SetParked publishes the consumer's parked flag. The protocol is: set
+// parked, re-check Empty (a frame published in between means skip the
+// park), block on the doorbell, clear parked.
+func (r *Ring) SetParked(v bool) {
+	if v {
+		r.parked.Store(1)
+	} else {
+		r.parked.Store(0)
+	}
+}
+
+// seqState classifies a slot's sequence word for position pos in a ring
+// of n slots: published now (pos+1), not yet published (zero or a value
+// from an earlier lap), or torn/corrupt (anything else).
+func seqState(seq, pos, n uint64) (ready bool, err error) {
+	switch {
+	case seq == pos+1:
+		return true, nil
+	case seq == 0:
+		return false, nil
+	case seq <= pos && (pos+1-seq)%n == 0:
+		// A stale epoch: the frame published at this slot some whole
+		// number of laps ago, not yet overwritten this lap.
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: slot %d holds seq %d", ErrTornSeq, pos&(n-1), seq)
+	}
+}
+
+// ParseSlot decodes slot bytes as the consumer would for ring position pos
+// in a ring of n slots, without touching ring state: the fuzz surface for
+// the slot layout. It never panics on arbitrary input and never yields a
+// payload beyond the slot's bounds.
+func ParseSlot(slot []byte, pos, n uint64) (Frame, bool, error) {
+	var f Frame
+	if len(slot) < SlotHdrSize {
+		return f, false, errShortMapping
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return f, false, ErrBadGeometry
+	}
+	seq := le.Uint64(slot[slotSeqOff:])
+	ready, err := seqState(seq, pos, n)
+	if err != nil || !ready {
+		return f, false, err
+	}
+	ln := le.Uint32(slot[slotLenOff:])
+	if int(ln) > len(slot)-SlotHdrSize {
+		return f, false, ErrOversized
+	}
+	f.Type = slot[slotTypeOff]
+	f.ID = le.Uint64(slot[slotIDOff:])
+	f.Payload = slot[SlotHdrSize : SlotHdrSize+int(ln)]
+	return f, true, nil
+}
+
+// AppendSlot encodes a full slot image (header + payload) for position pos
+// — the encoding mirror of ParseSlot, used by tests to round-trip the
+// layout without a live ring.
+func AppendSlot(dst []byte, typ uint8, id uint64, pos uint64, payload []byte) []byte {
+	var hdr [SlotHdrSize]byte
+	le.PutUint64(hdr[slotSeqOff:], pos+1)
+	le.PutUint64(hdr[slotIDOff:], id)
+	le.PutUint32(hdr[slotLenOff:], uint32(len(payload)))
+	hdr[slotTypeOff] = typ
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

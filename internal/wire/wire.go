@@ -52,6 +52,11 @@ const (
 	callBytes = 4 + 8*6
 	// decisionBytes is the fixed encoding of one engine.Decision.
 	decisionBytes = 1 + 4 + 4
+
+	// CallBytes / DecisionBytes export the fixed element encodings so
+	// transports with bounded frames (the shm slot rings) can size batches.
+	CallBytes     = callBytes
+	DecisionBytes = decisionBytes
 )
 
 // Type identifies a frame's meaning.
@@ -76,6 +81,17 @@ const (
 	TypeStatsResp
 	// TypeError reports a request-level failure; the payload is the message.
 	TypeError
+	// TypeWake is the shared-memory doorbell: rung over the session's
+	// control socket when the peer's ring consumer has parked (see
+	// internal/shm). It carries no payload and expects no response.
+	TypeWake
+	// TypeRingReq asks the server to establish a shared-memory ring pair
+	// for this connection. The payload is three uint32 words — slot size,
+	// submission slots, completion slots — each 0 for the server default.
+	TypeRingReq
+	// TypeRingResp acknowledges a ring request; the payload is the path of
+	// the region file to mmap.
+	TypeRingResp
 
 	typeMax
 )
@@ -100,6 +116,12 @@ func (t Type) String() string {
 		return "stats-resp"
 	case TypeError:
 		return "error"
+	case TypeWake:
+		return "wake"
+	case TypeRingReq:
+		return "ring-req"
+	case TypeRingResp:
+		return "ring-resp"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

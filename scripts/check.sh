@@ -36,6 +36,23 @@ go test -count=1 -run 'Fuzz' ./internal/wire/
 go test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
 go test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
 
+# Shared-memory transport guards, run explicitly; every piece skips (not
+# fails) on platforms without mmap support. The slot-parser fuzz seed
+# corpus covers adversarial seq/len/lap encodings (use `go test -fuzz
+# FuzzParseSlot ./internal/shm` to explore beyond it); the 0-allocs/op
+# pins cover ring enqueue/dequeue and the client-side Batcher fold; the
+# shm differential proves decisions through the rings — batch frames,
+# single checks, and Batcher-folded singles — are identical to calling
+# the engine directly on 100k-event traces of all 15 workloads; and the
+# race hammers cover the raw SPSC producer/consumer pair plus 16
+# goroutines storming one ring pair while profiles hot-swap mid-stream.
+go test -count=1 -run 'Fuzz' ./internal/shm/
+go test -count=1 -run 'ZeroAllocs' ./internal/shm/ ./internal/server/client/
+go test -count=1 -run 'TestBatcher' ./internal/server/client/
+go test -count=1 -run 'TestShmDifferentialAllWorkloads' ./internal/server/
+go test -race -count=1 -run 'TestRingSPSCConcurrent' ./internal/shm/
+go test -race -count=1 -run 'TestShmHotSwapHammer' ./internal/server/
+
 # BPF differential fuzz seed corpus, run explicitly (each seed as a unit
 # test; use `go test -fuzz FuzzValidateAndRun ./internal/bpf` to explore
 # beyond it): every accepted program runs through both the interpreter and
