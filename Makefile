@@ -41,21 +41,27 @@ test-wire:
 	$(GO) test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
 
 # test-shm runs the shared-memory transport's guards explicitly: the slot
-# parser fuzz seed corpus (adversarial seq/len/lap encodings; `go test
-# -fuzz FuzzParseSlot ./internal/shm` explores further), the ring and
-# Batcher-fold 0-allocs/op pins, the shm-vs-in-process differential suite
-# (100k-event traces, all 15 workloads, batch frames + single checks + the
-# client-side Batcher fold), and the race hammers: the SPSC producer/
-# consumer pair and the 16-goroutine check storm over one ring pair with
-# mid-stream profile hot-swaps, both under -race. Every piece skips (not
-# fails) on platforms without mmap support.
+# parser fuzz seed corpus (adversarial seq/len/lap encodings plus v2
+# header layouts and MPSC claimed-unpublished states; `go test -fuzz
+# FuzzParseSlot ./internal/shm` explores further), the ring and
+# Batcher-fold 0-allocs/op pins, the Batcher fold tests (including the
+# MaxInflight concurrent-flusher contract), the shm-vs-in-process
+# differential suite (100k-event traces, all 15 workloads, batch frames +
+# single checks + the client-side Batcher fold), and the race hammers:
+# the SPSC producer/consumer pair, the 16-producer MPSC claim hammer, the
+# futex/eventfd/socket doorbell park-wake stress (spurious wakes
+# included), and the 16-goroutine check storm over one ring pair with
+# mid-stream profile hot-swaps and doorbell negotiation, all under -race.
+# Every piece skips (not fails) on platforms without mmap or the
+# negotiated doorbell primitive.
 test-shm:
 	$(GO) test -count=1 -run 'Fuzz' ./internal/shm/
 	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/shm/ ./internal/server/client/
 	$(GO) test -count=1 -run 'TestBatcher' ./internal/server/client/
 	$(GO) test -count=1 -run 'TestShmDifferentialAllWorkloads' ./internal/server/
-	$(GO) test -race -count=1 -run 'TestRingSPSCConcurrent' ./internal/shm/
-	$(GO) test -race -count=1 -run 'TestShmHotSwapHammer' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestRingSPSCConcurrent|TestRingMPSCConcurrent' ./internal/shm/
+	$(GO) test -race -count=1 -run 'DoorbellStress|TestFutexParkWake|TestParkProtocol' ./internal/shm/
+	$(GO) test -race -count=1 -run 'TestShmHotSwapHammer|TestShmDoorbellNegotiation|TestShmHandshakeV1Downgrade' ./internal/server/
 
 # test-bpf runs the BPF differential fuzz seed corpus as unit tests:
 # every accepted program through both the interpreter and the compiled
@@ -145,13 +151,14 @@ loadgen:
 	$(GO) run ./cmd/dracobench -loadgen
 
 # loadgen-shm: the shm-focused quick loop — two workloads at reduced
-# depth, for iterating on the ring/Batcher hot path without the full
-# sweep. loadgen itself already includes the shm and shm_fold edges at
-# full depth whenever the platform supports mmap (it reports them as
-# skipped otherwise); the committed acceptance numbers come from the
-# full run.
+# depth over the full doorbell matrix (futex/eventfd via auto, plus the
+# socket baseline; modes the platform lacks are reported as skipped, not
+# failed), for iterating on the ring/doorbell/Batcher hot path without
+# the full sweep. loadgen itself already includes the shm edges at full
+# depth whenever the platform supports mmap; the committed acceptance
+# numbers come from the full run.
 loadgen-shm:
-	$(GO) run ./cmd/dracobench -loadgen -workloads httpd,redis -events 20000
+	$(GO) run ./cmd/dracobench -loadgen -workloads httpd,redis -events 20000 -shm-doorbells auto,socket,futex,eventfd
 
 # misssweep: filter-execution (miss-path) sweep — every workload's
 # cold-start trace through a bare filter under the interp, compiled, and

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -140,6 +141,7 @@ func main() {
 		loadgen   = flag.Bool("loadgen", false, "service-edge load generator: single-check traffic over HTTP JSON vs the binary wire protocol")
 		conc      = flag.Int("concurrency", 32, "client worker goroutines for -loadgen")
 		conns     = flag.Int("conns", 4, "wire connection-pool size for -loadgen")
+		doorbells = flag.String("shm-doorbells", "auto,socket", "comma-separated shm doorbell matrix for -loadgen (auto, socket, futex, eventfd); unsupported modes skip")
 
 		// Harness verbs.
 		benchAll = flag.Bool("bench-all", false, "run every benchmark mode and write one trajectory file (default BENCH_<date>.json)")
@@ -149,9 +151,21 @@ func main() {
 		hard     = flag.Float64("hard", 0, "with -compare: hard-regression threshold (0 = default 0.40)")
 		verbose  = flag.Bool("v", false, "with -compare: also list in-band and improved metrics")
 		convert  = flag.String("convert", "", "convert a legacy results/*.json document to the common schema (writes -json or stdout)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dracobench: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	if *reps == 0 {
 		*reps = *repeats
@@ -217,12 +231,12 @@ func main() {
 
 	switch {
 	case *benchAll:
-		if err := runBenchAll(newCommon(nil), *smoke, *jsonOut, *conc, *conns); err != nil {
+		if err := runBenchAll(newCommon(nil), *smoke, *jsonOut, *conc, *conns, *doorbells); err != nil {
 			fail(err)
 		}
 		return
 	case *loadgen:
-		writeRun(loadgenMode(newCommon(nil), *conc, *conns))
+		writeRun(loadgenMode(newCommon(nil), *conc, *conns, *doorbells))
 		return
 	case *slbsweep:
 		writeRun(slbSweepMode(newCommon(nil), !*smoke))

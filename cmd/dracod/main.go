@@ -44,6 +44,7 @@ import (
 	"draco/internal/seccomp"
 	"draco/internal/server"
 	"draco/internal/server/client"
+	"draco/internal/shm"
 	"draco/internal/stats"
 	"draco/internal/syscalls"
 	"draco/internal/trace"
@@ -126,6 +127,8 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8477", "HTTP listen address")
 	wireAddr := fs.String("wire", ":8478", "wire-protocol listen address (empty = disabled)")
 	shmDir := fs.String("shm", "", "serve the shared-memory transport from this directory (empty = disabled)")
+	shmDoorbell := fs.String("shm-doorbell", "auto", "doorbell mechanisms offered to shm clients: auto, socket, futex, or eventfd")
+	shmHuge := fs.Bool("shm-hugepages", false, "back shm regions with huge pages for opted-in clients (best effort)")
 	wireCoalesce := fs.Int("wire-max-coalesce", 0, "max single-check frames coalesced into one engine batch (0 = default)")
 	wireWindow := fs.Duration("wire-flush-window", 0, "coalescer flush-window backstop (0 = default, negative = drain/size flushes only)")
 	shards := fs.Int("shards", concurrent.DefaultShards, "VAT shards per tenant (power of two)")
@@ -199,7 +202,11 @@ func runServe(args []string) error {
 		extra += ", wire on " + ln.Addr().String()
 	}
 	if *shmDir != "" {
-		ss, err := hub.NewShmServer(*shmDir)
+		bells, err := shm.ParseDoorbell(*shmDoorbell)
+		if err != nil {
+			return fmt.Errorf("-shm-doorbell: %v", err)
+		}
+		ss, err := hub.NewShmServerOpts(*shmDir, server.ShmServerOptions{Doorbells: bells, HugePages: *shmHuge})
 		if err != nil {
 			return fmt.Errorf("shm: %v", err)
 		}
@@ -285,6 +292,7 @@ func runReplay(args []string) error {
 	srvURL, timeout := ctlFlags(fs)
 	wireAddr := fs.String("wire", "", "replay over the binary wire protocol at this host:port instead of the HTTP JSON API")
 	shmDir := fs.String("shm", "", "replay over the shared-memory transport in this directory")
+	shmDoorbell := fs.String("shm-doorbell", "auto", "doorbell mechanism to advertise over shm: auto, socket, futex, or eventfd")
 	conns := fs.Int("conns", 2, "wire connection-pool size (with -wire)")
 	tenant := fs.String("tenant", "default", "tenant id")
 	traceFile := fs.String("trace", "", "trace file in the toolkit's text format (required)")
@@ -318,7 +326,7 @@ func runReplay(args []string) error {
 		return fmt.Errorf("replay: -wire and -shm are mutually exclusive")
 	case *shmDir != "":
 		path = "shm"
-		sc, err := client.DialShm(*shmDir, client.ShmOptions{})
+		sc, err := client.DialShm(*shmDir, client.ShmOptions{Doorbell: *shmDoorbell})
 		if err != nil {
 			return err
 		}

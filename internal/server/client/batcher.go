@@ -37,6 +37,13 @@ type BatcherOptions struct {
 	MaxFold int
 	// FoldWindow is the flush backstop for staggered arrivals (0 = 50µs).
 	FoldWindow time.Duration
+	// MaxInflight bounds concurrent flush frames per tenant (0 = 1: one
+	// flusher drains the queue while everyone else waits, the strictly
+	// serialized default). Transports whose submission side is
+	// multi-producer — the shm ring claims slots by CAS — can raise this
+	// so several batch frames are in flight at once: more, smaller
+	// batches, but no flusher convoy at high caller counts.
+	MaxInflight int
 }
 
 // batchCapper is implemented by transports with a hard per-batch size
@@ -50,9 +57,10 @@ type batchCapper interface {
 // anywhere a transport is used. Check is safe for concurrent use; the
 // remaining methods delegate straight to the underlying transport.
 type Batcher struct {
-	tr      Transport
-	maxFold int
-	window  time.Duration
+	tr       Transport
+	maxFold  int
+	window   time.Duration
+	inflight int
 
 	mu    sync.Mutex
 	folds map[string]*fold
@@ -63,19 +71,30 @@ type fold struct {
 	b      *Batcher
 	tenant string
 	max    int
+	// maxInflight bounds concurrent flushers on this fold.
+	maxInflight int
 
 	mu      sync.Mutex
 	waiters []*foldWaiter
-	// flushing marks a caller actively draining the queue; new arrivals
-	// just enqueue and wait.
-	flushing bool
+	// inflight counts callers actively draining the queue; new arrivals
+	// enqueue and wait unless a flusher slot is free.
+	inflight int
 	timer    *time.Timer
 
-	// flush scratch, reused across flushes.
+	// scratch for the single-inflight case, reused across flushes (the
+	// lone flusher owns it exclusively). Concurrent flushers draw pooled
+	// scratch instead.
+	scratch foldScratch
+}
+
+// foldScratch is one flush's working set.
+type foldScratch struct {
 	calls []engine.Call
 	outs  []engine.Decision
 	batch []*foldWaiter
 }
+
+var foldScratchPool = sync.Pool{New: func() any { return new(foldScratch) }}
 
 // foldWaiter is one caller's slot in a fold. Pooled.
 type foldWaiter struct {
@@ -97,11 +116,16 @@ func NewBatcher(tr Transport, opts BatcherOptions) *Batcher {
 	if window <= 0 {
 		window = DefaultFoldWindow
 	}
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = 1
+	}
 	return &Batcher{
-		tr:      tr,
-		maxFold: maxFold,
-		window:  window,
-		folds:   make(map[string]*fold),
+		tr:       tr,
+		maxFold:  maxFold,
+		window:   window,
+		inflight: inflight,
+		folds:    make(map[string]*fold),
 	}
 }
 
@@ -116,7 +140,7 @@ func (b *Batcher) foldFor(tenant string) *fold {
 				max = cap
 			}
 		}
-		f = &fold{b: b, tenant: tenant, max: max}
+		f = &fold{b: b, tenant: tenant, max: max, maxInflight: b.inflight}
 		b.folds[tenant] = f
 	}
 	b.mu.Unlock()
@@ -134,10 +158,10 @@ func (b *Batcher) Check(ctx context.Context, tenant string, sid int, args engine
 
 	f.mu.Lock()
 	f.waiters = append(f.waiters, w)
-	if !f.flushing {
-		// Idle fold: this caller drains it (and anything that piles up
-		// while the flush frame is in flight).
-		f.flushing = true
+	if f.inflight < f.maxInflight {
+		// A flusher slot is free: this caller drains the queue (and
+		// anything that piles up while its flush frames are in flight).
+		f.inflight++
 		f.mu.Unlock()
 		f.run()
 	} else {
@@ -167,23 +191,30 @@ func (b *Batcher) Check(ctx context.Context, tenant string, sid int, args engine
 func (f *fold) timerFlush() {
 	f.mu.Lock()
 	f.timer = nil
-	if f.flushing || len(f.waiters) == 0 {
+	if f.inflight > 0 || len(f.waiters) == 0 {
 		f.mu.Unlock()
 		return
 	}
-	f.flushing = true
+	f.inflight++
 	f.mu.Unlock()
 	f.run()
 }
 
 // run drains the fold until it is empty: cut a batch, send it, complete
-// its waiters, repeat. Only one goroutine runs this at a time per fold
-// (the flushing flag).
+// its waiters, repeat. At most maxInflight goroutines run this at a time
+// per fold (the inflight counter); with the default of one, the lone
+// flusher reuses the fold's own scratch, so the steady-state fold
+// allocates nothing.
 func (f *fold) run() {
+	s := &f.scratch
+	if f.maxInflight > 1 {
+		s = foldScratchPool.Get().(*foldScratch)
+		defer foldScratchPool.Put(s)
+	}
 	for {
 		f.mu.Lock()
 		if len(f.waiters) == 0 {
-			f.flushing = false
+			f.inflight--
 			f.mu.Unlock()
 			return
 		}
@@ -191,7 +222,7 @@ func (f *fold) run() {
 		if n > f.max {
 			n = f.max
 		}
-		f.batch = append(f.batch[:0], f.waiters[:n]...)
+		s.batch = append(s.batch[:0], f.waiters[:n]...)
 		rest := copy(f.waiters, f.waiters[n:])
 		for i := rest; i < len(f.waiters); i++ {
 			f.waiters[i] = nil
@@ -199,21 +230,21 @@ func (f *fold) run() {
 		f.waiters = f.waiters[:rest]
 		f.mu.Unlock()
 
-		f.calls = f.calls[:0]
-		for _, w := range f.batch {
-			f.calls = append(f.calls, w.call)
+		s.calls = s.calls[:0]
+		for _, w := range s.batch {
+			s.calls = append(s.calls, w.call)
 		}
-		outs, err := f.b.tr.CheckBatch(context.Background(), f.tenant, f.calls, f.outs[:0])
+		outs, err := f.b.tr.CheckBatch(context.Background(), f.tenant, s.calls, s.outs[:0])
 		if err == nil {
-			f.outs = outs
+			s.outs = outs
 		}
-		for i, w := range f.batch {
+		for i, w := range s.batch {
 			if err != nil {
 				w.err = err
 			} else {
 				w.d = outs[i]
 			}
-			f.batch[i] = nil
+			s.batch[i] = nil
 			w.done <- struct{}{}
 		}
 	}

@@ -5,15 +5,19 @@ package client
 // mapped ring pair. Requests are encoded with the same zero-allocation
 // wire payload codecs as the TCP client, but straight into submission-ring
 // slot memory: a steady-state check is two ring operations and no kernel
-// crossing on either side. The control plane (profile swaps, stats) and
-// the doorbells stay on the socket.
+// crossing on either side. The control plane (profile swaps, stats) stays
+// on the socket; the doorbell is whatever the v2 handshake negotiated —
+// a shared futex word, an eventfd pair received over SCM_RIGHTS, or the
+// portable control-socket wake frame.
 //
-// Concurrency: the submission ring is single-producer, so a mutex makes
-// the pool of calling goroutines look like one logical producer; the
-// completion ring's single consumer is the reaper goroutine, which routes
-// decisions back through the same callTable as the TCP client. For
-// call-level aggregation that amortizes even the per-call ring traffic,
-// wrap the connection in a Batcher (batcher.go).
+// Concurrency: the submission ring is multi-producer (CAS slot claiming),
+// so calling goroutines and Batcher flushers publish concurrently under a
+// shared read-lock — the write-lock belongs to teardown, which must
+// exclude all producers before unmapping. The completion ring's single
+// consumer is the reaper goroutine, which routes decisions back through
+// the same callTable as the TCP client. For call-level aggregation that
+// amortizes even the per-call ring traffic, wrap the connection in a
+// Batcher (batcher.go).
 
 import (
 	"context"
@@ -23,7 +27,6 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,10 +37,6 @@ import (
 	"draco/internal/wire"
 )
 
-// reapSpinBudget mirrors the server's parkSpinBudget: empty polls (each
-// yielding the scheduler) before the reaper parks on the doorbell.
-const reapSpinBudget = 256
-
 // ShmOptions configures DialShm.
 type ShmOptions struct {
 	// DialTimeout bounds the socket connect (0 = 5s).
@@ -47,6 +46,27 @@ type ShmOptions struct {
 	SlotSize      int
 	SubmitSlots   int
 	CompleteSlots int
+	// Doorbell restricts what wake mechanisms this client advertises:
+	// "auto" (default — everything the platform supports), "socket",
+	// "futex", or "eventfd". The server picks the best mechanism both
+	// sides support; the region header records the choice.
+	Doorbell string
+	// HugePages advertises that this client can map huge-page-backed
+	// regions (the server decides; best effort on both sides).
+	HugePages bool
+}
+
+// RingStats is a snapshot of one connection's transport internals, for
+// benchmarks and diagnostics.
+type RingStats struct {
+	// Doorbell is the negotiated wake mechanism.
+	Doorbell shm.DoorbellKind
+	// HugePages reports whether the region asked for huge pages.
+	HugePages bool
+	// Parks / Wakes count the reaper's doorbell parks and wakeups.
+	Parks, Wakes uint64
+	// SpinBudget is the reaper's current adaptive empty-poll budget.
+	SpinBudget int
 }
 
 // Shm is a shared-memory client for one dracod shm directory.
@@ -56,21 +76,43 @@ type Shm struct {
 	reg *shm.Region
 	tab *callTable
 
-	// submitMu serializes producers on the submission ring.
-	submitMu sync.Mutex
+	// submitMu is the producer/teardown exclusion: producers publish under
+	// RLock (the ring itself is multi-producer), teardown takes Lock to
+	// fence them off before unmapping.
+	submitMu sync.RWMutex
 
-	wake      chan struct{}
+	// wMu serializes control-socket writers (wire.Writer is not
+	// goroutine-safe, and ring producers may send wake frames
+	// concurrently with control-plane calls).
+	wMu sync.Mutex
+
+	subDoor  *shm.Doorbell // client rings it (server's submission consumer)
+	compDoor *shm.Doorbell // client sleeps on it (completion consumer)
+	spin     *shm.SpinController
+	efds     []int // eventfd doorbell fds received over SCM_RIGHTS
+
+	stop      chan struct{}
 	reapDone  chan struct{}
 	closeOnce sync.Once
 	closed    atomic.Bool
 }
 
 // DialShm connects to the shm front end serving dir: it dials the control
-// socket, requests a ring pair, and maps the region file the server
-// answers with.
+// socket, requests a ring pair (advertising this build's doorbell
+// capabilities), and maps the region file the server answers with.
 func DialShm(dir string, opts ShmOptions) (*Shm, error) {
 	if !shm.Supported() {
 		return nil, shm.ErrUnsupported
+	}
+	caps, err := shm.ParseDoorbell(opts.Doorbell)
+	if err != nil {
+		return nil, err
+	}
+	// Doorbell capability only; huge pages are advertised solely on explicit
+	// opt-in ("auto" must not silently change the mapping geometry).
+	caps &^= shm.CapHugePages
+	if opts.HugePages && shm.PlatformCaps().Has(shm.CapHugePages) {
+		caps |= shm.CapHugePages
 	}
 	timeout := opts.DialTimeout
 	if timeout <= 0 {
@@ -85,42 +127,81 @@ func DialShm(dir string, opts ShmOptions) (*Shm, error) {
 		nc:       nc,
 		w:        wire.NewWriter(nc),
 		tab:      newCallTable(),
-		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
 	// Handshake runs synchronously before the read loops start: one
-	// TypeRingReq out, one TypeRingResp (or error) back.
-	var req [12]byte
+	// TypeRingReq out, one TypeRingResp (or error) back — read raw so any
+	// SCM_RIGHTS eventfds riding on the response are captured (a buffered
+	// wire.Reader would discard the ancillary data).
+	var req [16]byte
 	binary.LittleEndian.PutUint32(req[0:], uint32(opts.SlotSize))
 	binary.LittleEndian.PutUint32(req[4:], uint32(opts.SubmitSlots))
 	binary.LittleEndian.PutUint32(req[8:], uint32(opts.CompleteSlots))
+	binary.LittleEndian.PutUint32(req[12:], uint32(caps))
 	id, call, _ := s.tab.register()
 	if err := s.w.Send(wire.TypeRingReq, id, req[:]); err != nil {
 		nc.Close()
 		return nil, err
 	}
-	r := wire.NewReader(nc)
-	h, p, err := r.Next()
+	h, p, fds, err := readFrameWithFDs(nc)
+	closeFDs := func() {
+		for _, fd := range fds {
+			shm.CloseFD(fd)
+		}
+	}
 	if err != nil {
+		closeFDs()
 		nc.Close()
 		return nil, fmt.Errorf("shm: handshake: %w", err)
 	}
 	s.tab.drop(id, call)
 	if h.Type == wire.TypeError {
+		closeFDs()
 		nc.Close()
 		return nil, &ServerError{Msg: string(p)}
 	}
 	if h.Type != wire.TypeRingResp {
+		closeFDs()
 		nc.Close()
 		return nil, fmt.Errorf("shm: handshake answered %v, want %v", h.Type, wire.TypeRingResp)
 	}
 	reg, err := shm.OpenFile(string(p))
 	if err != nil {
+		closeFDs()
 		nc.Close()
 		return nil, fmt.Errorf("shm: mapping %s: %w", p, err)
 	}
+	kind := reg.Layout().Doorbell
+	var subCfg, compCfg shm.DoorbellConfig
+	if kind == shm.DoorbellEventfd {
+		if len(fds) != 2 {
+			closeFDs()
+			reg.Close()
+			nc.Close()
+			return nil, fmt.Errorf("shm: eventfd doorbell negotiated but %d fds received, want 2", len(fds))
+		}
+		subCfg.Eventfd, compCfg.Eventfd = fds[0], fds[1]
+		s.efds = fds
+	} else {
+		closeFDs()
+	}
+	subCfg.SocketRing = func() { s.sendWake() }
 	s.reg = reg
-	go s.readSocket(r)
+	s.subDoor, err = shm.NewDoorbell(kind, reg.Submit, subCfg)
+	if err == nil {
+		s.compDoor, err = shm.NewDoorbell(kind, reg.Complete, compCfg)
+	}
+	if err != nil {
+		for _, fd := range s.efds {
+			shm.CloseFD(fd)
+		}
+		reg.Close()
+		nc.Close()
+		return nil, err
+	}
+	s.spin = shm.NewSpinController()
+	go s.readSocket(wire.NewReader(nc))
 	go s.reap()
 	return s, nil
 }
@@ -131,32 +212,56 @@ func (s *Shm) Close() error {
 	return nil
 }
 
+// RingStats snapshots the transport internals (doorbell mode, park/wake
+// counters, the reaper's adaptive spin budget).
+func (s *Shm) RingStats() RingStats {
+	return RingStats{
+		Doorbell:   s.compDoor.Kind(),
+		HugePages:  s.reg.Layout().HugePages,
+		Parks:      s.spin.Parks(),
+		Wakes:      s.spin.Wakes(),
+		SpinBudget: s.spin.Budget(),
+	}
+}
+
+// sendWake sends a doorbell frame on the control socket (the socket
+// doorbell's Ring, and nothing else — ring producers must not share the
+// writer with control-plane calls unlocked).
+func (s *Shm) sendWake() {
+	s.wMu.Lock()
+	s.w.Send(wire.TypeWake, 0, nil)
+	s.wMu.Unlock()
+}
+
 // fail poisons the table, closes the socket, and invalidates the rings,
-// unparking the reaper so it can exit. The mapping itself is released only
-// after the reaper is out and producers are excluded — unmapping under a
-// live ring loop is a fault. Idempotent; safe to call from the reaper.
+// unparking the reaper so it can exit. The mapping and any doorbell fds
+// are released only after the reaper is out and producers are excluded —
+// unmapping under a live ring loop is a fault. Idempotent; safe to call
+// from the reaper.
 func (s *Shm) fail(err error) {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
 		s.tab.fail(err)
 		s.nc.Close()
-		select {
-		case s.wake <- struct{}{}:
-		default:
-		}
+		close(s.stop)
 		if s.reg != nil {
 			s.reg.Invalidate()
+			s.subDoor.Close()
+			s.compDoor.Close()
 			go func() {
 				<-s.reapDone
 				s.submitMu.Lock()
 				s.reg.Close()
 				s.submitMu.Unlock()
+				for _, fd := range s.efds {
+					shm.CloseFD(fd)
+				}
 			}()
 		}
 	})
 }
 
-// readSocket handles control-plane responses and doorbells.
+// readSocket handles control-plane responses and socket doorbells.
 func (s *Shm) readSocket(r *wire.Reader) {
 	for {
 		h, p, err := r.Next()
@@ -165,10 +270,7 @@ func (s *Shm) readSocket(r *wire.Reader) {
 			return
 		}
 		if h.Type == wire.TypeWake {
-			select {
-			case s.wake <- struct{}{}:
-			default:
-			}
+			s.compDoor.Notify()
 			continue
 		}
 		s.tab.complete(h.Type, h.ID, p)
@@ -176,72 +278,53 @@ func (s *Shm) readSocket(r *wire.Reader) {
 }
 
 // reap is the completion-ring consumer: decisions come back here and
-// complete their calls by id. The park protocol mirrors the server's.
+// complete their calls by id. The shared ConsumeLoop owns the park
+// protocol and the adaptive spin budget.
 func (s *Shm) reap() {
 	defer close(s.reapDone)
-	comp := s.reg.Complete
-	var f shm.Frame
-	spins := 0
-	for {
-		ok, err := comp.Consume(&f)
-		if err != nil {
-			s.fail(fmt.Errorf("shm: completion ring: %w", err))
-			return
-		}
-		if !ok {
-			if s.closed.Load() || comp.Closed() {
-				return
-			}
-			spins++
-			if spins < reapSpinBudget {
-				runtime.Gosched()
-				continue
-			}
-			comp.SetParked(true)
-			if !comp.Empty() {
-				comp.SetParked(false)
-				spins = 0
-				continue
-			}
-			<-s.wake
-			comp.SetParked(false)
-			if s.closed.Load() {
-				return
-			}
-			spins = 0
-			continue
-		}
-		spins = 0
-		s.tab.complete(wire.Type(f.Type), f.ID, f.Payload)
-		comp.Release()
+	loop := &shm.ConsumeLoop{
+		Ring: s.reg.Complete,
+		Door: s.compDoor,
+		Spin: s.spin,
+		Stop: s.stop,
+		Handle: func(f *shm.Frame) {
+			s.tab.complete(wire.Type(f.Type), f.ID, f.Payload)
+		},
+	}
+	if err := loop.Run(); err != nil {
+		s.fail(fmt.Errorf("shm: completion ring: %w", err))
 	}
 }
 
 // submit claims a submission slot, fills it via enc (appending to the
 // slot's own buffer — zero copy), publishes, and rings the server's
-// doorbell if its consumer has parked.
+// doorbell if its consumer has parked. Multiple goroutines submit
+// concurrently; the ring's CAS claim orders them.
 func (s *Shm) submit(t wire.Type, id uint64, enc func([]byte) []byte) error {
 	sub := s.reg.Submit
-	s.submitMu.Lock()
-	// The closed check shares submitMu with the deferred unmap in fail, so
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	// The closed check shares the lock with the deferred unmap in fail, so
 	// a producer never touches the mapping after it is gone.
 	if sub.Closed() {
-		s.submitMu.Unlock()
 		return shm.ErrRingClosed
 	}
-	buf := sub.Claim()
+	pos, buf := sub.Claim()
 	if buf == nil {
-		s.submitMu.Unlock()
 		return shm.ErrRingClosed
 	}
-	err := sub.Publish(uint8(t), id, enc(buf))
-	parked := err == nil && sub.ConsumerParked()
-	s.submitMu.Unlock()
+	err := sub.Publish(pos, uint8(t), id, enc(buf))
 	if err != nil {
+		// Only ErrFrameTooBig reaches here, and the MPSC claim contract is
+		// hole-free: this slot must still publish. A zero-length error
+		// frame stands in; the server answers it with an "unexpected
+		// frame" error for an id nobody is waiting on, and the caller gets
+		// the local error.
+		sub.Publish(pos, uint8(wire.TypeError), id, buf[:0])
 		return err
 	}
-	if parked {
-		return s.w.Send(wire.TypeWake, 0, nil)
+	if sub.ConsumerParked() {
+		s.subDoor.Ring()
 	}
 	return nil
 }
@@ -266,7 +349,10 @@ func (s *Shm) roundTripSocket(ctx context.Context, t wire.Type, payload []byte) 
 	if err != nil {
 		return nil, err
 	}
-	if err := s.w.Send(t, id, payload); err != nil {
+	s.wMu.Lock()
+	err = s.w.Send(t, id, payload)
+	s.wMu.Unlock()
+	if err != nil {
 		s.tab.drop(id, call)
 		return nil, err
 	}
@@ -362,4 +448,40 @@ func (s *Shm) Stats(ctx context.Context, tenant string) (server.StatsResponse, e
 	}
 	err = json.Unmarshal(call.raw, &out)
 	return out, err
+}
+
+// readFrameWithFDs reads exactly one wire frame from nc, collecting any
+// SCM_RIGHTS file descriptors that arrive with it. Used only for the
+// handshake response, before the buffered reader takes over the socket.
+func readFrameWithFDs(nc net.Conn) (wire.Header, []byte, []int, error) {
+	var fds []int
+	buf := make([]byte, 0, wire.HeaderSize+256)
+	readMore := func(need int) error {
+		for len(buf) < need {
+			chunk := make([]byte, need-len(buf))
+			n, got, err := recvChunkWithFDs(nc, chunk)
+			fds = append(fds, got...)
+			if n > 0 {
+				buf = append(buf, chunk[:n]...)
+			}
+			if err != nil {
+				return err
+			}
+			if n == 0 && len(got) == 0 {
+				return errors.New("short read")
+			}
+		}
+		return nil
+	}
+	if err := readMore(wire.HeaderSize); err != nil {
+		return wire.Header{}, nil, fds, err
+	}
+	h, err := wire.ParseHeader(buf)
+	if err != nil {
+		return wire.Header{}, nil, fds, err
+	}
+	if err := readMore(wire.HeaderSize + int(h.Len)); err != nil {
+		return h, nil, fds, err
+	}
+	return h, buf[wire.HeaderSize : wire.HeaderSize+int(h.Len)], fds, nil
 }

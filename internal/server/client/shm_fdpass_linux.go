@@ -1,0 +1,32 @@
+//go:build linux
+
+package client
+
+import (
+	"net"
+	"syscall"
+)
+
+// recvChunkWithFDs reads a chunk of stream bytes plus any SCM_RIGHTS file
+// descriptors riding on it. Non-unix connections fall back to a plain
+// read (no ancillary data to collect).
+func recvChunkWithFDs(nc net.Conn, p []byte) (int, []int, error) {
+	uc, ok := nc.(*net.UnixConn)
+	if !ok {
+		n, err := nc.Read(p)
+		return n, nil, err
+	}
+	oob := make([]byte, syscall.CmsgSpace(4*4)) // room for a few fds
+	n, oobn, _, _, err := uc.ReadMsgUnix(p, oob)
+	var fds []int
+	if oobn > 0 {
+		if msgs, perr := syscall.ParseSocketControlMessage(oob[:oobn]); perr == nil {
+			for _, m := range msgs {
+				if got, ferr := syscall.ParseUnixRights(&m); ferr == nil {
+					fds = append(fds, got...)
+				}
+			}
+		}
+	}
+	return n, fds, err
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package client
+
+import "net"
+
+// recvChunkWithFDs off Linux is a plain read: no doorbell mechanism that
+// passes fds is ever negotiated on these platforms.
+func recvChunkWithFDs(nc net.Conn, p []byte) (int, []int, error) {
+	n, err := nc.Read(p)
+	return n, nil, err
+}

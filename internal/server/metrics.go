@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"draco/internal/engine"
+	"draco/internal/shm"
 	"draco/internal/stats"
 )
 
@@ -211,10 +213,56 @@ type Metrics struct {
 	ShmFrames atomic.Uint64
 	// ShmFrameErrors counts torn or corrupt slots that killed a session.
 	ShmFrameErrors atomic.Uint64
-	// ShmWakes counts doorbell frames sent to parked client reapers.
+	// ShmWakes counts doorbell rings sent to parked client reapers.
 	ShmWakes atomic.Uint64
-	// ShmParks counts times the server's ring consumer parked.
+	// ShmParks accumulates server ring-consumer parks folded in from
+	// spin controllers of torn-down rings; live rings contribute their
+	// controllers' counts on top at render time (see shmParkTotal).
 	ShmParks atomic.Uint64
+
+	// shmLive registers each live ring's spin controller and doorbell kind
+	// so the page can render per-ring budget gauges and per-mode
+	// connection counts. Registration happens once per handshake — far off
+	// the hot path — so a plain mutex is fine.
+	shmMu   sync.Mutex
+	shmLive map[uint64]shmRingEntry
+}
+
+// shmRingEntry is one live ring pair's metrics handle.
+type shmRingEntry struct {
+	spin *shm.SpinController
+	kind shm.DoorbellKind
+}
+
+// addShmRing registers a ring pair's spin controller for gauge export.
+func (m *Metrics) addShmRing(id uint64, spin *shm.SpinController, kind shm.DoorbellKind) {
+	m.shmMu.Lock()
+	if m.shmLive == nil {
+		m.shmLive = make(map[uint64]shmRingEntry)
+	}
+	m.shmLive[id] = shmRingEntry{spin: spin, kind: kind}
+	m.shmMu.Unlock()
+}
+
+// dropShmRing unregisters a torn-down ring pair, folding its park count
+// into the durable base so dracod_shm_park_total never goes backwards.
+func (m *Metrics) dropShmRing(id uint64, spin *shm.SpinController, kind shm.DoorbellKind) {
+	m.ShmParks.Add(spin.Parks())
+	m.shmMu.Lock()
+	delete(m.shmLive, id)
+	m.shmMu.Unlock()
+}
+
+// shmParkTotal is the monotone park counter: the folded base plus every
+// live ring's controller.
+func (m *Metrics) shmParkTotal() uint64 {
+	total := m.ShmParks.Load()
+	m.shmMu.Lock()
+	for _, e := range m.shmLive {
+		total += e.spin.Parks()
+	}
+	m.shmMu.Unlock()
+	return total
 }
 
 // endpoint labels; one histogram each.
@@ -319,8 +367,28 @@ func (m *Metrics) WriteTo(w io.Writer, totals checkerTotals, obs observedTotals)
 	fmt.Fprintf(w, "dracod_shm_rings_total %d\n", m.ShmRings.Load())
 	fmt.Fprintf(w, "dracod_shm_frames_total %d\n", m.ShmFrames.Load())
 	fmt.Fprintf(w, "dracod_shm_frame_errors_total %d\n", m.ShmFrameErrors.Load())
-	fmt.Fprintf(w, "dracod_shm_wakes_total %d\n", m.ShmWakes.Load())
-	fmt.Fprintf(w, "dracod_shm_parks_total %d\n", m.ShmParks.Load())
+	fmt.Fprintf(w, "dracod_shm_wake_total %d\n", m.ShmWakes.Load())
+	fmt.Fprintf(w, "dracod_shm_park_total %d\n", m.shmParkTotal())
+	// Per-ring adaptive spin budgets and per-doorbell-mode connection
+	// counts, from the live ring registry.
+	m.shmMu.Lock()
+	ringIDs := make([]uint64, 0, len(m.shmLive))
+	for id := range m.shmLive {
+		ringIDs = append(ringIDs, id)
+	}
+	sort.Slice(ringIDs, func(i, j int) bool { return ringIDs[i] < ringIDs[j] })
+	modes := make(map[shm.DoorbellKind]int)
+	for _, id := range ringIDs {
+		e := m.shmLive[id]
+		fmt.Fprintf(w, "dracod_shm_spin_budget{ring=\"%d\"} %d\n", id, e.spin.Budget())
+		modes[e.kind]++
+	}
+	m.shmMu.Unlock()
+	for _, k := range []shm.DoorbellKind{shm.DoorbellSocket, shm.DoorbellFutex, shm.DoorbellEventfd} {
+		if n := modes[k]; n > 0 {
+			fmt.Fprintf(w, "dracod_shm_doorbell_conns{mode=%q} %d\n", k, n)
+		}
+	}
 
 	// Observation-layer series: fed per check by the engine.Observer hook,
 	// independent of (and cross-checkable against) the engine stats above.

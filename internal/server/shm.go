@@ -15,15 +15,20 @@ package server
 //   - control plane: profile swaps and stats keep using wire frames over
 //     the socket — their JSON payloads do not fit fixed-size slots, and
 //     they are off the hot path by construction;
-//   - doorbells: a TypeWake frame in either direction is the portable
-//     eventfd stand-in that unparks a blocked ring consumer;
+//   - handshake v2: the ring request carries the client's capabilities
+//     word; the server intersects it with its own, picks the best
+//     doorbell (futex > eventfd > socket), and records the choice in the
+//     region header. Eventfd doorbells ride back on the TypeRingResp
+//     frame as SCM_RIGHTS; socket doorbells are TypeWake frames on this
+//     socket; futex doorbells need no socket traffic at all;
 //   - liveness: when the socket drops, both sides tear the rings down.
 //
 // Frames consumed from the submission ring feed the same session layer as
 // TCP and HTTP (session.go): tenant resolution, the adaptive coalescer,
 // and response routing are shared; only the responder differs — it
-// publishes into the completion ring and rings the doorbell when the
-// client's reaper has parked.
+// publishes into the completion ring (MPSC, so coalescer flushes from
+// arbitrary goroutines publish concurrently) and rings the doorbell when
+// the client's reaper has parked.
 //
 // Ordering: the socket and the rings are independent streams, so control
 // frames are ordered only against other socket frames. A client that wants
@@ -40,7 +45,6 @@ import (
 	"net"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -52,18 +56,23 @@ import (
 // ShmSocketName is the control-socket filename inside the shm directory.
 const ShmSocketName = "dracod.sock"
 
-// parkSpinBudget is how many empty polls a ring consumer takes — yielding
-// the scheduler on each — before parking on the doorbell. Small enough
-// that an idle connection stops burning CPU almost immediately, large
-// enough that a streaming peer never pays a wake syscall.
-const parkSpinBudget = 256
+// ShmServerOptions tunes the shm front end.
+type ShmServerOptions struct {
+	// Doorbells restricts the doorbell capabilities the server offers
+	// during handshake; zero means everything the platform supports.
+	Doorbells shm.Caps
+	// HugePages asks for huge-page-backed regions (best effort; clients
+	// must also advertise CapHugePages).
+	HugePages bool
+}
 
 // ShmServer serves the shared-memory transport for a Server, one region
 // (ring pair) per connection.
 type ShmServer struct {
-	hub *SessionHub
-	dir string
-	ln  net.Listener
+	hub  *SessionHub
+	dir  string
+	ln   net.Listener
+	opts ShmServerOptions
 
 	ringSeq atomic.Uint64
 
@@ -72,11 +81,17 @@ type ShmServer struct {
 	closed bool
 }
 
-// NewShmServer builds the shm front end over the hub's session layer,
+// NewShmServer builds the shm front end over the hub's session layer with
+// default options (every platform doorbell offered, no huge pages).
+func (h *SessionHub) NewShmServer(dir string) (*ShmServer, error) {
+	return h.NewShmServerOpts(dir, ShmServerOptions{})
+}
+
+// NewShmServerOpts builds the shm front end over the hub's session layer,
 // listening on dir/dracod.sock and placing region files in dir. The
 // directory is created (mode 0700) if missing; a stale socket from a dead
 // server is replaced.
-func (h *SessionHub) NewShmServer(dir string) (*ShmServer, error) {
+func (h *SessionHub) NewShmServerOpts(dir string, opts ShmServerOptions) (*ShmServer, error) {
 	if !shm.Supported() {
 		return nil, shm.ErrUnsupported
 	}
@@ -91,10 +106,14 @@ func (h *SessionHub) NewShmServer(dir string) (*ShmServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Doorbells == 0 {
+		opts.Doorbells = shm.PlatformCaps()
+	}
 	return &ShmServer{
 		hub:   h,
 		dir:   dir,
 		ln:    ln,
+		opts:  opts,
 		conns: make(map[*shmConn]struct{}),
 	}, nil
 }
@@ -123,7 +142,6 @@ func (ss *ShmServer) Serve() error {
 			srv:  ss,
 			nc:   nc,
 			w:    wire.NewWriter(nc),
-			wake: make(chan struct{}, 1),
 			dead: make(chan struct{}),
 		}
 		ss.mu.Lock()
@@ -163,12 +181,11 @@ func (ss *ShmServer) Close() error {
 }
 
 // shmConn is one shm connection: the control socket plus, after the
-// handshake, a mapped region and its consumer goroutine.
+// handshake, a mapped region, its doorbells, and a consumer goroutine.
 type shmConn struct {
 	srv  *ShmServer
 	nc   net.Conn
 	w    *wire.Writer
-	wake chan struct{} // doorbell for the parked ring consumer
 	dead chan struct{} // closed once on teardown
 
 	// Ring state, written under srv.mu by the handshake (teardown may run
@@ -176,15 +193,22 @@ type shmConn struct {
 	reg      *shm.Region
 	path     string
 	resp     *shmResponder
+	subDoor  *shm.Doorbell // server sleeps on it (submission consumer)
+	compDoor *shm.Doorbell // server rings it (completion producer)
+	spin     *shm.SpinController
+	ringID   uint64
+	kind     shm.DoorbellKind
+	efds     []int         // eventfd doorbells owned by this side's copies
 	ringDone chan struct{} // closed when consumeRing exits
 
 	closeOnce sync.Once
 }
 
 // teardown closes everything exactly once: the socket (stopping the read
-// loop) and the rings (unblocking ring spins). The mapping and the region
+// loop), the rings (unblocking ring spins), and the doorbells (releasing
+// a parked consumer promptly). The mapping, the eventfds, and the region
 // file are released only after the ring consumer has exited and responder
-// flushes are excluded — unmapping under a live ring loop is a fault.
+// publishes are excluded — unmapping under a live ring loop is a fault.
 func (c *shmConn) teardown() {
 	c.closeOnce.Do(func() {
 		close(c.dead)
@@ -193,18 +217,26 @@ func (c *shmConn) teardown() {
 		ss.mu.Lock()
 		delete(ss.conns, c)
 		reg, path, resp, ringDone := c.reg, c.path, c.resp, c.ringDone
+		subDoor, compDoor, spin, ringID, kind, efds := c.subDoor, c.compDoor, c.spin, c.ringID, c.kind, c.efds
 		ss.mu.Unlock()
+		m := ss.hub.s.metrics
 		if reg != nil {
 			reg.Invalidate()
+			subDoor.Close()
+			compDoor.Close()
 			go func() {
 				<-ringDone
 				resp.mu.Lock()
 				reg.Close()
 				resp.mu.Unlock()
 				os.Remove(path)
+				for _, fd := range efds {
+					shm.CloseFD(fd)
+				}
+				m.dropShmRing(ringID, spin, kind)
 			}()
 		}
-		ss.hub.s.metrics.ShmConnsActive.Add(-1)
+		m.ShmConnsActive.Add(-1)
 	})
 }
 
@@ -237,11 +269,13 @@ func (c *shmConn) readSocket() {
 			}
 		case wire.TypeWake:
 			// Client produced into an empty submission ring while our
-			// consumer was parked: unpark it. Non-blocking — coalescing
-			// redundant wakes is exactly what we want.
-			select {
-			case c.wake <- struct{}{}:
-			default:
+			// consumer was parked: unpark it. The doorbell coalesces
+			// redundant wakes — exactly what we want.
+			c.srv.mu.Lock()
+			d := c.subDoor
+			c.srv.mu.Unlock()
+			if d != nil {
+				d.Notify()
 			}
 		default:
 			ctrl.handleFrame(h.Type, h.ID, p)
@@ -252,40 +286,107 @@ func (c *shmConn) readSocket() {
 	}
 }
 
-// handleRingReq establishes this connection's ring pair: create the region
-// file, answer with its path, start the submission consumer.
+// handleRingReq establishes this connection's ring pair: negotiate the
+// doorbell, create the region file, answer with its path (plus eventfds
+// as SCM_RIGHTS when that mechanism won), start the submission consumer.
 func (c *shmConn) handleRingReq(id uint64, p []byte) error {
 	if c.reg != nil {
 		return errors.New("shm: connection already has a ring pair")
 	}
-	l, err := parseRingReq(p)
+	l, clientCaps, err := parseRingReq(p)
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(c.srv.dir, fmt.Sprintf("ring-%d.shm", c.srv.ringSeq.Add(1)))
+	ss := c.srv
+	kind := shm.PickDoorbell(clientCaps, ss.opts.Doorbells&shm.PlatformCaps())
+
+	// Eventfd doorbells exist before the region so their fds can ride on
+	// the response frame; creation failure downgrades to the socket byte
+	// rather than failing the handshake.
+	var efds []int
+	if kind == shm.DoorbellEventfd {
+		efdSub, err1 := shm.NewEventfd()
+		efdComp, err2 := shm.NewEventfd()
+		if err1 != nil || err2 != nil {
+			shm.CloseFD(efdSub)
+			shm.CloseFD(efdComp)
+			kind = shm.DoorbellSocket
+		} else {
+			efds = []int{efdSub, efdComp}
+		}
+	}
+	l.Doorbell = kind
+	if ss.opts.HugePages && clientCaps.Has(shm.CapHugePages) {
+		l.HugePages = true
+	}
+
+	ringID := ss.ringSeq.Add(1)
+	path := filepath.Join(ss.dir, fmt.Sprintf("ring-%d.shm", ringID))
 	reg, err := shm.CreateFile(path, l)
 	if err != nil {
+		for _, fd := range efds {
+			shm.CloseFD(fd)
+		}
 		return err
 	}
-	c.srv.mu.Lock()
-	c.reg, c.path = reg, path
+	var subCfg, compCfg shm.DoorbellConfig
+	if kind == shm.DoorbellEventfd {
+		subCfg.Eventfd, compCfg.Eventfd = efds[0], efds[1]
+	}
+	compCfg.SocketRing = func() { c.w.Send(wire.TypeWake, 0, nil) }
+	subDoor, err := shm.NewDoorbell(kind, reg.Submit, subCfg)
+	if err == nil {
+		c.compDoor, err = shm.NewDoorbell(kind, reg.Complete, compCfg)
+	}
+	if err != nil {
+		reg.Close()
+		os.Remove(path)
+		for _, fd := range efds {
+			shm.CloseFD(fd)
+		}
+		return err
+	}
+
+	ss.mu.Lock()
+	c.reg, c.path, c.ringID, c.kind, c.efds = reg, path, ringID, kind, efds
+	c.subDoor = subDoor
+	c.spin = shm.NewSpinController()
 	c.resp = &shmResponder{conn: c, ring: reg.Complete}
 	c.ringDone = make(chan struct{})
-	c.srv.mu.Unlock()
-	c.srv.hub.s.metrics.ShmRings.Add(1)
+	ss.mu.Unlock()
+	m := ss.hub.s.metrics
+	m.ShmRings.Add(1)
+	m.addShmRing(ringID, c.spin, kind)
 	go c.consumeRing()
+
+	if kind == shm.DoorbellEventfd {
+		// The fds must travel with the response itself, bypassing the
+		// frame writer — flush it first so frames stay ordered.
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		frame := make([]byte, wire.HeaderSize+len(path))
+		wire.PutHeader(frame, wire.Header{Type: wire.TypeRingResp, ID: id, Len: uint32(len(path))})
+		copy(frame[wire.HeaderSize:], path)
+		return sendFrameWithFDs(c.nc, frame, efds)
+	}
 	return c.w.Send(wire.TypeRingResp, id, []byte(path))
 }
 
-// parseRingReq decodes the requested geometry: three uint32 words, each 0
-// for the server default. An empty payload takes the default wholesale.
-func parseRingReq(p []byte) (shm.Layout, error) {
+// parseRingReq decodes the requested geometry and capabilities. Three
+// payload shapes: empty (defaults, v1), 12 bytes (three uint32 geometry
+// words, each 0 for the default — the v1 request), or 16 bytes (the v2
+// request: geometry plus the client's capabilities word). v1 clients
+// therefore negotiate exactly the PR-8 behavior: socket doorbell, no
+// huge pages.
+func parseRingReq(p []byte) (shm.Layout, shm.Caps, error) {
 	l := shm.DefaultLayout()
+	caps := shm.CapDoorbellSocket
 	if len(p) == 0 {
-		return l, nil
+		return l, caps, nil
 	}
-	if len(p) != 12 {
-		return l, errors.New("shm: ring request payload must be 0 or 12 bytes")
+	if len(p) != 12 && len(p) != 16 {
+		return l, caps, errors.New("shm: ring request payload must be 0, 12, or 16 bytes")
 	}
 	get := func(off int, def int) int {
 		if v := binary.LittleEndian.Uint32(p[off:]); v != 0 {
@@ -296,104 +397,75 @@ func parseRingReq(p []byte) (shm.Layout, error) {
 	l.SlotSize = get(0, l.SlotSize)
 	l.SubmitSlots = get(4, l.SubmitSlots)
 	l.CompleteSlots = get(8, l.CompleteSlots)
-	return l, l.Validate()
+	if len(p) == 16 {
+		caps |= shm.Caps(binary.LittleEndian.Uint32(p[12:]))
+	}
+	return l, caps, l.Validate()
 }
 
 // consumeRing is the submission-ring consumer: the shm analog of the wire
-// read loop. Frames dispatch into a session whose responder publishes to
-// the completion ring; an empty ring after a burst is the drain signal.
+// read loop, run through the shared ConsumeLoop (park protocol, adaptive
+// spin budget, doorbell). Frames dispatch into a session whose responder
+// publishes to the completion ring; an empty ring after a burst is the
+// drain signal.
 func (c *shmConn) consumeRing() {
 	defer close(c.ringDone)
-	sub := c.reg.Submit
 	m := c.srv.hub.s.metrics
 	sess := c.srv.hub.newSession(c.resp)
-	var f shm.Frame
-	spins := 0
-	for {
-		ok, err := sub.Consume(&f)
-		if err != nil {
-			// Torn or corrupt slot state: the peer cannot be resynchronized.
-			m.ShmFrameErrors.Add(1)
-			log.Printf("dracod: shm ring: %v", err)
-			c.teardown()
-			return
-		}
-		if !ok {
-			if sub.Closed() {
-				return
-			}
-			spins++
-			if spins < parkSpinBudget {
-				// Yield every empty poll: on small machines an unyielding
-				// spin starves the producer we are waiting for.
-				runtime.Gosched()
-				continue
-			}
-			// Park: publish the flag, re-check for a frame that slipped in
-			// between the empty poll and the flag store (the producer
-			// checks the flag only after publishing — one of the two sides
-			// always sees the other), then block on the doorbell.
-			sub.SetParked(true)
-			if !sub.Empty() {
-				sub.SetParked(false)
-				spins = 0
-				continue
-			}
-			m.ShmParks.Add(1)
-			select {
-			case <-c.wake:
-			case <-c.dead:
-				sub.SetParked(false)
-				return
-			}
-			sub.SetParked(false)
-			spins = 0
-			continue
-		}
-		spins = 0
-		m.ShmFrames.Add(1)
-		sess.handleFrame(wire.Type(f.Type), f.ID, f.Payload)
-		sub.Release()
+	loop := &shm.ConsumeLoop{
+		Ring: c.reg.Submit,
+		Door: c.subDoor,
+		Spin: c.spin,
+		Stop: c.dead,
+		Handle: func(f *shm.Frame) {
+			m.ShmFrames.Add(1)
+			sess.handleFrame(wire.Type(f.Type), f.ID, f.Payload)
+		},
 		// Drain signal: the submission burst is fully consumed, so nothing
 		// more is joining the batch from this ring — flush what it
 		// contributed to.
-		if sub.Empty() {
-			sess.drain()
-		}
+		Drained: func() { sess.drain() },
+	}
+	if err := loop.Run(); err != nil {
+		// Torn or corrupt slot state: the peer cannot be resynchronized.
+		m.ShmFrameErrors.Add(1)
+		log.Printf("dracod: shm ring: %v", err)
+		c.teardown()
 	}
 }
 
 // shmResponder publishes responses into the connection's completion ring.
-// The mutex serializes the ring's producer side: coalescer flushes run on
-// arbitrary goroutines. A full ring makes Claim spin — the transport's
-// backpressure, same as a wire responder blocked on TCP flow control.
+// The ring is MPSC, so coalescer flushes on arbitrary goroutines publish
+// concurrently under a shared read-lock; the write-lock belongs to
+// teardown, which must exclude all producers before unmapping. A full
+// ring makes Claim spin — the transport's backpressure, same as a wire
+// responder blocked on TCP flow control.
 type shmResponder struct {
 	conn *shmConn
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	ring *shm.Ring
 }
 
 // publish claims a slot, encodes via fill (which appends to the slot's own
 // buffer — zero copy), and publishes it.
 func (r *shmResponder) publish(t wire.Type, id uint64, fill func([]byte) []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	// The closed check shares the mutex with teardown's deferred unmap, so
-	// a flush never touches the mapping after it is gone.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// The closed check shares the lock with teardown's deferred unmap, so
+	// a publish never touches the mapping after it is gone.
 	if r.ring.Closed() {
 		return
 	}
-	buf := r.ring.Claim()
+	pos, buf := r.ring.Claim()
 	if buf == nil {
 		return // ring closed mid-response; the connection is tearing down
 	}
-	if err := r.ring.Publish(uint8(t), id, fill(buf)); err != nil {
-		// Only ErrFrameTooBig reaches here: replace the response with an
-		// error frame (which always fits) so the id still completes.
-		msg := err.Error()
-		if buf2 := r.ring.Claim(); buf2 != nil {
-			r.ring.Publish(uint8(wire.TypeError), id, append(buf2, msg...))
-		}
+	if err := r.ring.Publish(pos, uint8(t), id, fill(buf)); err != nil {
+		// Only ErrFrameTooBig reaches here. The MPSC claim contract is
+		// hole-free — this same slot must still publish — so the response
+		// is replaced in place by an error frame (which always fits) and
+		// the id still completes.
+		r.ring.Publish(pos, uint8(wire.TypeError), id, append(buf[:0], err.Error()...))
 	}
 }
 
@@ -416,11 +488,10 @@ func (r *shmResponder) send(t wire.Type, id uint64, p []byte) {
 func (r *shmResponder) flush() { r.doorbell() }
 
 func (r *shmResponder) doorbell() {
-	r.mu.Lock()
-	parked := !r.ring.Closed() && r.ring.ConsumerParked()
-	r.mu.Unlock()
-	if parked {
+	r.mu.RLock()
+	if !r.ring.Closed() && r.ring.ConsumerParked() {
 		r.conn.srv.hub.s.metrics.ShmWakes.Add(1)
-		r.conn.w.Send(wire.TypeWake, 0, nil)
+		r.conn.compDoor.Ring()
 	}
+	r.mu.RUnlock()
 }

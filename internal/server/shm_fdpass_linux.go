@@ -1,0 +1,33 @@
+//go:build linux
+
+package server
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// sendFrameWithFDs writes one wire frame with file descriptors attached as
+// SCM_RIGHTS ancillary data. The fds ride on the first byte; if sendmsg
+// short-writes, the remainder goes out as plain stream bytes (the
+// ancillary data was already delivered with the first segment).
+func sendFrameWithFDs(nc net.Conn, frame []byte, fds []int) error {
+	uc, ok := nc.(*net.UnixConn)
+	if !ok {
+		return errors.New("shm: fd passing needs a unix socket")
+	}
+	oob := syscall.UnixRights(fds...)
+	n, _, err := uc.WriteMsgUnix(frame, oob, nil)
+	if err != nil {
+		return err
+	}
+	for n < len(frame) {
+		w, err := uc.Write(frame[n:])
+		if err != nil {
+			return err
+		}
+		n += w
+	}
+	return nil
+}

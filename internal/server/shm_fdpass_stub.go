@@ -1,0 +1,15 @@
+//go:build !linux
+
+package server
+
+import (
+	"errors"
+	"net"
+)
+
+// sendFrameWithFDs is Linux-only; the eventfd doorbell that needs it is
+// never negotiated elsewhere (PlatformCaps excludes it), so this stub is
+// unreachable and exists only to keep the build portable.
+func sendFrameWithFDs(nc net.Conn, frame []byte, fds []int) error {
+	return errors.New("shm: fd passing unsupported on this platform")
+}

@@ -9,7 +9,10 @@ package server_test
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -21,6 +24,7 @@ import (
 	"draco/internal/server"
 	"draco/internal/server/client"
 	"draco/internal/shm"
+	"draco/internal/wire"
 	"draco/internal/workloads"
 )
 
@@ -29,22 +33,30 @@ import (
 // platforms without mmap support.
 func newShmServer(t testing.TB, opts server.Options, sopts server.SessionOptions, copts client.ShmOptions) (*server.Server, *client.Shm) {
 	t.Helper()
-	if !shm.Supported() {
-		t.Skip("shm transport unsupported on this platform")
-	}
-	srv := server.New(opts)
-	ss, err := srv.NewSessionHub(sopts).NewShmServer(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	go ss.Serve()
-	t.Cleanup(func() { ss.Close() })
+	srv, ss := newShmServerOnly(t, opts, sopts, server.ShmServerOptions{})
 	sc, err := client.DialShm(ss.Dir(), copts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sc.Close() })
 	return srv, sc
+}
+
+// newShmServerOnly starts the shm front end without dialing it, for tests
+// that speak the handshake themselves or need server-side options.
+func newShmServerOnly(t testing.TB, opts server.Options, sopts server.SessionOptions, ssopts server.ShmServerOptions) (*server.Server, *server.ShmServer) {
+	t.Helper()
+	if !shm.Supported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	srv := server.New(opts)
+	ss, err := srv.NewSessionHub(sopts).NewShmServerOpts(t.TempDir(), ssopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve()
+	t.Cleanup(func() { ss.Close() })
+	return srv, ss
 }
 
 func TestShmCheckAndBatch(t *testing.T) {
@@ -210,6 +222,10 @@ func TestShmMetricsPage(t *testing.T) {
 		"dracod_shm_conns_total 1",
 		"dracod_shm_rings_total 1",
 		"dracod_shm_frames_total 1",
+		"dracod_shm_wake_total ",
+		"dracod_shm_park_total ",
+		"dracod_shm_spin_budget{ring=\"1\"} ",
+		"dracod_shm_doorbell_conns{mode=",
 	} {
 		if !strings.Contains(text, series) {
 			t.Fatalf("metrics page missing %q:\n%s", series, text)
@@ -386,5 +402,187 @@ func TestShmHotSwapHammer(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
+	}
+}
+
+// TestShmDoorbellNegotiation runs a check round trip under every doorbell
+// mode this platform supports, and proves the client sees the mechanism
+// it asked for. Modes the platform lacks skip rather than fail.
+func TestShmDoorbellNegotiation(t *testing.T) {
+	cases := []struct {
+		mode string
+		want shm.DoorbellKind
+		need shm.Caps
+	}{
+		{"socket", shm.DoorbellSocket, 0},
+		{"futex", shm.DoorbellFutex, shm.CapDoorbellFutex},
+		{"eventfd", shm.DoorbellEventfd, shm.CapDoorbellEventfd},
+		{"auto", shm.PickDoorbell(shm.PlatformCaps(), shm.PlatformCaps()), 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.mode, func(t *testing.T) {
+			if tc.need != 0 && !shm.PlatformCaps().Has(tc.need) {
+				t.Skipf("platform lacks %v doorbell", tc.want)
+			}
+			_, ss := newShmServerOnly(t,
+				server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+				server.SessionOptions{}, server.ShmServerOptions{})
+			sc, err := client.DialShm(ss.Dir(), client.ShmOptions{Doorbell: tc.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sc.Close()
+			if got := sc.RingStats().Doorbell; got != tc.want {
+				t.Fatalf("negotiated %v, want %v", got, tc.want)
+			}
+			ctx := context.Background()
+			read := sidOf(t, "read")
+			for i := 0; i < 300; i++ {
+				if _, err := sc.Check(ctx, "t", read, engine.Args{uint64(i)}); err != nil {
+					t.Fatal(err)
+				}
+				if i%50 == 49 {
+					// Let both sides park so the real doorbell (not just the
+					// spin path) carries some of the wakeups.
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// TestShmHandshakeV1Downgrade speaks the PR-8 handshake — a 12-byte ring
+// request with no capabilities word — against the v2 server and proves
+// the negotiated region is the v1 layout: socket doorbell, no huge pages,
+// and a working check round trip driven entirely by the old protocol
+// (TypeWake frames both ways, fixed-spin polling).
+func TestShmHandshakeV1Downgrade(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	_, ss := newShmServerOnly(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{}, server.ShmServerOptions{})
+	nc, err := net.Dial("unix", filepath.Join(ss.Dir(), server.ShmSocketName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	w := wire.NewWriter(nc)
+	r := wire.NewReader(nc)
+
+	var req [12]byte // v1: three geometry words, no caps
+	if err := w.Send(wire.TypeRingReq, 1, req[:]); err != nil {
+		t.Fatal(err)
+	}
+	h, p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != wire.TypeRingResp {
+		t.Fatalf("handshake answered %v (%q)", h.Type, p)
+	}
+	reg, err := shm.OpenFile(string(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	l := reg.Layout()
+	if l.Doorbell != shm.DoorbellSocket || l.HugePages {
+		t.Fatalf("v1 client negotiated %+v, want socket doorbell and no huge pages", l)
+	}
+
+	// One check, v1 style: publish, wake the server over the socket if it
+	// parked, poll the completion ring.
+	pos, buf := reg.Submit.Claim()
+	if buf == nil {
+		t.Fatal("claim failed")
+	}
+	payload := wire.AppendCheckReq(buf, "t", engine.Call{SID: sidOf(t, "read"), Args: engine.Args{3}})
+	if err := reg.Submit.Publish(pos, uint8(wire.TypeCheckReq), 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Submit.ConsumerParked() {
+		if err := w.Send(wire.TypeWake, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var f shm.Frame
+	for {
+		ok, err := reg.Complete.Consume(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no completion within 10s")
+		}
+		runtime.Gosched()
+	}
+	if f.ID != 7 || wire.Type(f.Type) != wire.TypeCheckResp {
+		t.Fatalf("completion %v id=%d", wire.Type(f.Type), f.ID)
+	}
+	reg.Complete.Release()
+}
+
+// TestShmServerDoorbellRestriction proves the server side of the
+// negotiation: a server restricted to the socket doorbell downgrades a
+// futex-capable client.
+func TestShmServerDoorbellRestriction(t *testing.T) {
+	if !shm.Supported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	_, ss := newShmServerOnly(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{}, server.ShmServerOptions{Doorbells: shm.CapDoorbellSocket})
+	sc, err := client.DialShm(ss.Dir(), client.ShmOptions{Doorbell: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if got := sc.RingStats().Doorbell; got != shm.DoorbellSocket {
+		t.Fatalf("restricted server negotiated %v, want socket", got)
+	}
+	if _, err := sc.Check(context.Background(), "t", sidOf(t, "read"), engine.Args{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShmHugePages proves the huge-page flag negotiates end to end (both
+// sides opt in) and the transport still round-trips. The mapping itself
+// gracefully falls back when the kernel has no huge pages reserved, so
+// only the negotiated layout is asserted, not the page size.
+func TestShmHugePages(t *testing.T) {
+	if !shm.PlatformCaps().Has(shm.CapHugePages) {
+		t.Skip("platform cannot request huge pages")
+	}
+	_, ss := newShmServerOnly(t,
+		server.Options{Shards: 4, DefaultProfile: seccomp.DockerDefault()},
+		server.SessionOptions{}, server.ShmServerOptions{HugePages: true})
+	sc, err := client.DialShm(ss.Dir(), client.ShmOptions{HugePages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if st := sc.RingStats(); !st.HugePages {
+		t.Fatalf("huge pages not negotiated: %+v", st)
+	}
+	if _, err := sc.Check(context.Background(), "t", sidOf(t, "read"), engine.Args{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client that does not opt in must not get a huge-page region even
+	// from a huge-page server.
+	sc2, err := client.DialShm(ss.Dir(), client.ShmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc2.Close()
+	if st := sc2.RingStats(); st.HugePages {
+		t.Fatalf("huge pages forced on a non-advertising client: %+v", st)
 	}
 }

@@ -1,0 +1,100 @@
+package shm
+
+// ConsumeLoop is the one consume-side driver both ends of the transport
+// share: dracod's per-ring server goroutine draining submissions and the
+// client's reaper draining completions run exactly this loop. It owns
+// the park protocol (set parked → re-check → sleep on the doorbell →
+// unpark), the adaptive spin budget, and tolerance for spurious wakes —
+// a doorbell that rings with nothing published just runs another poll
+// round.
+
+import (
+	"time"
+)
+
+// ConsumeLoop drains one ring until the ring closes or Stop fires.
+type ConsumeLoop struct {
+	// Ring is the ring this side consumes.
+	Ring *Ring
+	// Door is the ring's doorbell (the consumer sleeps on it).
+	Door *Doorbell
+	// Spin adapts the empty-poll budget; nil uses a fixed
+	// DefaultSpinBudget.
+	Spin *SpinController
+	// Stop ends the loop (optional).
+	Stop <-chan struct{}
+
+	// Handle receives each consumed frame; the payload aliases slot
+	// memory and is valid only during the call.
+	Handle func(f *Frame)
+	// Drained, when set, fires after handling a frame that leaves the
+	// ring empty — the transport's batch-boundary signal.
+	Drained func()
+}
+
+// Run consumes until the ring closes (nil return) or a slot is torn
+// (the protocol-violation error).
+func (cl *ConsumeLoop) Run() error {
+	r := cl.Ring
+	// Poll ladder: no tight spinning, yield every empty poll — the
+	// producer is usually another goroutine (or, on a small host, shares
+	// the core with us), so giving up the slice IS the fast path. Parking
+	// is the terminal state; the ladder never reaches sleep.
+	poll := Backoff{Spin: -1, Yield: -1}
+	empties := 0
+	var f Frame
+	for {
+		ok, err := r.Consume(&f)
+		if err != nil {
+			return err
+		}
+		if ok {
+			cl.Handle(&f)
+			r.Release()
+			if r.Empty() && cl.Drained != nil {
+				cl.Drained()
+			}
+			empties = 0
+			poll.Reset()
+			continue
+		}
+		if r.Closed() || cl.stopped() {
+			return nil
+		}
+		empties++
+		if empties < cl.Spin.Budget() {
+			poll.Wait()
+			continue
+		}
+		// Budget exhausted: park. Capture the doorbell token before
+		// raising the parked flag, then re-check — a frame published
+		// between the flag store and here means the producer may have
+		// skipped the doorbell, so we must not sleep.
+		token := cl.Door.Prepare()
+		r.SetParked(true)
+		if !r.Empty() || r.Closed() || cl.stopped() {
+			r.SetParked(false)
+			empties = 0
+			continue
+		}
+		cl.Spin.Parked()
+		start := time.Now()
+		cl.Door.Sleep(token, cl.Stop)
+		r.SetParked(false)
+		// Productive = frames waiting right now. A timeout that raced a
+		// publish classifies as productive, which is the truth that
+		// matters: the ring is carrying traffic.
+		cl.Spin.Woke(time.Since(start), !r.Empty())
+		empties = 0
+		poll.Reset()
+	}
+}
+
+func (cl *ConsumeLoop) stopped() bool {
+	select {
+	case <-cl.Stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -42,11 +42,29 @@ func FuzzParseSlot(f *testing.F) {
 	le.PutUint32(lying[slotLenOff:], uint32(slotSize-SlotHdrSize)) // cap exactly, data short
 	f.Add(uint64(0), uint64(8), lying)
 
-	f.Add(uint64(0), uint64(8), []byte{})                            // truncated below the header
+	f.Add(uint64(0), uint64(8), []byte{}) // truncated below the header
 	f.Add(uint64(0), uint64(8), seedSlot(1, 4, 0, nil, slotSize)[:SlotHdrSize-3])
-	f.Add(uint64(0), uint64(0), seedSlot(1, 4, 0, nil, slotSize))    // degenerate ring size
-	f.Add(uint64(0), uint64(6), seedSlot(1, 4, 0, nil, slotSize))    // non-power-of-two ring
+	f.Add(uint64(0), uint64(0), seedSlot(1, 4, 0, nil, slotSize)) // degenerate ring size
+	f.Add(uint64(0), uint64(6), seedSlot(1, 4, 0, nil, slotSize)) // non-power-of-two ring
 	f.Add(uint64(1<<63), uint64(8), seedSlot(1, 4, 1<<63, nil, slotSize))
+
+	// MPSC seq states. Claimed-but-unpublished: a producer has claimed the
+	// slot (tail moved past it) but not yet stored seq — the consumer sees
+	// whatever was there before. Fresh ring: zero seq over junk bytes the
+	// claimant already scribbled into the body.
+	claimed := seedSlot(1, 77, 2, []byte("half-written body"), slotSize)
+	le.PutUint64(claimed[slotSeqOff:], 0)
+	f.Add(uint64(2), uint64(8), claimed)
+	// Same state on a later lap: the slot still carries the previous lap's
+	// fully-published frame (seq = pos+1-n) while its body is being
+	// overwritten — must read as empty (stale), never as data.
+	lapped := seedSlot(1, 78, 2, []byte("previous lap frame"), slotSize)
+	f.Add(uint64(10), uint64(8), lapped)
+	// Out-of-order publish: a later position's seq landed in this slot
+	// index (possible only by corruption — positions map 1:1 to slots) —
+	// seq = pos+1+n is ahead of the consumer and must be torn, not data.
+	ahead := seedSlot(1, 79, 18, []byte("from the future"), slotSize)
+	f.Add(uint64(10), uint64(8), ahead)
 
 	f.Fuzz(func(t *testing.T, pos, n uint64, slot []byte) {
 		fr, ok, err := ParseSlot(slot, pos, n)
@@ -75,6 +93,85 @@ func FuzzParseSlot(f *testing.F) {
 		}
 		if !bytes.Equal(rt, mask(slot[:len(rt)])) {
 			t.Fatalf("slot round trip mismatch:\n got %x\nwant %x", rt, slot[:len(rt)])
+		}
+	})
+}
+
+// seedHeader builds a region-header image for layout l (via the real
+// writer, so seeds always match the current encoding).
+func seedHeader(l Layout) []byte {
+	b := NewBuffer(l)
+	if _, err := NewRegion(b, l, true); err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), b[:regionHdrSize]...)
+}
+
+// FuzzParseLayout feeds arbitrary region headers to the opener-side
+// validator. Invariants: no panics; whatever parses cleanly must
+// validate, re-encode to an identical header through NewRegion, and obey
+// the version rule (flags ⇒ v2, no flags ⇒ v1).
+func FuzzParseLayout(f *testing.F) {
+	base := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8}
+	f.Add(seedHeader(base)) // v1: no flags
+	for _, k := range []DoorbellKind{DoorbellFutex, DoorbellEventfd} {
+		l := base
+		l.Doorbell = k
+		f.Add(seedHeader(l)) // v2: doorbell capability bits
+	}
+	huge := base
+	huge.HugePages = true
+	f.Add(seedHeader(huge)) // v2: huge-pages bit
+	both := base
+	both.Doorbell = DoorbellFutex
+	both.HugePages = true
+	f.Add(seedHeader(both))
+
+	// Adversarial seeds: bad magic, future version, unknown flag bits,
+	// reserved doorbell kind, truncation.
+	badMagic := seedHeader(base)
+	le.PutUint32(badMagic[hdrMagicOff:], 0xDEADBEEF)
+	f.Add(badMagic)
+	futureVer := seedHeader(base)
+	le.PutUint16(futureVer[hdrVersionOff:], Version+1)
+	f.Add(futureVer)
+	unknownFlags := seedHeader(both)
+	le.PutUint32(unknownFlags[hdrFlagsOff:], hdrFlagsKnown+1<<30)
+	f.Add(unknownFlags)
+	badKind := seedHeader(both)
+	le.PutUint32(badKind[hdrFlagsOff:], hdrFlagDoorbellMask) // kind 3: reserved
+	f.Add(badKind)
+	f.Add(seedHeader(base)[:regionHdrSize-5])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, hdr []byte) {
+		l, err := ParseLayout(hdr)
+		if err != nil {
+			return // any clean rejection is acceptable
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("parsed layout fails validation: %+v: %v", l, verr)
+		}
+		if l.FileSize() > 1<<22 {
+			return // valid but huge geometry: skip the alloc-heavy round trip
+		}
+		// Semantic round trip: re-encoding through NewRegion and re-parsing
+		// must yield the identical layout. (Byte identity is not required:
+		// a v2 header with zero flags parses fine but re-encodes as v1.)
+		re := seedHeader(l)
+		l2, err := ParseLayout(re)
+		if err != nil {
+			t.Fatalf("re-encoded header rejected: %v", err)
+		}
+		if l2 != l {
+			t.Fatalf("layout round trip %+v -> %+v", l, l2)
+		}
+		wantVer := Version
+		if l.flags() == 0 {
+			wantVer = VersionV1
+		}
+		if got := le.Uint16(re[hdrVersionOff:]); got != wantVer {
+			t.Fatalf("re-encoded version %d, want %d for flags %#x", got, wantVer, l.flags())
 		}
 	})
 }

@@ -1,0 +1,37 @@
+//go:build linux
+
+package shm
+
+// Huge-page mapping support (tentpole part c): MAP_HUGETLB cuts dTLB
+// misses on large rings by backing the region with 2MiB pages. Regular
+// files cannot be MAP_HUGETLB-mapped, so the attempt usually fails
+// unless the region lives on hugetlbfs — the fallback is a normal
+// mapping plus MADV_HUGEPAGE, which lets khugepaged collapse the region
+// into transparent huge pages where the filesystem (tmpfs with
+// huge=advise, for instance) supports it. Either way the caller gets a
+// working mapping; huge pages are strictly best-effort.
+
+import "syscall"
+
+// hugePageSize is the huge-page unit mappings and file sizes are rounded
+// to. 2MiB is the x86-64/arm64 base huge page.
+const hugePageSize = 2 << 20
+
+// mapRegion maps size bytes of fd read-write/shared, trying MAP_HUGETLB
+// first when huge is set.
+func mapRegion(fd, size int, huge bool) ([]byte, error) {
+	const prot = syscall.PROT_READ | syscall.PROT_WRITE
+	if huge {
+		if b, err := syscall.Mmap(fd, 0, size, prot, syscall.MAP_SHARED|syscall.MAP_HUGETLB); err == nil {
+			return b, nil
+		}
+		b, err := syscall.Mmap(fd, 0, size, prot, syscall.MAP_SHARED)
+		if err != nil {
+			return nil, err
+		}
+		// Best effort; EINVAL just means THP cannot cover this mapping.
+		syscall.Madvise(b, syscall.MADV_HUGEPAGE)
+		return b, nil
+	}
+	return syscall.Mmap(fd, 0, size, prot, syscall.MAP_SHARED)
+}

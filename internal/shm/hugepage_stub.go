@@ -1,0 +1,14 @@
+//go:build unix && !linux
+
+package shm
+
+// Non-Linux unix builds: no MAP_HUGETLB/MADV_HUGEPAGE; a huge-pages
+// layout degrades to a plain shared mapping.
+
+import "syscall"
+
+const hugePageSize = 2 << 20
+
+func mapRegion(fd, size int, huge bool) ([]byte, error) {
+	return syscall.Mmap(fd, 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}

@@ -11,9 +11,24 @@ import (
 // Supported reports whether this platform can map region files.
 func Supported() bool { return true }
 
+// mapSize is the byte length to map (and size the file to) for layout l:
+// the logical size, rounded up to the huge-page unit when the layout
+// asks for huge pages (both MAP_HUGETLB and hugetlbfs require whole-page
+// lengths; on a regular file the padding is a sparse tail).
+func mapSize(l Layout) int {
+	size := l.FileSize()
+	if l.HugePages {
+		size = (size + hugePageSize - 1) &^ (hugePageSize - 1)
+	}
+	return size
+}
+
 // CreateFile creates (truncating any stale file) and maps a region file:
 // the serving side of a session. The file is created 0600 — the ring is a
-// private channel between two cooperating processes.
+// private channel between two cooperating processes. When l.HugePages is
+// set the mapping is huge-page-backed on a best-effort basis: MAP_HUGETLB
+// first, and when the kernel refuses (regular files almost always do), a
+// normal mapping with MADV_HUGEPAGE so THP can still coalesce it.
 func CreateFile(path string, l Layout) (*Region, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
@@ -23,11 +38,11 @@ func CreateFile(path string, l Layout) (*Region, error) {
 		return nil, err
 	}
 	defer f.Close()
-	size := l.FileSize()
+	size := mapSize(l)
 	if err := f.Truncate(int64(size)); err != nil {
 		return nil, fmt.Errorf("shm: sizing %s: %w", path, err)
 	}
-	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	b, err := mapRegion(int(f.Fd()), size, l.HugePages)
 	if err != nil {
 		return nil, fmt.Errorf("shm: mapping %s: %w", path, err)
 	}
@@ -41,7 +56,9 @@ func CreateFile(path string, l Layout) (*Region, error) {
 }
 
 // OpenFile maps an existing region file created by the peer, validating
-// its header before trusting the geometry.
+// its header before trusting the geometry. A header that carries the
+// huge-pages flag makes the opener apply the same best-effort huge
+// mapping to its side.
 func OpenFile(path string) (*Region, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -69,7 +86,13 @@ func OpenFile(path string) (*Region, error) {
 		return nil, err
 	}
 	defer wf.Close()
-	b, err := syscall.Mmap(int(wf.Fd()), 0, l.FileSize(), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	size := mapSize(l)
+	if int64(size) > st.Size() {
+		// The creator could not pad the file (shouldn't happen — it
+		// truncates to the padded size); fall back to the logical size.
+		size = l.FileSize()
+	}
+	b, err := mapRegion(int(wf.Fd()), size, l.HugePages)
 	if err != nil {
 		return nil, fmt.Errorf("shm: mapping %s: %w", path, err)
 	}

@@ -21,22 +21,80 @@ func newTestRegion(t testing.TB, l Layout) *Region {
 	return r
 }
 
+// mustPublish claims the next slot and publishes payload into it.
+func mustPublish(t testing.TB, r *Ring, typ uint8, id uint64, payload []byte) {
+	t.Helper()
+	pos, buf := r.Claim()
+	if buf == nil {
+		t.Fatal("Claim returned nil on open ring")
+	}
+	buf = append(buf, payload...)
+	if err := r.Publish(pos, typ, id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLayoutValidate(t *testing.T) {
 	if err := DefaultLayout().Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := []Layout{
-		{SlotSize: 100, SubmitSlots: 8, CompleteSlots: 8},    // not a power of two
-		{SlotSize: 128, SubmitSlots: 8, CompleteSlots: 8},    // below MinSlotSize
-		{SlotSize: 2 << 20, SubmitSlots: 8, CompleteSlots: 8},// above MaxSlotSize
+		{SlotSize: 100, SubmitSlots: 8, CompleteSlots: 8},     // not a power of two
+		{SlotSize: 128, SubmitSlots: 8, CompleteSlots: 8},     // below MinSlotSize
+		{SlotSize: 2 << 20, SubmitSlots: 8, CompleteSlots: 8}, // above MaxSlotSize
 		{SlotSize: 4096, SubmitSlots: 0, CompleteSlots: 8},
 		{SlotSize: 4096, SubmitSlots: 8, CompleteSlots: 3},
 		{SlotSize: 4096, SubmitSlots: MaxSlots * 2, CompleteSlots: 8},
+		{SlotSize: 4096, SubmitSlots: 8, CompleteSlots: 8, Doorbell: numDoorbellKinds},
 	}
 	for i, l := range bad {
 		if err := l.Validate(); err == nil {
 			t.Fatalf("bad layout %d validated: %+v", i, l)
 		}
+	}
+}
+
+// TestLayoutV2RoundTrip proves the header flags word round-trips every
+// doorbell kind and the huge-pages bit through NewRegion/ParseLayout,
+// and that a flags-free layout is written as a version-1 header (the
+// downgrade path for capability-less peers).
+func TestLayoutV2RoundTrip(t *testing.T) {
+	base := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8}
+	for _, k := range []DoorbellKind{DoorbellSocket, DoorbellFutex, DoorbellEventfd} {
+		for _, huge := range []bool{false, true} {
+			l := base
+			l.Doorbell = k
+			l.HugePages = huge
+			b := NewBuffer(l)
+			if _, err := NewRegion(b, l, true); err != nil {
+				t.Fatal(err)
+			}
+			wantVer := Version
+			if l.flags() == 0 {
+				wantVer = VersionV1
+			}
+			if got := le.Uint16(b[hdrVersionOff:]); got != wantVer {
+				t.Fatalf("%v/huge=%v: header version %d, want %d", k, huge, got, wantVer)
+			}
+			got, err := ParseLayout(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != l {
+				t.Fatalf("round trip %+v -> %+v", l, got)
+			}
+		}
+	}
+	// Unknown flag bits must be rejected, not silently dropped.
+	l := base
+	l.Doorbell = DoorbellFutex
+	b := NewBuffer(l)
+	if _, err := NewRegion(b, l, true); err != nil {
+		t.Fatal(err)
+	}
+	le.PutUint32(b[hdrFlagsOff:], le.Uint32(b[hdrFlagsOff:])|1<<31)
+	if _, err := ParseLayout(b); err == nil {
+		t.Fatal("unknown flag bits parsed cleanly")
 	}
 }
 
@@ -52,12 +110,12 @@ func TestRingRoundTrip(t *testing.T) {
 		t.Fatalf("fresh ring not empty: ok=%v err=%v", ok, err)
 	}
 	for i := 0; i < 64; i++ { // 16 laps of a 4-slot ring
-		buf := r.Claim()
+		pos, buf := r.Claim()
 		if buf == nil {
 			t.Fatal("Claim returned nil on open ring")
 		}
 		payload := fmt.Appendf(buf, "frame-%d", i)
-		if err := r.Publish(uint8(i%7)+1, uint64(i), payload); err != nil {
+		if err := r.Publish(pos, uint8(i%7)+1, uint64(i), payload); err != nil {
 			t.Fatal(err)
 		}
 		ok, err := r.Consume(&f)
@@ -79,21 +137,19 @@ func TestRingBackpressure(t *testing.T) {
 	r := reg.Submit
 
 	for i := 0; i < 2; i++ {
-		if err := r.Publish(1, uint64(i), r.Claim()); err != nil {
-			t.Fatal(err)
-		}
+		mustPublish(t, r, 1, uint64(i), nil)
 	}
 	// The ring is full: a Claim would spin. Drain one frame from a second
 	// goroutine after a delay and require Claim to complete.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		buf := r.Claim()
+		pos, buf := r.Claim()
 		if buf == nil {
 			t.Error("Claim returned nil")
 			return
 		}
-		if err := r.Publish(1, 2, buf); err != nil {
+		if err := r.Publish(pos, 1, 2, buf); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -115,15 +171,56 @@ func TestRingBackpressure(t *testing.T) {
 	}
 }
 
+// TestRingOutOfOrderPublish proves the MPSC contract: a later claim may
+// publish first, the frame stays invisible until the earlier hole fills,
+// and then both frames arrive in claim order.
+func TestRingOutOfOrderPublish(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+
+	posA, bufA := r.Claim()
+	posB, bufB := r.Claim()
+	if posB != posA+1 {
+		t.Fatalf("claims not adjacent: %d then %d", posA, posB)
+	}
+	// B publishes first: the consumer must still see nothing (hole at A).
+	if err := r.Publish(posB, 2, 200, append(bufB, 'b')); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Empty() {
+		t.Fatal("ring visible past an unpublished hole")
+	}
+	var f Frame
+	if ok, err := r.Consume(&f); ok || err != nil {
+		t.Fatalf("consumed past a hole: ok=%v err=%v", ok, err)
+	}
+	if err := r.Publish(posA, 1, 100, append(bufA, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []struct {
+		id  uint64
+		typ uint8
+		p   string
+	}{{100, 1, "a"}, {200, 2, "b"}} {
+		ok, err := r.Consume(&f)
+		if err != nil || !ok {
+			t.Fatalf("frame %d: ok=%v err=%v", i, ok, err)
+		}
+		if f.ID != want.id || f.Type != want.typ || string(f.Payload) != want.p {
+			t.Fatalf("frame %d decoded %d/%d/%q", i, f.ID, f.Type, f.Payload)
+		}
+		r.Release()
+	}
+}
+
 // TestRingTornSeq corrupts a slot's sequence word and requires the
 // consumer to fail terminally instead of decoding garbage.
 func TestRingTornSeq(t *testing.T) {
 	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
 	reg := newTestRegion(t, l)
 	r := reg.Submit
-	if err := r.Publish(1, 7, r.Claim()); err != nil {
-		t.Fatal(err)
-	}
+	mustPublish(t, r, 1, 7, nil)
 	// Scribble the seq word with a value that is neither published, empty,
 	// nor a stale lap.
 	copy(r.slot(0)[slotSeqOff:], []byte{0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE})
@@ -139,9 +236,7 @@ func TestRingOversizedLen(t *testing.T) {
 	l := Layout{SlotSize: 256, SubmitSlots: 4, CompleteSlots: 4}
 	reg := newTestRegion(t, l)
 	r := reg.Submit
-	if err := r.Publish(1, 7, r.Claim()); err != nil {
-		t.Fatal(err)
-	}
+	mustPublish(t, r, 1, 7, nil)
 	le.PutUint32(r.slot(0)[slotLenOff:], uint32(l.SlotSize)) // > PayloadCap
 	var f Frame
 	if _, err := r.Consume(&f); err == nil {
@@ -149,8 +244,8 @@ func TestRingOversizedLen(t *testing.T) {
 	}
 }
 
-// TestRingSPSCConcurrent streams frames through a ring with the producer
-// and consumer on separate goroutines, checking content and order.
+// TestRingSPSCConcurrent streams frames through a ring with one producer
+// and one consumer on separate goroutines, checking content and order.
 func TestRingSPSCConcurrent(t *testing.T) {
 	l := Layout{SlotSize: 256, SubmitSlots: 8, CompleteSlots: 8}
 	reg := newTestRegion(t, l)
@@ -190,14 +285,94 @@ func TestRingSPSCConcurrent(t *testing.T) {
 		}
 	}()
 	for i := 0; i < frames; i++ {
-		buf := r.Claim()
+		pos, buf := r.Claim()
 		for j := 0; j < i%64; j++ {
 			buf = append(buf, byte(i))
 		}
-		if err := r.Publish(3, uint64(i), buf); err != nil {
+		if err := r.Publish(pos, 3, uint64(i), buf); err != nil {
 			t.Fatal(err)
 		}
 	}
+	wg.Wait()
+	if consumerErr != nil {
+		t.Fatal(consumerErr)
+	}
+}
+
+// TestRingMPSCConcurrent is the MPSC claim hammer: 16 producers CAS-claim
+// slots on one ring against a single consumer. Each producer streams its
+// own sequence; the consumer checks per-producer ordering, global frame
+// count, and payload integrity. Run it under -race (make check does).
+func TestRingMPSCConcurrent(t *testing.T) {
+	l := Layout{SlotSize: 256, SubmitSlots: 16, CompleteSlots: 16}
+	reg := newTestRegion(t, l)
+	r := reg.Submit
+	const (
+		producers = 16
+		perProd   = 2_000
+	)
+
+	var consumerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var f Frame
+		var next [producers]uint32
+		for i := 0; i < producers*perProd; {
+			ok, err := r.Consume(&f)
+			if err != nil {
+				consumerErr = err
+				return
+			}
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			prod := uint32(f.ID >> 32)
+			seq := uint32(f.ID)
+			if prod >= producers || seq != next[prod] {
+				consumerErr = fmt.Errorf("producer %d: seq %d, want %d", prod, seq, next[prod])
+				return
+			}
+			next[prod]++
+			if len(f.Payload) != int(seq%32) {
+				consumerErr = fmt.Errorf("producer %d seq %d: payload len %d", prod, seq, len(f.Payload))
+				return
+			}
+			for _, b := range f.Payload {
+				if b != byte(prod) {
+					consumerErr = fmt.Errorf("producer %d seq %d: payload byte %d", prod, seq, b)
+					return
+				}
+			}
+			r.Release()
+			i++
+		}
+	}()
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				pos, buf := r.Claim()
+				if buf == nil {
+					t.Error("Claim returned nil mid-stream")
+					return
+				}
+				for j := 0; j < i%32; j++ {
+					buf = append(buf, byte(p))
+				}
+				if err := r.Publish(pos, 3, uint64(p)<<32|uint64(uint32(i)), buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
 	wg.Wait()
 	if consumerErr != nil {
 		t.Fatal(consumerErr)
@@ -222,9 +397,7 @@ func TestParkProtocol(t *testing.T) {
 	if !r.Empty() {
 		t.Fatal("empty ring reports frames")
 	}
-	if err := r.Publish(1, 1, r.Claim()); err != nil {
-		t.Fatal(err)
-	}
+	mustPublish(t, r, 1, 1, nil)
 	if r.Empty() {
 		t.Fatal("published frame invisible to Empty")
 	}
@@ -259,9 +432,7 @@ func TestRegionFileRoundTrip(t *testing.T) {
 	// Client produces a request; server consumes it and produces a
 	// response; client reaps it — through the two distinct mappings.
 	req := []byte("check openat")
-	if err := cli.Submit.Publish(1, 42, append(cli.Submit.Claim(), req...)); err != nil {
-		t.Fatal(err)
-	}
+	mustPublish(t, cli.Submit, 1, 42, req)
 	var f Frame
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -280,9 +451,7 @@ func TestRegionFileRoundTrip(t *testing.T) {
 		t.Fatalf("server decoded %d/%q", f.ID, f.Payload)
 	}
 	srv.Submit.Release()
-	if err := srv.Complete.Publish(2, 42, append(srv.Complete.Claim(), []byte("allow")...)); err != nil {
-		t.Fatal(err)
-	}
+	mustPublish(t, srv.Complete, 2, 42, []byte("allow"))
 	for {
 		ok, err := cli.Complete.Consume(&f)
 		if err != nil {
@@ -299,6 +468,45 @@ func TestRegionFileRoundTrip(t *testing.T) {
 		t.Fatalf("client decoded %d/%q", f.ID, f.Payload)
 	}
 	cli.Complete.Release()
+}
+
+// TestRegionFileHugePages proves a huge-page layout maps on both sides
+// (with graceful fallback where the kernel refuses MAP_HUGETLB — which
+// is the expected path on regular files) and round-trips a frame.
+func TestRegionFileHugePages(t *testing.T) {
+	if !Supported() {
+		t.Skip("no mmap support on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "huge.shm")
+	l := Layout{SlotSize: 512, SubmitSlots: 8, CompleteSlots: 8, HugePages: true}
+	srv, err := CreateFile(path, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if !cli.Layout().HugePages {
+		t.Fatal("huge-pages flag lost in the header")
+	}
+	mustPublish(t, cli.Submit, 1, 9, []byte("hp"))
+	var f Frame
+	for {
+		ok, err := srv.Submit.Consume(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+	}
+	if f.ID != 9 || string(f.Payload) != "hp" {
+		t.Fatalf("decoded %d/%q", f.ID, f.Payload)
+	}
+	srv.Submit.Release()
 }
 
 // TestOpenFileRejectsGarbage ensures header validation runs before any
@@ -344,8 +552,9 @@ func TestZeroAllocsRing(t *testing.T) {
 	var f Frame
 	var id uint64
 	allocs := testing.AllocsPerRun(1000, func() {
-		buf := append(r.Claim(), payload...)
-		if err := r.Publish(1, id, buf); err != nil {
+		pos, buf := r.Claim()
+		buf = append(buf, payload...)
+		if err := r.Publish(pos, 1, id, buf); err != nil {
 			t.Fatal(err)
 		}
 		id++
@@ -367,15 +576,14 @@ func TestClaimUnblocksOnClose(t *testing.T) {
 	reg := newTestRegion(t, l)
 	r := reg.Submit
 	for i := 0; i < 2; i++ {
-		if err := r.Publish(1, uint64(i), r.Claim()); err != nil {
-			t.Fatal(err)
-		}
+		mustPublish(t, r, 1, uint64(i), nil)
 	}
 	var got atomic.Bool
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		got.Store(r.Claim() == nil)
+		_, buf := r.Claim()
+		got.Store(buf == nil)
 	}()
 	time.Sleep(2 * time.Millisecond)
 	reg.Close()

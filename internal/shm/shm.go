@@ -23,30 +23,36 @@
 //	21      3     reserved
 //	24      ...   payload
 //
-// Publication is a per-slot sequence number, LMAX-disruptor style: the
-// producer fills the slot body, then store-releases seq = position+1. The
-// consumer load-acquires seq; the value tells it apart from an empty slot
-// (zero), a slot still holding the previous lap's frame (position+1-size,
-// the "stale epoch"), and torn or corrupted state (anything else — a
-// protocol violation that kills the session, since a shared-memory peer
-// that scribbles sequence numbers cannot be resynchronized). The consumer
-// never writes to slots at all; it publishes progress by store-releasing
-// the ring-header head cursor, which is what the producer checks for space.
+// Publication is a per-slot sequence number, LMAX-disruptor style: a
+// producer claims a position by CAS-advancing the shared tail cursor,
+// fills the slot body, then store-releases seq = position+1. Because the
+// commit point is per-slot, producers may publish out of order — the ring
+// is MPSC: any number of producer goroutines (or processes sharing the
+// mapping) claim concurrently, while the consumer side stays single. The
+// consumer load-acquires seq; the value tells it apart from an empty or
+// claimed-but-unpublished slot (zero or a value from an earlier lap) and
+// torn or corrupted state (anything else — a protocol violation that
+// kills the session, since a shared-memory peer that scribbles sequence
+// numbers cannot be resynchronized). The consumer never writes to slots
+// at all; it publishes progress by store-releasing the ring-header head
+// cursor, which is what producers check for space.
 //
-// Idle peers cost nothing: a consumer busy-polls briefly, then sets the
-// ring header's parked flag and blocks on a doorbell the producer rings
-// only when the flag is up (dracod uses a byte on the session's unix
-// socket — the portable stand-in for an eventfd/futex wake; see
-// internal/server and internal/server/client for the two ends).
+// Idle peers cost nothing: a consumer busy-polls under an adaptive budget
+// (SpinController), then sets the ring header's parked flag and blocks on
+// a doorbell the producer rings only when the flag is up. The doorbell
+// itself is negotiated at handshake (see Caps and DoorbellKind): a shared
+// futex word in the ring header on Linux — an unparked peer costs the
+// producer nothing, a parked one exactly one FUTEX_WAKE —, an eventfd
+// passed over the control socket, or the portable fallback of a byte on
+// the session's unix socket (see internal/server and
+// internal/server/client for the two ends).
 package shm
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
-	"time"
 	"unsafe"
 )
 
@@ -54,8 +60,13 @@ import (
 const (
 	// Magic marks byte 0 of a region file.
 	Magic uint32 = 0xD7AC0517
-	// Version is the region-layout version this package speaks.
-	Version uint16 = 1
+	// Version is the newest region-layout version this package speaks.
+	// Version 2 adds the header flags word (doorbell kind, huge pages);
+	// a v2 region whose flags are all zero is written as version 1, so
+	// capability-less peers interoperate unchanged.
+	Version uint16 = 2
+	// VersionV1 is the PR-8 layout: no flags word, socket doorbell only.
+	VersionV1 uint16 = 1
 
 	// regionHdrSize is the file-global header: magic, version, geometry.
 	regionHdrSize = 64
@@ -95,12 +106,22 @@ const (
 	hdrSlotSizeOff  = 8
 	hdrSubSlotsOff  = 12
 	hdrCompSlotsOff = 16
+	hdrFlagsOff     = 20 // v2 capabilities word; reads as zero in v1 files
+)
+
+// Header flags-word encoding: low bits carry the negotiated doorbell
+// kind, the rest are independent feature bits.
+const (
+	hdrFlagDoorbellMask uint32 = 0x3
+	hdrFlagHugePages    uint32 = 1 << 2
+	hdrFlagsKnown              = hdrFlagDoorbellMask | hdrFlagHugePages
 )
 
 // Ring-header field offsets (relative to the ring header).
 const (
 	ringHeadOff   = 0  // consumer cursor (atomic uint64)
 	ringParkedOff = 8  // consumer parked flag (atomic uint32)
+	ringFutexOff  = 12 // futex doorbell word (atomic uint32), consumer line
 	ringTailOff   = 64 // producer cursor (atomic uint64), own cache line
 )
 
@@ -119,7 +140,8 @@ var (
 
 var le = binary.LittleEndian
 
-// Layout describes a region's geometry.
+// Layout describes a region's geometry plus the v2 feature bits the
+// creator negotiated (doorbell kind, huge pages).
 type Layout struct {
 	// SlotSize is the per-slot byte size (power of two, header included).
 	SlotSize int
@@ -127,6 +149,15 @@ type Layout struct {
 	// two).
 	SubmitSlots   int
 	CompleteSlots int
+
+	// Doorbell is the wakeup mechanism both sides agreed on at handshake.
+	// The creator writes it into the header flags word; openers read it
+	// back rather than re-negotiate.
+	Doorbell DoorbellKind
+	// HugePages records that the creator asked for a huge-page backing
+	// (best effort — the mapping silently falls back when the kernel
+	// refuses). Openers use it to apply the same madvise on their mapping.
+	HugePages bool
 }
 
 // DefaultLayout returns the default region geometry.
@@ -144,7 +175,19 @@ func (l Layout) Validate() error {
 			return fmt.Errorf("%w: slot count %d", ErrBadGeometry, n)
 		}
 	}
+	if l.Doorbell >= numDoorbellKinds {
+		return fmt.Errorf("%w: doorbell kind %d", ErrBadGeometry, l.Doorbell)
+	}
 	return nil
+}
+
+// flags encodes the layout's feature bits as the header flags word.
+func (l Layout) flags() uint32 {
+	f := uint32(l.Doorbell) & hdrFlagDoorbellMask
+	if l.HugePages {
+		f |= hdrFlagHugePages
+	}
+	return f
 }
 
 // PayloadCap is the per-frame payload capacity under this layout.
@@ -207,11 +250,19 @@ func NewRegion(b []byte, l Layout, init bool) (*Region, error) {
 			b[i] = 0
 		}
 		le.PutUint32(b[hdrMagicOff:], Magic)
-		le.PutUint16(b[hdrVersionOff:], Version)
+		// A region with no v2 features is written as version 1 so that
+		// capability-less peers (and the downgrade path) see exactly the
+		// PR-8 layout.
+		v := VersionV1
+		if l.flags() != 0 {
+			v = Version
+		}
+		le.PutUint16(b[hdrVersionOff:], v)
 		le.PutUint16(b[hdrVersionOff+2:], 0)
 		le.PutUint32(b[hdrSlotSizeOff:], uint32(l.SlotSize))
 		le.PutUint32(b[hdrSubSlotsOff:], uint32(l.SubmitSlots))
 		le.PutUint32(b[hdrCompSlotsOff:], uint32(l.CompleteSlots))
+		le.PutUint32(b[hdrFlagsOff:], l.flags())
 	} else {
 		got, err := ParseLayout(b)
 		if err != nil {
@@ -239,7 +290,9 @@ func NewBuffer(l Layout) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), l.FileSize())
 }
 
-// ParseLayout reads and validates a region header.
+// ParseLayout reads and validates a region header. Both layout versions
+// are accepted: version 1 has no flags word (socket doorbell, no huge
+// pages), version 2 carries the negotiated capabilities.
 func ParseLayout(b []byte) (Layout, error) {
 	if len(b) < regionHdrSize {
 		return Layout{}, errShortMapping
@@ -247,13 +300,22 @@ func ParseLayout(b []byte) (Layout, error) {
 	if le.Uint32(b[hdrMagicOff:]) != Magic {
 		return Layout{}, ErrBadMagic
 	}
-	if le.Uint16(b[hdrVersionOff:]) != Version {
+	ver := le.Uint16(b[hdrVersionOff:])
+	if ver != VersionV1 && ver != Version {
 		return Layout{}, ErrBadVersion
 	}
 	l := Layout{
 		SlotSize:      int(le.Uint32(b[hdrSlotSizeOff:])),
 		SubmitSlots:   int(le.Uint32(b[hdrSubSlotsOff:])),
 		CompleteSlots: int(le.Uint32(b[hdrCompSlotsOff:])),
+	}
+	if ver >= Version {
+		f := le.Uint32(b[hdrFlagsOff:])
+		if f&^hdrFlagsKnown != 0 {
+			return Layout{}, fmt.Errorf("%w: unknown flags %#x", ErrBadVersion, f&^hdrFlagsKnown)
+		}
+		l.Doorbell = DoorbellKind(f & hdrFlagDoorbellMask)
+		l.HugePages = f&hdrFlagHugePages != 0
 	}
 	if err := l.Validate(); err != nil {
 		return Layout{}, err
@@ -269,21 +331,24 @@ type Frame struct {
 	Payload []byte
 }
 
-// Ring is one direction's SPSC slot ring. The producer side and the
-// consumer side each run in exactly one goroutine (or behind one lock);
-// the two sides may be in different processes sharing the mapping.
+// Ring is one direction's MPSC slot ring. Any number of producers claim
+// slots concurrently (CAS on the shared tail); the consumer side runs in
+// exactly one goroutine (or behind one lock). The two sides may be in
+// different processes sharing the mapping.
 type Ring struct {
 	head   *atomic.Uint64 // consumer cursor (shared)
-	tail   *atomic.Uint64 // producer cursor (shared)
+	tail   *atomic.Uint64 // producer cursor (shared, CAS-claimed)
 	parked *atomic.Uint32 // consumer parked flag (shared)
+	futexW *atomic.Uint32 // futex doorbell word (shared)
 	slots  []byte
 	size   int    // slot size in bytes
 	mask   uint64 // slot-count mask
 	n      uint64 // slot count
 
-	// Producer-local state (never shared).
-	pTail     uint64 // producer's own cursor mirror
-	headCache uint64 // last observed head, refreshed on full
+	// headCache is the producers' process-local view of head, refreshed
+	// only when the ring looks full — it keeps the fast path off the
+	// consumer's cache line.
+	headCache atomic.Uint64
 
 	// Consumer-local state.
 	cHead    uint64 // consumer's own cursor mirror
@@ -296,6 +361,7 @@ func newRing(b []byte, slotSize, slots int) *Ring {
 	r := &Ring{
 		head:   (*atomic.Uint64)(unsafe.Pointer(&b[ringHeadOff])),
 		parked: (*atomic.Uint32)(unsafe.Pointer(&b[ringParkedOff])),
+		futexW: (*atomic.Uint32)(unsafe.Pointer(&b[ringFutexOff])),
 		tail:   (*atomic.Uint64)(unsafe.Pointer(&b[ringTailOff])),
 		slots:  b[ringHdrSize:],
 		size:   slotSize,
@@ -304,8 +370,7 @@ func newRing(b []byte, slotSize, slots int) *Ring {
 	}
 	// Re-attach local mirrors to shared cursors (openers join a ring whose
 	// peer may already have produced frames).
-	r.pTail = r.tail.Load()
-	r.headCache = r.head.Load()
+	r.headCache.Store(r.head.Load())
 	r.cHead = r.head.Load()
 	return r
 }
@@ -329,51 +394,54 @@ func (r *Ring) Closed() bool { return r.closed.Load() }
 
 // --- producer side ----------------------------------------------------------
 
-// Claim returns the next slot's payload buffer (len 0, cap PayloadCap),
-// spinning — with escalating yields — while the ring is full. Claiming
-// does not advance the ring: the slot publishes only on Publish. Returns
-// nil when the ring is closed.
+// Claim reserves the next free slot and returns its position together
+// with the slot's payload buffer (len 0, cap PayloadCap), spinning — via
+// the shared Backoff ladder — while the ring is full. Claiming advances
+// the shared tail (CAS, so any number of producers may claim
+// concurrently) but publishes nothing: the slot becomes visible only on
+// Publish, and every successful Claim MUST be followed by exactly one
+// Publish for the same position — an unpublished claim is a hole that
+// stalls the consumer forever. Returns a nil buffer when the ring is
+// closed.
 //
-// The full path is the transport's backpressure: a producer outrunning the
-// consumer ends up spinning here, exactly like a wire client blocked on
-// TCP flow control.
-func (r *Ring) Claim() []byte {
-	spins := 0
-	for r.pTail-r.headCache >= r.n {
-		r.headCache = r.head.Load()
-		if r.pTail-r.headCache < r.n {
-			break
+// The full path is the transport's backpressure: a producer outrunning
+// the consumer ends up spinning here, exactly like a wire client blocked
+// on TCP flow control.
+func (r *Ring) Claim() (uint64, []byte) {
+	var bo Backoff
+	for {
+		pos := r.tail.Load()
+		if pos-r.headCache.Load() >= r.n {
+			h := r.head.Load()
+			r.headCache.Store(h)
+			if pos-h >= r.n {
+				if r.closed.Load() {
+					return 0, nil
+				}
+				bo.Wait()
+				continue
+			}
 		}
-		if r.closed.Load() {
-			return nil
+		if r.tail.CompareAndSwap(pos, pos+1) {
+			s := r.slot(pos)
+			return pos, s[SlotHdrSize:SlotHdrSize:r.size]
 		}
-		spins++
-		switch {
-		case spins < 64:
-			// tight spin
-		case spins < 1024:
-			runtime.Gosched()
-		default:
-			time.Sleep(10 * time.Microsecond)
-		}
+		bo.Reset() // lost the CAS to another producer: that is progress
 	}
-	s := r.slot(r.pTail)
-	return s[SlotHdrSize:SlotHdrSize:r.size]
 }
 
-// Publish seals the claimed slot with a frame and advances the producer
-// cursor. payload is normally the buffer Claim returned, appended in
-// place — then no copy happens; any other buffer that fits is copied in.
-// Publish must follow the Claim whose slot it seals (one claim, one
-// publish, in producer order).
-func (r *Ring) Publish(typ uint8, id uint64, payload []byte) error {
+// Publish seals the slot claimed at pos with a frame. payload is normally
+// the buffer Claim returned, appended in place — then no copy happens;
+// any other buffer that fits is copied in. Publication is per-slot, so
+// producers may publish their claims in any order; the consumer sees each
+// frame as soon as every position before it has published too.
+func (r *Ring) Publish(pos uint64, typ uint8, id uint64, payload []byte) error {
 	if len(payload) > r.PayloadCap() {
 		return ErrFrameTooBig
 	}
 	if r.closed.Load() {
 		return ErrRingClosed
 	}
-	pos := r.pTail
 	s := r.slot(pos)
 	if len(payload) > 0 && &s[SlotHdrSize] != &payload[0] {
 		copy(s[SlotHdrSize:], payload)
@@ -385,8 +453,6 @@ func (r *Ring) Publish(typ uint8, id uint64, payload []byte) error {
 	// The release-store of seq is the publication point: every slot write
 	// above happens-before a consumer that load-acquires seq == pos+1.
 	(*atomic.Uint64)(unsafe.Pointer(&s[slotSeqOff])).Store(pos + 1)
-	r.pTail = pos + 1
-	r.tail.Store(r.pTail)
 	return nil
 }
 
@@ -453,6 +519,12 @@ func (r *Ring) SetParked(v bool) {
 		r.parked.Store(0)
 	}
 }
+
+// futexWord is the ring's shared futex doorbell word. It lives in the
+// mapped ring header, so a FUTEX_WAKE on one side's mapping wakes a
+// FUTEX_WAIT on the other side's: the kernel keys shared futexes by the
+// backing page, not the virtual address.
+func (r *Ring) futexWord() *atomic.Uint32 { return r.futexW }
 
 // seqState classifies a slot's sequence word for position pos in a ring
 // of n slots: published now (pos+1), not yet published (zero or a value

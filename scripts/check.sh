@@ -37,21 +37,28 @@ go test -count=1 -run 'ZeroAllocs|TestCheck|TestBatch' ./internal/wire/
 go test -count=1 -run 'TestWireDifferentialAllWorkloads' ./internal/server/
 
 # Shared-memory transport guards, run explicitly; every piece skips (not
-# fails) on platforms without mmap support. The slot-parser fuzz seed
-# corpus covers adversarial seq/len/lap encodings (use `go test -fuzz
-# FuzzParseSlot ./internal/shm` to explore beyond it); the 0-allocs/op
-# pins cover ring enqueue/dequeue and the client-side Batcher fold; the
-# shm differential proves decisions through the rings — batch frames,
-# single checks, and Batcher-folded singles — are identical to calling
-# the engine directly on 100k-event traces of all 15 workloads; and the
-# race hammers cover the raw SPSC producer/consumer pair plus 16
-# goroutines storming one ring pair while profiles hot-swap mid-stream.
+# fails) on platforms without mmap support or the negotiated doorbell
+# primitive. The slot-parser fuzz seed corpus covers adversarial
+# seq/len/lap encodings plus v2 header layouts and MPSC
+# claimed-unpublished slot states (use `go test -fuzz FuzzParseSlot
+# ./internal/shm` to explore beyond it); the 0-allocs/op pins cover ring
+# enqueue/dequeue and the client-side Batcher fold; the Batcher tests
+# include the MaxInflight concurrent-flusher contract; the shm
+# differential proves decisions through the rings — batch frames, single
+# checks, and Batcher-folded singles — are identical to calling the
+# engine directly on 100k-event traces of all 15 workloads; and the race
+# hammers cover the raw SPSC producer/consumer pair, 16 producers
+# CAS-claiming slots on one MPSC ring, the futex/eventfd/socket doorbell
+# park-wake stress (spurious wakes included), and 16 goroutines storming
+# one ring pair while profiles hot-swap mid-stream, plus the doorbell
+# negotiation matrix and the v1-handshake downgrade path.
 go test -count=1 -run 'Fuzz' ./internal/shm/
 go test -count=1 -run 'ZeroAllocs' ./internal/shm/ ./internal/server/client/
 go test -count=1 -run 'TestBatcher' ./internal/server/client/
 go test -count=1 -run 'TestShmDifferentialAllWorkloads' ./internal/server/
-go test -race -count=1 -run 'TestRingSPSCConcurrent' ./internal/shm/
-go test -race -count=1 -run 'TestShmHotSwapHammer' ./internal/server/
+go test -race -count=1 -run 'TestRingSPSCConcurrent|TestRingMPSCConcurrent' ./internal/shm/
+go test -race -count=1 -run 'DoorbellStress|TestFutexParkWake|TestParkProtocol' ./internal/shm/
+go test -race -count=1 -run 'TestShmHotSwapHammer|TestShmDoorbellNegotiation|TestShmHandshakeV1Downgrade' ./internal/server/
 
 # BPF differential fuzz seed corpus, run explicitly (each seed as a unit
 # test; use `go test -fuzz FuzzValidateAndRun ./internal/bpf` to explore
