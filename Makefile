@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-engine test-wire test-shm test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog bench-all bench-all-smoke bench-compare slbsweep loadgen loadgen-shm misssweep progsweep
+.PHONY: check build vet test test-race test-engine test-wire test-shm test-bpf test-ebpf bench bench-server bench-engine bench-batch bench-filter bench-prog bench-fastpath bench-all bench-all-smoke bench-compare slbsweep loadgen loadgen-shm misssweep progsweep
 
 # check is the CI gate: build, vet, the full test suite under the race
 # detector (which includes the 32-goroutine wire hot-swap hammer), the
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 60m ./...
 
 # test-engine runs the Engine- and filter-tier-contract guards without the
 # race detector: the 0-allocs/op assertions (perturbed by -race; engine hot
@@ -112,6 +112,12 @@ bench-filter:
 # compiled vs constant-extracted vs the full stateful Check path).
 bench-prog:
 	$(GO) test -run='^$$' -bench 'BenchmarkProgExec' -benchmem ./internal/ebpf
+
+# bench-fastpath measures the lock-free decision plane: draco-concurrent
+# with the fast path on vs off on ID-only (constant-dominated) and
+# complete-profile traffic, per workload plus the speedup geomean.
+bench-fastpath:
+	$(GO) run ./cmd/dracobench -fastpath
 
 # bench-all runs every dracobench mode back to back at full depth and
 # writes one trajectory file (BENCH_<date>.json at the repo root) on the

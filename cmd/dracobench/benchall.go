@@ -40,7 +40,7 @@ func smokeDepth(cc commonConfig, conc, conns int) (commonConfig, int, int) {
 	return cc, conc, conns
 }
 
-// runBenchAll runs the five modes and writes the combined run document.
+// runBenchAll runs the six modes and writes the combined run document.
 func runBenchAll(cc commonConfig, smoke bool, jsonOut string, conc, conns int, doorbells string) error {
 	depth := "full"
 	if smoke {
@@ -63,6 +63,7 @@ func runBenchAll(cc commonConfig, smoke bool, jsonOut string, conc, conns int, d
 		{"slbsweep", func() (bench.ModeResult, error) { return slbSweepMode(cc, !smoke) }},
 		{"misssweep", func() (bench.ModeResult, error) { return missSweepMode(cc) }},
 		{"progsweep", func() (bench.ModeResult, error) { return progSweepMode(cc) }},
+		{"fastpath", func() (bench.ModeResult, error) { return fastpathMode(cc, 8, "syscall") }},
 		{"loadgen", func() (bench.ModeResult, error) { return loadgenMode(cc, conc, conns, doorbells) }},
 	}
 	for i, step := range steps {

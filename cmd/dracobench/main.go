@@ -138,6 +138,7 @@ func main() {
 		slbsweep  = flag.Bool("slbsweep", false, "software-SLB geometry sweep: every selected workload through draco-concurrent+slb across sets x ways x indexing")
 		misssweep = flag.Bool("misssweep", false, "filter-execution sweep: cold-start traces through a bare filter under the interp, compiled, and bitmap tiers")
 		progsweep = flag.Bool("progsweep", false, "programmable-policy sweep: bare filter plain vs constant-extracted and stateful eBPF policies")
+		fastpath  = flag.Bool("fastpath", false, "decision-plane benchmark: draco-concurrent with the lock-free fast path on vs off on constant-dominated traffic")
 		loadgen   = flag.Bool("loadgen", false, "service-edge load generator: single-check traffic over HTTP JSON vs the binary wire protocol")
 		conc      = flag.Int("concurrency", 32, "client worker goroutines for -loadgen")
 		conns     = flag.Int("conns", 4, "wire connection-pool size for -loadgen")
@@ -247,6 +248,9 @@ func main() {
 	case *progsweep:
 		writeRun(progSweepMode(newCommon(nil)))
 		return
+	case *fastpath:
+		writeRun(fastpathMode(newCommon(nil), *shards, *routing))
+		return
 	case *engName != "":
 		writeRun(engineBenchMode(newCommon([]string{"httpd"}), *engName, *shards, *routing))
 		return
@@ -335,6 +339,7 @@ Benchmark modes (pick one):
   -slbsweep          SLB geometry sweep
   -misssweep         filter execution tiers (interp/compiled/bitmap)
   -progsweep         programmable-policy tiers
+  -fastpath          decision plane on vs off          -shards, -routing
   -loadgen           HTTP JSON vs binary wire edge     -concurrency, -conns
 
 Common knobs, accepted uniformly by every benchmark mode:

@@ -107,10 +107,11 @@ type state struct {
 	gen     uint64
 	routing Routing
 	mode    seccomp.ExecMode
-	// masks maps syscall ID to the SPT Argument Bitmask of its rule (zero
-	// for ID-only and unknown syscalls), precomputed so shard routing does
-	// not consult the profile per check.
-	masks  []uint64
+	// plane is the generation's compiled decision plane (plane.go): one
+	// flat per-syscall record fusing the routing bitmask, the precomputed
+	// argument count, and — under ExecBitmap — the provably constant
+	// decisions, served lock-free before any shard is touched.
+	plane  *plane
 	shards []*shard
 	// prog is the generation's attached programmable policy (nil without
 	// one). Its map state is shared by every shard — slots are atomic, so
@@ -124,23 +125,11 @@ type state struct {
 	serialBatch bool
 }
 
-func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.ExecMode, gen uint64) (*state, error) {
+func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.ExecMode, gen uint64, noFast bool) (*state, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	st := &state{profile: p, gen: gen, routing: routing, mode: mode, shards: make([]*shard, nShards)}
-	maxNum := 0
-	for _, r := range p.Rules {
-		if r.Syscall.Num > maxNum {
-			maxNum = r.Syscall.Num
-		}
-	}
-	st.masks = make([]uint64, maxNum+1)
-	for _, r := range p.Rules {
-		if r.ChecksArgs() {
-			st.masks[r.Syscall.Num] = core.BitmaskFor(r)
-		}
-	}
 	// Filters are immutable and safe for concurrent use, so one compiled
 	// filter (with its pre-decoded op stream and, under ExecBitmap, its
 	// constant-action bitmap) is shared by every shard's chain: compiling —
@@ -157,6 +146,10 @@ func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.Exe
 		_, _, mustRun := st.prog.Classification().Counts()
 		st.serialBatch = mustRun > 0
 	}
+	// Compile the decision plane from the same attach-time proofs the
+	// filter and program carry: f.Bitmap() is nil below ExecBitmap, which
+	// builds the plane in pass-through (routing masks only) form.
+	st.plane = buildPlane(p, f.Bitmap(), st.prog, noFast)
 	for i := range st.shards {
 		chk := core.NewChecker(p, seccomp.Chain{f})
 		chk.Prog = st.prog
@@ -167,10 +160,7 @@ func newState(p *seccomp.Profile, nShards int, routing Routing, mode seccomp.Exe
 
 // mask returns the argument bitmask governing a syscall's routing.
 func (st *state) mask(sid int) uint64 {
-	if sid >= 0 && sid < len(st.masks) {
-		return st.masks[sid]
-	}
-	return 0
+	return st.plane.maskOf(sid)
 }
 
 // shardFor routes a call to its shard: CRC-64 over the syscall ID and —
@@ -205,6 +195,9 @@ type Checker struct {
 	// retired keeps superseded generations so Stats stays cumulative across
 	// hot swaps (in-flight checks may still be ticking their counters).
 	retired []*state
+	// noFast disables the decision plane across every generation this
+	// checker builds: the measurement baseline for the fast path.
+	noFast bool
 }
 
 // NewChecker builds a sharded checker for a profile with the default
@@ -224,31 +217,67 @@ func NewCheckerRouted(p *seccomp.Profile, shards int, routing Routing) (*Checker
 // NewCheckerExec builds a sharded checker with explicit routing and filter
 // execution mode; the mode survives SetProfile/Reset rebuilds.
 func NewCheckerExec(p *seccomp.Profile, shards int, routing Routing, mode seccomp.ExecMode) (*Checker, error) {
+	return NewCheckerConfig(p, Config{Shards: shards, Routing: routing, Mode: mode})
+}
+
+// Config bundles the optional knobs of a sharded checker. The zero value
+// selects the defaults of NewChecker: DefaultShards, RouteBySyscall,
+// compiled filter execution, decision plane enabled.
+type Config struct {
+	// Shards is the VAT shard fan-out (0 selects DefaultShards; must be a
+	// power of two up to MaxShards).
+	Shards int
+	// Routing selects the shard-routing key.
+	Routing Routing
+	// Mode is the filter execution mode; the decision plane's constant
+	// records exist only under seccomp.ExecBitmap.
+	Mode seccomp.ExecMode
+	// NoFastPath disables the lock-free decision plane, forcing every
+	// check through the locked shard path: the baseline the fastpath
+	// benchmark measures against. Decisions are identical either way.
+	NoFastPath bool
+}
+
+// NewCheckerConfig builds a sharded checker from a Config; the config
+// survives SetProfile/Reset rebuilds.
+func NewCheckerConfig(p *seccomp.Profile, cfg Config) (*Checker, error) {
+	shards := cfg.Shards
 	if shards == 0 {
 		shards = DefaultShards
 	}
 	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
 		return nil, fmt.Errorf("concurrent: shard count %d not a power of two in [1,%d]", shards, MaxShards)
 	}
-	if routing != RouteBySyscall && routing != RouteByArgs {
-		return nil, fmt.Errorf("concurrent: unknown routing %d", int(routing))
+	if cfg.Routing != RouteBySyscall && cfg.Routing != RouteByArgs {
+		return nil, fmt.Errorf("concurrent: unknown routing %d", int(cfg.Routing))
 	}
-	st, err := newState(p, shards, routing, mode, 1)
+	st, err := newState(p, shards, cfg.Routing, cfg.Mode, 1, cfg.NoFastPath)
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{}
+	c := &Checker{noFast: cfg.NoFastPath}
 	c.state.Store(st)
 	return c, nil
 }
 
 // Check validates one system call. Safe for concurrent use.
+//
+// The fast path consults the generation's decision plane first: a check
+// whose outcome was proven constant at SetProfile time is answered with
+// one atomic state load and no locks, table probes, or filter execution.
+// Everything else takes the locked shard path, which afterwards seeds the
+// plane (noteLocked) so constant-allow syscalls hand over once their
+// first check has warmed the tables.
 func (c *Checker) Check(sid int, args hashes.Args) core.Outcome {
 	st := c.state.Load()
+	if out, ok := st.plane.fastCheck(sid); ok {
+		return out
+	}
 	sh := st.shardFor(sid, args)
 	sh.mu.Lock()
 	out := sh.chk.Check(sid, args)
 	sh.mu.Unlock()
+	st.plane.noteLocked(sid)
 	return out
 }
 
@@ -269,7 +298,15 @@ func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
 		sh := st.shards[0]
 		sh.mu.Lock()
 		for i, cl := range calls {
+			// Plane-resolved calls skip the checker even under the batch
+			// lock: the decision needs no table, and the per-record hit
+			// counter keeps Stats exact.
+			if out, ok := st.plane.fastCheck(cl.SID); ok {
+				dst[i] = out
+				continue
+			}
 			dst[i] = sh.chk.Check(cl.SID, cl.Args)
+			st.plane.noteLocked(cl.SID)
 		}
 		sh.mu.Unlock()
 		return dst
@@ -278,12 +315,19 @@ func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
 		// A stateful programmable policy makes batch order semantic: map
 		// updates must interleave exactly as submitted, so the grouped drain
 		// below (which reorders calls by shard) is not an option. Lock per
-		// call, in order.
+		// call, in order. Plane-resolved calls are constant — they neither
+		// read nor write map state — so answering them lock-free preserves
+		// the submission-order semantics of the rest.
 		for i, cl := range calls {
+			if out, ok := st.plane.fastCheck(cl.SID); ok {
+				dst[i] = out
+				continue
+			}
 			sh := st.shardFor(cl.SID, cl.Args)
 			sh.mu.Lock()
 			dst[i] = sh.chk.Check(cl.SID, cl.Args)
 			sh.mu.Unlock()
+			st.plane.noteLocked(cl.SID)
 		}
 		return dst
 	}
@@ -317,19 +361,33 @@ func (c *Checker) CheckBatch(calls []Call, dst []core.Outcome) []core.Outcome {
 	return dst
 }
 
-// drainGrouped is CheckBatch's grouped path: a stable two-pass counting
-// sort of call indices by shard (len(counts) == shards+1), then one
-// lock-drain per touched shard.
+// drainGrouped is CheckBatch's grouped path: plane-resolved calls are
+// answered during the grouping pass itself (marked with shard index -1 so
+// the sort skips them), then the residue is stable counting-sorted by
+// shard (len(counts) == shards+1) and drained one lock per touched shard.
 func (st *state) drainGrouped(calls []Call, dst []core.Outcome, sidx, order, counts []int32) {
+	resolved := 0
 	for i, cl := range calls {
+		if out, ok := st.plane.fastCheck(cl.SID); ok {
+			dst[i] = out
+			sidx[i] = -1
+			resolved++
+			continue
+		}
 		si := st.shardIndex(cl.SID, cl.Args)
 		sidx[i] = int32(si)
 		counts[si+1]++
+	}
+	if resolved == len(calls) {
+		return
 	}
 	for s := 1; s < len(counts); s++ {
 		counts[s] += counts[s-1]
 	}
 	for i, si := range sidx {
+		if si < 0 {
+			continue
+		}
 		order[counts[si]] = int32(i)
 		counts[si]++
 	}
@@ -345,6 +403,7 @@ func (st *state) drainGrouped(calls []Call, dst []core.Outcome, sidx, order, cou
 		for _, i := range order[start:end] {
 			cl := calls[i]
 			dst[i] = sh.chk.Check(cl.SID, cl.Args)
+			st.plane.noteLocked(cl.SID)
 		}
 		sh.mu.Unlock()
 		start = end
@@ -367,7 +426,7 @@ func (c *Checker) SetProfile(p *seccomp.Profile) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := c.state.Load()
-	st, err := newState(p, len(old.shards), old.routing, old.mode, old.gen+1)
+	st, err := newState(p, len(old.shards), old.routing, old.mode, old.gen+1, c.noFast)
 	if err != nil {
 		return err
 	}
@@ -382,7 +441,7 @@ func (c *Checker) Reset() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := c.state.Load()
-	st, err := newState(old.profile, len(old.shards), old.routing, old.mode, old.gen+1)
+	st, err := newState(old.profile, len(old.shards), old.routing, old.mode, old.gen+1, c.noFast)
 	if err != nil {
 		return err
 	}
@@ -418,7 +477,11 @@ func (c *Checker) Shards() int {
 }
 
 // Stats sums checker statistics across all shards and all profile
-// generations since construction.
+// generations since construction. Decision-plane hits are folded in as
+// what the locked path would have charged (constant allows count as SPT
+// hits, constant denies as filter runs that denied), so the totals are
+// path-independent: fast path on or off, the same workload produces the
+// same Stats.
 func (c *Checker) Stats() Stats {
 	c.mu.Lock()
 	states := make([]*state, 0, len(c.retired)+1)
@@ -439,8 +502,23 @@ func (c *Checker) Stats() Stats {
 			total.Inserts += s.Inserts
 			total.Denied += s.Denied
 		}
+		st.plane.foldStats(&total)
 	}
 	return total
+}
+
+// FastResolved reports whether the decision plane answers sid without the
+// locked shard path. The SLB layer uses it to bypass cache fills for
+// syscalls the plane already serves in O(1).
+func (c *Checker) FastResolved(sid int) bool {
+	return c.state.Load().plane.resolved(sid)
+}
+
+// FastStats summarizes the current generation's decision plane: compiled
+// record counts and lock-free hits served. Retired generations' hits are
+// already folded into Stats.
+func (c *Checker) FastStats() FastStats {
+	return c.state.Load().plane.fastStats()
 }
 
 // VATBytes returns the memory footprint of the current generation's VAT,

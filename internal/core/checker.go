@@ -37,6 +37,11 @@ type Outcome struct {
 	// constant-action table without executing a single program instruction —
 	// the programmable analog of BitmapHit.
 	ProgConstHit bool
+	// FastHit: the decision was served by the lock-free decision plane
+	// (internal/concurrent) — a precompiled constant resolved without
+	// locks, table probes, or filter execution. Purely an attribution
+	// flag: every other field matches what the locked path would report.
+	FastHit bool
 	// Hash is the hash value under which the argument set resides in the
 	// VAT (valid when ArgsChecked and Allowed); the SLB/STB store it.
 	Hash uint64
@@ -109,7 +114,7 @@ func (c *Checker) Check(sid int, args hashes.Args) Outcome {
 	var out Outcome
 	e := c.SPT.Lookup(sid)
 	if e != nil && e.Valid {
-		e.Accessed = true
+		e.MarkAccessed()
 		out.SPTHit = true
 		if !e.ChecksArgs() {
 			// ID-only syscall: the valid bit is the whole check (§V-A).
@@ -210,7 +215,8 @@ func (c *Checker) slowPath(sid int, args hashes.Args, out Outcome) Outcome {
 	}
 	e := c.SPT.Lookup(sid)
 	if e == nil || !e.Valid {
-		entry := SPTEntry{Valid: true, Accessed: true}
+		entry := SPTEntry{Valid: true}
+		entry.MarkAccessed()
 		if rule.ChecksArgs() || progMask != 0 {
 			// The VAT key must discriminate every argument byte the decision
 			// depends on — the rule's checked bytes plus the bytes a

@@ -7,6 +7,9 @@
 package core
 
 import (
+	"math/bits"
+	"sync/atomic"
+
 	"draco/internal/syscalls"
 )
 
@@ -15,69 +18,119 @@ import (
 // 48-bit Argument Bitmask naming the argument bytes subject to checking.
 type SPTEntry struct {
 	Valid bool
+	// NArgs caches ArgCount(ArgBitmask), computed once when the entry is
+	// installed so per-check paths never re-popcount the bitmask.
+	NArgs uint8
+	// accessed is the Accessed bit (paper §VII-B): set on every hit,
+	// cleared periodically; only entries with the bit set are saved across
+	// a context switch. It is mutated on the READ path — the only entry
+	// field that is — so once lookups go lock-free it must be accessed
+	// through the atomic MarkAccessed/Accessed/clearAccessed helpers. A
+	// plain uint32 (not atomic.Uint32) keeps SPTEntry copyable by value.
+	accessed uint32
 	// Base is the virtual address of this syscall's VAT hash table.
 	Base uint64
 	// ArgBitmask selects the checked argument bytes; zero means the call
 	// is checked by ID only.
 	ArgBitmask uint64
-	// Accessed supports the context-switch save/restore optimization
-	// (paper §VII-B): set on every hit, cleared periodically; only entries
-	// with the bit set are saved across a context switch.
-	Accessed bool
 }
 
 // ChecksArgs reports whether the entry requires argument validation.
-func (e SPTEntry) ChecksArgs() bool { return e.ArgBitmask != 0 }
+func (e *SPTEntry) ChecksArgs() bool { return e.ArgBitmask != 0 }
+
+// MarkAccessed sets the Accessed bit. Safe to call concurrently with other
+// readers and with the periodic ClearAccessed sweep.
+func (e *SPTEntry) MarkAccessed() { atomic.StoreUint32(&e.accessed, 1) }
+
+// Accessed reports the Accessed bit.
+func (e *SPTEntry) Accessed() bool { return atomic.LoadUint32(&e.accessed) == 1 }
+
+func (e *SPTEntry) clearAccessed() { atomic.StoreUint32(&e.accessed, 0) }
 
 // ArgCount returns the number of arguments covered by the bitmask, which
 // indexes the SLB subtables in the hardware implementation (Figure 6).
-func (e SPTEntry) ArgCount() int {
-	n := 0
-	for i := 0; i < syscalls.MaxArgs; i++ {
-		if (e.ArgBitmask>>(uint(i)*syscalls.ArgBytes))&0xff != 0 {
-			n++
-		}
-	}
-	return n
+// Installed entries carry the precomputed result in NArgs; this derives it
+// from scratch for ad-hoc entry values.
+func (e SPTEntry) ArgCount() int { return CountArgs(e.ArgBitmask) }
+
+// CountArgs counts the argument lanes with at least one checked byte in an
+// SPT Argument Bitmask (8 bits per argument, one per byte). Branch-free:
+// each lane is collapsed to its low bit, then a single popcount counts the
+// lanes.
+func CountArgs(mask uint64) int {
+	m := mask | mask>>4
+	m |= m >> 2
+	m |= m >> 1
+	return bits.OnesCount64(m & argLaneLow)
 }
 
+// argLaneLow has the low bit of each of the syscalls.MaxArgs lanes set.
+const argLaneLow = 0x0101010101010101 & (1<<(syscalls.MaxArgs*syscalls.ArgBytes) - 1)
+
 // SPT is a per-process System Call Permissions Table, indexed by system
-// call ID. The software implementation stores one entry per possible
-// syscall; the hardware implementation in internal/hwdraco models the
-// fixed-size per-core table.
+// call ID. The software implementation stores entries in a dense slice so
+// a lookup is one bounds check and one index — no hashing, no pointer
+// chase — sized to the highest installed syscall number; the hardware
+// implementation in internal/hwdraco models the fixed-size per-core table.
 type SPT struct {
-	entries map[int]*SPTEntry
+	entries []SPTEntry
+	valid   int
 }
 
 // NewSPT creates an empty table.
 func NewSPT() *SPT {
-	return &SPT{entries: make(map[int]*SPTEntry)}
+	return &SPT{}
 }
 
-// Lookup returns the entry for a syscall ID, or nil.
+// Lookup returns the entry for a syscall ID, or nil when the ID is out of
+// range or its slot was never installed.
 func (t *SPT) Lookup(sid int) *SPTEntry {
-	return t.entries[sid]
+	if uint(sid) >= uint(len(t.entries)) {
+		return nil
+	}
+	e := &t.entries[sid]
+	if !e.Valid {
+		return nil
+	}
+	return e
 }
 
-// Set installs or replaces an entry.
+// Set installs or replaces an entry, growing the table to cover sid and
+// precomputing NArgs. Pointers returned by earlier Lookups may be
+// invalidated by growth; re-Lookup after Set.
 func (t *SPT) Set(sid int, e SPTEntry) {
-	c := e
-	t.entries[sid] = &c
+	if sid < 0 {
+		return
+	}
+	if sid >= len(t.entries) {
+		grown := make([]SPTEntry, sid+1)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	e.NArgs = uint8(CountArgs(e.ArgBitmask))
+	if t.entries[sid].Valid {
+		t.valid--
+	}
+	if e.Valid {
+		t.valid++
+	}
+	t.entries[sid] = e
 }
 
 // Invalidate clears the whole table.
 func (t *SPT) Invalidate() {
-	t.entries = make(map[int]*SPTEntry)
+	t.entries = nil
+	t.valid = 0
 }
 
 // Len returns the number of valid entries.
-func (t *SPT) Len() int { return len(t.entries) }
+func (t *SPT) Len() int { return t.valid }
 
 // ClearAccessed clears every Accessed bit; the hardware does this
 // periodically (every ~500us, paper §VII-B).
 func (t *SPT) ClearAccessed() {
-	for _, e := range t.entries {
-		e.Accessed = false
+	for i := range t.entries {
+		t.entries[i].clearAccessed()
 	}
 }
 
@@ -85,9 +138,13 @@ func (t *SPT) ClearAccessed() {
 // the working set worth saving across a context switch.
 func (t *SPT) AccessedEntries() map[int]SPTEntry {
 	out := make(map[int]SPTEntry)
-	for sid, e := range t.entries {
-		if e.Accessed {
-			out[sid] = *e
+	for sid := range t.entries {
+		e := &t.entries[sid]
+		if e.Valid && e.Accessed() {
+			// Field-by-field copy: a whole-struct copy would read the
+			// accessed word non-atomically, racing concurrent MarkAccessed.
+			out[sid] = SPTEntry{Valid: true, NArgs: e.NArgs, accessed: 1,
+				Base: e.Base, ArgBitmask: e.ArgBitmask}
 		}
 	}
 	return out

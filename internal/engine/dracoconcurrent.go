@@ -31,7 +31,12 @@ func newDracoConcurrent(opts Options) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	chk, err := concurrent.NewCheckerExec(opts.Profile, opts.Shards, routing, mode)
+	chk, err := concurrent.NewCheckerConfig(opts.Profile, concurrent.Config{
+		Shards:     opts.Shards,
+		Routing:    routing,
+		Mode:       mode,
+		NoFastPath: opts.NoFastPath,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -90,3 +95,8 @@ func (e *dracoConcurrent) Close() error { return closeObserver(e.obs) }
 // Inner exposes the wrapped concurrent checker for callers needing the
 // full concurrent surface (the public draco.ConcurrentChecker wrapper).
 func (e *dracoConcurrent) Inner() *concurrent.Checker { return e.chk }
+
+// FastResolved reports whether the checker's decision plane answers sid
+// lock-free; the SLB wrapper consults it to skip cache fills for syscalls
+// the plane already serves in O(1).
+func (e *dracoConcurrent) FastResolved(sid int) bool { return e.chk.FastResolved(sid) }

@@ -90,6 +90,11 @@ const (
 	// ClassProgMiss: the programmable policy actually executed its program
 	// (a stateful/payload-dependent number, or extraction disabled).
 	ClassProgMiss
+	// ClassFastHit: the lock-free decision plane answered — the decision
+	// was compiled to a constant at SetProfile time and served with no
+	// locks, no table probes, and no filter execution (draco-concurrent
+	// under bitmap BPF exec only).
+	ClassFastHit
 
 	// NumLatencyClasses sizes per-class counter arrays.
 	NumLatencyClasses
@@ -115,6 +120,8 @@ func (c LatencyClass) String() string {
 		return "prog-hit"
 	case ClassProgMiss:
 		return "prog-miss"
+	case ClassFastHit:
+		return "fast-hit"
 	default:
 		return "unknown"
 	}
@@ -189,6 +196,12 @@ type Engine interface {
 // checker outcome. Shared by every engine that wraps core.Checker.
 func classify(out core.Outcome) (LatencyClass, bool) {
 	switch {
+	case out.FastHit:
+		// The decision plane answered lock-free. A constant allow is the
+		// SPT fast path served even closer to the caller (a cache hit); a
+		// constant deny reports the filter-ran shape the locked path would
+		// and is not a hit.
+		return ClassFastHit, !out.FilterRan
 	case !out.FilterRan && !out.ArgsChecked:
 		return ClassIDFast, true
 	case !out.FilterRan:

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"draco/internal/profilegen"
@@ -18,6 +19,15 @@ import (
 //   - bitmap vs interp: the bitmap may skip filter runs (so instruction
 //     counts legitimately differ) but the security outcome — Allowed and
 //     Action — must match on every event, and denial counts must agree.
+//
+// For the +slb engines the interp-vs-compiled comparison is decision-exact
+// but cached-flag-bounded: each wrapper checks its worker cache out of a
+// sync.Pool per call, and a GC landing between the two engines' checks of
+// the same event drops one pool's workers but not the other's — the
+// refilling cache then misses where its twin hits, and the diverging SLB
+// fill pattern feeds diverging inner VAT state. That is scheduler/GC
+// timing, not a tier property, so Cached may diverge on a bounded slice of
+// events and only Checks/Denied are pinned in the aggregate stats.
 //
 // draco-hw runs a reduced trace: it simulates a cache hierarchy per check
 // (same scaling as TestDifferentialDracoHWAllows).
@@ -49,11 +59,21 @@ func TestDifferentialExecModes(t *testing.T) {
 				interp := mk("interp")
 				compiled := mk("compiled")
 				bitmap := mk("bitmap")
+				slbWrapped := strings.HasSuffix(name, "+slb")
+				var cacheDivergence int
 				for i, ev := range tr {
 					di := interp.Check(ev.SID, ev.Args)
 					dc := compiled.Check(ev.SID, ev.Args)
 					db := bitmap.Check(ev.SID, ev.Args)
-					if dc != di {
+					if slbWrapped {
+						if dc.Allowed != di.Allowed || dc.Action != di.Action {
+							t.Fatalf("%s event %d (sid=%d args=%v): interp %+v, compiled %+v",
+								name, i, ev.SID, ev.Args, di, dc)
+						}
+						if dc.Cached != di.Cached {
+							cacheDivergence++
+						}
+					} else if dc != di {
 						t.Fatalf("%s event %d (sid=%d args=%v): interp %+v, compiled %+v",
 							name, i, ev.SID, ev.Args, di, dc)
 					}
@@ -62,8 +82,15 @@ func TestDifferentialExecModes(t *testing.T) {
 							name, i, ev.SID, ev.Args, di, db)
 					}
 				}
+				if cacheDivergence > events/100 {
+					t.Fatalf("%s cache decisions diverged on %d/%d events", name, cacheDivergence, events)
+				}
 				si, sc, sb := interp.Stats(), compiled.Stats(), bitmap.Stats()
-				if si != sc {
+				if slbWrapped {
+					if si.Checks != sc.Checks || si.Denied != sc.Denied {
+						t.Fatalf("%s stats diverge: interp %+v, compiled %+v", name, si, sc)
+					}
+				} else if si != sc {
 					t.Fatalf("%s stats diverge: interp %+v, compiled %+v", name, si, sc)
 				}
 				if si.Checks != sb.Checks || si.Denied != sb.Denied {

@@ -41,6 +41,11 @@ type Options struct {
 	// itself carries. Profiles swapped in later via SetProfile use their own
 	// Programmable field.
 	Program *ebpf.Source
+	// NoFastPath disables the lock-free decision plane in draco-concurrent
+	// (and its +slb wrap): every check takes the locked shard path. The
+	// measurement baseline for the fastpath benchmark; decisions and Stats
+	// are identical either way.
+	NoFastPath bool
 }
 
 // observer returns the effective observer, defaulting to the no-op.

@@ -76,6 +76,12 @@ type SLBStats struct {
 	Hits, HitsIDOnly, HitsArgs uint64
 	// Misses counts checks forwarded to the inner engine.
 	Misses uint64
+	// Bypassed counts checks routed around the SLB on purpose: must-run
+	// programmable numbers (caching would freeze mutable state) and
+	// syscalls the inner engine's decision plane already answers lock-free
+	// (an SLB line would only slow them down). Bypassed checks reach the
+	// inner engine like misses but are never filled.
+	Bypassed uint64
 	// Fills counts allow decisions recorded into a worker cache.
 	Fills uint64
 	// Invalidations counts epoch bumps (one per profile swap): each one
@@ -99,8 +105,9 @@ type slbCounters struct {
 	hitsID   atomic.Uint64
 	hitsArgs atomic.Uint64
 	misses   atomic.Uint64
+	bypassed atomic.Uint64
 	fills    atomic.Uint64
-	_        [4]uint64
+	_        [3]uint64
 }
 
 // slbWorker is one worker's checkout: a private cache plus its counter
@@ -159,6 +166,16 @@ func buildMaskTable(p *seccomp.Profile) *maskTable {
 	return t
 }
 
+// fastResolver is implemented by inner engines with a lock-free decision
+// plane (draco-concurrent): FastResolved reports whether sid is answered
+// in O(1) without the locked path. The wrapper bypasses the SLB for such
+// syscalls — probing and filling a cache line cannot beat a decision that
+// is already one atomic load away, and skipping the fill keeps SLB
+// capacity for the argument-checked calls that need it.
+type fastResolver interface {
+	FastResolved(sid int) bool
+}
+
 // slbEngine composes a software SLB in front of any inner engine. See
 // package slb for the cache itself; the wrapper owns what the cache cannot:
 // the epoch counter (flash invalidation on SetProfile), the per-profile
@@ -168,6 +185,10 @@ type slbEngine struct {
 	name  string
 	geom  slb.Config
 	obs   Observer
+	// fast is the inner engine's decision plane view (nil when the inner
+	// engine has none). Resolved-ness is stable within a profile
+	// generation: the plane is compiled at SetProfile time.
+	fast fastResolver
 
 	// epoch is the current profile epoch, starting at 1; entries tagged
 	// with any other epoch never hit. masks is the matching bitmask table.
@@ -228,6 +249,9 @@ func WithSLB(inner Engine, cfg SLBConfig) (Engine, error) {
 		geom:  geom,
 		obs:   obs,
 	}
+	if fr, ok := inner.(fastResolver); ok {
+		e.fast = fr
+	}
 	e.epoch.Store(1)
 	e.masks.Store(buildMaskTable(cfg.Profile))
 	e.pool.New = func() any {
@@ -262,8 +286,12 @@ func cacheable(d Decision) bool {
 func (e *slbEngine) Check(sid int, args Args) Decision {
 	epoch := e.epoch.Load()
 	mt := e.masks.Load()
-	if mt.bypass(sid) {
-		// Must-run programmable number: neither serve nor fill the SLB.
+	if mt.bypass(sid) || (e.fast != nil && e.fast.FastResolved(sid)) {
+		// Must-run programmable number (neither serve nor fill) or a
+		// plane-resolved constant (the inner fast path beats any cache
+		// probe): route straight through. Counter striping by SID keeps
+		// hot constants from hammering one cache line.
+		e.stripes[uint(sid)%slbStripes].bypassed.Add(1)
 		return e.inner.Check(sid, args)
 	}
 	m := mt.mask(sid)
@@ -311,14 +339,16 @@ func (e *slbEngine) CheckBatch(calls []Call, dst []Decision) []Decision {
 		pairs = make([]hashes.Pair, 0, len(calls))
 		miss = make([]int32, 0, len(calls))
 	}
-	var hitsID, hitsArgs uint64
+	var hitsID, hitsArgs, bypassed uint64
 	for i, cl := range calls {
 		m := mt.mask(cl.SID)
 		pair := hashes.ArgSet(cl.Args, m)
 		pairs = append(pairs, pair)
-		if mt.bypass(cl.SID) {
-			// Must-run programmable number: always forward, never fill.
+		if mt.bypass(cl.SID) || (e.fast != nil && e.fast.FastResolved(cl.SID)) {
+			// Must-run programmable number or plane-resolved constant:
+			// always forward, never fill.
 			miss = append(miss, int32(i))
+			bypassed++
 			continue
 		}
 		if w.cache.Lookup(cl.SID, pair, epoch) {
@@ -336,7 +366,8 @@ func (e *slbEngine) CheckBatch(calls []Call, dst []Decision) []Decision {
 	}
 	w.ctr.hitsID.Add(hitsID)
 	w.ctr.hitsArgs.Add(hitsArgs)
-	w.ctr.misses.Add(uint64(len(miss)))
+	w.ctr.bypassed.Add(bypassed)
+	w.ctr.misses.Add(uint64(len(miss)) - bypassed)
 
 	// Miss phase: forward the residue as one inner batch (keeping the
 	// inner engine's lock amortization), scatter results back, and record
@@ -350,7 +381,8 @@ func (e *slbEngine) CheckBatch(calls []Call, dst []Decision) []Decision {
 		for k, dec := range e.inner.CheckBatch(mcalls, nil) {
 			i := miss[k]
 			dst[i] = dec
-			if cacheable(dec) && !mt.bypass(calls[i].SID) {
+			if cacheable(dec) && !mt.bypass(calls[i].SID) &&
+				(e.fast == nil || !e.fast.FastResolved(calls[i].SID)) {
 				w.cache.Insert(calls[i].SID, pairs[i], epoch)
 				fills++
 			}
@@ -383,6 +415,7 @@ func (e *slbEngine) SLBStats() SLBStats {
 		s.HitsIDOnly += c.hitsID.Load()
 		s.HitsArgs += c.hitsArgs.Load()
 		s.Misses += c.misses.Load()
+		s.Bypassed += c.bypassed.Load()
 		s.Fills += c.fills.Load()
 	}
 	s.Hits = s.HitsIDOnly + s.HitsArgs

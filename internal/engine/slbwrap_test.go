@@ -69,9 +69,9 @@ func TestDifferentialSLBDecisionExact(t *testing.T) {
 					if !ok {
 						t.Fatalf("%s: no SLB stats", pair.wrapped)
 					}
-					if sl.Hits+sl.Misses != events {
-						t.Fatalf("%s/%s: SLB hits %d + misses %d != %d checks",
-							pname, pair.wrapped, sl.Hits, sl.Misses, events)
+					if sl.Hits+sl.Misses+sl.Bypassed != events {
+						t.Fatalf("%s/%s: SLB hits %d + misses %d + bypassed %d != %d checks",
+							pname, pair.wrapped, sl.Hits, sl.Misses, sl.Bypassed, events)
 					}
 				}
 			}
@@ -167,8 +167,9 @@ func TestSLBObserverClasses(t *testing.T) {
 			innerSum += c.ByClass(class)
 		}
 	}
-	if innerSum != sl.Misses {
-		t.Fatalf("inner classes total %d, SLB misses %d", innerSum, sl.Misses)
+	if innerSum != sl.Misses+sl.Bypassed {
+		t.Fatalf("inner classes total %d, SLB misses %d + bypassed %d",
+			innerSum, sl.Misses, sl.Bypassed)
 	}
 }
 

@@ -134,21 +134,22 @@ func (e *Engine) vatFetchPair(sid int, pair hashes.Pair) uint64 {
 }
 
 // sptLookup resolves the hardware SPT entry for sid, refilling from the
-// OS-side SPT on a tag miss. The second return is the refill latency (zero
-// on a hw hit); the third reports whether the OS side knows the syscall.
-func (e *Engine) sptLookup(sid int) (base, bitmask uint64, refillCycles uint64, known bool) {
-	if b, m, ok := e.spt.Lookup(sid); ok {
-		return b, m, 0, true
+// OS-side SPT on a tag miss. argc is the entry's precomputed argument
+// count; refillCycles is the refill latency (zero on a hw hit); known
+// reports whether the OS side knows the syscall.
+func (e *Engine) sptLookup(sid int) (base, bitmask uint64, argc int, refillCycles uint64, known bool) {
+	if b, m, a, ok := e.spt.Lookup(sid); ok {
+		return b, m, a, 0, true
 	}
 	sw := e.os.SPT.Lookup(sid)
 	if sw == nil || !sw.Valid {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
 	// Refill: one memory access to the OS SPT image.
 	e.stats.SPTMissRefills++
 	lat := e.mem.Access(core.DefaultVATBase - 0x10000 + uint64(sid)*16)
 	e.spt.Fill(sid, sw.Base, sw.ArgBitmask)
-	return sw.Base, sw.ArgBitmask, lat, true
+	return sw.Base, sw.ArgBitmask, int(sw.NArgs), lat, true
 }
 
 // dispatchResult carries the dispatch-stage events into the ROB-head stage.
@@ -170,9 +171,8 @@ func (e *Engine) dispatch(pc uint64, sid int) dispatchResult {
 		e.stats.STBHits++
 	}
 	if d.stbHit && e.cfg.PreloadEnabled {
-		_, bitmask, _, known := e.sptLookup(sid)
+		_, bitmask, argc, _, known := e.sptLookup(sid)
 		if known && bitmask != 0 {
-			argc := core.SPTEntry{ArgBitmask: bitmask}.ArgCount()
 			e.stats.SLBPreloads++
 			probeHit := false
 			if e.cfg.SecurePreload {
@@ -226,7 +226,7 @@ func (e *Engine) OnSyscall(pc uint64, sid int, args hashes.Args) Result {
 	preloadFetched, preloadLatency := disp.preloadFetched, disp.preloadLatency
 
 	// ---- ROB-head stage: SPT check, then SLB access (Figure 7) ----
-	base, bitmask, refill, known := e.sptLookup(sid)
+	base, bitmask, argc, refill, known := e.sptLookup(sid)
 	_ = base
 	if !known {
 		// The OS has never validated this syscall ID: software path.
@@ -244,7 +244,6 @@ func (e *Engine) OnSyscall(pc uint64, sid int, args hashes.Args) Result {
 		return Result{Allowed: true, Flow: FlowNone, CheckCycles: refill}
 	}
 
-	argc := core.SPTEntry{ArgBitmask: bitmask}.ArgCount()
 	e.stats.SLBAccesses++
 
 	// The non-speculative access: check the SLB proper, then the
@@ -336,7 +335,7 @@ func (e *Engine) slowOS(pc uint64, sid int, args hashes.Args, flow Flow, priorCy
 	if sw != nil && sw.Valid {
 		e.spt.Fill(sid, sw.Base, sw.ArgBitmask)
 		if sw.ChecksArgs() {
-			argc := sw.ArgCount()
+			argc := int(sw.NArgs)
 			e.slb.Fill(sid, argc, out.Hash, args)
 			e.stb.Fill(pc, sid, out.Hash)
 			e.stats.Flows[flow]++

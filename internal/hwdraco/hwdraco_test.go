@@ -315,10 +315,10 @@ func TestHWSPTConflict(t *testing.T) {
 	spt := NewHWSPT(4)
 	spt.Fill(1, 100, 0xff)
 	spt.Fill(5, 500, 0xff) // 5 % 4 == 1: conflicts
-	if _, _, ok := spt.Lookup(1); ok {
+	if _, _, _, ok := spt.Lookup(1); ok {
 		t.Fatal("conflicting entry survived")
 	}
-	if b, _, ok := spt.Lookup(5); !ok || b != 500 {
+	if b, _, _, ok := spt.Lookup(5); !ok || b != 500 {
 		t.Fatal("new entry missing")
 	}
 }

@@ -1,6 +1,7 @@
 package hwdraco
 
 import (
+	"draco/internal/core"
 	"draco/internal/hashes"
 	"draco/internal/syscalls"
 )
@@ -321,11 +322,14 @@ func (b *TempBuffer) Len() int { return len(b.entries) }
 // --- Hardware SPT --------------------------------------------------------
 
 type hwSPTEntry struct {
-	valid      bool
+	valid    bool
+	accessed bool
+	// argc caches the bitmask's argument count, computed once at Fill so
+	// the per-syscall dispatch and ROB-head stages never re-popcount it.
+	argc       uint8
 	sid        int
 	base       uint64
 	argBitmask uint64
-	accessed   bool
 }
 
 // HWSPT is the per-core direct-mapped hardware System Call Permissions
@@ -342,19 +346,22 @@ func NewHWSPT(entries int) *HWSPT {
 
 func (t *HWSPT) idx(sid int) int { return sid % len(t.entries) }
 
-// Lookup probes by SID; it sets the Accessed bit on hit.
-func (t *HWSPT) Lookup(sid int) (base, bitmask uint64, ok bool) {
+// Lookup probes by SID; it sets the Accessed bit on hit. argc is the
+// entry's precomputed argument count.
+func (t *HWSPT) Lookup(sid int) (base, bitmask uint64, argc int, ok bool) {
 	e := &t.entries[t.idx(sid)]
 	if e.valid && e.sid == sid {
 		e.accessed = true
-		return e.base, e.argBitmask, true
+		return e.base, e.argBitmask, int(e.argc), true
 	}
-	return 0, 0, false
+	return 0, 0, 0, false
 }
 
-// Fill installs an entry (refill from the OS-side SPT).
+// Fill installs an entry (refill from the OS-side SPT), precomputing the
+// argument count once per refill instead of once per check.
 func (t *HWSPT) Fill(sid int, base, bitmask uint64) {
-	t.entries[t.idx(sid)] = hwSPTEntry{valid: true, sid: sid, base: base, argBitmask: bitmask, accessed: true}
+	t.entries[t.idx(sid)] = hwSPTEntry{valid: true, sid: sid, base: base,
+		argBitmask: bitmask, argc: uint8(core.CountArgs(bitmask)), accessed: true}
 }
 
 // Invalidate clears the table.

@@ -177,7 +177,7 @@ func bitmaskFor(r Rule) uint64 {
 func (c *Checker) Check(num int, args hashes.Args) Outcome {
 	c.Checks++
 	if e := c.spt.Lookup(num); e != nil && e.Valid {
-		e.Accessed = true
+		e.MarkAccessed()
 		if !e.ChecksArgs() {
 			c.Hits++
 			return Outcome{Allowed: true, Cached: true}
@@ -197,7 +197,8 @@ func (c *Checker) Check(num int, args hashes.Args) Outcome {
 			continue
 		}
 		if e := c.spt.Lookup(num); e == nil || !e.Valid {
-			entry := core.SPTEntry{Valid: true, Accessed: true}
+			entry := core.SPTEntry{Valid: true}
+			entry.MarkAccessed()
 			if len(r.CheckedArgs) > 0 {
 				entry.ArgBitmask = bitmaskFor(r)
 				entry.Base = c.vat.CreateTable(num, len(r.AllowedSets), entry.ArgBitmask)

@@ -58,6 +58,16 @@ func (b *Bitmap) Known(nr int32) bool {
 	return b != nil && uint32(nr) < BitmapMaxNr && b.known[nr]
 }
 
+// ConstAction returns the proven argument-independent action for nr, if
+// any: the compile hook profile-plane builders use to decide at attach
+// time that a syscall's whole decision is a constant.
+func (b *Bitmap) ConstAction(nr int32) (Action, bool) {
+	if b == nil || uint32(nr) >= BitmapMaxNr || !b.known[nr] {
+		return 0, false
+	}
+	return b.actions[nr], true
+}
+
 // KnownCount returns how many syscall numbers resolve through the bitmap.
 func (b *Bitmap) KnownCount() int {
 	if b == nil {

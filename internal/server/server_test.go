@@ -365,8 +365,11 @@ func TestStatsAndMetrics(t *testing.T) {
 		// Observation-layer series fed by the engine.Observer hook.
 		"dracod_observed_checks_total 10",
 		"dracod_observed_cache_hits_total 9",
-		`dracod_check_class_total{class="id-fast"} 9`,
-		// The one miss resolved through the constant-action bitmap.
+		// The 9 steady-state checks of an ID-only constant syscall are
+		// served by the concurrent engine's lock-free decision plane.
+		`dracod_check_class_total{class="fast-hit"} 9`,
+		// The first check resolved through the constant-action bitmap
+		// (the locked warm-up that seeds the plane).
 		`dracod_check_class_total{class="bitmap-hit"} 1`,
 		`dracod_engine_tenants{engine="draco-concurrent"} 1`,
 		`dracod_engine_checks_total{engine="draco-concurrent"} 10`,

@@ -257,9 +257,12 @@ func (c *session) handleBatch(id uint64, p []byte) {
 	}
 	c.outs = t.engine().CheckBatch(c.calls, c.outs[:0])
 	c.respBuf = wire.AppendBatchResp(c.respBuf[:0], c.outs)
-	c.resp.send(wire.TypeBatchResp, id, c.respBuf)
+	// Count before publishing: a shm client spinning on the completion
+	// ring can observe the response — and read the metrics — the moment
+	// the frame lands, so counters must already cover it.
 	m := c.hub.s.metrics
 	m.WireBatchCalls.Add(uint64(seq.Len()))
+	c.resp.send(wire.TypeBatchResp, id, c.respBuf)
 	m.WireBatchLatency.Observe(time.Since(start))
 }
 

@@ -1,26 +1,32 @@
 #!/bin/sh
 # CI gate: build everything, vet, then run the full test suite under the
 # race detector (includes the 32-goroutine hot-swap hammer test in
-# internal/concurrent, the SLB epoch flash-invalidation test in
-# internal/engine — a writer hot-swapping profiles under 16 readers
-# checking through SLB-wrapped engines — and TestWireHotSwapHammer in
-# internal/server: 32 goroutines on one wire connection pool while
-# profiles hot-swap across engine rebuilds). Mirrors `make check`.
+# internal/concurrent, the 16-goroutine decision-plane hammer hot-swapping
+# the lock-free fast path's compiled records, the SLB epoch
+# flash-invalidation test in internal/engine — a writer hot-swapping
+# profiles under 16 readers checking through SLB-wrapped engines — and
+# TestWireHotSwapHammer in internal/server: 32 goroutines on one wire
+# connection pool while profiles hot-swap across engine rebuilds).
+# Mirrors `make check`.
 set -eux
 
 go build ./...
 go vet ./...
 # -timeout raised over the 10m default: the experiments suite replays full
-# simulations and can exceed it under the race detector on slow runners.
-go test -race -timeout 30m ./...
+# simulations and needs well over 30m under the race detector on slow
+# single-core runners (Fig16 alone replays the Fig2 matrix twice).
+go test -race -timeout 60m ./...
 
 # The zero-allocation guards skip themselves under -race (the detector
 # perturbs alloc accounting), so run them - plus the differential suites
 # they share packages with - without it. These pin the Engine contract
 # (0 allocs/op on the draco-sw, draco-concurrent, and +slb hot paths,
-# including the SLB hit path and the grouped CheckBatch; decision-stream
+# including the SLB hit path, the grouped CheckBatch, and the decision
+# plane's constant-allow/constant-deny fast hits; decision-stream
 # identity across filter-only, draco-sw, draco-concurrent, and the +slb
-# wrappers) and the filter-tier contract (0 allocs/op on the compiled-exec
+# wrappers, plus plane-vs-locked outcome and stats identity over 100k
+# events x 15 workloads x 3 profiles) and the filter-tier contract (0
+# allocs/op on the compiled-exec
 # and bitmap fast paths; interp-vs-compiled Decision+Stats identity and
 # bitmap action identity across every registered engine and workload;
 # bitmap soundness against the interpreter on all 512 syscall numbers).
@@ -74,6 +80,14 @@ go test -count=1 -run 'Fuzz' ./internal/bpf/
 # with matching action, instruction count, and map state; rejected
 # programs must refuse to instantiate a VM.
 go test -count=1 -run 'Fuzz' ./internal/ebpf/
+
+# Decision-plane guards, run explicitly under -race: the hot-swap hammer
+# (16 goroutines checking through the lock-free fast path while the
+# profile — and with it the compiled plane — swaps mid-stream; hit
+# counters must fold across retired generations) and the SPT Accessed-bit
+# atomicity regression test (markers racing the periodic clear sweep).
+go test -race -count=1 -run 'TestFastPathHotSwapHammer' ./internal/concurrent/
+go test -race -count=1 -run 'TestSPTAccessedConcurrentMark' ./internal/core/
 
 # The programmable race hammer, run explicitly under -race: 16 goroutines
 # hammer per-tenant map state (mixed single checks and batches) through the
